@@ -1,0 +1,203 @@
+//! Radix-2 complex FFT, implemented from scratch.
+//!
+//! The 2-D FFT application (paper Section 3, citing Pelz's parallel
+//! pseudospectral method) needs a 1-D FFT as its local kernel; this
+//! module provides an iterative in-place radix-2 Cooley–Tukey
+//! transform plus the naive DFT used as a test oracle.
+
+/// A complex number (no external dependencies).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^(i theta)`.
+    pub fn cis(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex multiplication (also available via `*`).
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // `*` is implemented too
+    pub fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::mul(self, o)
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+/// Direction of the transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward DFT (negative exponent).
+    Forward,
+    /// Inverse DFT (positive exponent), scaled by `1/n`.
+    Inverse,
+}
+
+/// In-place iterative radix-2 FFT. `data.len()` must be a power of two.
+pub fn fft_in_place(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if dir == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            z.re *= inv;
+            z.im *= inv;
+        }
+    }
+}
+
+/// Naive `O(n^2)` DFT, the oracle for tests.
+pub fn dft_naive(data: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = data.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex::default(); n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex::default();
+        for (j, &x) in data.iter().enumerate() {
+            let ang = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            acc = acc + x.mul(Complex::cis(ang));
+        }
+        if dir == Direction::Inverse {
+            acc.re /= n as f64;
+            acc.im /= n as f64;
+        }
+        *slot = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n).map(|k| Complex::new(k as f64 * 0.25 - 1.0, (k % 3) as f64)).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let input = ramp(n);
+            let mut fast = input.clone();
+            fft_in_place(&mut fast, Direction::Forward);
+            let slow = dft_naive(&input, Direction::Forward);
+            assert!(close(&fast, &slow, 1e-9 * n as f64), "n={n}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [2usize, 8, 128, 1024] {
+            let input = ramp(n);
+            let mut data = input.clone();
+            fft_in_place(&mut data, Direction::Forward);
+            fft_in_place(&mut data, Direction::Inverse);
+            assert!(close(&data, &input, 1e-9 * n as f64), "n={n}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut data, Direction::Forward);
+        for z in &data {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let input = ramp(64);
+        let mut freq = input.clone();
+        fft_in_place(&mut freq, Direction::Forward);
+        let e_time: f64 = input.iter().map(|z| z.abs() * z.abs()).sum();
+        let e_freq: f64 = freq.iter().map(|z| z.abs() * z.abs()).sum::<f64>() / 64.0;
+        assert!((e_time - e_freq).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![Complex::default(); 12];
+        fft_in_place(&mut data, Direction::Forward);
+    }
+}

@@ -1,0 +1,260 @@
+//! Distributed table lookup.
+//!
+//! A key-value table is hash-partitioned over the `2^d` nodes; every
+//! node holds a batch of query keys whose owners are scattered. The
+//! lookup runs in two complete exchanges (the "run-time scheduling and
+//! execution of loops on message passing machines" pattern of Saltz et
+//! al., cited in Section 3):
+//!
+//! 1. **scatter queries**: each node routes its query keys to the
+//!    owner nodes;
+//! 2. each owner answers its incoming queries from its local shard;
+//! 3. **gather answers**: the answers are routed back.
+//!
+//! Batches between each pair are padded to a fixed per-pair capacity
+//! so that both rounds are fixed-block-size complete exchanges.
+
+use mce_core::fabric::lockstep;
+use mce_core::planner::best_plan;
+use mce_core::thread_fabric::thread_complete_exchange;
+use mce_model::MachineParams;
+use crate::transpose::Transport;
+use std::collections::HashMap;
+
+/// Sentinel for "no entry" answers and padding slots.
+pub const NONE_SENTINEL: u64 = u64::MAX;
+
+/// A hash-partitioned distributed key-value table.
+#[derive(Debug, Clone)]
+pub struct DistributedTable {
+    d: u32,
+    shards: Vec<HashMap<u64, u64>>,
+}
+
+impl DistributedTable {
+    /// Build from a flat list of entries; keys are assigned to node
+    /// `key % 2^d` (a simple, observable partitioning function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value equals [`NONE_SENTINEL`] (`u64::MAX`),
+    /// which the answer protocol reserves for "absent".
+    pub fn new(d: u32, entries: &[(u64, u64)]) -> Self {
+        let n = 1usize << d;
+        let mut shards = vec![HashMap::new(); n];
+        for &(k, v) in entries {
+            assert_ne!(v, NONE_SENTINEL, "value u64::MAX is reserved for absent answers");
+            shards[(k % n as u64) as usize].insert(k, v);
+        }
+        DistributedTable { d, shards }
+    }
+
+    /// Owner node of a key.
+    pub fn owner(&self, key: u64) -> usize {
+        (key % (1u64 << self.d)) as usize
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        1usize << self.d
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sequential oracle lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.shards[self.owner(key)].get(&key).copied()
+    }
+
+    /// Distributed batch lookup: `queries[i]` is node `i`'s query
+    /// list. Returns per-node answer lists (aligned with the query
+    /// lists; `None` for absent keys).
+    ///
+    /// `capacity` is the per-pair batch capacity (queries from one
+    /// node to one owner); it must bound the actual per-pair counts.
+    pub fn batch_lookup(
+        &self,
+        queries: &[Vec<u64>],
+        capacity: usize,
+        dims: Option<&[u32]>,
+        transport: Transport,
+    ) -> Vec<Vec<Option<u64>>> {
+        let n = self.num_nodes();
+        assert_eq!(queries.len(), n, "one query list per node");
+        let m = capacity * 8; // u64 keys / answers
+        let planned;
+        let dims: &[u32] = match dims {
+            Some(dims) => dims,
+            None => {
+                planned = best_plan(&MachineParams::ipsc860(), self.d, m).dims;
+                &planned
+            }
+        };
+
+        // Round 1: scatter queries. Memory slot `dst` of node `x`
+        // holds x's (padded) queries owned by `dst`. Remember each
+        // query's position so answers can be re-aligned.
+        let mut memories: Vec<Vec<u8>> = Vec::with_capacity(n);
+        // positions[x][dst][slot] = index into queries[x].
+        let mut positions: Vec<Vec<Vec<usize>>> = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // x is a node label
+        for x in 0..n {
+            let mut mem = vec![0u8; n * m];
+            let mut pos = vec![Vec::new(); n];
+            let mut fill = vec![0usize; n];
+            // Initialize padding.
+            for slot in 0..n * capacity {
+                mem[slot * 8..slot * 8 + 8].copy_from_slice(&NONE_SENTINEL.to_le_bytes());
+            }
+            for (qi, &key) in queries[x].iter().enumerate() {
+                let owner = self.owner(key);
+                let k = fill[owner];
+                assert!(
+                    k < capacity,
+                    "node {x} exceeds per-pair capacity {capacity} toward owner {owner}"
+                );
+                let off = owner * m + k * 8;
+                mem[off..off + 8].copy_from_slice(&key.to_le_bytes());
+                pos[owner].push(qi);
+                fill[owner] += 1;
+            }
+            memories.push(mem);
+            positions.push(pos);
+        }
+        let scattered = run_exchange(self.d, dims, memories, m, transport);
+
+        // Step 2: answer locally. After the exchange, slot `p` of
+        // owner `o` holds the queries *from* node `p`. Answer in
+        // place: key -> value (or sentinel).
+        let mut answer_memories: Vec<Vec<u8>> = Vec::with_capacity(n);
+        for (o, mem) in scattered.iter().enumerate() {
+            let mut out = mem.clone();
+            for slot in 0..n * capacity {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&mem[slot * 8..slot * 8 + 8]);
+                let key = u64::from_le_bytes(buf);
+                let answer = if key == NONE_SENTINEL {
+                    NONE_SENTINEL
+                } else {
+                    self.shards[o].get(&key).copied().unwrap_or(NONE_SENTINEL)
+                };
+                out[slot * 8..slot * 8 + 8].copy_from_slice(&answer.to_le_bytes());
+            }
+            answer_memories.push(out);
+        }
+
+        // Round 2: gather answers back. After this exchange, slot `o`
+        // of node `x` holds the answers from owner `o`, in the order x
+        // sent its queries to `o`.
+        let gathered = run_exchange(self.d, dims, answer_memories, m, transport);
+
+        // Re-align with the original query order.
+        let mut results: Vec<Vec<Option<u64>>> = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // x, o are node labels
+        for x in 0..n {
+            let mut answers = vec![None; queries[x].len()];
+            for o in 0..n {
+                for (k, &qi) in positions[x][o].iter().enumerate() {
+                    let off = o * m + k * 8;
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(&gathered[x][off..off + 8]);
+                    let v = u64::from_le_bytes(buf);
+                    answers[qi] = if v == NONE_SENTINEL { None } else { Some(v) };
+                }
+            }
+            results.push(answers);
+        }
+        results
+    }
+}
+
+fn run_exchange(
+    d: u32,
+    dims: &[u32],
+    memories: Vec<Vec<u8>>,
+    m: usize,
+    transport: Transport,
+) -> Vec<Vec<u8>> {
+    match transport {
+        Transport::Threads => thread_complete_exchange(d, dims, memories, m),
+        Transport::Reference => lockstep::run(d, dims, memories, m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_and_queries(d: u32) -> (DistributedTable, Vec<Vec<u64>>) {
+        let n = 1usize << d;
+        let entries: Vec<(u64, u64)> = (0..200u64).map(|k| (k * 3, k * 3 + 1000)).collect();
+        let table = DistributedTable::new(d, &entries);
+        // Each node queries a mix of present and absent keys.
+        let queries: Vec<Vec<u64>> = (0..n as u64)
+            .map(|x| (0..20u64).map(|i| (x * 7 + i * 5) % 700).collect())
+            .collect();
+        (table, queries)
+    }
+
+    #[test]
+    fn batch_matches_oracle() {
+        for d in [1u32, 2, 3] {
+            let (table, queries) = table_and_queries(d);
+            let answers = table.batch_lookup(&queries, 32, None, Transport::Reference);
+            for (x, qs) in queries.iter().enumerate() {
+                for (i, &k) in qs.iter().enumerate() {
+                    assert_eq!(answers[x][i], table.get(k), "d={d} node {x} query {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threads_match_reference() {
+        let (table, queries) = table_and_queries(3);
+        let a = table.batch_lookup(&queries, 32, None, Transport::Threads);
+        let b = table.batch_lookup(&queries, 32, None, Transport::Reference);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn present_and_absent_keys() {
+        let table = DistributedTable::new(2, &[(0, 100), (1, 101), (5, 105)]);
+        assert_eq!(table.get(0), Some(100));
+        assert_eq!(table.get(5), Some(105));
+        assert_eq!(table.get(2), None);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        let queries = vec![vec![0, 2], vec![5], vec![], vec![1, 1, 7]];
+        let answers = table.batch_lookup(&queries, 8, Some(&[1, 1]), Transport::Reference);
+        assert_eq!(answers[0], vec![Some(100), None]);
+        assert_eq!(answers[1], vec![Some(105)]);
+        assert!(answers[2].is_empty());
+        assert_eq!(answers[3], vec![Some(101), Some(101), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_overflow_is_detected() {
+        let table = DistributedTable::new(1, &[(0, 1)]);
+        // 3 queries to owner 0 with capacity 2.
+        let queries = vec![vec![0, 2, 4], vec![]];
+        let _ = table.batch_lookup(&queries, 2, Some(&[1]), Transport::Reference);
+    }
+
+    #[test]
+    fn owner_partitioning() {
+        let table = DistributedTable::new(3, &[]);
+        for k in 0..64u64 {
+            assert_eq!(table.owner(k), (k % 8) as usize);
+        }
+    }
+}

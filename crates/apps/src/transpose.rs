@@ -1,0 +1,233 @@
+//! Distributed matrix transpose via complete exchange.
+//!
+//! The `N x N` matrix (`N = 2^d * r`) is mapped onto `2^d` processors
+//! in row bands of `r` rows each — the mapping of Figure 2 of the
+//! paper. Transposing requires every processor to send one `r x r`
+//! block to every other processor: exactly the complete exchange with
+//! block size `m = 8 r^2` bytes.
+
+use mce_core::thread_fabric::thread_complete_exchange;
+use mce_core::fabric::lockstep;
+use mce_core::planner::best_plan;
+use mce_model::MachineParams;
+
+/// A row-band-distributed square matrix of `f64`.
+///
+/// Node `i` owns rows `i*r .. (i+1)*r`, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandMatrix {
+    /// Cube dimension; `2^d` nodes.
+    pub d: u32,
+    /// Rows (and per-node columns blocks) per node.
+    pub r: usize,
+    /// Per-node bands, each `r * n()` values, row-major.
+    pub bands: Vec<Vec<f64>>,
+}
+
+impl BandMatrix {
+    /// Matrix side length `N = 2^d * r`.
+    pub fn n(&self) -> usize {
+        (1usize << self.d) * self.r
+    }
+
+    /// Build from a dense row-major matrix.
+    pub fn from_dense(d: u32, r: usize, dense: &[f64]) -> Self {
+        let nodes = 1usize << d;
+        let n = nodes * r;
+        assert_eq!(dense.len(), n * n, "dense matrix must be N x N");
+        let bands = (0..nodes)
+            .map(|i| dense[i * r * n..(i + 1) * r * n].to_vec())
+            .collect();
+        BandMatrix { d, r, bands }
+    }
+
+    /// Reassemble the dense row-major matrix.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let n = self.n();
+        let mut out = Vec::with_capacity(n * n);
+        for band in &self.bands {
+            assert_eq!(band.len(), self.r * n);
+            out.extend_from_slice(band);
+        }
+        out
+    }
+
+    /// Element accessor on the distributed representation.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let node = row / self.r;
+        let local = row % self.r;
+        self.bands[node][local * self.n() + col]
+    }
+}
+
+/// Pack a band into exchange layout: slot `j` = the `r x r` block of
+/// columns `j*r..(j+1)*r`, row-major within the block, as LE bytes.
+fn pack_blocks(band: &[f64], r: usize, nodes: usize) -> Vec<u8> {
+    let n = nodes * r;
+    let m = r * r * 8;
+    let mut mem = vec![0u8; nodes * m];
+    for j in 0..nodes {
+        for a in 0..r {
+            for b in 0..r {
+                let v = band[a * n + j * r + b];
+                let off = j * m + (a * r + b) * 8;
+                mem[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    mem
+}
+
+/// Unpack the exchanged layout into the transposed band: received slot
+/// `p` holds the block from node `p` (its rows, our columns); the
+/// transposed band's columns `p*r..` are that block transposed.
+fn unpack_blocks(mem: &[u8], r: usize, nodes: usize) -> Vec<f64> {
+    let n = nodes * r;
+    let m = r * r * 8;
+    let mut band = vec![0.0f64; r * n];
+    for p in 0..nodes {
+        for a in 0..r {
+            for b in 0..r {
+                let off = p * m + (a * r + b) * 8;
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&mem[off..off + 8]);
+                let v = f64::from_le_bytes(buf);
+                // Incoming block element (a, b) = A[p*r + a][me*r + b];
+                // transposed band element (b, p*r + a) = it.
+                band[b * n + p * r + a] = v;
+            }
+        }
+    }
+    band
+}
+
+/// Transport used for the exchange step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// One OS thread per node with crossbeam channels.
+    Threads,
+    /// In-process lock-step reference (deterministic, single thread).
+    Reference,
+}
+
+/// Transpose a band-distributed matrix.
+///
+/// `dims` selects the multiphase partition; `None` plans it from the
+/// iPSC-860 model and the actual block size `8 r^2`.
+pub fn transpose_distributed(
+    matrix: &BandMatrix,
+    dims: Option<&[u32]>,
+    transport: Transport,
+) -> BandMatrix {
+    let nodes = 1usize << matrix.d;
+    let r = matrix.r;
+    let m = r * r * 8;
+    let planned;
+    let dims: &[u32] = match dims {
+        Some(dims) => dims,
+        None => {
+            planned = best_plan(&MachineParams::ipsc860(), matrix.d, m).dims;
+            &planned
+        }
+    };
+    let memories: Vec<Vec<u8>> = matrix.bands.iter().map(|b| pack_blocks(b, r, nodes)).collect();
+    let exchanged = match transport {
+        Transport::Threads => thread_complete_exchange(matrix.d, dims, memories, m),
+        Transport::Reference => lockstep::run(matrix.d, dims, memories, m),
+    };
+    BandMatrix {
+        d: matrix.d,
+        r,
+        bands: exchanged.iter().map(|mem| unpack_blocks(mem, r, nodes)).collect(),
+    }
+}
+
+/// Sequential reference transpose of a dense row-major matrix.
+pub fn transpose_dense(n: usize, dense: &[f64]) -> Vec<f64> {
+    assert_eq!(dense.len(), n * n);
+    let mut out = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            out[j * n + i] = dense[i * n + j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(d: u32, r: usize) -> BandMatrix {
+        let n = (1usize << d) * r;
+        let dense: Vec<f64> = (0..n * n).map(|k| k as f64 * 0.5 + 1.0).collect();
+        BandMatrix::from_dense(d, r, &dense)
+    }
+
+    #[test]
+    fn roundtrip_dense() {
+        let mat = test_matrix(2, 3);
+        let dense = mat.to_dense();
+        let back = BandMatrix::from_dense(2, 3, &dense);
+        assert_eq!(mat, back);
+        assert_eq!(mat.get(5, 7), dense[5 * 12 + 7]);
+    }
+
+    #[test]
+    fn reference_transpose_matches_dense() {
+        for (d, r) in [(1u32, 2usize), (2, 2), (3, 3), (4, 1)] {
+            let mat = test_matrix(d, r);
+            let n = mat.n();
+            let t = transpose_distributed(&mat, None, Transport::Reference);
+            assert_eq!(t.to_dense(), transpose_dense(n, &mat.to_dense()), "d={d} r={r}");
+        }
+    }
+
+    #[test]
+    fn threaded_transpose_matches_dense() {
+        for (d, r) in [(2u32, 4usize), (3, 2)] {
+            let mat = test_matrix(d, r);
+            let n = mat.n();
+            let t = transpose_distributed(&mat, None, Transport::Threads);
+            assert_eq!(t.to_dense(), transpose_dense(n, &mat.to_dense()), "d={d} r={r}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let mat = test_matrix(3, 2);
+        let tt = transpose_distributed(
+            &transpose_distributed(&mat, None, Transport::Reference),
+            None,
+            Transport::Reference,
+        );
+        assert_eq!(tt, mat);
+    }
+
+    #[test]
+    fn explicit_partition_gives_same_result() {
+        let mat = test_matrix(3, 2);
+        let a = transpose_distributed(&mat, Some(&[3]), Transport::Reference);
+        let b = transpose_distributed(&mat, Some(&[1, 1, 1]), Transport::Reference);
+        let c = transpose_distributed(&mat, Some(&[2, 1]), Transport::Reference);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn pack_unpack_are_inverse_through_self_exchange() {
+        // Packing then unpacking an identity exchange (every node kept
+        // its own blocks) produces the transpose of the local band
+        // pattern — spot check the index math on a tiny case.
+        let d = 1u32;
+        let r = 2usize;
+        let mat = test_matrix(d, r);
+        let t = transpose_distributed(&mat, Some(&[1]), Transport::Reference);
+        let n = mat.n();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(t.get(i, j), mat.get(j, i), "({i},{j})");
+            }
+        }
+    }
+}

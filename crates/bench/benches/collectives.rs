@@ -1,0 +1,97 @@
+//! Benchmarks of the §9 extension machinery: collective-pattern
+//! simulation cells, store-and-forward runs, and permutation round
+//! scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mce_core::collectives::{
+    allgather_memories, broadcast_memories, build_allgather_programs, build_broadcast_programs,
+    build_scatter_programs, scatter_memories,
+};
+use mce_core::builder::build_multiphase_programs;
+use mce_core::perm_router::{bit_reversal, greedy_rounds};
+use mce_core::verify::stamped_memories;
+use mce_simnet::{SimConfig, Simulator};
+use std::hint::black_box;
+
+fn bench_collective_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collective_cells");
+    group.sample_size(10);
+    let d = 5u32;
+    let m = 64usize;
+    group.bench_function("allgather_tree", |b| {
+        b.iter_batched(
+            || {
+                Simulator::new(
+                    SimConfig::ipsc860(d),
+                    build_allgather_programs(d, &[1; 5], m),
+                    allgather_memories(d, m),
+                )
+            },
+            |mut sim| black_box(sim.run().unwrap().finish_time),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("scatter_tree", |b| {
+        b.iter_batched(
+            || {
+                Simulator::new(
+                    SimConfig::ipsc860(d),
+                    build_scatter_programs(d, &[1; 5], m),
+                    scatter_memories(d, m),
+                )
+            },
+            |mut sim| black_box(sim.run().unwrap().finish_time),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("broadcast_tree", |b| {
+        b.iter_batched(
+            || {
+                Simulator::new(
+                    SimConfig::ipsc860(d),
+                    build_broadcast_programs(d, &[1; 5], m),
+                    broadcast_memories(d, m),
+                )
+            },
+            |mut sim| black_box(sim.run().unwrap().finish_time),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_saf_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saf_exchange");
+    group.sample_size(10);
+    for dims in [vec![1u32, 1, 1, 1, 1], vec![2, 3]] {
+        let label = format!("{dims:?}");
+        group.bench_function(BenchmarkId::new("d5_m40", label), |b| {
+            b.iter_batched(
+                || {
+                    Simulator::new(
+                        SimConfig::ipsc860(5).with_store_and_forward(),
+                        build_multiphase_programs(5, &dims, 40),
+                        stamped_memories(5, 40),
+                    )
+                },
+                |mut sim| black_box(sim.run().unwrap().finish_time),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permutation_rounds");
+    for d in [6u32, 8, 10] {
+        let perm = bit_reversal(d);
+        group.bench_with_input(BenchmarkId::new("greedy_bitrev", d), &d, |b, _| {
+            b.iter(|| black_box(greedy_rounds(&perm).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collective_cells, bench_saf_exchange, bench_round_scheduling);
+criterion_main!(benches);

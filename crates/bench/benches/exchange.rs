@@ -1,0 +1,56 @@
+//! Wall-clock benchmarks of the real-thread complete exchange:
+//! Standard Exchange vs Optimal Circuit Switched vs multiphase
+//! partitions, across block sizes. On shared memory the cost model
+//! differs from a circuit-switched cube, but the bench verifies the
+//! library is usable as an actual collective and exposes the
+//! startup-vs-volume trade-off in a recognizable form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mce_core::thread_fabric::thread_complete_exchange;
+use mce_core::verify::stamped_memories;
+use std::hint::black_box;
+
+fn bench_partitions_d4(c: &mut Criterion) {
+    let d = 4u32;
+    let mut group = c.benchmark_group("thread_exchange_d4");
+    group.sample_size(20);
+    for (name, dims) in [
+        ("se_1111", vec![1u32, 1, 1, 1]),
+        ("mp_22", vec![2, 2]),
+        ("mp_31", vec![3, 1]),
+        ("ocs_4", vec![4]),
+    ] {
+        for m in [16usize, 256, 4096] {
+            let bytes = (1u64 << d) * m as u64;
+            group.throughput(Throughput::Bytes(bytes));
+            let dims = dims.clone();
+            group.bench_with_input(BenchmarkId::new(name, m), &m, |b, &m| {
+                b.iter_batched(
+                    || stamped_memories(d, m),
+                    |mems| black_box(thread_complete_exchange(d, &dims, mems, m)),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_block_size_sweep(c: &mut Criterion) {
+    let d = 3u32;
+    let mut group = c.benchmark_group("thread_exchange_d3_sweep");
+    group.sample_size(20);
+    for m in [8usize, 64, 512, 8192] {
+        group.bench_with_input(BenchmarkId::new("ocs", m), &m, |b, &m| {
+            b.iter_batched(
+                || stamped_memories(d, m),
+                |mems| black_box(thread_complete_exchange(d, &[3], mems, m)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitions_d4, bench_block_size_sweep);
+criterion_main!(benches);

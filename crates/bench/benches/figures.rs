@@ -1,0 +1,57 @@
+//! Figure-regeneration benchmarks: one Criterion benchmark per paper
+//! artifact, timing the simulation cell at the paper's headline
+//! operating points. Running `cargo bench --bench figures` therefore
+//! exercises the exact code paths that regenerate every table and
+//! figure (the full sweeps live in the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mce_bench::tables;
+use mce_core::builder::build_multiphase_programs;
+use mce_core::verify::stamped_memories;
+use mce_simnet::{SimConfig, Simulator};
+use std::hint::black_box;
+
+/// One simulated figure cell (partition, block size).
+fn figure_cell(d: u32, dims: &[u32], m: usize) -> f64 {
+    let programs = build_multiphase_programs(d, dims, m);
+    let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, stamped_memories(d, m));
+    sim.run().unwrap().finish_time.as_us()
+}
+
+fn bench_figure_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_cells");
+    group.sample_size(10);
+    // Figure 4 (d=5): hull members at the paper's crossover region.
+    for (label, d, dims, m) in [
+        ("fig4_d5_32", 5u32, vec![3u32, 2], 100usize),
+        ("fig4_d5_5", 5, vec![5], 100),
+        ("fig5_d6_33", 6, vec![3, 3], 100),
+        ("fig5_d6_222", 6, vec![2, 2, 2], 16),
+        ("fig6_d7_34", 7, vec![4, 3], 40),
+        ("fig6_d7_7", 7, vec![7], 40),
+        ("fig6_d7_se", 7, vec![1, 1, 1, 1, 1, 1, 1], 40),
+    ] {
+        group.bench_function(BenchmarkId::new("sim", label), |b| {
+            b.iter(|| black_box(figure_cell(d, &dims, m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_reports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_reports");
+    group.sample_size(10);
+    group.bench_function("E3_partition_table", |b| {
+        b.iter(|| black_box(tables::partition_table()))
+    });
+    group.bench_function("E1_crossover", |b| b.iter(|| black_box(tables::crossover_report())));
+    group.bench_function("E2_example51", |b| b.iter(|| black_box(tables::example51_report())));
+    group.bench_function("E8_contention", |b| b.iter(|| black_box(tables::contention_report())));
+    group.bench_function("E9_schedule_audit_d5", |b| {
+        b.iter(|| black_box(tables::schedule_audit(5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure_cells, bench_table_reports);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks of the Section 6 plan-search machinery: partition
+//! counting (pentagonal recurrence), enumeration, and the full
+//! best-plan search. The paper argues the enumeration is "a trivial
+//! number" of candidates even for a million-node cube — this bench
+//! quantifies that claim on modern hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mce_model::{best_partition, MachineParams};
+use mce_partitions::{count, partitions};
+use std::hint::black_box;
+
+fn bench_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_count");
+    for d in [10u32, 20, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("pentagonal", d), &d, |b, &d| {
+            b.iter(|| black_box(count(d)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_enumerate");
+    for d in [7u32, 10, 15, 20] {
+        group.bench_with_input(BenchmarkId::new("all", d), &d, |b, &d| {
+            b.iter(|| black_box(partitions(d).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_best_plan_search(c: &mut Criterion) {
+    // The "done once and stored" search: enumerate all p(d) partitions
+    // and evaluate the multiphase cost of each.
+    let params = MachineParams::ipsc860();
+    let mut group = c.benchmark_group("plan_search");
+    for d in [7u32, 10, 15, 20] {
+        group.bench_with_input(BenchmarkId::new("exhaustive", d), &d, |b, &d| {
+            b.iter(|| black_box(best_partition(&params, 40.0, d)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_count, bench_enumerate, bench_best_plan_search);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks of the inter-phase shuffle (the `ρ`-cost data
+//! permutation) and of its permutation construction. The paper notes
+//! its measured `ρ = 0.54 µs/B` is compiler-limited and "it should be
+//! possible to significantly improve this figure" — this bench reports
+//! what a modern compiler achieves for the same permutation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mce_core::fabric::apply_rotation;
+use mce_core::layout::shuffle_permutation;
+use std::hint::black_box;
+
+fn bench_apply_rotation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle_apply");
+    for d in [5u32, 7, 10] {
+        for m in [16usize, 160] {
+            let total = (1usize << d) * m;
+            group.throughput(Throughput::Bytes(total as u64));
+            let label = format!("d{d}_m{m}");
+            group.bench_with_input(BenchmarkId::new("rotate", &label), &(d, m), |b, &(d, m)| {
+                let mut memory = vec![0xA5u8; (1usize << d) * m];
+                b.iter(|| {
+                    apply_rotation(black_box(&mut memory), d, 2.min(d), m);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_build_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle_build");
+    for d in [7u32, 10, 16] {
+        group.bench_with_input(BenchmarkId::new("perm", d), &d, |b, &d| {
+            b.iter(|| black_box(shuffle_permutation(d, 3.min(d))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply_rotation, bench_build_permutation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks of the discrete-event engine itself: events per second
+//! on full complete-exchange workloads, and scaling with cube size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mce_core::builder::build_multiphase_programs;
+use mce_core::verify::stamped_memories;
+use mce_simnet::{SimConfig, Simulator};
+use std::hint::black_box;
+
+fn bench_full_exchange_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_exchange");
+    group.sample_size(10);
+    for (d, dims) in [(5u32, vec![5u32]), (5, vec![2, 3]), (6, vec![3, 3]), (7, vec![3, 4])] {
+        let m = 40usize;
+        // Transmissions per run: nodes × Σ 2(2^di - 1) (sync + data).
+        let transmissions: u64 = (1u64 << d)
+            * dims.iter().map(|&di| 2 * ((1u64 << di) - 1)).sum::<u64>();
+        group.throughput(Throughput::Elements(transmissions));
+        let label = format!("d{d}_{dims:?}");
+        group.bench_function(BenchmarkId::new("run", label), |b| {
+            b.iter_batched(
+                || {
+                    let programs = build_multiphase_programs(d, &dims, m);
+                    let memories = stamped_memories(d, m);
+                    Simulator::new(SimConfig::ipsc860(d), programs, memories)
+                },
+                |mut sim| black_box(sim.run().unwrap().finish_time),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_program_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_programs");
+    for d in [5u32, 7, 9] {
+        group.bench_with_input(BenchmarkId::new("ocs", d), &d, |b, &d| {
+            b.iter(|| black_box(build_multiphase_programs(d, &[d], 40)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_exchange_sim, bench_program_build);
+criterion_main!(benches);

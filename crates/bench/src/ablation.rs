@@ -1,0 +1,166 @@
+//! E10: ablations of the implementation choices of Section 7 —
+//! pairwise synchronization, FORCED vs UNFORCED messages, barrier
+//! omission, and phase-order invariance.
+
+use mce_core::builder::{build_with_options, BuildOptions};
+use mce_core::verify::{stamped_memories, verify_complete_exchange};
+use mce_simnet::{MsgKind, Op, Program, SimConfig, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// One ablation row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub config: String,
+    /// Completed successfully?
+    pub completed: bool,
+    /// Simulated time, µs (0 when the run failed).
+    pub simulated_us: f64,
+    /// Data verified?
+    pub verified: bool,
+    /// NIC serialization events.
+    pub nic_serializations: u64,
+    /// FORCED messages dropped.
+    pub forced_drops: u64,
+    /// Notes on the failure mode, if any.
+    pub note: String,
+}
+
+fn run_config(
+    label: &str,
+    d: u32,
+    dims: &[u32],
+    m: usize,
+    opts: BuildOptions,
+    jitter: f64,
+) -> AblationRow {
+    let programs = build_with_options(d, dims, m, opts);
+    let cfg = if jitter > 0.0 {
+        SimConfig::ipsc860(d).with_jitter(jitter, 0xAB1A)
+    } else {
+        SimConfig::ipsc860(d)
+    };
+    let mut sim = Simulator::new(cfg, programs, stamped_memories(d, m));
+    match sim.run() {
+        Ok(r) => AblationRow {
+            config: label.to_string(),
+            completed: true,
+            simulated_us: r.finish_time.as_us(),
+            verified: verify_complete_exchange(d, m, &r.memories).is_empty(),
+            nic_serializations: r.stats.nic_serialization_events,
+            forced_drops: r.stats.forced_drops,
+            note: String::new(),
+        },
+        Err(e) => AblationRow {
+            config: label.to_string(),
+            completed: false,
+            simulated_us: 0.0,
+            verified: false,
+            nic_serializations: 0,
+            forced_drops: match &e {
+                mce_simnet::SimError::Deadlock { forced_drops, .. } => *forced_drops,
+                _ => 0,
+            },
+            note: e.to_string(),
+        },
+    }
+}
+
+/// Run the Section 7 ablation suite on one configuration.
+pub fn ablation_suite(d: u32, dims: &[u32], m: usize) -> Vec<AblationRow> {
+    let base = BuildOptions::default();
+    let nosync = BuildOptions { pairwise_sync: false, ..base };
+    let nobarrier = BuildOptions { barrier_per_phase: false, ..base };
+    vec![
+        run_config("paper implementation (sync + barrier)", d, dims, m, base, 0.0),
+        run_config("paper implementation, 5% hardware jitter", d, dims, m, base, 0.05),
+        run_config("no pairwise sync, aligned (lucky lockstep)", d, dims, m, nosync, 0.0),
+        run_config("no pairwise sync, 5% jitter (serializes)", d, dims, m, nosync, 0.05),
+        run_config("no per-phase barrier, aligned", d, dims, m, nobarrier, 0.0),
+        run_config("no per-phase barrier, 20% jitter (fatal?)", d, dims, m, nobarrier, 0.20),
+    ]
+}
+
+/// FORCED vs UNFORCED comparison (Section 7.1): one-way transfers at
+/// several sizes straddling the 100-byte reserve threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MessageTypeRow {
+    /// Payload size, bytes.
+    pub bytes: usize,
+    /// FORCED transfer time, µs.
+    pub forced_us: f64,
+    /// UNFORCED transfer time, µs.
+    pub unforced_us: f64,
+}
+
+/// Regenerate the FORCED/UNFORCED comparison.
+pub fn message_type_comparison() -> Vec<MessageTypeRow> {
+    use mce_hypercube::NodeId;
+    use mce_simnet::Tag;
+    let one_way = |bytes: usize, kind: MsgKind| -> f64 {
+        let programs = vec![
+            Program { ops: vec![Op::Send { dst: NodeId(1), from: 0..bytes, tag: Tag::data(0, 1), kind }] },
+            Program {
+                ops: vec![
+                    Op::post_recv(NodeId(0), Tag::data(0, 1), 0..bytes),
+                    Op::wait_recv(NodeId(0), Tag::data(0, 1)),
+                ],
+            },
+        ];
+        let mems = vec![vec![3u8; bytes.max(1)]; 2];
+        let mut sim = Simulator::new(SimConfig::ipsc860(1), programs, mems);
+        sim.run().expect("message-type run failed").finish_time.as_us()
+    };
+    [0usize, 50, 100, 101, 200, 400, 1000]
+        .iter()
+        .map(|&bytes| MessageTypeRow {
+            bytes,
+            forced_us: one_way(bytes, MsgKind::Forced),
+            unforced_us: one_way(bytes, MsgKind::Unforced),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shape_and_baseline() {
+        let rows = ablation_suite(4, &[2, 2], 32);
+        assert_eq!(rows.len(), 6);
+        let base = &rows[0];
+        assert!(base.completed && base.verified);
+        assert_eq!(base.nic_serializations, 0);
+        assert_eq!(base.forced_drops, 0);
+    }
+
+    #[test]
+    fn nosync_with_jitter_serializes() {
+        let rows = ablation_suite(5, &[5], 200);
+        let aligned = rows.iter().find(|r| r.config.contains("lucky")).unwrap();
+        let jittered = rows.iter().find(|r| r.config.contains("serializes")).unwrap();
+        assert_eq!(aligned.nic_serializations, 0);
+        assert!(jittered.completed);
+        assert!(jittered.nic_serializations > 0);
+        assert!(jittered.simulated_us > aligned.simulated_us);
+    }
+
+    #[test]
+    fn unforced_threshold_behaviour_matches_section_7_1() {
+        let rows = message_type_comparison();
+        for row in &rows {
+            if row.bytes <= 100 {
+                assert!(
+                    (row.forced_us - row.unforced_us).abs() < 1e-9,
+                    "similar below threshold: {row:?}"
+                );
+            } else {
+                assert!(
+                    row.unforced_us > row.forced_us + 100.0,
+                    "substantial overhead beyond threshold: {row:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Output helpers: CSV, JSON and ASCII plots for regenerated figures.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Write any serializable artifact as pretty JSON.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) {
+    let file = std::fs::File::create(path).expect("cannot create JSON output");
+    serde_json::to_writer_pretty(file, value).expect("JSON serialization failed");
+}
+
+/// Write a CSV with a header row and one row per record.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) {
+    let mut file = std::fs::File::create(path).expect("cannot create CSV output");
+    writeln!(file, "{}", header.join(",")).unwrap();
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).unwrap();
+    }
+}
+
+/// A labelled curve for ASCII plotting.
+pub struct Curve {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render curves into a terminal plot, mirroring the layout of the
+/// paper's figures (time vs block size).
+pub fn ascii_plot(curves: &[Curve], width: usize, height: usize, x_label: &str, y_label: &str) -> String {
+    let glyphs = ['o', '+', 'x', '*', '#', '@', '%', '&'];
+    let x_max = curves
+        .iter()
+        .flat_map(|c| c.points.iter().map(|p| p.0))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let y_max = curves
+        .iter()
+        .flat_map(|c| c.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut canvas = vec![vec![' '; width + 1]; height + 1];
+    for (ci, curve) in curves.iter().enumerate() {
+        for &(x, y) in &curve.points {
+            let px = ((x / x_max) * width as f64).round() as usize;
+            let py = ((1.0 - y / y_max) * height as f64).round() as usize;
+            canvas[py.min(height)][px.min(width)] = glyphs[ci % glyphs.len()];
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label} (0 .. {y_max:.3})\n"));
+    for row in &canvas {
+        out.push_str("  |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("  +{}\n", "-".repeat(width + 1)));
+    out.push_str(&format!("   {x_label} (0 .. {x_max:.0})\n"));
+    for (ci, curve) in curves.iter().enumerate() {
+        out.push_str(&format!("   {} = {}\n", glyphs[ci % glyphs.len()], curve.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_plot_renders_every_curve() {
+        let curves = vec![
+            Curve { label: "a".into(), points: vec![(0.0, 0.0), (10.0, 10.0)] },
+            Curve { label: "b".into(), points: vec![(0.0, 10.0), (10.0, 0.0)] },
+        ];
+        let plot = ascii_plot(&curves, 20, 10, "x", "y");
+        assert!(plot.contains('o') && plot.contains('+'));
+        assert!(plot.contains("a") && plot.contains("b"));
+    }
+
+    #[test]
+    fn csv_written() {
+        let dir = std::env::temp_dir().join("mce_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+}

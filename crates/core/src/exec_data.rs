@@ -1,0 +1,265 @@
+//! Lock-step data executor: runs simulator [`Program`]s for
+//! *correctness only*, with no timing model.
+//!
+//! This is a second, independent implementation of the program
+//! semantics (delivery, permutation, barriers) used to cross-check the
+//! discrete-event engine and to verify large configurations quickly.
+//! It executes nodes round-robin, advancing each until it blocks, and
+//! detects deadlock as a full round without progress.
+
+use mce_simnet::{MsgKind, Op, Program, Tag};
+use mce_hypercube::NodeId;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Data-executor failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// No node could make progress.
+    Deadlock {
+        /// Program counters of the stuck nodes.
+        stuck: Vec<(NodeId, usize)>,
+        /// FORCED messages dropped before a matching post existed.
+        forced_drops: u64,
+    },
+    /// Sent payload did not match the posted buffer size.
+    SizeMismatch {
+        /// Receiving node.
+        node: NodeId,
+        /// Offending tag.
+        tag: Tag,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Deadlock { stuck, forced_drops } => {
+                write!(f, "data executor deadlock: {} stuck, {} drops", stuck.len(), forced_drops)
+            }
+            ExecError::SizeMismatch { node, tag } => {
+                write!(f, "size mismatch at {node} tag {tag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+struct NodeRt {
+    pc: usize,
+    posted: HashMap<(NodeId, Tag), Range<usize>>,
+    /// Arrived messages awaiting consumption: payload + target range.
+    /// The memcpy into node memory is deferred to the `WaitRecv`, so
+    /// that an in-flight in-place exchange cannot clobber a buffer the
+    /// node has not sent yet (the timed engine gets the same effect by
+    /// snapshotting payloads when the send is issued).
+    arrived: HashMap<(NodeId, Tag), (Vec<u8>, Range<usize>)>,
+    buffered: HashMap<(NodeId, Tag), Vec<u8>>,
+    in_barrier: bool,
+    done: bool,
+}
+
+/// Execute `programs` over `memories`, moving data with no timing.
+/// Returns the final memories.
+///
+/// Unlike the discrete-event engine, message delivery here is
+/// instantaneous at the moment the `Send` executes; a FORCED send
+/// whose receive is not yet posted is dropped, exactly as on the real
+/// machine. Because nodes run round-robin (node 0 first each round),
+/// interleavings differ from the timed engine — agreement of the two
+/// executors is itself a meaningful test.
+pub fn execute(programs: &[Program], mut memories: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, ExecError> {
+    let n = programs.len();
+    assert_eq!(memories.len(), n);
+    let mut nodes: Vec<NodeRt> = (0..n)
+        .map(|_| NodeRt {
+            pc: 0,
+            posted: HashMap::new(),
+            arrived: HashMap::new(),
+            buffered: HashMap::new(),
+            in_barrier: false,
+            done: false,
+        })
+        .collect();
+    let mut forced_drops = 0u64;
+
+    loop {
+        let mut progressed = false;
+        for x in 0..n {
+            if nodes[x].done || nodes[x].in_barrier {
+                continue;
+            }
+            // Run node x until it blocks.
+            loop {
+                let Some(op) = programs[x].ops.get(nodes[x].pc) else {
+                    nodes[x].done = true;
+                    progressed = true;
+                    break;
+                };
+                match op.clone() {
+                    Op::PostRecv { src, tag, into } => {
+                        nodes[x].pc += 1;
+                        progressed = true;
+                        if let Some(payload) = nodes[x].buffered.remove(&(src, tag)) {
+                            if payload.len() != into.len() {
+                                return Err(ExecError::SizeMismatch { node: NodeId(x as u32), tag });
+                            }
+                            nodes[x].arrived.insert((src, tag), (payload, into));
+                        } else {
+                            nodes[x].posted.insert((src, tag), into);
+                        }
+                    }
+                    Op::Send { dst, from, tag, kind } => {
+                        nodes[x].pc += 1;
+                        progressed = true;
+                        let payload = memories[x][from].to_vec();
+                        let di = dst.index();
+                        let key = (NodeId(x as u32), tag);
+                        if let Some(into) = nodes[di].posted.remove(&key) {
+                            if payload.len() != into.len() {
+                                return Err(ExecError::SizeMismatch { node: dst, tag });
+                            }
+                            nodes[di].arrived.insert(key, (payload, into));
+                        } else {
+                            match kind {
+                                MsgKind::Forced => forced_drops += 1,
+                                MsgKind::Unforced => {
+                                    nodes[di].buffered.insert(key, payload);
+                                }
+                            }
+                        }
+                    }
+                    Op::WaitRecv { src, tag } => {
+                        if let Some((payload, into)) = nodes[x].arrived.remove(&(src, tag)) {
+                            memories[x][into].copy_from_slice(&payload);
+                            nodes[x].pc += 1;
+                            progressed = true;
+                        } else {
+                            break; // blocked
+                        }
+                    }
+                    Op::Permute { perm, block_bytes } => {
+                        nodes[x].pc += 1;
+                        progressed = true;
+                        let total = perm.len() * block_bytes;
+                        let mut scratch = vec![0u8; total];
+                        for (i, &p) in perm.iter().enumerate() {
+                            scratch[p as usize * block_bytes..(p as usize + 1) * block_bytes]
+                                .copy_from_slice(&memories[x][i * block_bytes..(i + 1) * block_bytes]);
+                        }
+                        memories[x][..total].copy_from_slice(&scratch);
+                    }
+                    Op::Barrier => {
+                        nodes[x].pc += 1;
+                        nodes[x].in_barrier = true;
+                        progressed = true;
+                        break;
+                    }
+                    Op::Compute { .. } | Op::Mark { .. } => {
+                        nodes[x].pc += 1;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        // Barrier release when everyone not-done is in one.
+        if nodes.iter().all(|s| s.done || s.in_barrier) && nodes.iter().any(|s| s.in_barrier) {
+            // All participants must be in the barrier — a done node
+            // that skipped it means programs are mismatched; treat as
+            // release only if *every* node is in the barrier.
+            if nodes.iter().all(|s| s.in_barrier) {
+                for s in nodes.iter_mut() {
+                    s.in_barrier = false;
+                }
+                progressed = true;
+            }
+        }
+        if nodes.iter().all(|s| s.done) {
+            return Ok(memories);
+        }
+        if !progressed {
+            let stuck = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.done)
+                .map(|(i, s)| (NodeId(i as u32), s.pc))
+                .collect();
+            return Err(ExecError::Deadlock { stuck, forced_drops });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_simnet::Op;
+
+    #[test]
+    fn two_node_exchange() {
+        let mk = |other: u32| Program {
+            ops: vec![
+                Op::post_recv(NodeId(other), Tag::data(0, 1), 0..4),
+                Op::Barrier,
+                Op::send(NodeId(other), 4..8, Tag::data(0, 1)),
+                Op::wait_recv(NodeId(other), Tag::data(0, 1)),
+            ],
+        };
+        let memories = vec![vec![0, 0, 0, 0, 1, 1, 1, 1], vec![0, 0, 0, 0, 2, 2, 2, 2]];
+        let out = execute(&[mk(1), mk(0)], memories).unwrap();
+        assert_eq!(out[0], vec![2, 2, 2, 2, 1, 1, 1, 1]);
+        assert_eq!(out[1], vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn forced_drop_deadlocks() {
+        let programs = vec![
+            Program { ops: vec![Op::send(NodeId(1), 0..2, Tag::data(0, 1))] },
+            Program {
+                ops: vec![
+                    Op::post_recv(NodeId(0), Tag::data(0, 1), 0..2),
+                    Op::wait_recv(NodeId(0), Tag::data(0, 1)),
+                ],
+            },
+        ];
+        // Node 0 runs first and sends before node 1 posts: dropped.
+        match execute(&programs, vec![vec![9, 9], vec![0, 0]]) {
+            Err(ExecError::Deadlock { forced_drops: 1, .. }) => {}
+            other => panic!("expected drop deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unforced_buffering_rescues_late_post() {
+        let programs = vec![
+            Program {
+                ops: vec![Op::Send {
+                    dst: NodeId(1),
+                    from: 0..2,
+                    tag: Tag::data(0, 1),
+                    kind: MsgKind::Unforced,
+                }],
+            },
+            Program {
+                ops: vec![
+                    Op::post_recv(NodeId(0), Tag::data(0, 1), 0..2),
+                    Op::wait_recv(NodeId(0), Tag::data(0, 1)),
+                ],
+            },
+        ];
+        let out = execute(&programs, vec![vec![9, 9], vec![0, 0]]).unwrap();
+        assert_eq!(out[1], vec![9, 9]);
+    }
+
+    #[test]
+    fn mismatched_barriers_deadlock() {
+        let programs = vec![
+            Program { ops: vec![Op::Barrier] },
+            Program { ops: vec![] },
+        ];
+        match execute(&programs, vec![vec![], vec![]]) {
+            Err(ExecError::Deadlock { .. }) => {}
+            other => panic!("expected barrier deadlock, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Execution fabrics: run the multiphase algorithm over any transport.
+//!
+//! The algorithm is written once, generically, against the [`NodeCtx`]
+//! trait (pairwise exchange + barrier). Two fabrics implement it:
+//!
+//! * the simulator (via compiled [`mce_simnet::Program`]s — see
+//!   [`crate::builder`]), which yields *timings* under the paper's
+//!   machine model, and
+//! * real OS threads with crossbeam channels
+//!   ([`crate::thread_fabric`]), which yields *wall-clock* numbers for
+//!   the Criterion benches and powers the application crates.
+
+use crate::layout::{shuffle_is_identity, shuffle_permutation};
+use crate::schedule::multiphase_schedule;
+use mce_hypercube::NodeId;
+use mce_simnet::Tag;
+
+/// Per-node view of a communication fabric.
+pub trait NodeCtx {
+    /// This node's label.
+    fn me(&self) -> NodeId;
+
+    /// Number of nodes in the machine.
+    fn num_nodes(&self) -> usize;
+
+    /// Pairwise synchronized exchange: deliver `send` to `partner`
+    /// under `tag` and return the equal-tagged buffer the partner sent
+    /// here. Blocks until both directions complete.
+    fn exchange(&mut self, partner: NodeId, tag: Tag, send: &[u8]) -> Vec<u8>;
+
+    /// Global synchronization.
+    fn barrier(&mut self);
+}
+
+/// Run the multiphase complete exchange for this node over any fabric.
+///
+/// `memory` is the node's `2^d * m`-byte block array in
+/// destination-major order; on return it holds the source-major
+/// exchanged layout (slot `p` = block from node `p`).
+pub fn run_multiphase<C: NodeCtx>(ctx: &mut C, d: u32, dims: &[u32], memory: &mut [u8], m: usize) {
+    let n = 1usize << d;
+    assert_eq!(ctx.num_nodes(), n, "fabric size must match cube size");
+    assert!(memory.len() >= n * m, "memory must hold 2^d blocks");
+    let me = ctx.me();
+    let schedule = multiphase_schedule(d, dims);
+    for phase in &schedule {
+        ctx.barrier();
+        let sb_bytes = phase.superblock_blocks * m;
+        for step in 0..phase.steps.len() {
+            let partner = phase.partner(me, step);
+            let sb = phase.superblock_index(me, step) as usize;
+            let range = sb * sb_bytes..(sb + 1) * sb_bytes;
+            let incoming = ctx.exchange(partner, Tag::data(phase.phase, step as u32 + 1), &memory[range.clone()]);
+            assert_eq!(incoming.len(), sb_bytes, "partner sent a mis-sized superblock");
+            memory[range].copy_from_slice(&incoming);
+        }
+        let di = phase.field.width();
+        if !shuffle_is_identity(d, di) {
+            apply_rotation(memory, d, di, m);
+        }
+    }
+}
+
+/// Apply the inter-phase `di`-shuffle to a block array in place.
+pub fn apply_rotation(memory: &mut [u8], d: u32, di: u32, m: usize) {
+    let perm = shuffle_permutation(d, di);
+    let total = perm.len() * m;
+    let mut scratch = vec![0u8; total];
+    for (i, &p) in perm.iter().enumerate() {
+        scratch[p as usize * m..(p as usize + 1) * m].copy_from_slice(&memory[i * m..(i + 1) * m]);
+    }
+    memory[..total].copy_from_slice(&scratch);
+}
+
+/// A trivially sequential fabric for testing [`run_multiphase`]
+/// itself: all "nodes" live in one address space and the driver runs
+/// them in lock step, step by step.
+pub mod lockstep {
+    use super::*;
+
+    /// Run a full multiphase exchange over an in-process lock-step
+    /// fabric and return the final memories.
+    ///
+    /// Unlike the simulator this performs no timing and no message
+    /// passing at all: each step's swaps are applied directly. It is a
+    /// *third* independent implementation of the data movement, used
+    /// to cross-validate the other two.
+    pub fn run(d: u32, dims: &[u32], mut memories: Vec<Vec<u8>>, m: usize) -> Vec<Vec<u8>> {
+        let n = 1usize << d;
+        assert_eq!(memories.len(), n);
+        let schedule = multiphase_schedule(d, dims);
+        for phase in &schedule {
+            let sb_bytes = phase.superblock_blocks * m;
+            for step in 0..phase.steps.len() {
+                // Swap superblocks across every pair exactly once.
+                for x in 0..n as u32 {
+                    let y = phase.partner(NodeId(x), step);
+                    if y.0 <= x {
+                        continue;
+                    }
+                    let sb_x = phase.superblock_index(NodeId(x), step) as usize;
+                    let sb_y = phase.superblock_index(y, step) as usize;
+                    let rx = sb_x * sb_bytes..(sb_x + 1) * sb_bytes;
+                    let ry = sb_y * sb_bytes..(sb_y + 1) * sb_bytes;
+                    // x sends its superblock sb_x (= field(y)) and
+                    // receives into the same slots; symmetrically at y.
+                    let tmp = memories[x as usize][rx.clone()].to_vec();
+                    let from_y = memories[y.index()][ry.clone()].to_vec();
+                    memories[x as usize][rx].copy_from_slice(&from_y);
+                    memories[y.index()][ry].copy_from_slice(&tmp);
+                }
+            }
+            let di = phase.field.width();
+            if !shuffle_is_identity(d, di) {
+                for mem in memories.iter_mut() {
+                    apply_rotation(mem, d, di, m);
+                }
+            }
+        }
+        memories
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{stamped_memories, verify_complete_exchange};
+
+    #[test]
+    fn lockstep_multiphase_completes_exchange() {
+        for dims in [vec![3u32], vec![1, 1, 1], vec![2, 1], vec![1, 2]] {
+            let d: u32 = dims.iter().sum();
+            let m = 8usize;
+            let out = lockstep::run(d, &dims, stamped_memories(d, m), m);
+            let bad = verify_complete_exchange(d, m, &out);
+            assert!(bad.is_empty(), "dims {dims:?}: {} mismatches", bad.len());
+        }
+    }
+
+    #[test]
+    fn lockstep_larger_cubes() {
+        for dims in [vec![2u32, 3], vec![3, 2], vec![2, 2, 2], vec![6], vec![4, 3], vec![2, 2, 3]] {
+            let d: u32 = dims.iter().sum();
+            let m = 4usize;
+            let out = lockstep::run(d, &dims, stamped_memories(d, m), m);
+            assert!(verify_complete_exchange(d, m, &out).is_empty(), "dims {dims:?}");
+        }
+    }
+
+    /// `x` swaps out its slot `field(y)` while `y` swaps out its slot
+    /// `field(x)`, and each receives into the slot it sent from. The
+    /// end-to-end tests above prove the bookkeeping; this pins the
+    /// superblock indices directly.
+    #[test]
+    fn superblock_indices_are_partner_fields() {
+        let sched = multiphase_schedule(4, &[2, 2]);
+        let phase = &sched[0];
+        let x = NodeId(0b0100);
+        let y = phase.partner(x, 2); // mask = 3 << 2 = 0b1100
+        assert_eq!(y, NodeId(0b1000));
+        assert_eq!(phase.superblock_index(x, 2), 0b10, "x sends slot field(y)");
+        assert_eq!(phase.superblock_index(y, 2), 0b01, "y sends slot field(x)");
+    }
+}

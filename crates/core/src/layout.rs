@@ -1,0 +1,278 @@
+//! Block-layout algebra for the multiphase exchange.
+//!
+//! Every node stores `2^d` blocks of `m` bytes in a flat array. The
+//! multiphase algorithm maintains the following invariant, generalizing
+//! Figure 3 of the paper. Write the destination label `q` and source
+//! label `p` in the partition's fields `q = (q_1..q_k)`,
+//! `p = (p_1..p_k)` (field 1 = most significant `d_1` bits). Then
+//! **before phase `i`**, node `x` holds exactly the blocks `(p -> q)`
+//! with
+//!
+//! * `q_j = x_j` for `j < i`  (already-routed destination fields), and
+//! * `p_j = x_j` for `j >= i` (not-yet-routed source fields),
+//!
+//! stored at slot
+//!
+//! ```text
+//! slot = [ q_i | q_{i+1} | ... | q_k | p_1 | ... | p_{i-1} ]
+//! ```
+//!
+//! (most significant field first). Because `q_i` is the major index,
+//! the `2^(d-d_i)` blocks bound for each phase-`i` partner are
+//! *contiguous* — the "superblocks" of the paper — and phase `i` is a
+//! sequence of pairwise superblock swaps. After the phase, the major
+//! field holds the *sender's* field value `p_i`, and rotating the slot
+//! index left by `d_i` bits restores the invariant for phase `i + 1`.
+//! This rotation is the paper's "`d_i`-shuffle"; with `d_i = 1` for
+//! every phase it degenerates to the classic shuffle of the Standard
+//! Exchange algorithm, and for the single-phase `{d}` plan it is the
+//! identity ("the shuffling can be omitted altogether").
+
+use mce_hypercube::subcube::phase_fields;
+use mce_hypercube::NodeId;
+
+/// Rotate a `d`-bit index left by `r` bits.
+#[inline]
+pub fn rotl_bits(x: u32, r: u32, d: u32) -> u32 {
+    debug_assert!(r <= d && d <= 32 && x < (1u64 << d) as u32);
+    if d == 0 || r == 0 || r == d {
+        return x;
+    }
+    let mask = ((1u64 << d) - 1) as u32;
+    ((x << r) | (x >> (d - r))) & mask
+}
+
+/// The inter-phase shuffle permutation for a phase of dimension `di`
+/// in a cube of dimension `d`: block at slot `s` moves to slot
+/// `rotl_bits(s, di, d)`.
+///
+/// Returned as a mapping `perm[s] = new_slot`, directly usable as the
+/// simulator's `Op::Permute`.
+pub fn shuffle_permutation(d: u32, di: u32) -> Vec<u32> {
+    assert!(di >= 1 && di <= d);
+    (0..1u32 << d).map(|s| rotl_bits(s, di, d)).collect()
+}
+
+/// Whether the phase shuffle is the identity (single-phase plans).
+pub fn shuffle_is_identity(d: u32, di: u32) -> bool {
+    di == d
+}
+
+/// Reference model of the layout invariant, used by tests and by the
+/// verifier: the `(source, destination)` pair of the block at `slot`
+/// of node `x` **before phase `phase`** (0-based) of partition `dims`.
+pub fn block_at_slot_before_phase(
+    d: u32,
+    dims: &[u32],
+    phase: usize,
+    x: NodeId,
+    slot: u32,
+) -> (NodeId, NodeId) {
+    let fields = phase_fields(d, dims);
+    assert!(phase <= dims.len());
+    // Decompose `slot` into [q_phase .. q_k | p_1 .. p_{phase-1}],
+    // most significant field first.
+    let mut src = x.0; // p_j = x_j for j >= phase (will overwrite j < phase)
+    let mut dst = x.0; // q_j = x_j for j < phase (will overwrite j >= phase)
+    let mut consumed = 0u32; // bits of `slot` consumed from the top
+    let slot_width = d;
+    // Destination fields q_phase..q_k.
+    for (j, f) in fields.iter().enumerate().skip(phase) {
+        let w = f.width();
+        let value = (slot >> (slot_width - consumed - w)) & (((1u64 << w) - 1) as u32);
+        dst = f.insert(NodeId(dst), value).0;
+        let _ = j;
+        consumed += w;
+    }
+    // Source fields p_1..p_{phase-1}.
+    for f in fields.iter().take(phase) {
+        let w = f.width();
+        let value = (slot >> (slot_width - consumed - w)) & (((1u64 << w) - 1) as u32);
+        src = f.insert(NodeId(src), value).0;
+        consumed += w;
+    }
+    debug_assert_eq!(consumed, d);
+    (NodeId(src), NodeId(dst))
+}
+
+/// Inverse of [`block_at_slot_before_phase`]: the slot at which node
+/// `x` holds block `(src -> dst)` before phase `phase`, or `None` if
+/// that block is not resident at `x` then.
+pub fn slot_of_block_before_phase(
+    d: u32,
+    dims: &[u32],
+    phase: usize,
+    x: NodeId,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<u32> {
+    let fields = phase_fields(d, dims);
+    // Residency: q_j = x_j for j < phase, p_j = x_j for j >= phase.
+    for (j, f) in fields.iter().enumerate() {
+        if j < phase {
+            if f.extract(dst) != f.extract(x) {
+                return None;
+            }
+        } else if f.extract(src) != f.extract(x) {
+            return None;
+        }
+    }
+    let mut slot = 0u32;
+    for f in fields.iter().skip(phase) {
+        slot = (slot << f.width()) | f.extract(dst);
+    }
+    for f in fields.iter().take(phase) {
+        slot = (slot << f.width()) | f.extract(src);
+    }
+    Some(slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotl_examples() {
+        assert_eq!(rotl_bits(0b100, 1, 3), 0b001);
+        assert_eq!(rotl_bits(0b110, 2, 3), 0b011);
+        assert_eq!(rotl_bits(0b101, 3, 3), 0b101, "full rotation = identity");
+        assert_eq!(rotl_bits(5, 0, 4), 5);
+    }
+
+    #[test]
+    fn rotations_compose_to_identity() {
+        // Rotating by d_1, then d_2, ..., then d_k (sum = d) is the
+        // identity — the shuffles of a full multiphase run return every
+        // index to its origin *as a pure permutation* (they matter only
+        // because exchanges happen in between).
+        for dims in [vec![1u32, 1, 1], vec![2, 1], vec![3], vec![2, 2, 3], vec![4, 3]] {
+            let d: u32 = dims.iter().sum();
+            for s in 0..1u32 << d {
+                let mut v = s;
+                for &di in &dims {
+                    v = rotl_bits(v, di, d);
+                }
+                assert_eq!(v, s);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_permutation_is_a_permutation() {
+        for (d, di) in [(3u32, 1u32), (3, 2), (5, 2), (6, 3), (7, 7)] {
+            let perm = shuffle_permutation(d, di);
+            let mut seen = vec![false; perm.len()];
+            for &p in &perm {
+                assert!(!seen[p as usize]);
+                seen[p as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(shuffle_is_identity(5, 5));
+        assert!(!shuffle_is_identity(5, 2));
+        let perm = shuffle_permutation(4, 4);
+        assert!(perm.iter().enumerate().all(|(i, &p)| i as u32 == p));
+    }
+
+    #[test]
+    fn initial_layout_is_destination_indexed() {
+        // Before phase 0, slot q of node x holds block (x -> q).
+        let dims = [2u32, 1];
+        for x in 0..8u32 {
+            for slot in 0..8u32 {
+                let (src, dst) = block_at_slot_before_phase(3, &dims, 0, NodeId(x), slot);
+                assert_eq!(src, NodeId(x));
+                assert_eq!(dst, NodeId(slot));
+            }
+        }
+    }
+
+    #[test]
+    fn final_layout_is_source_indexed() {
+        // After the last phase (= before phase k), slot p of node x
+        // holds block (p -> x).
+        let dims = [2u32, 1];
+        for x in 0..8u32 {
+            for slot in 0..8u32 {
+                let (src, dst) = block_at_slot_before_phase(3, &dims, 2, NodeId(x), slot);
+                assert_eq!(src, NodeId(slot));
+                assert_eq!(dst, NodeId(x));
+            }
+        }
+    }
+
+    #[test]
+    fn slot_of_block_inverts_block_at_slot() {
+        let dims = [2u32, 2, 3];
+        let d = 7u32;
+        for phase in 0..=3usize {
+            for x in [0u32, 5, 77, 127] {
+                for slot in 0..1u32 << d {
+                    let (src, dst) = block_at_slot_before_phase(d, &dims, phase, NodeId(x), slot);
+                    let back = slot_of_block_before_phase(d, &dims, phase, NodeId(x), src, dst);
+                    assert_eq!(back, Some(slot), "phase {phase} x {x} slot {slot}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_resident_blocks_have_no_slot() {
+        let dims = [1u32, 2];
+        // Before phase 0, node 0 holds only blocks with src = 0.
+        assert_eq!(
+            slot_of_block_before_phase(3, &dims, 0, NodeId(0), NodeId(1), NodeId(0)),
+            None
+        );
+        // Before phase 1 (after phase 0 on the top bit), node 0 holds
+        // blocks whose dst top bit is 0 and src low bits are 0.
+        assert_eq!(
+            slot_of_block_before_phase(3, &dims, 1, NodeId(0), NodeId(0), NodeId(0b100)),
+            None,
+            "dst in the other half-cube"
+        );
+        assert!(
+            slot_of_block_before_phase(3, &dims, 1, NodeId(0), NodeId(0b100), NodeId(0b011))
+                .is_some(),
+            "src differing only in the routed top bit is resident"
+        );
+    }
+
+    #[test]
+    fn figure_3_first_shuffle() {
+        // d = 3, partition {2, 1}: after phase 0 the shuffle rotates
+        // slot indices left by 2.
+        let perm = shuffle_permutation(3, 2);
+        // Slot [a1 a0 | b] -> [b | a1 a0].
+        assert_eq!(perm[0b110], 0b011);
+        assert_eq!(perm[0b001], 0b100);
+        assert_eq!(perm[0b000], 0b000);
+        assert_eq!(perm[0b111], 0b111);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // s, t are node labels
+    fn residency_counts_are_exact() {
+        // Before each phase, each node holds exactly 2^d blocks, and
+        // over all nodes each (src, dst) pair appears exactly once.
+        let dims = [2u32, 1, 1];
+        let d = 4u32;
+        for phase in 0..=3usize {
+            let mut count = vec![vec![0u8; 16]; 16];
+            for x in 0..16u32 {
+                for slot in 0..16u32 {
+                    let (s, t) = block_at_slot_before_phase(d, &dims, phase, NodeId(x), slot);
+                    count[s.index()][t.index()] += 1;
+                }
+            }
+            for s in 0..16 {
+                for t in 0..16 {
+                    assert_eq!(count[s][t], 1, "phase {phase} block {s}->{t}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Plan selection: enumerate partitions and pick the fastest for a
+//! given block size (paper, Section 6).
+//!
+//! "...it needs to be done only once and the optimal combination
+//! stored for repeated future use" — [`Planner`] precomputes the hull
+//! of optimality and answers lookups in `O(log #faces)`.
+
+use mce_model::{best_partition, multiphase_time, optimality_hull, HullFace, MachineParams};
+use mce_partitions::Partition;
+use serde::{Deserialize, Serialize};
+
+/// A chosen exchange plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Subcube dimensions, largest first (canonical partition order).
+    pub dims: Vec<u32>,
+    /// Predicted time, µs, under the planner's machine parameters.
+    pub predicted_us: f64,
+}
+
+impl Plan {
+    /// Number of phases.
+    pub fn phases(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// One-shot plan choice by exhaustive enumeration of the `p(d)`
+/// partitions.
+pub fn best_plan(params: &MachineParams, d: u32, m: usize) -> Plan {
+    let (part, t) = best_partition(params, m as f64, d);
+    Plan { dims: part.parts().to_vec(), predicted_us: t }
+}
+
+/// Precomputed planner for repeated lookups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Planner {
+    params: MachineParams,
+    dimension: u32,
+    faces: Vec<HullFace>,
+}
+
+impl Planner {
+    /// Build the planner by computing the hull of optimality up to
+    /// `m_max` bytes at 1-byte resolution.
+    pub fn new(params: MachineParams, dimension: u32, m_max: usize) -> Self {
+        let faces = optimality_hull(&params, dimension, m_max as f64, 1.0);
+        Planner { params, dimension, faces }
+    }
+
+    /// The machine parameters this planner was built for.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Cube dimension.
+    pub fn dimension(&self) -> u32 {
+        self.dimension
+    }
+
+    /// The optimal partition for block size `m`.
+    pub fn lookup(&self, m: usize) -> &Partition {
+        let mf = m as f64;
+        for face in &self.faces {
+            if mf >= face.from && mf < face.to {
+                return &face.partition;
+            }
+        }
+        // Beyond the precomputed range the last face extends to ∞.
+        &self.faces.last().expect("hull is never empty").partition
+    }
+
+    /// Plan (partition + predicted time) for block size `m`.
+    pub fn plan(&self, m: usize) -> Plan {
+        let part = self.lookup(m);
+        Plan {
+            dims: part.parts().to_vec(),
+            predicted_us: multiphase_time(&self.params, m as f64, self.dimension, part.parts()),
+        }
+    }
+
+    /// The hull faces (for reporting).
+    pub fn faces(&self) -> &[HullFace] {
+        &self.faces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_matches_one_shot_search() {
+        let params = MachineParams::ipsc860();
+        let planner = Planner::new(params.clone(), 6, 400);
+        for m in [0usize, 4, 24, 40, 100, 139, 141, 399] {
+            let a = planner.plan(m);
+            let b = best_plan(&params, 6, m);
+            assert_eq!(a.dims, b.dims, "m={m}");
+            assert!((a.predicted_us - b.predicted_us).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn planner_extends_beyond_table() {
+        let params = MachineParams::ipsc860();
+        let planner = Planner::new(params.clone(), 7, 400);
+        // Far beyond the table the singleton must win, and the last
+        // hull face already is the singleton.
+        let p = planner.plan(100_000);
+        assert_eq!(p.dims, vec![7]);
+    }
+
+    #[test]
+    fn paper_headline_plan_d7_m40() {
+        // Figure 6: at 40 bytes the best plan is {3,4}, over 2x faster
+        // than either classical algorithm.
+        let params = MachineParams::ipsc860();
+        let plan = best_plan(&params, 7, 40);
+        assert_eq!(plan.dims, vec![4, 3]);
+        let t_se = multiphase_time(&params, 40.0, 7, &[1; 7]);
+        let t_ocs = multiphase_time(&params, 40.0, 7, &[7]);
+        assert!(t_se / plan.predicted_us > 2.0);
+        assert!(t_ocs / plan.predicted_us > 2.0);
+    }
+
+    #[test]
+    fn plan_phase_count() {
+        let plan = Plan { dims: vec![3, 2, 2], predicted_us: 1.0 };
+        assert_eq!(plan.phases(), 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Transmission schedules.
+//!
+//! Each phase of the multiphase algorithm is a sequence of pairwise
+//! superblock swaps: at step `j` (`j = 1 .. 2^(d_i) - 1`), node `x`
+//! exchanges with `x XOR (j << lo_i)` (the paper's
+//! `send_effective_block_to_processor((mynumber) ⊕ (j·2^start))`).
+//! Because every step is an XOR-relative permutation, its e-cube
+//! circuits are mutually edge-disjoint — the Schmiermund–Seidel
+//! property that makes the schedule contention-free.
+
+use mce_hypercube::subcube::{phase_fields, BitField};
+use mce_hypercube::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One phase of the schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSchedule {
+    /// Zero-based phase number.
+    pub phase: u32,
+    /// The label bit-field this phase routes (subcube dimension =
+    /// `field.width()`).
+    pub field: BitField,
+    /// XOR masks of the steps, in order: `j << field.lo()` for
+    /// `j = 1..2^width`.
+    pub steps: Vec<u32>,
+    /// Number of blocks per superblock, `2^(d - d_i)`.
+    pub superblock_blocks: usize,
+}
+
+impl PhaseSchedule {
+    /// The partner of `node` at `step` (0-based index into `steps`).
+    #[inline]
+    pub fn partner(&self, node: NodeId, step: usize) -> NodeId {
+        node.xor(self.steps[step])
+    }
+
+    /// The superblock index (major slot field) `node` swaps with its
+    /// partner at `step`: the partner's field value.
+    #[inline]
+    pub fn superblock_index(&self, node: NodeId, step: usize) -> u32 {
+        self.field.extract(self.partner(node, step))
+    }
+
+    /// Circuit length (dimensions crossed) at `step` — identical for
+    /// all node pairs of the step.
+    #[inline]
+    pub fn step_distance(&self, step: usize) -> u32 {
+        self.steps[step].count_ones()
+    }
+}
+
+/// Build the full multiphase schedule for partition `dims` on a
+/// dimension-`d` cube. `dims` in the given order; phase 1 routes the
+/// most significant `dims[0]` bits.
+pub fn multiphase_schedule(d: u32, dims: &[u32]) -> Vec<PhaseSchedule> {
+    let fields = phase_fields(d, dims);
+    fields
+        .into_iter()
+        .enumerate()
+        .map(|(i, field)| {
+            let w = field.width();
+            let steps = (1u32..(1u32 << w)).map(|j| j << field.lo()).collect();
+            PhaseSchedule {
+                phase: i as u32,
+                field,
+                steps,
+                superblock_blocks: 1usize << (d - w),
+            }
+        })
+        .collect()
+}
+
+/// Total number of transmissions per node over the whole schedule:
+/// `Σ (2^(d_i) - 1)`. For `{d}` this is `2^d - 1` (the optimal count);
+/// for `{1,...,1}` it is `d`.
+pub fn transmissions_per_node(dims: &[u32]) -> u64 {
+    dims.iter().map(|&di| (1u64 << di) - 1).sum()
+}
+
+/// Total bytes each node transmits for block size `m`:
+/// `Σ (2^(d_i) - 1) · m · 2^(d - d_i)`.
+pub fn bytes_per_node(d: u32, dims: &[u32], m: usize) -> u64 {
+    dims.iter()
+        .map(|&di| ((1u64 << di) - 1) * m as u64 * (1u64 << (d - di)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_hypercube::contention::analyze_xor_step;
+
+    #[test]
+    fn ocs_schedule_is_xor_counting() {
+        let sched = multiphase_schedule(4, &[4]);
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched[0].steps, (1u32..16).collect::<Vec<_>>());
+        assert_eq!(sched[0].superblock_blocks, 1);
+        // Partner of node 5 at step j is 5 ^ (j+1).
+        for (j, &mask) in sched[0].steps.iter().enumerate() {
+            assert_eq!(sched[0].partner(NodeId(5), j), NodeId(5 ^ mask));
+        }
+    }
+
+    #[test]
+    fn standard_exchange_schedule_is_one_step_per_dimension() {
+        let sched = multiphase_schedule(5, &[1, 1, 1, 1, 1]);
+        assert_eq!(sched.len(), 5);
+        let masks: Vec<u32> = sched.iter().map(|p| p.steps[0]).collect();
+        // Top bit first, as in the paper's `for j = d-1 downto 0`.
+        assert_eq!(masks, vec![16, 8, 4, 2, 1]);
+        for p in &sched {
+            assert_eq!(p.steps.len(), 1);
+            assert_eq!(p.superblock_blocks, 16);
+        }
+    }
+
+    #[test]
+    fn multiphase_example_d6_24() {
+        let sched = multiphase_schedule(6, &[2, 4]);
+        assert_eq!(sched[0].field.lo(), 4);
+        assert_eq!(sched[0].steps, vec![1 << 4, 2 << 4, 3 << 4]);
+        assert_eq!(sched[0].superblock_blocks, 16);
+        assert_eq!(sched[1].field.lo(), 0);
+        assert_eq!(sched[1].steps.len(), 15);
+        assert_eq!(sched[1].superblock_blocks, 4);
+    }
+
+    #[test]
+    fn every_step_is_contention_free() {
+        for dims in [
+            vec![5u32],
+            vec![1, 1, 1, 1, 1],
+            vec![2, 3],
+            vec![3, 2],
+            vec![2, 2, 3],
+            vec![4, 3],
+        ] {
+            let d: u32 = dims.iter().sum();
+            for phase in multiphase_schedule(d, &dims) {
+                for &mask in &phase.steps {
+                    let report = analyze_xor_step(d, mask);
+                    assert!(
+                        report.is_edge_contention_free(),
+                        "dims {dims:?} mask {mask:#b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_pairs_are_involutions() {
+        // partner(partner(x)) == x, and both swap the same superblock
+        // index pair: x sends superblock field(y), y sends field(x).
+        let sched = multiphase_schedule(6, &[3, 3]);
+        for phase in &sched {
+            for step in 0..phase.steps.len() {
+                for x in 0..64u32 {
+                    let y = phase.partner(NodeId(x), step);
+                    assert_eq!(phase.partner(y, step), NodeId(x));
+                    assert_eq!(phase.superblock_index(NodeId(x), step), phase.field.extract(y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transmission_counts() {
+        assert_eq!(transmissions_per_node(&[6]), 63);
+        assert_eq!(transmissions_per_node(&[1; 6]), 6);
+        assert_eq!(transmissions_per_node(&[2, 4]), 3 + 15);
+        // Bytes: {2,4} at d=6, m=24: 3·384 + 15·96 = 2592.
+        assert_eq!(bytes_per_node(6, &[2, 4], 24), 3 * 384 + 15 * 96);
+        // OCS moves the information-theoretic minimum (2^d - 1)·m.
+        assert_eq!(bytes_per_node(6, &[6], 24), 63 * 24);
+    }
+
+    #[test]
+    fn step_distances_sum_to_d_half_n_for_ocs() {
+        let sched = multiphase_schedule(6, &[6]);
+        let total: u32 = (0..sched[0].steps.len()).map(|j| sched[0].step_distance(j)).sum();
+        assert_eq!(total, 6 * 32);
+    }
+}

@@ -1,0 +1,164 @@
+//! Real-thread fabric: one OS thread per hypercube node, crossbeam
+//! channels as links.
+//!
+//! This fabric executes the same generic algorithm
+//! ([`crate::fabric::run_multiphase`]) as the simulator programs, but
+//! on actual hardware parallelism, giving the Criterion benches
+//! wall-clock numbers and the application crates a working transport.
+//! Wall-clock behaviour on a shared-memory machine has a different
+//! cost model than a circuit-switched hypercube (startup dominates far
+//! less), so the *shape* of the paper's trade-off is explored on the
+//! simulator; this fabric is about running real workloads on the same
+//! code path.
+
+use crate::fabric::{run_multiphase, NodeCtx};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mce_hypercube::NodeId;
+use mce_simnet::Tag;
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+type Packet = (NodeId, Tag, Vec<u8>);
+
+/// Per-thread node context backed by channels.
+pub struct ThreadCtx {
+    me: NodeId,
+    senders: Arc<Vec<Sender<Packet>>>,
+    receiver: Receiver<Packet>,
+    stash: HashMap<(NodeId, Tag), Vec<u8>>,
+    barrier: Arc<Barrier>,
+}
+
+impl NodeCtx for ThreadCtx {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn exchange(&mut self, partner: NodeId, tag: Tag, send: &[u8]) -> Vec<u8> {
+        self.senders[partner.index()]
+            .send((self.me, tag, send.to_vec()))
+            .expect("partner thread hung up");
+        loop {
+            if let Some(buf) = self.stash.remove(&(partner, tag)) {
+                return buf;
+            }
+            let (src, t, buf) = self.receiver.recv().expect("fabric channel closed");
+            if src == partner && t == tag {
+                return buf;
+            }
+            self.stash.insert((src, t), buf);
+        }
+    }
+
+    fn barrier(&mut self) {
+        self.barrier.wait();
+    }
+}
+
+/// Run `body` on `2^d` threads, one per node, each receiving a
+/// [`ThreadCtx`] and its own memory. Returns the memories.
+pub fn run_on_threads<F>(d: u32, memories: Vec<Vec<u8>>, body: F) -> Vec<Vec<u8>>
+where
+    F: Fn(&mut ThreadCtx, &mut Vec<u8>) + Sync,
+{
+    let n = 1usize << d;
+    assert_eq!(memories.len(), n, "one memory per node");
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded::<Packet>();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let senders = Arc::new(senders);
+    let barrier = Arc::new(Barrier::new(n));
+    let body = &body;
+
+    let mut results: Vec<Option<Vec<u8>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = memories
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(i, (mut mem, receiver))| {
+                let senders = Arc::clone(&senders);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let mut ctx = ThreadCtx {
+                        me: NodeId(i as u32),
+                        senders,
+                        receiver,
+                        stash: HashMap::new(),
+                        barrier,
+                    };
+                    body(&mut ctx, &mut mem);
+                    mem
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            results[i] = Some(h.join().expect("node thread panicked"));
+        }
+    });
+    results.into_iter().map(|r| r.expect("missing node result")).collect()
+}
+
+/// Complete exchange on real threads: `memories` in destination-major
+/// layout (`2^d * m` bytes each), partition `dims`. Returns the
+/// exchanged source-major memories.
+pub fn thread_complete_exchange(
+    d: u32,
+    dims: &[u32],
+    memories: Vec<Vec<u8>>,
+    m: usize,
+) -> Vec<Vec<u8>> {
+    let dims = dims.to_vec();
+    run_on_threads(d, memories, move |ctx, mem| {
+        run_multiphase(ctx, d, &dims, mem, m);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{stamped_memories, verify_complete_exchange};
+
+    #[test]
+    fn thread_exchange_small_cube() {
+        for dims in [vec![2u32], vec![1, 1], vec![2, 1], vec![1, 1, 1]] {
+            let d: u32 = dims.iter().sum();
+            let m = 16usize;
+            let out = thread_complete_exchange(d, &dims, stamped_memories(d, m), m);
+            assert!(
+                verify_complete_exchange(d, m, &out).is_empty(),
+                "dims {dims:?} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_exchange_d5_all_key_partitions() {
+        for dims in [vec![5u32], vec![2, 3], vec![3, 2], vec![1, 1, 1, 1, 1]] {
+            let m = 8usize;
+            let out = thread_complete_exchange(5, &dims, stamped_memories(5, m), m);
+            assert!(
+                verify_complete_exchange(5, m, &out).is_empty(),
+                "dims {dims:?} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_is_symmetric_under_tag_races() {
+        // Repeat a run several times to shake out channel-ordering
+        // races in the stash logic.
+        for _ in 0..5 {
+            let out = thread_complete_exchange(4, &[2, 2], stamped_memories(4, 4), 4);
+            assert!(verify_complete_exchange(4, 4, &out).is_empty());
+        }
+    }
+}

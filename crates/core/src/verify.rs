@@ -1,0 +1,211 @@
+//! Complete-exchange correctness verification.
+//!
+//! Blocks carry *provenance stamps*: byte `k` of the block travelling
+//! from `src` to `dst` is a pseudo-random function of `(src, dst, k)`.
+//! After a run, every node's memory is checked slot by slot against
+//! the expected stamps, so any mis-routed, mis-shuffled, duplicated or
+//! corrupted block is detected.
+
+use mce_hypercube::NodeId;
+
+/// The stamp byte for offset `k` of the block `src -> dst`.
+///
+/// A splitmix64-style mix of the triple; distinct `(src, dst)` pairs
+/// produce byte streams that differ with overwhelming probability at
+/// every offset, so comparing whole blocks catches swaps.
+#[inline]
+pub fn stamp_byte(src: NodeId, dst: NodeId, k: usize) -> u8 {
+    let mut z = ((src.0 as u64) << 40) ^ ((dst.0 as u64) << 20) ^ k as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as u8
+}
+
+/// Fill one block buffer with the stamp of `src -> dst`.
+pub fn fill_block(buf: &mut [u8], src: NodeId, dst: NodeId) {
+    for (k, b) in buf.iter_mut().enumerate() {
+        *b = stamp_byte(src, dst, k);
+    }
+}
+
+/// Build the initial node memories for a complete exchange on a
+/// dimension-`d` cube with `m`-byte blocks: node `x`, slot `q` holds
+/// the stamped block `x -> q` (destination-major layout).
+pub fn stamped_memories(d: u32, m: usize) -> Vec<Vec<u8>> {
+    let n = 1usize << d;
+    (0..n)
+        .map(|x| {
+            let mut mem = vec![0u8; n * m];
+            for q in 0..n {
+                fill_block(&mut mem[q * m..(q + 1) * m], NodeId(x as u32), NodeId(q as u32));
+            }
+            mem
+        })
+        .collect()
+}
+
+/// A verification failure at one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Node whose memory is wrong.
+    pub node: NodeId,
+    /// Slot (block index) within the node's memory.
+    pub slot: usize,
+    /// The source whose block should be there (`slot` itself in the
+    /// source-major final layout).
+    pub expected_src: NodeId,
+    /// First differing byte offset within the block.
+    pub first_bad_byte: usize,
+}
+
+/// Check the **final** layout: node `x`, slot `p` must hold the
+/// stamped block `p -> x`. Returns all mismatches (empty = success).
+pub fn verify_complete_exchange(d: u32, m: usize, memories: &[Vec<u8>]) -> Vec<Mismatch> {
+    let n = 1usize << d;
+    assert_eq!(memories.len(), n, "one memory per node");
+    let mut mismatches = Vec::new();
+    for (xi, mem) in memories.iter().enumerate() {
+        assert!(mem.len() >= n * m, "node {xi} memory too small");
+        for p in 0..n {
+            let block = &mem[p * m..(p + 1) * m];
+            let bad = block
+                .iter()
+                .enumerate()
+                .find(|&(k, &b)| b != stamp_byte(NodeId(p as u32), NodeId(xi as u32), k));
+            if let Some((k, _)) = bad {
+                mismatches.push(Mismatch {
+                    node: NodeId(xi as u32),
+                    slot: p,
+                    expected_src: NodeId(p as u32),
+                    first_bad_byte: k,
+                });
+            }
+        }
+    }
+    mismatches
+}
+
+/// Check a naive-layout result (see
+/// [`crate::builder::build_naive_programs`]): the *second half* of
+/// node `x`'s memory, slot `p != x`, must hold block `p -> x`.
+pub fn verify_naive_exchange(d: u32, m: usize, memories: &[Vec<u8>]) -> Vec<Mismatch> {
+    let n = 1usize << d;
+    let half = n * m;
+    let mut mismatches = Vec::new();
+    for (xi, mem) in memories.iter().enumerate() {
+        for p in 0..n {
+            if p == xi {
+                continue; // no self-message in the naive pattern
+            }
+            let block = &mem[half + p * m..half + (p + 1) * m];
+            let bad = block
+                .iter()
+                .enumerate()
+                .find(|&(k, &b)| b != stamp_byte(NodeId(p as u32), NodeId(xi as u32), k));
+            if let Some((k, _)) = bad {
+                mismatches.push(Mismatch {
+                    node: NodeId(xi as u32),
+                    slot: p,
+                    expected_src: NodeId(p as u32),
+                    first_bad_byte: k,
+                });
+            }
+        }
+    }
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_differ_between_pairs() {
+        let a: Vec<u8> = (0..32).map(|k| stamp_byte(NodeId(1), NodeId(2), k)).collect();
+        let b: Vec<u8> = (0..32).map(|k| stamp_byte(NodeId(2), NodeId(1), k)).collect();
+        let c: Vec<u8> = (0..32).map(|k| stamp_byte(NodeId(1), NodeId(3), k)).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn initial_memories_have_destination_major_layout() {
+        let mems = stamped_memories(3, 4);
+        assert_eq!(mems.len(), 8);
+        for (x, mem) in mems.iter().enumerate() {
+            assert_eq!(mem.len(), 32);
+            for q in 0..8 {
+                for k in 0..4 {
+                    assert_eq!(mem[q * 4 + k], stamp_byte(NodeId(x as u32), NodeId(q as u32), k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // x, p are node labels
+    fn verify_detects_correct_exchange() {
+        // Manually construct the exchanged state.
+        let d = 3u32;
+        let m = 4usize;
+        let n = 8usize;
+        let mut finals = vec![vec![0u8; n * m]; n];
+        for x in 0..n {
+            for p in 0..n {
+                fill_block(&mut finals[x][p * m..(p + 1) * m], NodeId(p as u32), NodeId(x as u32));
+            }
+        }
+        assert!(verify_complete_exchange(d, m, &finals).is_empty());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // x, p are node labels
+    fn verify_detects_swapped_blocks() {
+        let d = 2u32;
+        let m = 8usize;
+        let n = 4usize;
+        let mut finals = vec![vec![0u8; n * m]; n];
+        for x in 0..n {
+            for p in 0..n {
+                fill_block(&mut finals[x][p * m..(p + 1) * m], NodeId(p as u32), NodeId(x as u32));
+            }
+        }
+        // Swap the blocks in slots 0 and 1 at node 1.
+        let (a, b) = finals[1].split_at_mut(m);
+        a.swap_with_slice(&mut b[..m]);
+        let bad = verify_complete_exchange(d, m, &finals);
+        assert_eq!(bad.len(), 2, "both slots report: {bad:?}");
+        assert!(bad.iter().all(|mm| mm.node == NodeId(1)));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // x, p are node labels
+    fn verify_detects_single_corrupt_byte() {
+        let d = 2u32;
+        let m = 16usize;
+        let n = 4usize;
+        let mut finals = vec![vec![0u8; n * m]; n];
+        for x in 0..n {
+            for p in 0..n {
+                fill_block(&mut finals[x][p * m..(p + 1) * m], NodeId(p as u32), NodeId(x as u32));
+            }
+        }
+        finals[2][3 * m + 7] ^= 0xFF;
+        let bad = verify_complete_exchange(d, m, &finals);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].node, NodeId(2));
+        assert_eq!(bad[0].slot, 3);
+        assert_eq!(bad[0].first_bad_byte, 7);
+    }
+
+    #[test]
+    fn unexchanged_memories_fail_verification() {
+        let d = 3u32;
+        let m = 4usize;
+        let mems = stamped_memories(d, m);
+        let bad = verify_complete_exchange(d, m, &mems);
+        // Every slot except the self-block (x -> x at slot x) is wrong.
+        assert_eq!(bad.len(), 8 * 8 - 8);
+    }
+}

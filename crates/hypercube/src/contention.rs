@@ -1,0 +1,209 @@
+//! Edge and node contention analysis for sets of circuits.
+//!
+//! On a circuit-switched machine a transmission holds every directed
+//! link on its e-cube path for its entire duration. "Measurements on the
+//! iPSC-860 reveal that edge contention has a disastrous impact on
+//! communication time, while node contention has no measurable effect"
+//! (paper, Section 2). The schedule analysis here is what lets the
+//! Optimal Circuit Switched and multiphase algorithms *prove* their
+//! transmission steps contention-free before running them.
+
+use crate::node::NodeId;
+use crate::routing::{ecube_path, DirectedLink, Path};
+use std::collections::HashMap;
+
+/// A detected conflict between two circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// Index of the first path in the analyzed set.
+    pub first: usize,
+    /// Index of the second path.
+    pub second: usize,
+    /// The shared directed link.
+    pub link: DirectedLink,
+}
+
+/// Report produced by [`analyze`].
+#[derive(Debug, Clone, Default)]
+pub struct ContentionReport {
+    /// Pairs of circuits sharing at least one directed link, with one
+    /// witness link per pair.
+    pub edge_conflicts: Vec<Conflict>,
+    /// Number of (unordered) circuit pairs sharing at least one node
+    /// (excluding shared endpoints of the same node's own circuits).
+    pub node_sharing_pairs: usize,
+    /// The maximum number of circuits using any single directed link.
+    pub max_link_load: usize,
+}
+
+impl ContentionReport {
+    /// True when no two circuits share a directed link — the property
+    /// every step of a correct circuit-switched schedule must have.
+    pub fn is_edge_contention_free(&self) -> bool {
+        self.edge_conflicts.is_empty()
+    }
+}
+
+/// Whether two individual paths share no directed link.
+pub fn paths_edge_disjoint(a: &Path, b: &Path) -> bool {
+    a.links().all(|la| b.links().all(|lb| la != lb))
+}
+
+/// Analyze a set of concurrently-active circuits (given as paths).
+pub fn analyze(paths: &[Path]) -> ContentionReport {
+    let mut link_users: HashMap<DirectedLink, Vec<usize>> = HashMap::new();
+    let mut node_users: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (i, p) in paths.iter().enumerate() {
+        for l in p.links() {
+            link_users.entry(l).or_default().push(i);
+        }
+        for &n in p.nodes() {
+            node_users.entry(n).or_default().push(i);
+        }
+    }
+
+    let mut edge_conflicts = Vec::new();
+    let mut max_link_load = 0;
+    let mut seen_pairs = std::collections::HashSet::new();
+    for (link, users) in &link_users {
+        max_link_load = max_link_load.max(users.len());
+        for i in 0..users.len() {
+            for j in i + 1..users.len() {
+                if seen_pairs.insert((users[i], users[j])) {
+                    edge_conflicts.push(Conflict { first: users[i], second: users[j], link: *link });
+                }
+            }
+        }
+    }
+    edge_conflicts.sort_by_key(|c| (c.first, c.second));
+
+    let mut node_pairs = std::collections::HashSet::new();
+    for users in node_users.values() {
+        for i in 0..users.len() {
+            for j in i + 1..users.len() {
+                node_pairs.insert((users[i], users[j]));
+            }
+        }
+    }
+
+    ContentionReport {
+        edge_conflicts,
+        node_sharing_pairs: node_pairs.len(),
+        max_link_load,
+    }
+}
+
+/// Analyze the circuits realizing a permutation step: every node `x`
+/// with `perm[x] != x` opens a circuit to `perm[x]`.
+///
+/// Returns the contention report over all those e-cube paths.
+pub fn analyze_permutation(perm: &[NodeId]) -> ContentionReport {
+    let paths: Vec<Path> = perm
+        .iter()
+        .enumerate()
+        .filter(|(i, &dst)| NodeId(*i as u32) != dst)
+        .map(|(i, &dst)| ecube_path(NodeId(i as u32), dst))
+        .collect();
+    analyze(&paths)
+}
+
+/// Analyze the XOR-relative permutation `x -> x ^ mask` over an
+/// `n`-node cube. This is the transmission pattern of step `mask` of
+/// the Optimal Circuit Switched schedule (and, with shifted masks, of
+/// every multiphase partial-exchange step).
+pub fn analyze_xor_step(dimension: u32, mask: u32) -> ContentionReport {
+    let n = 1u32 << dimension;
+    let perm: Vec<NodeId> = (0..n).map(|x| NodeId(x ^ mask)).collect();
+    analyze_permutation(&perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_edge_and_node_contention() {
+        let p0 = ecube_path(NodeId(0), NodeId(31));
+        let p1 = ecube_path(NodeId(2), NodeId(23));
+        let p2 = ecube_path(NodeId(14), NodeId(11));
+        let report = analyze(&[p0, p1, p2]);
+        // 0->31 and 2->23 share directed edge 3->7.
+        assert_eq!(report.edge_conflicts.len(), 1);
+        let c = &report.edge_conflicts[0];
+        assert_eq!((c.first, c.second), (0, 1));
+        assert_eq!(c.link, DirectedLink { from: NodeId(3), to: NodeId(7) });
+        assert!(!report.is_edge_contention_free());
+        // 0->31 and 14->11 share node 15 (at least one node-sharing pair).
+        assert!(report.node_sharing_pairs >= 1);
+    }
+
+    #[test]
+    fn xor_steps_are_contention_free() {
+        // The key schedule property: for every mask, the permutation
+        // x -> x ^ mask routed by e-cube is edge-contention-free.
+        for d in 1..=6u32 {
+            for mask in 1..(1u32 << d) {
+                let report = analyze_xor_step(d, mask);
+                assert!(
+                    report.is_edge_contention_free(),
+                    "d={d} mask={mask:#b}: {:?}",
+                    report.edge_conflicts
+                );
+                assert_eq!(report.max_link_load, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_permutation_contends() {
+        // All nodes of a 3-cube sending to node 0 must contend.
+        let perm: Vec<NodeId> = (0..8).map(|_| NodeId(0)).collect();
+        let report = analyze_permutation(&perm);
+        assert!(!report.is_edge_contention_free());
+        assert!(report.max_link_load > 1);
+    }
+
+    #[test]
+    fn bit_reversal_permutation_contends() {
+        // Bit reversal is a classic adversary for e-cube routing.
+        let d = 4u32;
+        let n = 1u32 << d;
+        let perm: Vec<NodeId> = (0..n)
+            .map(|x| NodeId(x.reverse_bits() >> (32 - d)))
+            .collect();
+        let report = analyze_permutation(&perm);
+        assert!(!report.is_edge_contention_free(), "bit reversal should contend");
+    }
+
+    #[test]
+    fn empty_and_identity_sets() {
+        let report = analyze(&[]);
+        assert!(report.is_edge_contention_free());
+        assert_eq!(report.max_link_load, 0);
+
+        let perm: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let report = analyze_permutation(&perm);
+        assert!(report.is_edge_contention_free());
+        assert_eq!(report.node_sharing_pairs, 0);
+    }
+
+    #[test]
+    fn disjoint_check_matches_analyze() {
+        let p0 = ecube_path(NodeId(0), NodeId(31));
+        let p1 = ecube_path(NodeId(2), NodeId(23));
+        let p2 = ecube_path(NodeId(14), NodeId(11));
+        assert!(!paths_edge_disjoint(&p0, &p1));
+        assert!(paths_edge_disjoint(&p0, &p2));
+        assert!(paths_edge_disjoint(&p1, &p2));
+    }
+
+    #[test]
+    fn opposite_directions_do_not_conflict() {
+        // x -> y and y -> x use the same cables in opposite directions:
+        // full-duplex links mean no contention.
+        let p_fwd = ecube_path(NodeId(0), NodeId(7));
+        let p_rev = ecube_path(NodeId(7), NodeId(0));
+        let report = analyze(&[p_fwd, p_rev]);
+        assert!(report.is_edge_contention_free());
+    }
+}

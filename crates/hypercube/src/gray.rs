@@ -1,0 +1,72 @@
+//! Binary-reflected Gray codes.
+//!
+//! Gray codes order the `2^d` hypercube labels so that consecutive
+//! labels are nearest neighbours. They are the standard tool for
+//! embedding rings and meshes in hypercubes, and we use them in the
+//! examples to lay out application data so that logically-adjacent
+//! partitions are physically adjacent.
+
+use crate::node::NodeId;
+
+/// The `i`-th binary-reflected Gray code.
+#[inline]
+pub fn gray(i: u32) -> u32 {
+    i ^ (i >> 1)
+}
+
+/// Inverse Gray code: the rank of `g` in the Gray sequence.
+#[inline]
+pub fn gray_inverse(g: u32) -> u32 {
+    let mut i = g;
+    let mut shift = 1;
+    while shift < 32 {
+        i ^= i >> shift;
+        shift <<= 1;
+    }
+    i
+}
+
+/// The Gray-code ring of a dimension-`d` cube: all `2^d` node labels in
+/// an order where consecutive entries (cyclically) are neighbours.
+pub fn gray_ring(dimension: u32) -> Vec<NodeId> {
+    (0..1u32 << dimension).map(|i| NodeId(gray(i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_roundtrip() {
+        for i in 0..4096u32 {
+            assert_eq!(gray_inverse(gray(i)), i);
+        }
+    }
+
+    #[test]
+    fn consecutive_codes_are_neighbors() {
+        for d in 1..=8u32 {
+            let ring = gray_ring(d);
+            assert_eq!(ring.len(), 1 << d);
+            for w in ring.windows(2) {
+                assert!(w[0].is_neighbor(w[1]), "{:?}", w);
+            }
+            // Cyclically closed.
+            assert!(ring[0].is_neighbor(*ring.last().unwrap()));
+        }
+    }
+
+    #[test]
+    fn ring_is_a_permutation() {
+        let mut ring: Vec<u32> = gray_ring(6).iter().map(|n| n.0).collect();
+        ring.sort_unstable();
+        let expect: Vec<u32> = (0..64).collect();
+        assert_eq!(ring, expect);
+    }
+
+    #[test]
+    fn first_codes() {
+        let g: Vec<u32> = (0..8).map(gray).collect();
+        assert_eq!(g, vec![0, 1, 3, 2, 6, 7, 5, 4]);
+    }
+}

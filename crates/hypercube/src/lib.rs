@@ -1,0 +1,95 @@
+//! Hypercube topology, e-cube routing, subcube algebra and contention
+//! analysis for circuit-switched hypercubes.
+//!
+//! This crate models the interconnect geometry of machines such as the
+//! Intel iPSC-2 / iPSC-860 and the Ncube-2, as described in Section 2 of
+//! Bokhari, *Multiphase Complete Exchange on a Circuit Switched
+//! Hypercube* (ICPP 1991):
+//!
+//! * a **hypercube of dimension `d`** connects `n = 2^d` processors; two
+//!   processors are adjacent iff their binary labels differ in exactly
+//!   one bit ([`Hypercube`]);
+//! * messages follow the deterministic **e-cube route**: dimensions are
+//!   corrected from the least-significant bit upwards ([`routing`]);
+//! * a circuit holds every **directed link** along its path for its whole
+//!   lifetime; two circuits sharing a directed link suffer **edge
+//!   contention** (disastrous on real hardware), while sharing a node is
+//!   harmless ([`contention`]);
+//! * the multiphase algorithm operates on **subcubes** determined by a
+//!   contiguous field of label bits ([`subcube`]).
+//!
+//! The types here are deliberately small and `Copy` where possible; the
+//! simulator and the algorithm builders in sibling crates sit on top of
+//! them.
+//!
+//! # Example
+//!
+//! ```
+//! use mce_hypercube::{Hypercube, NodeId};
+//! use mce_hypercube::routing::ecube_path;
+//! use mce_hypercube::contention::paths_edge_disjoint;
+//!
+//! let cube = Hypercube::new(5);
+//! // The three example paths of Figure 1 of the paper:
+//! let p0 = ecube_path(NodeId(0), NodeId(31));  // length 5
+//! let p1 = ecube_path(NodeId(2), NodeId(23));  // length 3
+//! let p2 = ecube_path(NodeId(14), NodeId(11)); // length 2
+//! assert_eq!(p0.len(), 5);
+//! assert_eq!(p1.len(), 3);
+//! assert_eq!(p2.len(), 2);
+//! // 0->31 and 2->23 share edge 3-7: edge contention.
+//! assert!(!paths_edge_disjoint(&p0, &p1));
+//! // 0->31 and 14->11 share only node 15: no edge contention.
+//! assert!(paths_edge_disjoint(&p0, &p2));
+//! assert!(cube.contains(NodeId(31)));
+//! ```
+
+pub mod contention;
+pub mod gray;
+pub mod node;
+pub mod routing;
+pub mod subcube;
+pub mod topology;
+
+pub use node::NodeId;
+pub use routing::{ecube_path, DirectedLink, Path};
+pub use subcube::{BitField, Subcube};
+pub use topology::Hypercube;
+
+/// Maximum supported hypercube dimension.
+///
+/// Node labels are stored in a `u32`, and several algorithms allocate
+/// `O(2^d)` structures, so we cap `d` well below 32. A dimension-20 cube
+/// (1,048,576 nodes) is the "million node hypercube" the paper mentions
+/// when sizing the partition enumeration.
+pub const MAX_DIMENSION: u32 = 20;
+
+/// Error type for invalid topology parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Dimension outside `0..=MAX_DIMENSION`.
+    DimensionOutOfRange(u32),
+    /// Node label does not fit in the cube.
+    NodeOutOfRange { node: u32, dimension: u32 },
+    /// A bit-field does not lie within the cube's label bits.
+    FieldOutOfRange { lo: u32, width: u32, dimension: u32 },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::DimensionOutOfRange(d) => {
+                write!(f, "hypercube dimension {d} out of range 0..={MAX_DIMENSION}")
+            }
+            TopologyError::NodeOutOfRange { node, dimension } => {
+                write!(f, "node {node} out of range for a dimension-{dimension} hypercube")
+            }
+            TopologyError::FieldOutOfRange { lo, width, dimension } => write!(
+                f,
+                "bit field [{lo}, {lo}+{width}) out of range for a dimension-{dimension} hypercube"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

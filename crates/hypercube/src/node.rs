@@ -1,0 +1,166 @@
+//! Node identifiers and bit-level label algebra.
+//!
+//! Hypercube node labels are `d`-bit binary strings; all of the paper's
+//! algorithms (e-cube routing, the XOR exchange schedule, subcube
+//! membership) are defined in terms of bit operations on these labels.
+
+use serde::{Deserialize, Serialize};
+
+/// A hypercube node label.
+///
+/// The label is a `d`-bit binary string stored in a `u32`. Bit `i`
+/// selects the node's coordinate along dimension `i`; two nodes are
+/// adjacent iff their labels differ in exactly one bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The label as a plain integer.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Hamming distance to `other`: the length of the e-cube route and
+    /// the number of links a circuit between the two nodes must hold.
+    #[inline]
+    pub fn distance(self, other: NodeId) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// Whether `other` is a nearest neighbour (labels differ in one bit).
+    #[inline]
+    pub fn is_neighbor(self, other: NodeId) -> bool {
+        self.distance(other) == 1
+    }
+
+    /// The neighbour across dimension `dim`.
+    #[inline]
+    pub fn neighbor(self, dim: u32) -> NodeId {
+        NodeId(self.0 ^ (1 << dim))
+    }
+
+    /// Value of label bit `dim` (0 or 1).
+    #[inline]
+    pub fn bit(self, dim: u32) -> u32 {
+        (self.0 >> dim) & 1
+    }
+
+    /// XOR of two labels, itself interpreted as a relative address.
+    ///
+    /// The Optimal Circuit Switched schedule pairs node `x` with
+    /// `x ^ i` at step `i`; the multiphase schedule uses
+    /// `x ^ (j << lo)` within a subcube field.
+    #[inline]
+    pub fn xor(self, mask: u32) -> NodeId {
+        NodeId(self.0 ^ mask)
+    }
+
+    /// The lowest dimension in which `self` and `dst` differ, or `None`
+    /// if the labels are equal. This is the next hop dimension chosen by
+    /// e-cube routing ("starting with the right hand side of the binary
+    /// label", Section 2 of the paper).
+    #[inline]
+    pub fn lowest_differing_dim(self, dst: NodeId) -> Option<u32> {
+        let diff = self.0 ^ dst.0;
+        if diff == 0 {
+            None
+        } else {
+            Some(diff.trailing_zeros())
+        }
+    }
+
+    /// Render the label as a `width`-bit binary string, MSB first, as in
+    /// Figure 1 of the paper (e.g. node 5 in a 5-cube is `"00101"`).
+    pub fn to_binary(self, width: u32) -> String {
+        (0..width)
+            .rev()
+            .map(|b| if self.bit(b) == 1 { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_hamming() {
+        assert_eq!(NodeId(0).distance(NodeId(31)), 5);
+        assert_eq!(NodeId(2).distance(NodeId(23)), 3);
+        assert_eq!(NodeId(14).distance(NodeId(11)), 2);
+        assert_eq!(NodeId(7).distance(NodeId(7)), 0);
+    }
+
+    #[test]
+    fn neighbor_flips_one_bit() {
+        let x = NodeId(0b01010);
+        for dim in 0..5 {
+            let y = x.neighbor(dim);
+            assert!(x.is_neighbor(y));
+            assert_eq!(x.neighbor(dim).neighbor(dim), x, "involution");
+            assert_eq!(x.bit(dim) ^ 1, y.bit(dim));
+        }
+    }
+
+    #[test]
+    fn lowest_differing_dim_is_ecube_next_hop() {
+        // 0 -> 31: dims corrected in order 0,1,2,3,4.
+        assert_eq!(NodeId(0).lowest_differing_dim(NodeId(31)), Some(0));
+        // 2 (00010) -> 23 (10111): differ in bits 0, 2, 4; lowest is 0.
+        assert_eq!(NodeId(2).lowest_differing_dim(NodeId(23)), Some(0));
+        // 14 (01110) -> 11 (01011): differ in bits 0 and 2.
+        assert_eq!(NodeId(14).lowest_differing_dim(NodeId(11)), Some(0));
+        assert_eq!(NodeId(9).lowest_differing_dim(NodeId(9)), None);
+    }
+
+    #[test]
+    fn binary_rendering_matches_figure_1_labels() {
+        assert_eq!(NodeId(0).to_binary(5), "00000");
+        assert_eq!(NodeId(31).to_binary(5), "11111");
+        assert_eq!(NodeId(20).to_binary(5), "10100");
+    }
+
+    #[test]
+    fn xor_is_relative_addressing() {
+        let x = NodeId(0b1100);
+        assert_eq!(x.xor(0b0110), NodeId(0b1010));
+        assert_eq!(x.xor(0), x);
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let x = NodeId(0b10110);
+        assert_eq!(x.bit(0), 0);
+        assert_eq!(x.bit(1), 1);
+        assert_eq!(x.bit(2), 1);
+        assert_eq!(x.bit(3), 0);
+        assert_eq!(x.bit(4), 1);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(NodeId::from(7u32), NodeId(7));
+        assert_eq!(NodeId::from(9usize), NodeId(9));
+        assert_eq!(NodeId(3).index(), 3);
+        assert_eq!(format!("{}", NodeId(12)), "12");
+    }
+}

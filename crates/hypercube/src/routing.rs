@@ -1,0 +1,245 @@
+//! Deterministic e-cube routing.
+//!
+//! Circuit-switched hypercubes fix the route between any two processors:
+//! "starting with the right hand side of the binary label of the source
+//! processor, we move to the processor whose label more closely matches
+//! the label of the destination processor" (paper, Section 2). The user
+//! has no control over the path, which is why edge contention must be
+//! avoided by *scheduling*, not by routing.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A directed occupancy unit of the network: the link from `from` to
+/// `to`, where the two labels differ in exactly one bit.
+///
+/// Circuits reserve *directed* links; the two directions of a physical
+/// cable are independent channels (full duplex). This matches the
+/// observation in the paper that node contention (two circuits crossing
+/// at a node) has no measurable effect while edge contention is
+/// disastrous: only simultaneous use of the same direction of the same
+/// cable serializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DirectedLink {
+    /// Transmitting endpoint.
+    pub from: NodeId,
+    /// Receiving endpoint.
+    pub to: NodeId,
+}
+
+impl DirectedLink {
+    /// The dimension this link crosses.
+    #[inline]
+    pub fn dimension(self) -> u32 {
+        (self.from.0 ^ self.to.0).trailing_zeros()
+    }
+
+    /// The same physical cable in the opposite direction.
+    #[inline]
+    pub fn reversed(self) -> DirectedLink {
+        DirectedLink { from: self.to, to: self.from }
+    }
+
+    /// Canonical undirected form `(min, max)` for edge-level queries.
+    #[inline]
+    pub fn undirected(self) -> (NodeId, NodeId) {
+        if self.from.0 <= self.to.0 {
+            (self.from, self.to)
+        } else {
+            (self.to, self.from)
+        }
+    }
+}
+
+impl std::fmt::Display for DirectedLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// The e-cube route between two nodes: the ordered list of nodes visited
+/// (including both endpoints) and the directed links crossed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    source: NodeId,
+    destination: NodeId,
+    hops: Vec<NodeId>,
+}
+
+impl Path {
+    /// Source node.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Destination node.
+    #[inline]
+    pub fn destination(&self) -> NodeId {
+        self.destination
+    }
+
+    /// Path length = number of links = Hamming distance.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hops.len() - 1
+    }
+
+    /// True for the degenerate source == destination path.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All nodes visited, in order, endpoints included.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.hops
+    }
+
+    /// Interior nodes only (circuit pass-through processors).
+    pub fn intermediate_nodes(&self) -> &[NodeId] {
+        if self.hops.len() <= 2 {
+            &[]
+        } else {
+            &self.hops[1..self.hops.len() - 1]
+        }
+    }
+
+    /// The directed links crossed, in order.
+    pub fn links(&self) -> impl Iterator<Item = DirectedLink> + '_ {
+        self.hops.windows(2).map(|w| DirectedLink { from: w[0], to: w[1] })
+    }
+}
+
+/// Compute the e-cube route from `src` to `dst`.
+///
+/// Dimensions are corrected from least significant to most significant:
+/// at each step the lowest bit in which the current node still differs
+/// from the destination is flipped.
+///
+/// ```
+/// use mce_hypercube::{routing::ecube_path, NodeId};
+/// let p = ecube_path(NodeId(0), NodeId(0b10110));
+/// let visited: Vec<u32> = p.nodes().iter().map(|n| n.0).collect();
+/// assert_eq!(visited, vec![0, 0b00010, 0b00110, 0b10110]);
+/// ```
+pub fn ecube_path(src: NodeId, dst: NodeId) -> Path {
+    let mut hops = Vec::with_capacity(src.distance(dst) as usize + 1);
+    let mut cur = src;
+    hops.push(cur);
+    while let Some(dim) = cur.lowest_differing_dim(dst) {
+        cur = cur.neighbor(dim);
+        hops.push(cur);
+    }
+    Path { source: src, destination: dst, hops }
+}
+
+/// The sequence of dimensions corrected by the e-cube route, in order.
+/// Strictly increasing by construction.
+pub fn ecube_dimensions(src: NodeId, dst: NodeId) -> Vec<u32> {
+    let mut dims = Vec::with_capacity(src.distance(dst) as usize);
+    let mut diff = src.0 ^ dst.0;
+    while diff != 0 {
+        let dim = diff.trailing_zeros();
+        dims.push(dim);
+        diff &= diff - 1;
+    }
+    dims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_paths() {
+        // Path 0 -> 31: 0,1,3,7,15,31 (correct low bits first).
+        let p = ecube_path(NodeId(0), NodeId(31));
+        let nodes: Vec<u32> = p.nodes().iter().map(|n| n.0).collect();
+        assert_eq!(nodes, vec![0, 1, 3, 7, 15, 31]);
+        assert_eq!(p.len(), 5);
+
+        // Path 2 -> 23 (00010 -> 10111): flip bits 0, 2, 4.
+        let p = ecube_path(NodeId(2), NodeId(23));
+        let nodes: Vec<u32> = p.nodes().iter().map(|n| n.0).collect();
+        assert_eq!(nodes, vec![2, 3, 7, 23]);
+        assert_eq!(p.len(), 3);
+
+        // Path 14 -> 11 (01110 -> 01011): flip bits 0, 2.
+        let p = ecube_path(NodeId(14), NodeId(11));
+        let nodes: Vec<u32> = p.nodes().iter().map(|n| n.0).collect();
+        assert_eq!(nodes, vec![14, 15, 11]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn path_shares_reported_in_paper() {
+        // 0->31 and 2->23 share edge 3-7 (paper Section 2).
+        let p1 = ecube_path(NodeId(0), NodeId(31));
+        let p2 = ecube_path(NodeId(2), NodeId(23));
+        let shared: Vec<_> = p1
+            .links()
+            .filter(|l1| p2.links().any(|l2| l1.undirected() == l2.undirected()))
+            .collect();
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared[0].undirected(), (NodeId(3), NodeId(7)));
+
+        // 0->31 and 14->11 share node 15 but no edge.
+        let p3 = ecube_path(NodeId(14), NodeId(11));
+        assert!(p1.nodes().contains(&NodeId(15)) && p3.nodes().contains(&NodeId(15)));
+        assert!(p1.links().all(|l1| p3.links().all(|l3| l1.undirected() != l3.undirected())));
+    }
+
+    #[test]
+    fn degenerate_path() {
+        let p = ecube_path(NodeId(9), NodeId(9));
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.nodes(), &[NodeId(9)]);
+        assert!(p.intermediate_nodes().is_empty());
+        assert_eq!(p.links().count(), 0);
+    }
+
+    #[test]
+    fn path_length_equals_hamming_distance() {
+        for s in 0..64u32 {
+            for t in 0..64u32 {
+                let p = ecube_path(NodeId(s), NodeId(t));
+                assert_eq!(p.len() as u32, NodeId(s).distance(NodeId(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn dimensions_strictly_increase() {
+        for s in 0..32u32 {
+            for t in 0..32u32 {
+                let dims = ecube_dimensions(NodeId(s), NodeId(t));
+                assert!(dims.windows(2).all(|w| w[0] < w[1]), "{s}->{t}: {dims:?}");
+                assert_eq!(dims.len() as u32, NodeId(s).distance(NodeId(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn directed_link_properties() {
+        let l = DirectedLink { from: NodeId(3), to: NodeId(7) };
+        assert_eq!(l.dimension(), 2);
+        assert_eq!(l.reversed(), DirectedLink { from: NodeId(7), to: NodeId(3) });
+        assert_eq!(l.undirected(), (NodeId(3), NodeId(7)));
+        assert_eq!(l.reversed().undirected(), (NodeId(3), NodeId(7)));
+        assert_eq!(format!("{l}"), "3->7");
+    }
+
+    #[test]
+    fn intermediate_nodes() {
+        let p = ecube_path(NodeId(0), NodeId(31));
+        assert_eq!(
+            p.intermediate_nodes(),
+            &[NodeId(1), NodeId(3), NodeId(7), NodeId(15)]
+        );
+        let q = ecube_path(NodeId(0), NodeId(1));
+        assert!(q.intermediate_nodes().is_empty());
+    }
+}

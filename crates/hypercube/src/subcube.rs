@@ -1,0 +1,301 @@
+//! Subcubes determined by contiguous fields of label bits.
+//!
+//! The multiphase algorithm's phase `i` performs a partial exchange on
+//! the set of subcubes spanned by a contiguous field of `d_i` label
+//! bits (paper, Section 5.2): two nodes are in the same subcube iff
+//! their labels agree *outside* the field. Each subcube is itself a
+//! hypercube of dimension `d_i` whose internal addresses are the field
+//! values.
+
+use crate::node::NodeId;
+use crate::topology::Hypercube;
+use crate::TopologyError;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous field of label bits `[lo, lo + width)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitField {
+    lo: u32,
+    width: u32,
+}
+
+impl BitField {
+    /// Create the field `[lo, lo + width)`.
+    pub fn new(lo: u32, width: u32) -> Self {
+        assert!(lo + width <= 32, "bit field exceeds u32");
+        Self { lo, width }
+    }
+
+    /// Lowest bit position (the `stop` variable of the paper's
+    /// `Multiphase` procedure).
+    #[inline]
+    pub fn lo(self) -> u32 {
+        self.lo
+    }
+
+    /// One past the highest bit position; `hi() - 1` is the paper's
+    /// `start` variable.
+    #[inline]
+    pub fn hi(self) -> u32 {
+        self.lo + self.width
+    }
+
+    /// Field width in bits (the subcube dimension `d_i`).
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Mask with the field bits set.
+    #[inline]
+    pub fn mask(self) -> u32 {
+        if self.width == 0 {
+            0
+        } else {
+            (((1u64 << self.width) - 1) as u32) << self.lo
+        }
+    }
+
+    /// Extract the field value from a label.
+    #[inline]
+    pub fn extract(self, node: NodeId) -> u32 {
+        (node.0 >> self.lo) & (((1u64 << self.width) - 1) as u32)
+    }
+
+    /// Replace the field value in a label.
+    #[inline]
+    pub fn insert(self, node: NodeId, value: u32) -> NodeId {
+        debug_assert!((value as u64) < (1u64 << self.width));
+        NodeId((node.0 & !self.mask()) | (value << self.lo))
+    }
+
+    /// Check the field lies within a cube's label bits.
+    pub fn check_in(self, cube: Hypercube) -> Result<(), TopologyError> {
+        if self.hi() <= cube.dimension() {
+            Ok(())
+        } else {
+            Err(TopologyError::FieldOutOfRange {
+                lo: self.lo,
+                width: self.width,
+                dimension: cube.dimension(),
+            })
+        }
+    }
+}
+
+/// A subcube of a hypercube: the set of nodes agreeing with `anchor`
+/// outside `field`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subcube {
+    field: BitField,
+    /// Representative member with field bits cleared.
+    base: NodeId,
+}
+
+impl Subcube {
+    /// The subcube through `member` spanned by `field`.
+    pub fn through(member: NodeId, field: BitField) -> Self {
+        Self { field, base: NodeId(member.0 & !field.mask()) }
+    }
+
+    /// The spanning bit field.
+    #[inline]
+    pub fn field(self) -> BitField {
+        self.field
+    }
+
+    /// Subcube dimension (`d_i`).
+    #[inline]
+    pub fn dimension(self) -> u32 {
+        self.field.width()
+    }
+
+    /// Number of member nodes, `2^(d_i)`.
+    #[inline]
+    pub fn len(self) -> usize {
+        1usize << self.field.width()
+    }
+
+    /// Always false: a subcube has at least one member.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Whether `node` belongs to this subcube.
+    #[inline]
+    pub fn contains(self, node: NodeId) -> bool {
+        node.0 & !self.field.mask() == self.base.0
+    }
+
+    /// The member whose field value is `addr`.
+    #[inline]
+    pub fn member(self, addr: u32) -> NodeId {
+        self.field.insert(self.base, addr)
+    }
+
+    /// The field value of a member — its address *within* the subcube.
+    #[inline]
+    pub fn local_address(self, node: NodeId) -> u32 {
+        debug_assert!(self.contains(node));
+        self.field.extract(node)
+    }
+
+    /// Iterate over all members in field-value order.
+    pub fn members(self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(move |a| self.member(a))
+    }
+}
+
+/// Enumerate all `2^(d - width)` subcubes of `cube` spanned by `field`.
+pub fn subcubes(cube: Hypercube, field: BitField) -> Vec<Subcube> {
+    field.check_in(cube).expect("field out of range");
+    let mut seen = vec![false; cube.num_nodes()];
+    let mut out = Vec::with_capacity(cube.num_nodes() >> field.width());
+    for node in cube.nodes() {
+        if !seen[node.index()] {
+            let sc = Subcube::through(node, field);
+            for m in sc.members() {
+                seen[m.index()] = true;
+            }
+            out.push(sc);
+        }
+    }
+    out
+}
+
+/// Split a cube's label bits into the contiguous fields used by the
+/// multiphase algorithm for partition `dims`, top bits first.
+///
+/// Phase 1 uses the **most significant** `d_1` bits ("start = d - 1" in
+/// the paper's procedure), phase 2 the next `d_2`, and so on.
+///
+/// ```
+/// use mce_hypercube::subcube::phase_fields;
+/// // d = 6, partition {2, 4}: phase 1 on bits [4,6), phase 2 on [0,4).
+/// let fields = phase_fields(6, &[2, 4]);
+/// assert_eq!((fields[0].lo(), fields[0].width()), (4, 2));
+/// assert_eq!((fields[1].lo(), fields[1].width()), (0, 4));
+/// ```
+pub fn phase_fields(dimension: u32, dims: &[u32]) -> Vec<BitField> {
+    let total: u32 = dims.iter().sum();
+    assert_eq!(
+        total, dimension,
+        "partition {dims:?} does not sum to cube dimension {dimension}"
+    );
+    let mut fields = Vec::with_capacity(dims.len());
+    let mut hi = dimension;
+    for &w in dims {
+        assert!(w >= 1, "subcube dimensions must be >= 1");
+        fields.push(BitField::new(hi - w, w));
+        hi -= w;
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extract_insert_roundtrip() {
+        let f = BitField::new(2, 3);
+        assert_eq!(f.mask(), 0b11100);
+        let x = NodeId(0b1011011);
+        let v = f.extract(x);
+        assert_eq!(v, 0b110);
+        assert_eq!(f.insert(x, v), x);
+        assert_eq!(f.insert(x, 0), NodeId(0b1000011));
+        assert_eq!(f.extract(f.insert(x, 0b101)), 0b101);
+    }
+
+    #[test]
+    fn zero_width_field() {
+        let f = BitField::new(3, 0);
+        assert_eq!(f.mask(), 0);
+        assert_eq!(f.extract(NodeId(0xFF)), 0);
+        assert_eq!(f.insert(NodeId(0xFF), 0), NodeId(0xFF));
+    }
+
+    #[test]
+    fn full_width_field() {
+        let f = BitField::new(0, 32);
+        assert_eq!(f.mask(), u32::MAX);
+        assert_eq!(f.extract(NodeId(0xDEADBEEF)), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn subcube_membership() {
+        // d = 5 cube, field = bits [1,4): subcube through 0b10101.
+        let f = BitField::new(1, 3);
+        let sc = Subcube::through(NodeId(0b10101), f);
+        assert_eq!(sc.dimension(), 3);
+        assert_eq!(sc.len(), 8);
+        assert!(!sc.is_empty());
+        assert!(sc.contains(NodeId(0b10101)));
+        assert!(sc.contains(NodeId(0b10001)));
+        assert!(!sc.contains(NodeId(0b00101)), "differs outside field");
+        assert!(!sc.contains(NodeId(0b10100)), "differs in bit 0, outside field");
+        let members: Vec<u32> = sc.members().map(|n| n.0).collect();
+        assert_eq!(members, vec![0b10001, 0b10011, 0b10101, 0b10111, 0b11001, 0b11011, 0b11101, 0b11111]);
+    }
+
+    #[test]
+    fn local_addresses_are_field_values() {
+        let f = BitField::new(2, 2);
+        let sc = Subcube::through(NodeId(0b0001), f);
+        for a in 0..4 {
+            assert_eq!(sc.local_address(sc.member(a)), a);
+        }
+    }
+
+    #[test]
+    fn subcubes_partition_the_cube() {
+        let cube = Hypercube::new(6);
+        for (lo, w) in [(0u32, 2u32), (2, 3), (4, 2), (0, 6), (5, 1)] {
+            let f = BitField::new(lo, w);
+            let scs = subcubes(cube, f);
+            assert_eq!(scs.len(), cube.num_nodes() >> w);
+            let mut seen = vec![0u32; cube.num_nodes()];
+            for sc in &scs {
+                for m in sc.members() {
+                    seen[m.index()] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "every node in exactly one subcube");
+        }
+    }
+
+    #[test]
+    fn phase_fields_cover_label_disjointly() {
+        let fields = phase_fields(7, &[2, 2, 3]);
+        assert_eq!(fields.len(), 3);
+        assert_eq!((fields[0].lo(), fields[0].hi()), (5, 7));
+        assert_eq!((fields[1].lo(), fields[1].hi()), (3, 5));
+        assert_eq!((fields[2].lo(), fields[2].hi()), (0, 3));
+        let union: u32 = fields.iter().map(|f| f.mask()).fold(0, |a, m| {
+            assert_eq!(a & m, 0, "fields overlap");
+            a | m
+        });
+        assert_eq!(union, 0b1111111);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not sum")]
+    fn phase_fields_rejects_bad_partition() {
+        let _ = phase_fields(6, &[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn phase_fields_rejects_zero_dim() {
+        let _ = phase_fields(4, &[2, 0, 2]);
+    }
+
+    #[test]
+    fn field_check_in_cube() {
+        let cube = Hypercube::new(5);
+        assert!(BitField::new(3, 2).check_in(cube).is_ok());
+        assert!(BitField::new(3, 3).check_in(cube).is_err());
+    }
+}

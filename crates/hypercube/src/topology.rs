@@ -1,0 +1,208 @@
+//! The hypercube interconnection network.
+
+use crate::node::NodeId;
+use crate::{TopologyError, MAX_DIMENSION};
+use serde::{Deserialize, Serialize};
+
+/// A binary hypercube of dimension `d` with `n = 2^d` nodes.
+///
+/// This is a value type describing the geometry only; link state and
+/// timing live in the `mce-simnet` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypercube {
+    dimension: u32,
+}
+
+impl Hypercube {
+    /// Create a hypercube of the given dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimension > MAX_DIMENSION`. Use [`Hypercube::try_new`]
+    /// for a fallible constructor.
+    pub fn new(dimension: u32) -> Self {
+        Self::try_new(dimension).expect("hypercube dimension out of range")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(dimension: u32) -> Result<Self, TopologyError> {
+        if dimension > MAX_DIMENSION {
+            return Err(TopologyError::DimensionOutOfRange(dimension));
+        }
+        Ok(Self { dimension })
+    }
+
+    /// The dimension `d`.
+    #[inline]
+    pub fn dimension(self) -> u32 {
+        self.dimension
+    }
+
+    /// The number of nodes `n = 2^d`.
+    #[inline]
+    pub fn num_nodes(self) -> usize {
+        1usize << self.dimension
+    }
+
+    /// The number of undirected links, `d * 2^(d-1)`.
+    #[inline]
+    pub fn num_links(self) -> usize {
+        if self.dimension == 0 {
+            0
+        } else {
+            (self.dimension as usize) << (self.dimension - 1)
+        }
+    }
+
+    /// Whether `node` is a valid label in this cube.
+    #[inline]
+    pub fn contains(self, node: NodeId) -> bool {
+        (node.0 as u64) < (1u64 << self.dimension)
+    }
+
+    /// Iterate over all node labels `0..2^d`.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Iterate over the `d` neighbours of `node`.
+    pub fn neighbors(self, node: NodeId) -> impl Iterator<Item = NodeId> {
+        (0..self.dimension).map(move |dim| node.neighbor(dim))
+    }
+
+    /// Iterate over all undirected links as `(low_endpoint, high_endpoint)`
+    /// pairs, each listed once.
+    pub fn links(self) -> impl Iterator<Item = (NodeId, NodeId)> {
+        let d = self.dimension;
+        self.nodes().flat_map(move |u| {
+            (0..d).filter_map(move |dim| {
+                let v = u.neighbor(dim);
+                (u.0 < v.0).then_some((u, v))
+            })
+        })
+    }
+
+    /// Average path length over all ordered pairs of *distinct* nodes:
+    /// `d * 2^(d-1) / (2^d - 1)`.
+    ///
+    /// The paper uses this to account for the per-dimension distance
+    /// penalty `δ` of the Optimal Circuit Switched algorithm (Eq. 2): at
+    /// each of its `2^d - 1` steps every pair is at the same distance,
+    /// and the distances average to this value over the whole schedule.
+    pub fn average_distance(self) -> f64 {
+        let d = self.dimension as f64;
+        let n = self.num_nodes() as f64;
+        if self.dimension == 0 {
+            0.0
+        } else {
+            d * (n / 2.0) / (n - 1.0)
+        }
+    }
+
+    /// Validate that a node belongs to this cube.
+    pub fn check_node(self, node: NodeId) -> Result<(), TopologyError> {
+        if self.contains(node) {
+            Ok(())
+        } else {
+            Err(TopologyError::NodeOutOfRange { node: node.0, dimension: self.dimension })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts() {
+        let c = Hypercube::new(5);
+        assert_eq!(c.num_nodes(), 32);
+        assert_eq!(c.num_links(), 80);
+        assert_eq!(c.nodes().count(), 32);
+        assert_eq!(c.links().count(), 80);
+        let c0 = Hypercube::new(0);
+        assert_eq!(c0.num_nodes(), 1);
+        assert_eq!(c0.num_links(), 0);
+    }
+
+    #[test]
+    fn dimension_bounds() {
+        assert!(Hypercube::try_new(20).is_ok());
+        assert!(matches!(
+            Hypercube::try_new(21),
+            Err(TopologyError::DimensionOutOfRange(21))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_on_oversized_dimension() {
+        let _ = Hypercube::new(25);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_distinct() {
+        let c = Hypercube::new(4);
+        for u in c.nodes() {
+            let nbrs: HashSet<_> = c.neighbors(u).collect();
+            assert_eq!(nbrs.len(), 4);
+            for &v in &nbrs {
+                assert!(u.is_neighbor(v));
+                assert!(c.neighbors(v).any(|w| w == u), "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn links_listed_once() {
+        let c = Hypercube::new(6);
+        let links: Vec<_> = c.links().collect();
+        let set: HashSet<_> = links.iter().copied().collect();
+        assert_eq!(links.len(), set.len());
+        assert_eq!(links.len(), c.num_links());
+        for (u, v) in links {
+            assert!(u.0 < v.0);
+            assert!(u.is_neighbor(v));
+        }
+    }
+
+    #[test]
+    fn average_distance_closed_form() {
+        // d=4: 4*8/15 = 2.1333...
+        let c = Hypercube::new(4);
+        assert!((c.average_distance() - 4.0 * 8.0 / 15.0).abs() < 1e-12);
+        // Brute force check for several dimensions.
+        for d in 1..=7u32 {
+            let c = Hypercube::new(d);
+            let mut sum = 0u64;
+            let mut count = 0u64;
+            for u in c.nodes() {
+                for v in c.nodes() {
+                    if u != v {
+                        sum += u.distance(v) as u64;
+                        count += 1;
+                    }
+                }
+            }
+            let brute = sum as f64 / count as f64;
+            assert!(
+                (c.average_distance() - brute).abs() < 1e-9,
+                "d={d}: {} vs {brute}",
+                c.average_distance()
+            );
+        }
+    }
+
+    #[test]
+    fn contains_and_check() {
+        let c = Hypercube::new(3);
+        assert!(c.contains(NodeId(7)));
+        assert!(!c.contains(NodeId(8)));
+        assert!(c.check_node(NodeId(7)).is_ok());
+        assert!(matches!(
+            c.check_node(NodeId(8)),
+            Err(TopologyError::NodeOutOfRange { node: 8, dimension: 3 })
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the hypercube substrate.
+
+use mce_hypercube::contention::{analyze_xor_step, paths_edge_disjoint};
+use mce_hypercube::routing::{ecube_dimensions, ecube_path};
+use mce_hypercube::subcube::{phase_fields, subcubes, BitField, Subcube};
+use mce_hypercube::{Hypercube, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    /// E-cube path length always equals the Hamming distance and visits
+    /// distinct nodes.
+    #[test]
+    fn ecube_path_valid(s in 0u32..1024, t in 0u32..1024) {
+        let p = ecube_path(NodeId(s), NodeId(t));
+        prop_assert_eq!(p.len() as u32, NodeId(s).distance(NodeId(t)));
+        prop_assert_eq!(p.source(), NodeId(s));
+        prop_assert_eq!(p.destination(), NodeId(t));
+        // Consecutive hops are neighbours; no node repeats.
+        let nodes = p.nodes();
+        for w in nodes.windows(2) {
+            prop_assert!(w[0].is_neighbor(w[1]));
+        }
+        let mut sorted: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), nodes.len());
+    }
+
+    /// E-cube corrects dimensions in strictly increasing order.
+    #[test]
+    fn ecube_dims_increasing(s in 0u32..65536, t in 0u32..65536) {
+        let dims = ecube_dimensions(NodeId(s), NodeId(t));
+        prop_assert!(dims.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Forward and reverse e-cube circuits never share a directed link,
+    /// which is what makes pairwise exchanges full-duplex safe.
+    #[test]
+    fn forward_reverse_disjoint(s in 0u32..256, t in 0u32..256) {
+        prop_assume!(s != t);
+        let fwd = ecube_path(NodeId(s), NodeId(t));
+        let rev = ecube_path(NodeId(t), NodeId(s));
+        prop_assert!(paths_edge_disjoint(&fwd, &rev));
+    }
+
+    /// Every XOR step of the exchange schedules is edge-contention-free:
+    /// the Schmiermund-Seidel property the paper's Optimal Circuit
+    /// Switched algorithm relies on.
+    #[test]
+    fn xor_permutations_contention_free(d in 1u32..=7, mask_seed in 1u32..u32::MAX) {
+        let mask = mask_seed % (1u32 << d);
+        prop_assume!(mask != 0);
+        let report = analyze_xor_step(d, mask);
+        prop_assert!(report.is_edge_contention_free());
+        prop_assert_eq!(report.max_link_load, 1);
+    }
+
+    /// Subcube membership and local addressing are consistent.
+    #[test]
+    fn subcube_addressing(anchor in 0u32..4096, lo in 0u32..10, w in 1u32..5) {
+        let field = BitField::new(lo, w);
+        let sc = Subcube::through(NodeId(anchor), field);
+        for m in sc.members() {
+            prop_assert!(sc.contains(m));
+            prop_assert_eq!(sc.member(sc.local_address(m)), m);
+        }
+    }
+
+    /// `phase_fields` produces disjoint fields covering all label bits.
+    #[test]
+    fn fields_partition_label(parts in proptest::collection::vec(1u32..5, 1..5)) {
+        let d: u32 = parts.iter().sum();
+        prop_assume!(d <= 16);
+        let fields = phase_fields(d, &parts);
+        let mut union = 0u32;
+        for f in &fields {
+            prop_assert_eq!(union & f.mask(), 0);
+            union |= f.mask();
+        }
+        prop_assert_eq!(union, ((1u64 << d) - 1) as u32);
+    }
+
+    /// Subcube enumeration covers each node exactly once.
+    #[test]
+    fn subcubes_cover(d in 1u32..=9, lo_seed in 0u32..8, w_seed in 1u32..8) {
+        let w = 1 + w_seed % d;
+        let lo = if d == w { 0 } else { lo_seed % (d - w + 1) };
+        let cube = Hypercube::new(d);
+        let scs = subcubes(cube, BitField::new(lo, w));
+        let mut count = vec![0u8; cube.num_nodes()];
+        for sc in &scs {
+            for m in sc.members() {
+                count[m.index()] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,70 @@
+//! The Standard-vs-Optimal crossover block size (Section 4.3).
+
+use crate::{optimal_cs_time, standard_exchange_time, MachineParams};
+
+/// Block size below which the Standard Exchange algorithm beats the
+/// Optimal Circuit Switched algorithm (raw Eqs. 1 and 2):
+///
+/// ```text
+/// m < [ (2^d - d - 1) λ + d (2^(d-1) - 1) δ ]
+///     / [ (d 2^(d-1) - 2^d + 1) τ + d 2^d ρ ]
+/// ```
+///
+/// For the paper's hypothetical machine with `d = 6` this evaluates to
+/// just under 30 bytes ("the Standard Exchange algorithm is better for
+/// blocks of size less than 30").
+pub fn crossover_block_size(p: &MachineParams, d: u32) -> f64 {
+    assert!(d >= 2, "crossover undefined for d < 2 (algorithms coincide at d = 1)");
+    let n = (1u64 << d) as f64;
+    let half_n = n / 2.0;
+    let df = d as f64;
+    let numerator = (n - df - 1.0) * p.lambda + df * (half_n - 1.0) * p.delta;
+    let denominator = (df * half_n - n + 1.0) * p.tau + df * n * p.rho;
+    numerator / denominator
+}
+
+/// Whether Standard Exchange is predicted to beat Optimal Circuit
+/// Switched for block size `m` (raw model).
+pub fn standard_wins(p: &MachineParams, m: f64, d: u32) -> bool {
+    standard_exchange_time(p, m, d) < optimal_cs_time(p, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypothetical_machine_crossover_is_just_under_30() {
+        let p = MachineParams::hypothetical();
+        let m = crossover_block_size(&p, 6);
+        assert!(m > 29.0 && m < 30.0, "crossover {m}");
+    }
+
+    #[test]
+    fn crossover_separates_the_two_algorithms() {
+        for (p, d) in [
+            (MachineParams::hypothetical(), 6u32),
+            (MachineParams::ipsc860(), 5),
+            (MachineParams::ipsc860(), 7),
+            (MachineParams::ncube2_like(), 6),
+        ] {
+            let mx = crossover_block_size(&p, d);
+            assert!(mx.is_finite() && mx >= 0.0);
+            // Strictly below: standard wins; strictly above: optimal wins.
+            if mx > 1.0 {
+                assert!(standard_wins(&p, mx * 0.5, d), "below crossover, {} d={d}", p.name);
+            }
+            assert!(!standard_wins(&p, mx * 2.0 + 64.0, d), "above crossover, {} d={d}", p.name);
+            // At the crossover the two predictions coincide.
+            let ts = standard_exchange_time(&p, mx, d);
+            let to = optimal_cs_time(&p, mx, d);
+            assert!((ts - to).abs() / to < 1e-9, "equal at crossover");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn rejects_d1() {
+        let _ = crossover_block_size(&MachineParams::ipsc860(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The hull of optimality: which partition is fastest at each block
+//! size (paper, Section 8).
+//!
+//! "Although we have measured the performance of all combinations, to
+//! avoid congested plots we show only those combinations that form the
+//! hull of optimality (i.e. only the best combination for every
+//! blocksize)."
+
+use crate::{multiphase_time, MachineParams};
+use mce_partitions::{partitions, Partition};
+use serde::{Deserialize, Serialize};
+
+/// One face of the hull: a half-open block-size interval on which a
+/// single partition is predicted optimal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HullFace {
+    /// The optimal partition on this interval.
+    pub partition: Partition,
+    /// Inclusive lower end of the block-size interval (bytes).
+    pub from: f64,
+    /// Exclusive upper end (bytes); `f64::INFINITY` for the last face
+    /// (serialized as JSON `null`).
+    #[serde(with = "infinite_as_null")]
+    pub to: f64,
+}
+
+/// JSON has no infinity; map `f64::INFINITY <-> null` so hull tables
+/// survive serialization ("stored for repeated future use", §6).
+mod infinite_as_null {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_finite() {
+            s.serialize_some(v)
+        } else {
+            s.serialize_none()
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
+    }
+}
+
+/// Find the predicted-optimal partition for one block size by
+/// exhaustive enumeration over all `p(d)` partitions (Section 6).
+///
+/// Ties are broken toward the earlier partition in reverse-lexicographic
+/// enumeration order (i.e. toward fewer phases).
+pub fn best_partition(p: &MachineParams, m: f64, d: u32) -> (Partition, f64) {
+    let mut best: Option<(Partition, f64)> = None;
+    for part in partitions(d) {
+        let t = multiphase_time(p, m, d, part.parts());
+        match &best {
+            Some((_, bt)) if *bt <= t => {}
+            _ => best = Some((part, t)),
+        }
+    }
+    best.expect("d >= 1 always yields at least one partition")
+}
+
+/// Compute the hull of optimality over `[0, m_max]` by scanning block
+/// sizes at `step`-byte resolution and merging runs.
+///
+/// Because every plan's predicted time is affine in `m`, the true hull
+/// is a lower envelope of lines and each partition occupies at most one
+/// contiguous interval; scanning at fine resolution recovers the
+/// breakpoints to within `step` bytes.
+pub fn optimality_hull(p: &MachineParams, d: u32, m_max: f64, step: f64) -> Vec<HullFace> {
+    assert!(step > 0.0 && m_max >= 0.0);
+    let mut faces: Vec<HullFace> = Vec::new();
+    let mut m = 0.0;
+    while m <= m_max {
+        let (part, _) = best_partition(p, m, d);
+        match faces.last_mut() {
+            Some(face) if face.partition == part => face.to = m + step,
+            _ => faces.push(HullFace { partition: part, from: m, to: m + step }),
+        }
+        m += step;
+    }
+    if let Some(last) = faces.last_mut() {
+        last.to = f64::INFINITY;
+    }
+    faces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hull_partitions(d: u32) -> Vec<String> {
+        let p = MachineParams::ipsc860();
+        optimality_hull(&p, d, 400.0, 1.0)
+            .iter()
+            .map(|f| f.partition.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn figure_4_hull_d5() {
+        // "When d = 5 (Figure 4) the combination {2,3} is optimal for
+        // block sizes less than 100 bytes" then {5}.
+        let faces = hull_partitions(5);
+        assert_eq!(faces, vec!["{3,2}", "{5}"]);
+        let p = MachineParams::ipsc860();
+        let hull = optimality_hull(&p, 5, 400.0, 1.0);
+        let breakpoint = hull[0].to;
+        assert!(breakpoint > 60.0 && breakpoint < 140.0, "crossover near 100 B, got {breakpoint}");
+    }
+
+    #[test]
+    fn figure_5_hull_d6() {
+        // "For d = 6, three combinations are optimal: {2,2,2}, {3,3}
+        // and {6}. The last of these is optimal for message sizes
+        // beyond about 140 bytes. The first is optimal only for
+        // extremely small sizes."
+        let faces = hull_partitions(6);
+        assert_eq!(faces, vec!["{2,2,2}", "{3,3}", "{6}"]);
+        let p = MachineParams::ipsc860();
+        let hull = optimality_hull(&p, 6, 400.0, 1.0);
+        assert!(hull[0].to < 40.0, "{{2,2,2}} only for extremely small sizes");
+        assert!(hull[1].to > 100.0 && hull[1].to < 200.0, "{{6}} beyond about 140 B");
+    }
+
+    #[test]
+    fn figure_6_hull_d7() {
+        // "we again have three optimal combinations {2,2,3}, {3,4} and
+        // {7}, with {7} optimal beyond 160 bytes and {2,2,3} optimal
+        // for 0 to 12 bytes."
+        let faces = hull_partitions(7);
+        assert_eq!(faces, vec!["{3,2,2}", "{4,3}", "{7}"]);
+        let p = MachineParams::ipsc860();
+        let hull = optimality_hull(&p, 7, 400.0, 1.0);
+        assert!(hull[0].to < 30.0, "{{2,2,3}} for small sizes only, got {}", hull[0].to);
+        assert!(hull[1].to > 120.0 && hull[1].to < 220.0, "{{7}} beyond ~160 B, got {}", hull[1].to);
+    }
+
+    #[test]
+    fn standard_exchange_never_on_ipsc_hull() {
+        // "The Standard Exchange Algorithm ... is never optimal on the
+        // iPSC-860 for dimensions 5-7."
+        for d in 5..=7u32 {
+            assert!(
+                !hull_partitions(d).iter().any(|s| s.chars().filter(|&c| c == '1').count() == d as usize),
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn best_partition_agrees_with_exhaustive_min() {
+        let p = MachineParams::ipsc860();
+        for m in [0.0, 10.0, 40.0, 100.0, 399.0] {
+            let (part, t) = best_partition(&p, m, 6);
+            for q in partitions(6) {
+                assert!(multiphase_time(&p, m, 6, q.parts()) >= t - 1e-9, "m={m} {q} beats {part}");
+            }
+        }
+    }
+
+    #[test]
+    fn faces_tile_the_range() {
+        let p = MachineParams::ipsc860();
+        let hull = optimality_hull(&p, 6, 300.0, 0.5);
+        assert_eq!(hull[0].from, 0.0);
+        for w in hull.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        assert_eq!(hull.last().unwrap().to, f64::INFINITY);
+    }
+
+    #[test]
+    fn large_blocks_favor_singleton() {
+        let p = MachineParams::ipsc860();
+        for d in 2..=8u32 {
+            let (part, _) = best_partition(&p, 10_000.0, d);
+            assert!(part.is_optimal_circuit_switched(), "d={d}: {part}");
+        }
+    }
+}

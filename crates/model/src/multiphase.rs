@@ -1,0 +1,100 @@
+//! Total predicted time of a multiphase plan.
+
+use crate::{partial_exchange_time, MachineParams};
+
+/// Predicted time for the full multiphase complete exchange with
+/// partition `dims` (in any order — cost is order-independent) on a
+/// dimension-`d` cube with block size `m` bytes.
+///
+/// This is the sum of [`partial_exchange_time`] over the phases. The
+/// special cases recover the two classical algorithms as priced by the
+/// implementation model (Eq. 3): `dims = [d]` is Optimal Circuit
+/// Switched, `dims = [1; d]` is Standard Exchange.
+pub fn multiphase_time(p: &MachineParams, m: f64, d: u32, dims: &[u32]) -> f64 {
+    let total: u32 = dims.iter().sum();
+    assert_eq!(total, d, "partition {dims:?} does not sum to dimension {d}");
+    dims.iter().map(|&di| partial_exchange_time(p, m, di, d)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimal_cs_time, standard_exchange_time};
+
+    #[test]
+    fn section_5_1_two_phase_total() {
+        // 1832 + 5080 + 2·1536 = 9984 µs (with the phase-2 erratum
+        // corrected; the paper prints 10944 via 6040 for phase 2).
+        let p = MachineParams::hypothetical();
+        let t = multiphase_time(&p, 24.0, 6, &[2, 4]);
+        assert_eq!(t.round() as u64, 9984);
+        // Either way, substantially faster than Standard Exchange.
+        assert!(t < standard_exchange_time(&p, 24.0, 6));
+        assert!(10944.0 < standard_exchange_time(&p, 24.0, 6));
+    }
+
+    #[test]
+    fn order_independence() {
+        let p = MachineParams::ipsc860();
+        for m in [0.0, 16.0, 100.0] {
+            let a = multiphase_time(&p, m, 7, &[2, 2, 3]);
+            let b = multiphase_time(&p, m, 7, &[3, 2, 2]);
+            let c = multiphase_time(&p, m, 7, &[2, 3, 2]);
+            assert!((a - b).abs() < 1e-9 && (b - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singleton_partition_matches_raw_ocs_when_no_overheads() {
+        // On the hypothetical machine (no sync, no barrier) the
+        // multiphase formula with {d} is exactly Eq. (2).
+        let p = MachineParams::hypothetical();
+        for d in 1..=7u32 {
+            for m in [1.0, 24.0, 333.0] {
+                let a = multiphase_time(&p, m, d, &[d]);
+                let b = optimal_cs_time(&p, m, d);
+                assert!((a - b).abs() < 1e-9, "d={d} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_ones_partition_vs_raw_standard_exchange() {
+        // With no overheads, the all-ones multiphase plan performs the
+        // same transmissions as Standard Exchange but prices shuffles
+        // identically too: d phases, each with shuffle ρ m 2^d, matching
+        // Eq. (1)'s d shuffles of ρ m 2^d.
+        let p = MachineParams::hypothetical();
+        for d in 2..=7u32 {
+            let ones = vec![1u32; d as usize];
+            for m in [4.0, 24.0] {
+                let a = multiphase_time(&p, m, d, &ones);
+                let b = standard_exchange_time(&p, m, d);
+                assert!((a - b).abs() < 1e-9, "d={d} m={m}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure_6_caption_values() {
+        // d = 7, m = 40 bytes on the iPSC-860:
+        //   Standard {1×7} ≈ Optimal {7} ≈ 0.037 s, {3,4} ≈ 0.016 s.
+        let p = MachineParams::ipsc860();
+        let t_se = multiphase_time(&p, 40.0, 7, &[1, 1, 1, 1, 1, 1, 1]);
+        let t_ocs = multiphase_time(&p, 40.0, 7, &[7]);
+        let t_34 = multiphase_time(&p, 40.0, 7, &[3, 4]);
+        assert!((t_se / 1e6 - 0.037).abs() < 0.004, "SE {t_se}");
+        assert!((t_ocs / 1e6 - 0.037).abs() < 0.004, "OCS {t_ocs}");
+        assert!((t_34 / 1e6 - 0.016).abs() < 0.002, "{{3,4}} {t_34}");
+        // "more than twice as fast"
+        assert!(t_se / t_34 > 2.0);
+        assert!(t_ocs / t_34 > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not sum")]
+    fn rejects_bad_partition() {
+        let p = MachineParams::ipsc860();
+        let _ = multiphase_time(&p, 10.0, 6, &[3, 2]);
+    }
+}

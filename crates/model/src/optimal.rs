@@ -1,0 +1,75 @@
+//! Eq. (2): the Optimal Circuit Switched algorithm.
+
+use crate::{average_schedule_distance, MachineParams};
+
+/// Predicted time for the Optimal Circuit Switched algorithm
+/// (Schmiermund & Seidel schedule) on a dimension-`d` cube with block
+/// size `m` bytes:
+///
+/// ```text
+/// t_OCS(m, d) = (2^d - 1) ( λ + τ m + δ · d 2^(d-1) / (2^d - 1) )
+/// ```
+///
+/// `2^d - 1` transmissions of one block each; at step `i` all pairs are
+/// at distance `popcount(i)`, and the distance penalty averages to
+/// `d 2^(d-1)/(2^d - 1)` per step. This is the *raw* Eq. (2); for a
+/// machine with pairwise-sync/barrier overheads use
+/// [`crate::multiphase_time`] with the singleton partition `{d}`.
+pub fn optimal_cs_time(p: &MachineParams, m: f64, d: u32) -> f64 {
+    assert!(d >= 1, "optimal circuit switched exchange needs d >= 1");
+    let steps = ((1u64 << d) - 1) as f64;
+    steps * (p.lambda + p.tau * m + p.delta * average_schedule_distance(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_phase_values_from_section_5_1() {
+        let p = MachineParams::hypothetical();
+        // "The first phase on dimension 2 subcubes with an effective
+        // block size of 384 bytes takes 1832 µsec."
+        let t1 = optimal_cs_time(&p, 384.0, 2);
+        assert_eq!(t1.round() as u64, 1832);
+        // The paper prints 6040 µs for the second phase via an
+        // effective block of "160" bytes; its own formula gives
+        // m·2^(d-di) = 24·4 = 96 bytes:
+        let t2_erratum = optimal_cs_time(&p, 160.0, 4);
+        assert_eq!(t2_erratum.round() as u64, 6040);
+        let t2_formula = optimal_cs_time(&p, 96.0, 4);
+        assert_eq!(t2_formula.round() as u64, 5080);
+    }
+
+    #[test]
+    fn total_distance_cost_is_d_half_n() {
+        // The δ contribution over the whole schedule must equal
+        // δ · d · 2^(d-1) exactly.
+        let mut p = MachineParams::hypothetical();
+        p.lambda = 0.0;
+        p.tau = 0.0;
+        for d in 1..=8u32 {
+            let t = optimal_cs_time(&p, 123.0, d);
+            let expect = p.delta * (d as f64) * (1u64 << (d - 1)) as f64;
+            assert!((t - expect).abs() < 1e-9, "d={d}");
+        }
+    }
+
+    #[test]
+    fn d1_reduces_to_single_exchange() {
+        let p = MachineParams::hypothetical();
+        let t = optimal_cs_time(&p, 50.0, 1);
+        assert!((t - (200.0 + 50.0 + 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grows_with_dimension() {
+        let p = MachineParams::ipsc860();
+        let mut prev = 0.0;
+        for d in 1..=10u32 {
+            let t = optimal_cs_time(&p, 64.0, d);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+}

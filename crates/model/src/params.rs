@@ -1,0 +1,183 @@
+//! Machine performance parameters.
+//!
+//! Section 4.3 of the paper defines four parameters (`τ`, `ρ`, `λ`,
+//! `δ`); Section 7.4 reports the values measured on the Intel iPSC-860
+//! and the extra constants introduced by the implementation (zero-byte
+//! message startup, pairwise synchronization, global barrier cost).
+
+use serde::{Deserialize, Serialize};
+
+/// Performance parameters of a circuit-switched hypercube.
+///
+/// A message of `m` bytes crossing `h` dimensions takes
+/// `λ + τ m + δ h` µs; permuting `m` bytes in memory takes `ρ m` µs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Message startup (latency), µs. Paper symbol `λ`.
+    pub lambda: f64,
+    /// Startup of a zero-byte message, µs. On the iPSC-860 this is
+    /// "significantly better" than `λ` (82.5 vs 95.0).
+    pub lambda_zero: f64,
+    /// Transmission cost, µs per byte. Paper symbol `τ`.
+    pub tau: f64,
+    /// Distance impact, µs per dimension crossed. Paper symbol `δ`.
+    pub delta: f64,
+    /// Data permutation (shuffle) cost, µs per byte. Paper symbol `ρ`.
+    pub rho: f64,
+    /// Global synchronization cost per cube dimension, µs
+    /// (measured at 150 µs/dimension on the iPSC-860).
+    pub barrier_per_dim: f64,
+    /// Whether every data exchange is preceded by an exchange of
+    /// zero-byte "pairwise synchronization" messages (Section 7.2).
+    /// When true, each pairwise exchange pays `λ + λ₀` startup and
+    /// crosses the circuit twice (`2δ` per dimension).
+    pub pairwise_sync: bool,
+    /// UNFORCED messages larger than this threshold pay a
+    /// reserve-acknowledge round trip before the data transfer
+    /// (Section 7.1; ~100 bytes on the iPSC-860).
+    pub unforced_threshold: usize,
+}
+
+impl MachineParams {
+    /// Measured Intel iPSC-860 parameters (paper, Section 7.4), with
+    /// FORCED messages and all receives pre-posted.
+    pub fn ipsc860() -> Self {
+        MachineParams {
+            name: "Intel iPSC-860".to_string(),
+            lambda: 95.0,
+            lambda_zero: 82.5,
+            tau: 0.394,
+            delta: 10.3,
+            rho: 0.54,
+            barrier_per_dim: 150.0,
+            pairwise_sync: true,
+            unforced_threshold: 100,
+        }
+    }
+
+    /// The hypothetical machine of Section 4.3: `τ = ρ = 1`, `λ = 200`,
+    /// `δ = 20`, used for the worked examples. No pairwise sync or
+    /// barrier overhead is modelled there.
+    pub fn hypothetical() -> Self {
+        MachineParams {
+            name: "hypothetical (Section 4.3)".to_string(),
+            lambda: 200.0,
+            lambda_zero: 0.0,
+            tau: 1.0,
+            delta: 20.0,
+            rho: 1.0,
+            barrier_per_dim: 0.0,
+            pairwise_sync: false,
+            unforced_threshold: 100,
+        }
+    }
+
+    /// An Ncube-2-flavoured parameter set. The paper poses evaluating
+    /// the multiphase approach on the Ncube-2 as an open practical
+    /// question (Section 9); these values follow published Ncube-2
+    /// characteristics (slower links, lower startup) and are intended
+    /// for what-if exploration, not as measurements.
+    pub fn ncube2_like() -> Self {
+        MachineParams {
+            name: "Ncube-2 (projected)".to_string(),
+            lambda: 160.0,
+            lambda_zero: 150.0,
+            tau: 0.45,
+            delta: 2.0,
+            rho: 0.40,
+            barrier_per_dim: 100.0,
+            pairwise_sync: true,
+            unforced_threshold: 100,
+        }
+    }
+
+    /// Effective per-exchange startup: `λ` plus, when pairwise
+    /// synchronization is enabled, the zero-byte sync message `λ₀`.
+    /// On the iPSC-860: `95.0 + 82.5 = 177.5` (paper, Section 7.4).
+    #[inline]
+    pub fn lambda_eff(&self) -> f64 {
+        if self.pairwise_sync {
+            self.lambda + self.lambda_zero
+        } else {
+            self.lambda
+        }
+    }
+
+    /// Effective distance impact per dimension: doubled when the
+    /// zero-byte sync message also crosses the circuit.
+    /// On the iPSC-860: `2 × 10.3 = 20.6` (paper, Section 7.4).
+    #[inline]
+    pub fn delta_eff(&self) -> f64 {
+        if self.pairwise_sync {
+            2.0 * self.delta
+        } else {
+            self.delta
+        }
+    }
+
+    /// Time for one message of `m` bytes across `h` dimensions
+    /// (no synchronization overhead): `λ + τ m + δ h`.
+    #[inline]
+    pub fn message_time(&self, m: f64, h: f64) -> f64 {
+        self.lambda + self.tau * m + self.delta * h
+    }
+
+    /// Time for a global synchronization on a dimension-`d` cube.
+    #[inline]
+    pub fn barrier_time(&self, d: u32) -> f64 {
+        self.barrier_per_dim * d as f64
+    }
+
+    /// Time to permute `bytes` bytes of data in local memory.
+    #[inline]
+    pub fn shuffle_time(&self, bytes: f64) -> f64 {
+        self.rho * bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipsc860_effective_values_match_paper() {
+        let p = MachineParams::ipsc860();
+        assert!((p.lambda_eff() - 177.5).abs() < 1e-12);
+        assert!((p.delta_eff() - 20.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypothetical_has_no_sync_overhead() {
+        let p = MachineParams::hypothetical();
+        assert_eq!(p.lambda_eff(), 200.0);
+        assert_eq!(p.delta_eff(), 20.0);
+        assert_eq!(p.barrier_time(6), 0.0);
+    }
+
+    #[test]
+    fn message_time_formula() {
+        let p = MachineParams::ipsc860();
+        // 1000-byte message across 3 dimensions.
+        let t = p.message_time(1000.0, 3.0);
+        assert!((t - (95.0 + 394.0 + 30.9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_and_shuffle() {
+        let p = MachineParams::ipsc860();
+        assert!((p.barrier_time(7) - 1050.0).abs() < 1e-12);
+        assert!((p.shuffle_time(1000.0) - 540.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        let a = MachineParams::ipsc860();
+        let b = MachineParams::hypothetical();
+        let c = MachineParams::ncube2_like();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,120 @@
+//! Eq. (3): a single multiphase *partial exchange*.
+
+use crate::{average_schedule_distance, MachineParams};
+
+/// The effective block size of a partial exchange on subcubes of
+/// dimension `di` inside a dimension-`d` cube: `m · 2^(d - di)` bytes.
+///
+/// A partial exchange moves all `2^d` blocks regardless of subcube
+/// dimension, grouped into superblocks of `2^(d-di)` blocks each
+/// (paper, Section 5.2 and Figure 3).
+#[inline]
+pub fn effective_block_size(m: f64, di: u32, d: u32) -> f64 {
+    assert!(di >= 1 && di <= d);
+    m * (1u64 << (d - di)) as f64
+}
+
+/// Predicted time of one partial exchange on subcubes of dimension `di`
+/// within a dimension-`d` cube with original block size `m` bytes,
+/// generalizing the paper's Eq. (3):
+///
+/// ```text
+/// t_pe(m, di, d) = (2^di - 1) ( λ_eff + τ m 2^(d-di)
+///                               + δ_eff · di 2^(di-1)/(2^di - 1) )
+///                 + [di < d] · ρ m 2^d
+///                 + barrier(d)
+/// ```
+///
+/// With the measured iPSC-860 constants (`λ_eff = 177.5`,
+/// `δ_eff = 20.6`, `ρ = 0.54`, barrier `150 d`) this is exactly the
+/// expression printed in Section 7.4. The shuffle term is omitted when
+/// `di = d` because "d-shuffles of 2^d blocks are equivalent to the
+/// identity permutation".
+pub fn partial_exchange_time(p: &MachineParams, m: f64, di: u32, d: u32) -> f64 {
+    assert!(di >= 1 && di <= d, "subcube dimension {di} invalid for cube {d}");
+    let steps = ((1u64 << di) - 1) as f64;
+    let transfer = steps
+        * (p.lambda_eff()
+            + p.tau * effective_block_size(m, di, d)
+            + p.delta_eff() * average_schedule_distance(di));
+    let shuffle = if di < d {
+        p.shuffle_time(m * (1u64 << d) as f64)
+    } else {
+        0.0
+    };
+    transfer + shuffle + p.barrier_time(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluate the literal Section 7.4 expression for the iPSC-860 and
+    /// check our generalized formula agrees.
+    #[test]
+    fn matches_literal_section_7_4_expression() {
+        let p = MachineParams::ipsc860();
+        for d in 1..=8u32 {
+            for di in 1..=d {
+                for m in [0.0f64, 8.0, 40.0, 160.0, 400.0] {
+                    let meff = m * (1u64 << (d - di)) as f64;
+                    let steps = ((1u64 << di) - 1) as f64;
+                    let dist = (di as f64) * (1u64 << (di - 1)) as f64 / steps;
+                    let mut literal =
+                        steps * (177.5 + 0.394 * meff + 20.6 * dist) + 150.0 * d as f64;
+                    if di < d {
+                        literal += 0.54 * m * (1u64 << d) as f64;
+                    }
+                    let ours = partial_exchange_time(&p, m, di, d);
+                    assert!(
+                        (ours - literal).abs() < 1e-9,
+                        "d={d} di={di} m={m}: {ours} vs {literal}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_block_sizes_from_paper() {
+        // Section 5.1: d=6, m=24; phase on d1=2 uses 384-byte blocks.
+        assert_eq!(effective_block_size(24.0, 2, 6), 384.0);
+        assert_eq!(effective_block_size(24.0, 4, 6), 96.0);
+        // Figure 3 (d=3, {2,1}): superblocks of 2 then 4 blocks.
+        assert_eq!(effective_block_size(1.0, 2, 3), 2.0);
+        assert_eq!(effective_block_size(1.0, 1, 3), 4.0);
+    }
+
+    #[test]
+    fn full_cube_phase_skips_shuffle() {
+        let p = MachineParams::ipsc860();
+        let with_shuffle_would_be = {
+            let steps = ((1u64 << 5) - 1) as f64;
+            steps * (177.5 + 0.394 * 100.0 + 20.6 * average_schedule_distance(5))
+                + 0.54 * 100.0 * 32.0
+                + 150.0 * 5.0
+        };
+        let actual = partial_exchange_time(&p, 100.0, 5, 5);
+        assert!(actual < with_shuffle_would_be);
+        assert!((with_shuffle_would_be - actual - 0.54 * 100.0 * 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypothetical_phase_costs_match_section_5_1() {
+        let p = MachineParams::hypothetical();
+        // Phase {2} of the {2,4} plan: 1832 transfer + 1536 shuffle.
+        let t1 = partial_exchange_time(&p, 24.0, 2, 6);
+        assert_eq!(t1.round() as u64, 1832 + 1536);
+        // Phase {4}: 5080 (corrected from the paper's 6040 erratum)
+        // + 1536 shuffle.
+        let t2 = partial_exchange_time(&p, 24.0, 4, 6);
+        assert_eq!(t2.round() as u64, 5080 + 1536);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn rejects_oversized_subcube() {
+        let p = MachineParams::ipsc860();
+        let _ = partial_exchange_time(&p, 10.0, 7, 6);
+    }
+}

@@ -1,0 +1,232 @@
+//! Cost models for the other §9 communication patterns.
+//!
+//! The paper closes by asking how "the all-to-all broadcast,
+//! one-to-all personalized and one-to-all broadcast patterns" fare
+//! under the multiphase technique. These models price the multiphase
+//! generalization of each pattern; the program builders live in
+//! `mce-core::collectives`.
+//!
+//! All three patterns admit the same partition trick as the complete
+//! exchange:
+//!
+//! * **all-to-all broadcast (allgather)** — phase `i` exchanges each
+//!   node's accumulated block set (`m·2^(Σ_{j<i} d_j)` bytes) with its
+//!   `2^(d_i) - 1` subcube partners. `{1,…,1}` is recursive doubling;
+//!   `{d}` is the flat XOR schedule.
+//! * **one-to-all personalized (scatter)** — phase `i` forwards each
+//!   current holder's sub-tree portions (`m·2^(lo_i)` bytes each) to
+//!   `2^(d_i) - 1` new holders. `{1,…,1}` is the binomial tree;
+//!   `{d}` is the root sending `2^d - 1` blocks directly.
+//! * **one-to-all broadcast** — phase `i` has each holder replicate
+//!   the full `M` bytes to `2^(d_i) - 1` partners. `{1,…,1}` is the
+//!   binomial tree (optimal here for every `M` among multiphase plans;
+//!   the scatter-allgather algorithm beats it for large `M`).
+
+use crate::{average_schedule_distance, MachineParams};
+
+/// Per-exchange overhead used by the patterns: pairwise-synchronized
+/// startup when the machine requires it (allgather steps are true
+/// exchanges), plain startup otherwise.
+fn exchange_overhead(p: &MachineParams, dims_crossed: f64) -> f64 {
+    p.lambda_eff() + p.delta_eff() * dims_crossed
+}
+
+/// One-directional send overhead (scatter / broadcast steps).
+fn send_overhead(p: &MachineParams, dims_crossed: f64) -> f64 {
+    p.lambda + p.delta * dims_crossed
+}
+
+/// Multiphase **allgather** (all-to-all broadcast) time for partition
+/// `dims` on a dimension-`d` cube with per-node block size `m`.
+///
+/// Phases process label fields from least-significant upward; the
+/// accumulated set doubles `d_i`-fold per phase and no shuffles are
+/// needed (incoming sets are contiguous in source-major layout).
+pub fn allgather_time(p: &MachineParams, m: f64, d: u32, dims: &[u32]) -> f64 {
+    let total: u32 = dims.iter().sum();
+    assert_eq!(total, d, "partition {dims:?} does not sum to {d}");
+    let mut t = 0.0;
+    let mut accumulated = m; // bytes currently held per node
+    for &di in dims.iter().rev() {
+        // LSB-first: reverse of the complete-exchange convention.
+        let steps = ((1u64 << di) - 1) as f64;
+        t += steps * (exchange_overhead(p, average_schedule_distance(di)) + p.tau * accumulated);
+        accumulated *= (1u64 << di) as f64;
+    }
+    t + p.barrier_time(d)
+}
+
+/// Multiphase **scatter** (one-to-all personalized) time: the root
+/// distributes a distinct `m`-byte block to every node.
+///
+/// Phases process fields from most-significant downward; in phase `i`
+/// every current holder sends `2^(d_i) - 1` sub-tree portions of
+/// `m·2^(lo_i)` bytes each, sequentially.
+pub fn scatter_time(p: &MachineParams, m: f64, d: u32, dims: &[u32]) -> f64 {
+    let total: u32 = dims.iter().sum();
+    assert_eq!(total, d, "partition {dims:?} does not sum to {d}");
+    let mut t = 0.0;
+    let mut lo = d;
+    for &di in dims {
+        lo -= di;
+        let portion = m * (1u64 << lo) as f64;
+        // Holders send to subcube partners at XOR offsets j << lo;
+        // average circuit length over j = 1..2^di-1.
+        let steps = ((1u64 << di) - 1) as f64;
+        t += steps * (send_overhead(p, average_schedule_distance(di)) + p.tau * portion);
+    }
+    t + p.barrier_time(d)
+}
+
+/// Multiphase **broadcast** (one-to-all) time: every node must receive
+/// the same `m` bytes from the root.
+pub fn broadcast_time(p: &MachineParams, m: f64, d: u32, dims: &[u32]) -> f64 {
+    let total: u32 = dims.iter().sum();
+    assert_eq!(total, d, "partition {dims:?} does not sum to {d}");
+    let mut t = 0.0;
+    for &di in dims {
+        let steps = ((1u64 << di) - 1) as f64;
+        t += steps * (send_overhead(p, average_schedule_distance(di)) + p.tau * m);
+    }
+    t + p.barrier_time(d)
+}
+
+/// The van de Geijn large-message broadcast: scatter `m/2^d`-byte
+/// pieces down a binomial tree, then allgather them back. Beats the
+/// binomial-tree broadcast once `τ·m` dominates startup.
+pub fn scatter_allgather_broadcast_time(p: &MachineParams, m: f64, d: u32) -> f64 {
+    let piece = m / (1u64 << d) as f64;
+    let ones = vec![1u32; d as usize];
+    scatter_time(p, piece, d, &ones) + allgather_time(p, piece, d, &ones)
+        - p.barrier_time(d) // the two halves share one barrier
+}
+
+/// Best partition for a pattern by exhaustive enumeration.
+pub fn best_pattern_partition(
+    p: &MachineParams,
+    m: f64,
+    d: u32,
+    cost: impl Fn(&MachineParams, f64, u32, &[u32]) -> f64,
+) -> (Vec<u32>, f64) {
+    let mut best: Option<(Vec<u32>, f64)> = None;
+    for part in mce_partitions::partitions(d) {
+        let t = cost(p, m, d, part.parts());
+        if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+            best = Some((part.parts().to_vec(), t));
+        }
+    }
+    best.expect("at least one partition")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allgather_special_cases() {
+        let p = MachineParams::hypothetical();
+        let d = 4u32;
+        let m = 10.0;
+        // Recursive doubling {1,1,1,1}: Σ_{i=0..3} (λ + τ m 2^i + δ).
+        let rd = allgather_time(&p, m, d, &[1, 1, 1, 1]);
+        let expect: f64 = (0..4)
+            .map(|i| 200.0 + 1.0 * m * (1u64 << i) as f64 + 20.0)
+            .sum();
+        assert!((rd - expect).abs() < 1e-9);
+        // Flat XOR {4}: (2^4 - 1)(λ + τ m + δ·avg).
+        let flat = allgather_time(&p, m, d, &[4]);
+        let expect = 15.0 * (200.0 + m + 20.0 * average_schedule_distance(4));
+        assert!((flat - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allgather_multiphase_interpolates() {
+        // Small m: recursive doubling wins (few startups... note RD has
+        // d startups vs flat's 2^d - 1). Large m: RD still moves the
+        // same total bytes as flat — both move m(2^d - 1) — so flat
+        // never wins on bytes; it loses on startups. The interesting
+        // regime is distance: flat pays higher average distance.
+        let p = MachineParams::ipsc860();
+        for m in [1.0, 100.0, 10_000.0] {
+            let (best, _) = best_pattern_partition(&p, m, 6, allgather_time);
+            assert_eq!(best, vec![1, 1, 1, 1, 1, 1], "m={m}: RD moves minimal startups AND bytes");
+        }
+    }
+
+    #[test]
+    fn scatter_special_cases() {
+        let p = MachineParams::hypothetical();
+        let d = 3u32;
+        let m = 8.0;
+        // Binomial {1,1,1}: portions 4m, 2m, m.
+        let tree = scatter_time(&p, m, d, &[1, 1, 1]);
+        let expect: f64 =
+            (200.0 + 4.0 * m + 20.0) + (200.0 + 2.0 * m + 20.0) + (200.0 + m + 20.0);
+        assert!((tree - expect).abs() < 1e-9, "{tree} vs {expect}");
+        // Direct {3}: 7 sends of m bytes at average distance 12/7.
+        let direct = scatter_time(&p, m, d, &[3]);
+        let expect = 7.0 * (200.0 + m + 20.0 * average_schedule_distance(3));
+        assert!((direct - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scatter_hull_degenerates_to_binomial_tree() {
+        // The answer to the paper's §9 open question for this pattern:
+        // the binomial tree ({1,…,1}) sends the same total bytes from
+        // the root as the direct algorithm — m(2^d - 1) — with fewer
+        // startups and less distance, so it dominates at EVERY block
+        // size. The multiphase trade-off only exists for the complete
+        // exchange, where the neighbor algorithm pays extra volume
+        // (m·d·2^(d-1)) for its startup savings.
+        let p = MachineParams::ipsc860();
+        for m in [1.0, 40.0, 400.0, 100_000.0] {
+            let (best, _) = best_pattern_partition(&p, m, 6, scatter_time);
+            assert_eq!(best, vec![1; 6], "m={m}");
+        }
+        // Total root bytes really are equal for the two extremes.
+        let tree_bytes: u64 = (0..6).map(|lo| 1u64 << lo).sum();
+        assert_eq!(tree_bytes, (1 << 6) - 1);
+    }
+
+    #[test]
+    fn broadcast_binomial_is_best_multiphase() {
+        let p = MachineParams::ipsc860();
+        for m in [1.0, 1000.0] {
+            let (best, _) = best_pattern_partition(&p, m, 5, broadcast_time);
+            assert_eq!(best, vec![1; 5], "binomial minimizes both startups and bytes");
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_beats_binomial_for_large_messages() {
+        let p = MachineParams::ipsc860();
+        let d = 6u32;
+        let small = 64.0;
+        let large = 100_000.0;
+        let ones = vec![1u32; d as usize];
+        assert!(
+            broadcast_time(&p, small, d, &ones) < scatter_allgather_broadcast_time(&p, small, d),
+            "binomial wins small"
+        );
+        assert!(
+            scatter_allgather_broadcast_time(&p, large, d) < broadcast_time(&p, large, d, &ones),
+            "scatter-allgather wins large"
+        );
+    }
+
+    #[test]
+    fn complete_exchange_dominates_all_patterns() {
+        // §3: the complete exchange "is an upper bound for the time
+        // required by any pattern". Check against our multiphase costs
+        // at equal block size with each pattern's best plan.
+        let p = MachineParams::ipsc860();
+        let d = 6u32;
+        for m in [8.0, 64.0, 256.0] {
+            let ce = crate::multiphase_time(&p, m, d, crate::best_partition(&p, m, d).0.parts());
+            for cost in [allgather_time, scatter_time, broadcast_time] {
+                let (_, t) = best_pattern_partition(&p, m, d, cost);
+                assert!(t <= ce * 1.001, "pattern beats CE? m={m} t={t} ce={ce}");
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Store-and-forward cost model.
+//!
+//! The paper's predecessor machines (iPSC/1) forwarded whole messages
+//! at every hop: an `h`-hop message costs `h(λ + τm + δ)` instead of
+//! the circuit's `λ + τm + δh`. Seidel (1989), the paper's reference
+//! \[15\], contrasts the two disciplines for symmetric communication
+//! problems; this module prices the complete-exchange algorithms under
+//! store and forward.
+//!
+//! The instructive result (asserted in the tests, reported by
+//! `repro switching`): under store and forward **every** multiphase
+//! partition moves the same `τ·m·d·2^(d-1)` *byte-hops* — the larger
+//! effective blocks of a coarse phase are exactly cancelled by its
+//! longer routes — so the paper's volume-vs-startup trade disappears.
+//! What remains is a weaker trade between per-hop startups
+//! (`λ·Σ d_i 2^(d_i-1)`, minimized by fine partitions) and
+//! barrier/shuffle overhead (minimized by coarse ones); the big
+//! circuit-switching win of `{d}`-style plans, whose whole point is
+//! that distance is nearly free on a held circuit, is gone.
+
+use crate::MachineParams;
+
+/// Store-and-forward time of one `m`-byte message over `h` hops.
+pub fn saf_message_time(p: &MachineParams, m: f64, h: u32) -> f64 {
+    h as f64 * (p.lambda + p.tau * m + p.delta)
+}
+
+/// One multiphase partial exchange under store and forward: step `j`
+/// crosses `popcount(j)` dimensions, each a full message transfer.
+/// Sync messages are likewise store-and-forwarded when the machine
+/// uses them.
+pub fn partial_exchange_saf_time(p: &MachineParams, m: f64, di: u32, d: u32) -> f64 {
+    assert!(di >= 1 && di <= d);
+    let meff = m * (1u64 << (d - di)) as f64;
+    // Σ_{j=1}^{2^di - 1} popcount(j) = di · 2^(di-1).
+    let hop_sum = (di as f64) * (1u64 << (di - 1)) as f64;
+    let mut t = hop_sum * (p.lambda + p.tau * meff + p.delta);
+    if p.pairwise_sync {
+        t += hop_sum * (p.lambda_zero + p.delta);
+    }
+    if di < d {
+        t += p.shuffle_time(m * (1u64 << d) as f64);
+    }
+    t + p.barrier_time(d)
+}
+
+/// Full multiphase complete exchange under store and forward.
+pub fn multiphase_saf_time(p: &MachineParams, m: f64, d: u32, dims: &[u32]) -> f64 {
+    let total: u32 = dims.iter().sum();
+    assert_eq!(total, d, "partition {dims:?} does not sum to {d}");
+    dims.iter().map(|&di| partial_exchange_saf_time(p, m, di, d)).sum()
+}
+
+/// Best partition under store and forward, by enumeration.
+pub fn best_saf_partition(p: &MachineParams, m: f64, d: u32) -> (Vec<u32>, f64) {
+    let mut best: Option<(Vec<u32>, f64)> = None;
+    for part in mce_partitions::partitions(d) {
+        let t = multiphase_saf_time(p, m, d, part.parts());
+        if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+            best = Some((part.parts().to_vec(), t));
+        }
+    }
+    best.expect("at least one partition")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiphase_time;
+
+    #[test]
+    fn byte_hop_volume_is_partition_invariant() {
+        // τ contribution = τ m d 2^(d-1) for every partition.
+        let mut p = MachineParams::ipsc860();
+        p.lambda = 0.0;
+        p.lambda_zero = 0.0;
+        p.delta = 0.0;
+        p.rho = 0.0;
+        p.barrier_per_dim = 0.0;
+        p.pairwise_sync = false;
+        let d = 6u32;
+        let m = 10.0;
+        let reference = p.tau * m * (d as f64) * (1u64 << (d - 1)) as f64;
+        for part in mce_partitions::partitions(d) {
+            let t = multiphase_saf_time(&p, m, d, part.parts());
+            assert!((t - reference).abs() < 1e-9, "{part}: {t} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn standard_exchange_is_identical_under_both_disciplines() {
+        // All its transmissions are one hop.
+        let p = MachineParams::ipsc860();
+        for m in [1.0, 40.0, 400.0] {
+            let ones = vec![1u32; 6];
+            let circuit = multiphase_time(&p, m, 6, &ones);
+            let saf = multiphase_saf_time(&p, m, 6, &ones);
+            assert!((circuit - saf).abs() < 1e-9, "m={m}");
+        }
+    }
+
+    #[test]
+    fn saf_optimum_avoids_coarse_partitions() {
+        // With byte-hops partition-invariant, the per-hop startup term
+        // λ·Σ d_i 2^(d_i - 1) rules out coarse plans: {6} pays 192
+        // hop-startups where {2,2,2} pays 12. The SAF optimum sits at
+        // fine-to-medium partitions and is NEVER the singleton.
+        let p = MachineParams::ipsc860();
+        for m in [1.0, 40.0, 160.0, 400.0] {
+            let (best, t_best) = best_saf_partition(&p, m, 6);
+            assert_ne!(best, vec![6], "m={m}");
+            assert!(best.iter().all(|&di| di <= 3), "m={m}: {best:?}");
+            // And it beats the singleton, decisively for small blocks
+            // (at 400 B the τ·byte-hop volume, equal for all plans,
+            // swamps the startup difference).
+            let t_flat = multiphase_saf_time(&p, m, 6, &[6]);
+            assert!(t_flat > t_best * 1.05, "m={m}");
+            if m <= 40.0 {
+                assert!(t_flat / t_best > 2.0, "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_switching_enables_the_big_multiphase_win() {
+        // At the paper's headline point (d=7, m=40) circuit switching
+        // admits a plan >2x faster than Standard Exchange. Under store
+        // and forward the best plan's edge over SE is much smaller and
+        // comes from barrier/shuffle amortization, not data volume.
+        let p = MachineParams::ipsc860();
+        let ones = vec![1u32; 7];
+        let se_circuit = multiphase_time(&p, 40.0, 7, &ones);
+        let circuit_best = crate::best_partition(&p, 40.0, 7).1;
+        assert!(se_circuit / circuit_best > 2.0);
+        let (saf_dims, saf_best) = best_saf_partition(&p, 40.0, 7);
+        assert!(saf_dims.iter().all(|&di| di <= 3), "{saf_dims:?}");
+        // Even the best SAF plan is well behind the circuit-switched
+        // best (22.5 ms vs 16.1 ms at this operating point).
+        assert!(saf_best > 1.3 * circuit_best, "saf {saf_best} vs circuit {circuit_best}");
+    }
+
+    #[test]
+    fn ocs_pays_distance_multiplicatively() {
+        let p = MachineParams::hypothetical();
+        let d = 5u32;
+        let m = 100.0;
+        let circuit = crate::optimal_cs_time(&p, m, d);
+        let saf = multiphase_saf_time(&p, m, d, &[d]);
+        // SAF multiplies the whole (λ + τm) by the hop count.
+        assert!(saf > 2.0 * circuit, "saf {saf} vs circuit {circuit}");
+    }
+}

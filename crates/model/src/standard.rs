@@ -1,0 +1,62 @@
+//! Eq. (1): the Standard Exchange algorithm.
+
+use crate::MachineParams;
+
+/// Predicted time for the Standard Exchange algorithm (Johnsson & Ho)
+/// on a dimension-`d` cube with block size `m` bytes:
+///
+/// ```text
+/// t_SE(m, d) = d ( λ + (τ + 2ρ) m 2^(d-1) + δ )
+/// ```
+///
+/// `d` transmissions of `m 2^(d-1)` bytes, each over distance 1, plus
+/// `d` shuffles of all `2^d` blocks (`ρ m 2^d = 2ρ m 2^(d-1)` each).
+/// This is the *raw* Eq. (1), without pairwise-sync or barrier costs;
+/// on a machine requiring those, model Standard Exchange as the
+/// all-ones partition via [`crate::multiphase_time`].
+pub fn standard_exchange_time(p: &MachineParams, m: f64, d: u32) -> f64 {
+    assert!(d >= 1, "standard exchange needs d >= 1");
+    let half_n = (1u64 << (d - 1)) as f64;
+    (d as f64) * (p.lambda + (p.tau + 2.0 * p.rho) * m * half_n + p.delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_value_at_m24_d6() {
+        // Section 5.1: "For 24 bytes the Standard algorithm takes
+        // 15144 µsec." on the hypothetical machine.
+        let p = MachineParams::hypothetical();
+        let t = standard_exchange_time(&p, 24.0, 6);
+        assert_eq!(t.round() as u64, 15144);
+    }
+
+    #[test]
+    fn zero_block_cost_is_pure_startup() {
+        let p = MachineParams::hypothetical();
+        let t = standard_exchange_time(&p, 0.0, 5);
+        assert!((t - 5.0 * (200.0 + 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_in_block_size() {
+        let p = MachineParams::ipsc860();
+        let t0 = standard_exchange_time(&p, 0.0, 6);
+        let t1 = standard_exchange_time(&p, 1.0, 6);
+        let t2 = standard_exchange_time(&p, 2.0, 6);
+        assert!(((t2 - t1) - (t1 - t0)).abs() < 1e-9, "affine in m");
+        // Slope per byte: d (τ + 2ρ) 2^(d-1).
+        let slope = 6.0 * (0.394 + 1.08) * 32.0;
+        assert!(((t1 - t0) - slope).abs() < 1e-9);
+    }
+
+    #[test]
+    fn d1_is_single_neighbor_swap() {
+        let p = MachineParams::hypothetical();
+        // d = 1: one transmission of m bytes + one 2-block shuffle.
+        let t = standard_exchange_time(&p, 10.0, 1);
+        assert!((t - (200.0 + (1.0 + 2.0) * 10.0 + 20.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Parameter sweeps over block size × partition, the raw material of
+//! the paper's Figures 4-6.
+
+use crate::{multiphase_time, MachineParams};
+use mce_partitions::{partitions, Partition};
+use serde::{Deserialize, Serialize};
+
+/// Predicted time of one partition at one block size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Block size in bytes.
+    pub block_size: f64,
+    /// Predicted time in microseconds.
+    pub predicted_us: f64,
+}
+
+/// The prediction curve of one partition over a block-size range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// The partition this curve belongs to, e.g. `{3,4}`.
+    pub partition: Partition,
+    /// Curve samples in increasing block-size order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Sweep all partitions of `d` over block sizes
+/// `0, step, 2·step, ..., m_max`.
+pub fn sweep(p: &MachineParams, d: u32, m_max: f64, step: f64) -> Vec<SweepRow> {
+    assert!(step > 0.0);
+    let sizes: Vec<f64> = {
+        let mut v = Vec::new();
+        let mut m = 0.0;
+        while m <= m_max {
+            v.push(m);
+            m += step;
+        }
+        v
+    };
+    partitions(d)
+        .into_iter()
+        .map(|part| {
+            let points = sizes
+                .iter()
+                .map(|&m| SweepPoint {
+                    block_size: m,
+                    predicted_us: multiphase_time(p, m, d, part.parts()),
+                })
+                .collect();
+            SweepRow { partition: part, points }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_partitions::count;
+
+    #[test]
+    fn sweep_covers_all_partitions_and_sizes() {
+        let p = MachineParams::ipsc860();
+        let rows = sweep(&p, 6, 400.0, 8.0);
+        assert_eq!(rows.len() as u64, count(6));
+        for row in &rows {
+            assert_eq!(row.points.len(), 51);
+            assert!((row.points[0].block_size - 0.0).abs() < 1e-12);
+            assert!((row.points[50].block_size - 400.0).abs() < 1e-12);
+            // Affine in m: strictly increasing.
+            for w in row.points.windows(2) {
+                assert!(w[1].predicted_us > w[0].predicted_us);
+            }
+        }
+    }
+
+    #[test]
+    fn curves_are_affine() {
+        let p = MachineParams::ipsc860();
+        let rows = sweep(&p, 5, 100.0, 10.0);
+        for row in &rows {
+            let pts = &row.points;
+            let slope0 = pts[1].predicted_us - pts[0].predicted_us;
+            for w in pts.windows(2) {
+                assert!(
+                    ((w[1].predicted_us - w[0].predicted_us) - slope0).abs() < 1e-6,
+                    "{} not affine",
+                    row.partition
+                );
+            }
+        }
+    }
+}

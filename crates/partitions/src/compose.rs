@@ -1,0 +1,77 @@
+//! Compositions: ordered sequences of positive parts.
+//!
+//! The paper's footnote in Section 6 notes that "the sequence of
+//! dimensions is unimportant, as long as the shuffles are carried out
+//! correctly" — i.e. all `2^(d-1)` compositions that reorder the same
+//! partition cost the same. We enumerate compositions anyway so that
+//! tests and ablation benches can *verify* that claim by running every
+//! ordering through the simulator.
+
+/// All compositions of `d` (ordered sequences of positive integers
+/// summing to `d`), in lexicographic order.
+pub fn compositions(d: u32) -> Vec<Vec<u32>> {
+    assert!(d >= 1);
+    let mut out = Vec::with_capacity(num_compositions(d) as usize);
+    let mut cur = Vec::new();
+    fn rec(remaining: u32, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if remaining == 0 {
+            out.push(cur.clone());
+            return;
+        }
+        for first in 1..=remaining {
+            cur.push(first);
+            rec(remaining - first, cur, out);
+            cur.pop();
+        }
+    }
+    rec(d, &mut cur, &mut out);
+    out
+}
+
+/// The number of compositions of `d`, `2^(d-1)`.
+pub fn num_compositions(d: u32) -> u64 {
+    assert!(d >= 1);
+    1u64 << (d - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Partition;
+    use std::collections::HashSet;
+
+    #[test]
+    fn compositions_of_4() {
+        let got = compositions(4);
+        let expect: Vec<Vec<u32>> = vec![
+            vec![1, 1, 1, 1],
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+            vec![1, 3],
+            vec![2, 1, 1],
+            vec![2, 2],
+            vec![3, 1],
+            vec![4],
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn counts_match_closed_form() {
+        for d in 1..=12u32 {
+            assert_eq!(compositions(d).len() as u64, num_compositions(d));
+        }
+    }
+
+    #[test]
+    fn each_composition_canonicalizes_to_a_partition_of_d() {
+        for d in 1..=8u32 {
+            let parts: HashSet<Partition> =
+                compositions(d).into_iter().map(Partition::new).collect();
+            assert_eq!(parts.len() as u64, crate::count(d));
+            for p in parts {
+                assert_eq!(p.total(), d);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The partition function `p(d)` via Euler's pentagonal-number
+//! recurrence, as quoted in Section 6 of the paper:
+//!
+//! ```text
+//! p(d) = Σ_{j>=1} (-1)^(j+1) [ p(d - j(3j-1)/2) + p(d - j(3j+1)/2) ]
+//! ```
+//!
+//! with `p(0) = 1` and `p(negative) = 0`.
+
+/// Compute `p(d)` for a single value.
+///
+/// Runs the recurrence in `O(d^(3/2))` time. Values up to `d = 128` fit
+/// comfortably in `u64` (`p(128) ≈ 4.35e12`).
+pub fn count(d: u32) -> u64 {
+    count_table(d)[d as usize]
+}
+
+/// Compute `p(0..=d)` in one pass; index `i` holds `p(i)`.
+pub fn count_table(d: u32) -> Vec<u64> {
+    let n = d as usize;
+    let mut p = vec![0u64; n + 1];
+    p[0] = 1;
+    for i in 1..=n {
+        let mut total: i128 = 0;
+        let mut j = 1i64;
+        loop {
+            let g1 = j * (3 * j - 1) / 2;
+            let g2 = j * (3 * j + 1) / 2;
+            if g1 as usize > i && g2 as usize > i {
+                break;
+            }
+            let sign: i128 = if j % 2 == 1 { 1 } else { -1 };
+            if (g1 as usize) <= i {
+                total += sign * p[i - g1 as usize] as i128;
+            }
+            if (g2 as usize) <= i {
+                total += sign * p[i - g2 as usize] as i128;
+            }
+            j += 1;
+        }
+        assert!(total >= 0, "pentagonal recurrence must stay non-negative");
+        p[i] = total as u64;
+    }
+    p
+}
+
+/// The asymptotic Hardy–Ramanujan estimate
+/// `p(d) ~ exp(π sqrt(2d/3)) / (4 d sqrt(3))`, which the paper cites to
+/// argue the enumeration stays tractable.
+pub fn hardy_ramanujan_estimate(d: u32) -> f64 {
+    let d = d as f64;
+    (std::f64::consts::PI * (2.0 * d / 3.0).sqrt()).exp() / (4.0 * d * 3.0f64.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_values() {
+        let expect = [1u64, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42];
+        for (d, &e) in expect.iter().enumerate() {
+            assert_eq!(count(d as u32), e, "p({d})");
+        }
+    }
+
+    #[test]
+    fn paper_section_6_table() {
+        // "p p(d): 5 7, 10 42, 15 176, 20 627"
+        assert_eq!(count(5), 7);
+        assert_eq!(count(10), 42);
+        assert_eq!(count(15), 176);
+        assert_eq!(count(20), 627);
+    }
+
+    #[test]
+    fn table_is_consistent_with_single_counts() {
+        let table = count_table(40);
+        for d in 0..=40u32 {
+            assert_eq!(table[d as usize], count(d));
+        }
+        assert_eq!(table[30], 5604);
+        assert_eq!(table[40], 37338);
+    }
+
+    #[test]
+    fn large_values_do_not_overflow() {
+        // p(100) = 190569292 and p(128) = 4351078600 are classical.
+        assert_eq!(count(100), 190_569_292);
+        assert_eq!(count(128), 4_351_078_600);
+    }
+
+    #[test]
+    fn estimate_within_expected_error() {
+        // The Hardy–Ramanujan estimate overshoots by a slowly shrinking
+        // factor; by d = 100 it is within about 5%.
+        for d in [20u32, 50, 100] {
+            let ratio = hardy_ramanujan_estimate(d) / count(d) as f64;
+            assert!(ratio > 0.9 && ratio < 1.3, "d={d}: ratio {ratio}");
+        }
+    }
+}

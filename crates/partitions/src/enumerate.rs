@@ -1,0 +1,119 @@
+//! Enumeration of all partitions of an integer.
+//!
+//! Partitions are produced in reverse-lexicographic order of their
+//! canonical (non-increasing) form, starting from `{d}` (the Optimal
+//! Circuit Switched plan) and ending at `{1,1,...,1}` (Standard
+//! Exchange). The enumeration is the outer loop of the paper's plan
+//! search (Section 6).
+
+use crate::Partition;
+
+/// Iterator over all partitions of `d`.
+///
+/// Uses the standard descending-lexicographic successor rule: find the
+/// rightmost part greater than 1, decrement it, and redistribute the
+/// remainder greedily.
+#[derive(Debug, Clone)]
+pub struct Partitions {
+    current: Option<Vec<u32>>,
+}
+
+impl Partitions {
+    /// Enumerate the partitions of `d` (requires `d >= 1`).
+    pub fn new(d: u32) -> Self {
+        assert!(d >= 1, "cannot enumerate partitions of 0");
+        Partitions { current: Some(vec![d]) }
+    }
+}
+
+impl Iterator for Partitions {
+    type Item = Partition;
+
+    fn next(&mut self) -> Option<Partition> {
+        let cur = self.current.take()?;
+        let result = Partition::new(cur.clone());
+
+        // Compute the successor in reverse-lexicographic order.
+        let mut parts = cur;
+        // Count trailing ones and strip them.
+        let mut ones = 0u32;
+        while parts.last() == Some(&1) {
+            parts.pop();
+            ones += 1;
+        }
+        if parts.is_empty() {
+            // Current was all ones: enumeration complete.
+            self.current = None;
+            return Some(result);
+        }
+        // Decrement the last non-one part and redistribute.
+        let last = parts.len() - 1;
+        parts[last] -= 1;
+        let fill = parts[last];
+        let mut remainder = ones + 1;
+        while remainder > 0 {
+            let take = remainder.min(fill);
+            parts.push(take);
+            remainder -= take;
+        }
+        self.current = Some(parts);
+        Some(result)
+    }
+}
+
+/// Convenience: collect all partitions of `d`.
+pub fn partitions(d: u32) -> Vec<Partition> {
+    Partitions::new(d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count;
+    use std::collections::HashSet;
+
+    #[test]
+    fn partitions_of_5() {
+        let got: Vec<String> = partitions(5).iter().map(|p| p.to_string()).collect();
+        assert_eq!(
+            got,
+            vec!["{5}", "{4,1}", "{3,2}", "{3,1,1}", "{2,2,1}", "{2,1,1,1}", "{1,1,1,1,1}"]
+        );
+    }
+
+    #[test]
+    fn first_is_ocs_last_is_se() {
+        for d in 1..=12u32 {
+            let all = partitions(d);
+            assert!(all.first().unwrap().is_optimal_circuit_switched());
+            assert!(all.last().unwrap().is_standard_exchange());
+        }
+    }
+
+    #[test]
+    fn count_matches_pentagonal_recurrence() {
+        for d in 1..=25u32 {
+            assert_eq!(partitions(d).len() as u64, count(d), "p({d})");
+        }
+    }
+
+    #[test]
+    fn all_distinct_all_sum_to_d() {
+        for d in 1..=15u32 {
+            let all = partitions(d);
+            let set: HashSet<_> = all.iter().cloned().collect();
+            assert_eq!(set.len(), all.len(), "duplicates for d={d}");
+            for p in &all {
+                assert_eq!(p.total(), d);
+                assert!(p.parts().windows(2).all(|w| w[0] >= w[1]), "canonical order");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_one() {
+        let all = partitions(1);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].parts(), &[1]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Integer partitions of the hypercube dimension.
+//!
+//! A multiphase complete exchange on a dimension-`d` hypercube is
+//! determined by a partition `D = {d1, ..., dk}` of the integer `d`
+//! (paper, Section 5.2). Section 6 observes that the number of
+//! candidate plans is `p(d)`, the partition function — "an exponential
+//! but very slowly growing function (e.g. p(7) = 15, p(10) = 42)" — so
+//! exhaustive enumeration is cheap even for a million-node cube
+//! (`p(20) = 627`).
+//!
+//! This crate provides:
+//!
+//! * [`count()`] — `p(d)` by the Euler pentagonal-number recurrence the
+//!   paper quotes;
+//! * [`Partitions`] / [`partitions`] — enumeration of all partitions in
+//!   canonical (non-increasing) form;
+//! * [`compositions`] — all *ordered* arrangements, for studying whether
+//!   phase order matters (the paper notes "the sequence of dimensions is
+//!   unimportant, as long as the shuffles are carried out correctly").
+
+pub mod compose;
+pub mod count;
+pub mod enumerate;
+
+pub use compose::{compositions, num_compositions};
+pub use count::{count, count_table};
+pub use enumerate::{partitions, Partitions};
+
+/// A partition of an integer, stored in canonical non-increasing order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Partition(Vec<u32>);
+
+impl Partition {
+    /// Build from arbitrary-order parts; sorts into canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any part is zero or the partition is empty.
+    pub fn new(parts: impl Into<Vec<u32>>) -> Self {
+        let mut parts = parts.into();
+        assert!(!parts.is_empty(), "partition must have at least one part");
+        assert!(parts.iter().all(|&p| p > 0), "partition parts must be positive");
+        parts.sort_unstable_by(|a, b| b.cmp(a));
+        Partition(parts)
+    }
+
+    /// The parts, non-increasing.
+    #[inline]
+    pub fn parts(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Sum of the parts (the integer being partitioned).
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.0.iter().sum()
+    }
+
+    /// Number of parts `k` (the number of phases).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// A partition is never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The all-ones partition `{1,1,...,1}`: the Standard Exchange
+    /// special case of the multiphase algorithm.
+    pub fn all_ones(d: u32) -> Self {
+        assert!(d >= 1);
+        Partition(vec![1; d as usize])
+    }
+
+    /// The singleton partition `{d}`: the Optimal Circuit Switched
+    /// special case.
+    pub fn singleton(d: u32) -> Self {
+        assert!(d >= 1);
+        Partition(vec![d])
+    }
+
+    /// True when this is the Standard Exchange partition.
+    pub fn is_standard_exchange(&self) -> bool {
+        self.0.iter().all(|&p| p == 1)
+    }
+
+    /// True when this is the Optimal Circuit Switched partition.
+    pub fn is_optimal_circuit_switched(&self) -> bool {
+        self.0.len() == 1
+    }
+}
+
+impl std::fmt::Display for Partition {
+    /// Renders in the paper's `{d1,d2,...}` notation.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<Partition> for Vec<u32> {
+    fn from(p: Partition) -> Vec<u32> {
+        p.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_ordering() {
+        let p = Partition::new(vec![2, 4, 1]);
+        assert_eq!(p.parts(), &[4, 2, 1]);
+        assert_eq!(p.total(), 7);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(format!("{}", Partition::new(vec![3, 4])), "{4,3}");
+        assert_eq!(format!("{}", Partition::all_ones(5)), "{1,1,1,1,1}");
+        assert_eq!(format!("{}", Partition::singleton(7)), "{7}");
+    }
+
+    #[test]
+    fn special_cases() {
+        assert!(Partition::all_ones(6).is_standard_exchange());
+        assert!(!Partition::all_ones(6).is_optimal_circuit_switched());
+        assert!(Partition::singleton(6).is_optimal_circuit_switched());
+        assert!(!Partition::singleton(6).is_standard_exchange());
+        assert!(Partition::singleton(1).is_standard_exchange());
+        assert!(Partition::singleton(1).is_optimal_circuit_switched());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_parts() {
+        let _ = Partition::new(vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn rejects_empty() {
+        let _ = Partition::new(Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,168 @@
+//! Simulation configuration.
+
+use crate::time::us_to_ns;
+use mce_model::MachineParams;
+use serde::{Deserialize, Serialize};
+
+/// Network switching discipline.
+///
+/// The paper's machines (iPSC-2/860, Ncube-2) are circuit switched;
+/// their predecessors (iPSC/1) stored and forwarded whole messages at
+/// every intermediate node. The Seidel (1989) comparison the paper
+/// builds on contrasts the two — the store-and-forward mode lets this
+/// simulator reproduce that contrast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SwitchingMode {
+    /// A dedicated path is held end-to-end for the whole transmission:
+    /// `λ + τm + δh` total.
+    #[default]
+    Circuit,
+    /// The full message is received and retransmitted at every hop:
+    /// `h·(λ + τm + δ)` total, one link held at a time.
+    StoreAndForward,
+}
+
+/// Configuration of one simulation run: the cube, the machine's timing
+/// parameters, and simulator-specific knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Hypercube dimension `d` (the machine has `2^d` nodes).
+    pub dimension: u32,
+    /// Timing parameters (λ, λ₀, τ, δ, ρ, barrier, ...).
+    pub params: MachineParams,
+    /// NIC concurrency window, ns: a node's transmit and receive
+    /// proceed concurrently only when their starts fall within this
+    /// window (Section 7.2 idiosyncrasy). Zero forces full
+    /// serialization; a huge value makes the NIC ideally full-duplex.
+    pub concurrency_window_ns: u64,
+    /// Multiplicative jitter amplitude applied to every transmission
+    /// duration, as a fraction (e.g. `0.03` = ±3%). `0.0` disables
+    /// jitter and makes simulated times match the analytic model
+    /// exactly. Jitter is deterministic given `seed`.
+    pub jitter_frac: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+    /// Switching discipline (circuit by default).
+    pub switching: SwitchingMode,
+}
+
+impl SimConfig {
+    /// iPSC-860 configuration with the paper's measured parameters,
+    /// no jitter.
+    pub fn ipsc860(dimension: u32) -> Self {
+        SimConfig {
+            dimension,
+            params: MachineParams::ipsc860(),
+            concurrency_window_ns: 2_000, // 2 µs
+            jitter_frac: 0.0,
+            seed: 0x5eed_1991,
+            switching: SwitchingMode::Circuit,
+        }
+    }
+
+    /// The Section 4.3 hypothetical machine, no jitter.
+    pub fn hypothetical(dimension: u32) -> Self {
+        SimConfig {
+            dimension,
+            params: MachineParams::hypothetical(),
+            concurrency_window_ns: 2_000,
+            jitter_frac: 0.0,
+            seed: 0x5eed_1991,
+            switching: SwitchingMode::Circuit,
+        }
+    }
+
+    /// Switch to store-and-forward message forwarding (iPSC/1 style).
+    pub fn with_store_and_forward(mut self) -> Self {
+        self.switching = SwitchingMode::StoreAndForward;
+        self
+    }
+
+    /// Enable deterministic jitter, emulating the "much more complex"
+    /// behaviour of real hardware that the paper observes around its
+    /// model predictions.
+    pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
+        self.jitter_frac = frac;
+        self.seed = seed;
+        self
+    }
+
+    /// Number of nodes `2^d`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        1usize << self.dimension
+    }
+
+    /// Duration in ns of a transmission of `bytes` across `hops`
+    /// dimensions: `λ + τ·bytes + δ·hops`, with `λ₀` replacing `λ` for
+    /// zero-byte (synchronization) messages.
+    pub fn transmission_ns(&self, bytes: usize, hops: u32) -> u64 {
+        let lambda = if bytes == 0 { self.params.lambda_zero } else { self.params.lambda };
+        us_to_ns(lambda) + us_to_ns(self.params.tau) * bytes as u64
+            + us_to_ns(self.params.delta) * hops as u64
+    }
+
+    /// Duration in ns of one store-and-forward hop of `bytes`:
+    /// `λ + τ·bytes + δ` (λ₀ for zero-byte messages).
+    pub fn hop_ns(&self, bytes: usize) -> u64 {
+        self.transmission_ns(bytes, 1)
+    }
+
+    /// Duration in ns of the UNFORCED reserve-acknowledge handshake
+    /// (two zero-byte messages over the same circuit).
+    pub fn reserve_ack_ns(&self, hops: u32) -> u64 {
+        2 * (us_to_ns(self.params.lambda_zero) + us_to_ns(self.params.delta) * hops as u64)
+    }
+
+    /// Duration in ns of a global barrier.
+    pub fn barrier_ns(&self) -> u64 {
+        us_to_ns(self.params.barrier_per_dim) * self.dimension as u64
+    }
+
+    /// Duration in ns of permuting `bytes` bytes in local memory.
+    pub fn shuffle_ns(&self, bytes: usize) -> u64 {
+        us_to_ns(self.params.rho) * bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_durations_match_paper_constants() {
+        let c = SimConfig::ipsc860(5);
+        // Zero-byte sync across 3 dims: 82.5 + 3×10.3 = 113.4 µs.
+        assert_eq!(c.transmission_ns(0, 3), 113_400);
+        // 100 bytes across 1 dim: 95 + 39.4 + 10.3 = 144.7 µs.
+        assert_eq!(c.transmission_ns(100, 1), 144_700);
+    }
+
+    #[test]
+    fn barrier_and_shuffle_durations() {
+        let c = SimConfig::ipsc860(7);
+        assert_eq!(c.barrier_ns(), 1_050_000);
+        assert_eq!(c.shuffle_ns(1000), 540_000);
+    }
+
+    #[test]
+    fn reserve_ack() {
+        let c = SimConfig::ipsc860(4);
+        assert_eq!(c.reserve_ack_ns(2), 2 * (82_500 + 20_600));
+    }
+
+    #[test]
+    fn hypothetical_has_free_barrier() {
+        let c = SimConfig::hypothetical(6);
+        assert_eq!(c.barrier_ns(), 0);
+        // λ₀ = 0 on the hypothetical machine.
+        assert_eq!(c.transmission_ns(0, 1), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn rejects_bad_jitter() {
+        let _ = SimConfig::ipsc860(3).with_jitter(1.5, 1);
+    }
+}

@@ -1,0 +1,714 @@
+//! The discrete-event simulation engine.
+//!
+//! Nodes execute their [`Program`]s; the engine interleaves them in
+//! simulated time, arbitrating directed-link circuits (edge
+//! contention), the NIC send/receive concurrency window, FORCED /
+//! UNFORCED delivery semantics and global barriers. Runs are
+//! deterministic: events are ordered by `(time, sequence)` and all
+//! iteration orders are fixed.
+
+use crate::config::{SimConfig, SwitchingMode};
+use crate::link::{LinkTable, TransmissionId};
+use crate::message::{MsgKind, Tag};
+use crate::program::{Op, Program};
+use crate::stats::{SimStats, TraceEvent};
+use crate::time::SimTime;
+use mce_hypercube::routing::{ecube_path, DirectedLink};
+use mce_hypercube::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::ops::Range;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Event queue drained before every node finished its program.
+    /// Lists each stuck node with a description of what it waits on.
+    /// This is how the "fatal" scenarios of Section 7.3 (FORCED
+    /// message discarded because its receive was not yet posted)
+    /// manifest.
+    Deadlock {
+        /// `(node, reason)` pairs for every unfinished node.
+        stuck: Vec<(NodeId, String)>,
+        /// FORCED messages that were discarded during the run.
+        forced_drops: u64,
+    },
+    /// A message was delivered into a posted buffer of a different
+    /// size.
+    SizeMismatch {
+        /// Receiving node.
+        node: NodeId,
+        /// Offending message tag.
+        tag: Tag,
+        /// Bytes posted for the receive.
+        posted: usize,
+        /// Bytes actually sent.
+        sent: usize,
+    },
+    /// A program failed static validation.
+    InvalidProgram {
+        /// Offending node.
+        node: NodeId,
+        /// Validator message.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { stuck, forced_drops } => {
+                write!(f, "deadlock: {} node(s) stuck ({} forced drops):", stuck.len(), forced_drops)?;
+                for (n, r) in stuck.iter().take(8) {
+                    write!(f, " [{n}: {r}]")?;
+                }
+                Ok(())
+            }
+            SimError::SizeMismatch { node, tag, posted, sent } => write!(
+                f,
+                "size mismatch at node {node} tag {tag}: posted {posted} bytes, sent {sent}"
+            ),
+            SimError::InvalidProgram { node, reason } => {
+                write!(f, "invalid program at node {node}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of a successful run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Time the last node finished.
+    pub finish_time: SimTime,
+    /// Per-node finish times.
+    pub node_finish: Vec<SimTime>,
+    /// Final node memories.
+    pub memories: Vec<Vec<u8>>,
+    /// Aggregate statistics.
+    pub stats: SimStats,
+    /// Trace events (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Waiting(NodeId, Tag),
+    InBarrier,
+    Sending(TransmissionId),
+    Done,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    pc: usize,
+    status: Status,
+    /// Posted receives not yet consumed: (src, tag) -> memory range.
+    posted: HashMap<(NodeId, Tag), Range<usize>>,
+    /// Arrived-and-delivered message keys.
+    delivered: std::collections::HashSet<(NodeId, Tag)>,
+    /// UNFORCED arrivals buffered before their receive was posted.
+    buffered: HashMap<(NodeId, Tag), Vec<u8>>,
+    /// Active outgoing transmission interval (id, start, end).
+    outgoing: Option<(TransmissionId, SimTime, SimTime)>,
+    /// Active incoming transmission intervals (id, start, end).
+    incoming: Vec<(TransmissionId, SimTime, SimTime)>,
+    finish: SimTime,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState {
+            pc: 0,
+            status: Status::Ready,
+            posted: HashMap::new(),
+            delivered: std::collections::HashSet::new(),
+            buffered: HashMap::new(),
+            outgoing: None,
+            incoming: Vec::new(),
+            finish: SimTime::ZERO,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Transmission {
+    src: NodeId,
+    dst: NodeId,
+    tag: Tag,
+    kind: MsgKind,
+    payload: Vec<u8>,
+    links: Vec<DirectedLink>,
+    /// Circuit mode: total end-to-end duration. Store-and-forward
+    /// mode: the duration of ONE hop.
+    duration_ns: u64,
+    /// Next hop to acquire (store-and-forward); always 0 in circuit
+    /// mode, where the whole path is acquired at once.
+    hop_idx: usize,
+    requested_at: SimTime,
+    blocked_by_link: bool,
+    blocked_by_nic: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    NodeReady(NodeId),
+    TransmissionEnd(TransmissionId),
+}
+
+/// The simulator. Construct with programs and initial memories, then
+/// call [`Simulator::run`].
+pub struct Simulator {
+    cfg: SimConfig,
+    programs: Vec<Program>,
+    memories: Vec<Vec<u8>>,
+    trace_enabled: bool,
+}
+
+impl Simulator {
+    /// Create a simulator for `cfg.num_nodes()` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` or `memories` have the wrong length.
+    pub fn new(cfg: SimConfig, programs: Vec<Program>, memories: Vec<Vec<u8>>) -> Self {
+        assert_eq!(programs.len(), cfg.num_nodes(), "one program per node required");
+        assert_eq!(memories.len(), cfg.num_nodes(), "one memory per node required");
+        Simulator { cfg, programs, memories, trace_enabled: false }
+    }
+
+    /// Enable event tracing (records every transmission start/end).
+    pub fn with_trace(mut self) -> Self {
+        self.trace_enabled = true;
+        self
+    }
+
+    /// Run to completion, returning timings, statistics and final
+    /// memories, or an error describing the failure.
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
+        for (i, p) in self.programs.iter().enumerate() {
+            p.validate(self.memories[i].len())
+                .map_err(|reason| SimError::InvalidProgram { node: NodeId(i as u32), reason })?;
+        }
+        let mut rt = Runtime::new(&self.cfg, &self.programs, std::mem::take(&mut self.memories), self.trace_enabled);
+        let out = rt.run(&self.programs);
+        // Allow re-running: put memories back on failure paths too.
+        match out {
+            Ok(result) => {
+                self.memories = result.memories.clone();
+                Ok(result)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+struct Runtime<'c> {
+    cfg: &'c SimConfig,
+    nodes: Vec<NodeState>,
+    memories: Vec<Vec<u8>>,
+    links: LinkTable,
+    transmissions: HashMap<TransmissionId, Transmission>,
+    /// Transmissions issued but not yet started, in issue order.
+    pending: Vec<TransmissionId>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventKey)>>,
+    seq: u64,
+    next_tid: TransmissionId,
+    barrier_entered: u64,
+    stats: SimStats,
+    trace: Vec<TraceEvent>,
+    trace_enabled: bool,
+}
+
+/// Orderable event payload for the heap (derives Ord).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKey {
+    NodeReady(u32),
+    TransmissionEnd(u64),
+}
+
+impl From<Event> for EventKey {
+    fn from(e: Event) -> EventKey {
+        match e {
+            Event::NodeReady(n) => EventKey::NodeReady(n.0),
+            Event::TransmissionEnd(t) => EventKey::TransmissionEnd(t),
+        }
+    }
+}
+
+impl<'c> Runtime<'c> {
+    fn new(cfg: &'c SimConfig, programs: &[Program], memories: Vec<Vec<u8>>, trace_enabled: bool) -> Self {
+        let n = programs.len();
+        Runtime {
+            cfg,
+            nodes: (0..n).map(|_| NodeState::new()).collect(),
+            memories,
+            links: LinkTable::new(),
+            transmissions: HashMap::new(),
+            pending: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            next_tid: 1,
+            barrier_entered: 0,
+            stats: SimStats::default(),
+            trace: Vec::new(),
+            trace_enabled,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, ev: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, ev.into())));
+    }
+
+    fn run(&mut self, programs: &[Program]) -> Result<SimResult, SimError> {
+        for i in 0..self.nodes.len() {
+            self.push(SimTime::ZERO, Event::NodeReady(NodeId(i as u32)));
+        }
+        while let Some(Reverse((t, _, key))) = self.heap.pop() {
+            match key {
+                EventKey::NodeReady(n) => self.step_node(NodeId(n), t, programs)?,
+                EventKey::TransmissionEnd(id) => self.finish_transmission(id, t)?,
+            }
+        }
+        // All events drained: every node must be Done.
+        let stuck: Vec<(NodeId, String)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.status != Status::Done)
+            .map(|(i, s)| {
+                let reason = match &s.status {
+                    Status::Waiting(src, tag) => format!("waiting for ({src}, {tag})"),
+                    Status::InBarrier => "in barrier".to_string(),
+                    Status::Sending(id) => format!("sending #{id}"),
+                    other => format!("{other:?}"),
+                };
+                (NodeId(i as u32), reason)
+            })
+            .collect();
+        if !stuck.is_empty() {
+            return Err(SimError::Deadlock { stuck, forced_drops: self.stats.forced_drops });
+        }
+        let finish_time = self.nodes.iter().map(|s| s.finish).max().unwrap_or(SimTime::ZERO);
+        Ok(SimResult {
+            finish_time,
+            node_finish: self.nodes.iter().map(|s| s.finish).collect(),
+            memories: std::mem::take(&mut self.memories),
+            stats: std::mem::take(&mut self.stats),
+            trace: std::mem::take(&mut self.trace),
+        })
+    }
+
+    /// Execute ops at node `x` starting at time `t` until it blocks,
+    /// yields, or finishes.
+    fn step_node(&mut self, x: NodeId, t: SimTime, programs: &[Program]) -> Result<(), SimError> {
+        let xi = x.index();
+        if self.nodes[xi].status == Status::Done {
+            return Ok(()); // stale wake-up after completion
+        }
+        self.nodes[xi].status = Status::Ready;
+        loop {
+            let pc = self.nodes[xi].pc;
+            let Some(op) = programs[xi].ops.get(pc) else {
+                self.nodes[xi].status = Status::Done;
+                self.nodes[xi].finish = t;
+                return Ok(());
+            };
+            match op.clone() {
+                Op::PostRecv { src, tag, into } => {
+                    self.nodes[xi].pc += 1;
+                    if let Some(payload) = self.nodes[xi].buffered.remove(&(src, tag)) {
+                        // Late post of a buffered UNFORCED message.
+                        self.deliver_into(x, src, tag, &payload, into)?;
+                    } else {
+                        self.nodes[xi].posted.insert((src, tag), into);
+                    }
+                }
+                Op::Send { dst, from, tag, kind } => {
+                    assert_ne!(dst, x, "self-send is not modelled; use Permute/Compute");
+                    self.nodes[xi].pc += 1;
+                    let id = self.issue_transmission(x, dst, tag, kind, from, t);
+                    self.nodes[xi].status = Status::Sending(id);
+                    self.try_start_pending(t);
+                    return Ok(());
+                }
+                Op::WaitRecv { src, tag } => {
+                    if self.nodes[xi].delivered.contains(&(src, tag)) {
+                        self.nodes[xi].pc += 1;
+                    } else {
+                        self.nodes[xi].status = Status::Waiting(src, tag);
+                        return Ok(());
+                    }
+                }
+                Op::Permute { perm, block_bytes } => {
+                    self.nodes[xi].pc += 1;
+                    let total = perm.len() * block_bytes;
+                    apply_block_permutation(&mut self.memories[xi], &perm, block_bytes);
+                    let dur = self.cfg.shuffle_ns(total);
+                    self.push(t.plus_ns(dur), Event::NodeReady(x));
+                    self.nodes[xi].status = Status::Ready;
+                    return Ok(());
+                }
+                Op::Barrier => {
+                    self.nodes[xi].pc += 1;
+                    self.nodes[xi].status = Status::InBarrier;
+                    self.barrier_entered += 1;
+                    if self.barrier_entered == self.nodes.len() as u64 {
+                        self.barrier_entered = 0;
+                        self.stats.barriers += 1;
+                        let release = t.plus_ns(self.cfg.barrier_ns());
+                        if self.trace_enabled {
+                            self.trace.push(TraceEvent::BarrierRelease { at: release });
+                        }
+                        for i in 0..self.nodes.len() {
+                            self.push(release, Event::NodeReady(NodeId(i as u32)));
+                        }
+                    }
+                    return Ok(());
+                }
+                Op::Compute { ns } => {
+                    self.nodes[xi].pc += 1;
+                    self.push(t.plus_ns(ns), Event::NodeReady(x));
+                    return Ok(());
+                }
+                Op::Mark { label } => {
+                    self.nodes[xi].pc += 1;
+                    let entry = self.stats.marks.entry(label).or_insert(t);
+                    if *entry < t {
+                        *entry = t;
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue_transmission(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        tag: Tag,
+        kind: MsgKind,
+        from: Range<usize>,
+        t: SimTime,
+    ) -> TransmissionId {
+        let id = self.next_tid;
+        self.next_tid += 1;
+        let payload = self.memories[src.index()][from].to_vec();
+        let path = ecube_path(src, dst);
+        let links: Vec<DirectedLink> = path.links().collect();
+        let hops = links.len() as u32;
+        let mut duration_ns = match self.cfg.switching {
+            SwitchingMode::Circuit => self.cfg.transmission_ns(payload.len(), hops),
+            SwitchingMode::StoreAndForward => self.cfg.hop_ns(payload.len()),
+        };
+        if kind == MsgKind::Unforced && payload.len() > self.cfg.params.unforced_threshold {
+            duration_ns += self.cfg.reserve_ack_ns(if self.cfg.switching == SwitchingMode::Circuit {
+                hops
+            } else {
+                1
+            });
+            self.stats.reserve_handshakes += 1;
+        }
+        if self.cfg.jitter_frac > 0.0 {
+            duration_ns = jitter(duration_ns, self.cfg.jitter_frac, self.cfg.seed, id);
+        }
+        self.transmissions.insert(
+            id,
+            Transmission {
+                src,
+                dst,
+                tag,
+                kind,
+                payload,
+                links,
+                duration_ns,
+                hop_idx: 0,
+                requested_at: t,
+                blocked_by_link: false,
+                blocked_by_nic: false,
+            },
+        );
+        self.pending.push(id);
+        id
+    }
+
+    /// Attempt to start every pending transmission, in issue order.
+    fn try_start_pending(&mut self, t: SimTime) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let id = self.pending[i];
+            if self.try_start(id, t) {
+                self.pending.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Try to establish the next segment of transmission `id` at time
+    /// `t`: the whole circuit in circuit mode, the next single hop in
+    /// store-and-forward mode.
+    fn try_start(&mut self, id: TransmissionId, t: SimTime) -> bool {
+        let saf = self.cfg.switching == SwitchingMode::StoreAndForward;
+        let (src, dst, links_free, first_hop, last_hop) = {
+            let tr = &self.transmissions[&id];
+            let segment: &[DirectedLink] = if saf {
+                std::slice::from_ref(&tr.links[tr.hop_idx])
+            } else {
+                &tr.links
+            };
+            (
+                tr.src,
+                tr.dst,
+                self.links.all_free(segment),
+                tr.hop_idx == 0,
+                !saf || tr.hop_idx + 1 == tr.links.len(),
+            )
+        };
+        if !links_free {
+            let tr = self.transmissions.get_mut(&id).unwrap();
+            if !tr.blocked_by_link {
+                tr.blocked_by_link = true;
+                self.stats.edge_contention_events += 1;
+            }
+            return false;
+        }
+        // NIC concurrency window (Section 7.2): outgoing at `src` may
+        // not overlap an incoming unless their starts are within the
+        // window; symmetrically for the receiver's active outgoing.
+        let window = self.cfg.concurrency_window_ns;
+        let nic_conflict = {
+            let incoming_conflict = first_hop
+                && self.nodes[src.index()]
+                    .incoming
+                    .iter()
+                    .any(|&(_, start, end)| end > t && t.since(start) > window);
+            let outgoing_conflict = last_hop
+                && match self.nodes[dst.index()].outgoing {
+                    Some((_, start, end)) => end > t && t.since(start) > window,
+                    None => false,
+                };
+            incoming_conflict || outgoing_conflict
+        };
+        if nic_conflict {
+            let tr = self.transmissions.get_mut(&id).unwrap();
+            if !tr.blocked_by_nic {
+                tr.blocked_by_nic = true;
+                self.stats.nic_serialization_events += 1;
+            }
+            return false;
+        }
+        // Start: hold the segment for its duration.
+        let (end, bytes, segment, tag) = {
+            let tr = self.transmissions.get_mut(&id).unwrap();
+            let end = t.plus_ns(tr.duration_ns);
+            let segment: Vec<DirectedLink> = if saf {
+                vec![tr.links[tr.hop_idx]]
+            } else {
+                tr.links.clone()
+            };
+            (end, tr.payload.len(), segment, tr.tag)
+        };
+        self.links.acquire(&segment, id);
+        if first_hop {
+            self.nodes[src.index()].outgoing = Some((id, t, end));
+        }
+        if last_hop {
+            self.nodes[dst.index()].incoming.push((id, t, end));
+        }
+        let tr = &self.transmissions[&id];
+        if first_hop {
+            self.stats.transmissions += 1;
+            self.stats.bytes_moved += bytes as u64;
+        }
+        self.stats.link_crossings += segment.len() as u64;
+        let wait = t.since(tr.requested_at);
+        if tr.blocked_by_link {
+            self.stats.edge_contention_wait_ns += wait;
+        } else if tr.blocked_by_nic {
+            self.stats.nic_serialization_wait_ns += wait;
+        }
+        if first_hop && self.trace_enabled {
+            self.trace.push(TraceEvent::TransmissionStart { src, dst, tag, bytes, at: t });
+        }
+        self.push(end, Event::TransmissionEnd(id));
+        true
+    }
+
+    fn finish_transmission(&mut self, id: TransmissionId, t: SimTime) -> Result<(), SimError> {
+        if self.cfg.switching == SwitchingMode::StoreAndForward {
+            // Release the completed hop; advance or deliver.
+            let (done, was_first) = {
+                let tr = self.transmissions.get_mut(&id).unwrap();
+                let hop = tr.links[tr.hop_idx];
+                let was_first = tr.hop_idx == 0;
+                tr.hop_idx += 1;
+                let done = tr.hop_idx == tr.links.len();
+                self.links.release(std::slice::from_ref(&hop), id);
+                (done, was_first)
+            };
+            if was_first {
+                // The sender's buffer is free once the message is
+                // stored at the first intermediate node.
+                let src = self.transmissions[&id].src;
+                self.nodes[src.index()].outgoing = None;
+                self.push(t, Event::NodeReady(src));
+            }
+            if !done {
+                // Queue the next hop (clear one-shot blocking flags so
+                // each hop's wait is accounted once).
+                {
+                    let tr = self.transmissions.get_mut(&id).unwrap();
+                    tr.requested_at = t;
+                    tr.blocked_by_link = false;
+                    tr.blocked_by_nic = false;
+                }
+                self.pending.push(id);
+                self.try_start_pending(t);
+                return Ok(());
+            }
+            // Fall through to delivery below.
+            let tr = self.transmissions.remove(&id).expect("unknown transmission");
+            let dst_state = &mut self.nodes[tr.dst.index()];
+            dst_state.incoming.retain(|&(iid, _, _)| iid != id);
+            return self.deliver_and_wake(tr, t, false);
+        }
+        let tr = self.transmissions.remove(&id).expect("unknown transmission");
+        self.links.release(&tr.links, id);
+        let src_state = &mut self.nodes[tr.src.index()];
+        debug_assert!(matches!(src_state.outgoing, Some((oid, _, _)) if oid == id));
+        src_state.outgoing = None;
+        let dst_state = &mut self.nodes[tr.dst.index()];
+        dst_state.incoming.retain(|&(iid, _, _)| iid != id);
+
+        self.deliver_and_wake(tr, t, true)
+    }
+
+    /// Deliver a completed transmission's payload and wake the
+    /// affected nodes. `wake_sender` is false in store-and-forward
+    /// mode, where the sender was already released after hop 0.
+    fn deliver_and_wake(&mut self, tr: Transmission, t: SimTime, wake_sender: bool) -> Result<(), SimError> {
+        if self.trace_enabled {
+            self.trace.push(TraceEvent::TransmissionEnd { src: tr.src, dst: tr.dst, tag: tr.tag, at: t });
+        }
+
+        // Deliver the payload.
+        let key = (tr.src, tr.tag);
+        if let Some(into) = self.nodes[tr.dst.index()].posted.remove(&key) {
+            self.deliver_into(tr.dst, tr.src, tr.tag, &tr.payload, into)?;
+            if self.nodes[tr.dst.index()].status == Status::Waiting(tr.src, tr.tag) {
+                self.push(t, Event::NodeReady(tr.dst));
+            }
+        } else {
+            match tr.kind {
+                MsgKind::Forced => {
+                    self.stats.forced_drops += 1;
+                    if self.trace_enabled {
+                        self.trace.push(TraceEvent::ForcedDropped {
+                            src: tr.src,
+                            dst: tr.dst,
+                            tag: tr.tag,
+                            at: t,
+                        });
+                    }
+                }
+                MsgKind::Unforced => {
+                    self.nodes[tr.dst.index()].buffered.insert(key, tr.payload.clone());
+                }
+            }
+        }
+
+        if wake_sender {
+            // The blocking send completes: wake the sender.
+            self.push(t, Event::NodeReady(tr.src));
+        }
+        // Freed links / NIC units may unblock pending circuits.
+        self.try_start_pending(t);
+        Ok(())
+    }
+
+    fn deliver_into(
+        &mut self,
+        node: NodeId,
+        src: NodeId,
+        tag: Tag,
+        payload: &[u8],
+        into: Range<usize>,
+    ) -> Result<(), SimError> {
+        if into.len() != payload.len() {
+            return Err(SimError::SizeMismatch {
+                node,
+                tag,
+                posted: into.len(),
+                sent: payload.len(),
+            });
+        }
+        self.memories[node.index()][into].copy_from_slice(payload);
+        self.nodes[node.index()].delivered.insert((src, tag));
+        Ok(())
+    }
+}
+
+/// Apply a block permutation in place: block `i` moves to `perm[i]`.
+fn apply_block_permutation(memory: &mut [u8], perm: &[u32], block_bytes: usize) {
+    if block_bytes == 0 || perm.is_empty() {
+        return;
+    }
+    let total = perm.len() * block_bytes;
+    let mut scratch = vec![0u8; total];
+    for (i, &p) in perm.iter().enumerate() {
+        let srcr = i * block_bytes..(i + 1) * block_bytes;
+        let dstr = p as usize * block_bytes..(p as usize + 1) * block_bytes;
+        scratch[dstr].copy_from_slice(&memory[srcr]);
+    }
+    memory[..total].copy_from_slice(&scratch);
+}
+
+/// Deterministic multiplicative jitter in `[1 - frac, 1 + frac]`,
+/// derived from (seed, transmission id) by splitmix64.
+fn jitter(base_ns: u64, frac: f64, seed: u64, id: TransmissionId) -> u64 {
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Map to [-1, 1).
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+    let scaled = base_ns as f64 * (1.0 + frac * u);
+    scaled.round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_permutation_applies() {
+        let mut mem: Vec<u8> = (0..12).collect();
+        // 3 blocks of 4 bytes; rotate blocks right: i -> (i+1) % 3.
+        apply_block_permutation(&mut mem, &[1, 2, 0], 4);
+        assert_eq!(mem, vec![8, 9, 10, 11, 0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let mut mem: Vec<u8> = (0..16).collect();
+        let before = mem.clone();
+        apply_block_permutation(&mut mem, &[0, 1, 2, 3], 4);
+        assert_eq!(mem, before);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for id in 1..500u64 {
+            let a = jitter(1_000_000, 0.05, 42, id);
+            let b = jitter(1_000_000, 0.05, 42, id);
+            assert_eq!(a, b);
+            assert!((950_000..=1_050_000).contains(&a), "{a}");
+        }
+        // Different seeds give different streams.
+        assert_ne!(jitter(1_000_000, 0.05, 1, 7), jitter(1_000_000, 0.05, 2, 7));
+    }
+}

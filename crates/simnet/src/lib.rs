@@ -1,0 +1,77 @@
+//! Discrete-event simulator of a circuit-switched hypercube
+//! multicomputer in the style of the Intel iPSC-860.
+//!
+//! The paper's measurements were taken on real iPSC-860 machines
+//! (`bluecrab`, 32 nodes at ICASE, and `lagrange`, 128 nodes at
+//! NASA-Ames). That hardware is long gone, so this crate substitutes a
+//! simulator that reproduces the *mechanisms* the paper's timing model
+//! abstracts (see DESIGN.md):
+//!
+//! * **circuits**: a transmission holds every directed link of its
+//!   e-cube path for its entire duration (`λ + τm + δh` µs); a circuit
+//!   whose path crosses a busy directed link waits — *edge contention*;
+//! * **full duplex**: the two directions of a cable are independent, so
+//!   crossing circuits (node contention) cost nothing, as measured in
+//!   the paper;
+//! * **NIC concurrency idiosyncrasy** (Section 7.2): a node's transmit
+//!   and receive can only proceed concurrently when they start within a
+//!   small window of each other; otherwise they serialize. Pairwise
+//!   zero-byte synchronization messages align the starts;
+//! * **FORCED / UNFORCED message types** (Section 7.1): a FORCED
+//!   message arriving before its receive is posted is *discarded*;
+//!   UNFORCED messages are buffered but pay a reserve-acknowledge
+//!   round-trip beyond 100 bytes;
+//! * **global synchronization** (Section 7.3): a barrier costing
+//!   `150·d` µs.
+//!
+//! Nodes execute [`Program`]s — straight-line op lists produced by the
+//! algorithm builders in `mce-core` — and the engine advances them in
+//! simulated time while moving real payload bytes between node
+//! memories, so a single run yields both a timing *and* a correctness
+//! check.
+//!
+//! # Example
+//!
+//! ```
+//! use mce_simnet::{Simulator, SimConfig, Program, Op, Tag};
+//! use mce_hypercube::NodeId;
+//!
+//! // Two nodes exchange 100 bytes with pairwise synchronization.
+//! fn node_program(other: u32) -> Program {
+//!     Program {
+//!         ops: vec![
+//!             Op::post_recv(NodeId(other), Tag::sync(0, 1), 0..0),
+//!             Op::post_recv(NodeId(other), Tag::data(0, 1), 0..100),
+//!             Op::Barrier,
+//!             Op::send_sync(NodeId(other), Tag::sync(0, 1)),
+//!             Op::wait_recv(NodeId(other), Tag::sync(0, 1)),
+//!             Op::send(NodeId(other), 0..100, Tag::data(0, 1)),
+//!             Op::wait_recv(NodeId(other), Tag::data(0, 1)),
+//!         ],
+//!     }
+//! }
+//! let cfg = SimConfig::ipsc860(1);
+//! let programs = vec![node_program(1), node_program(0)];
+//! let memories = vec![vec![0xAA; 100], vec![0xBB; 100]];
+//! let mut sim = Simulator::new(cfg, programs, memories);
+//! let result = sim.run().unwrap();
+//! assert_eq!(result.memories[0], vec![0xBB; 100]);
+//! assert_eq!(result.memories[1], vec![0xAA; 100]);
+//! // Barrier (150 µs) + sync (82.5 + 10.3) + data (95 + 39.4 + 10.3).
+//! assert!((result.finish_time.as_us() - 387.5).abs() < 1e-6);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod link;
+pub mod message;
+pub mod program;
+pub mod stats;
+pub mod time;
+
+pub use config::SimConfig;
+pub use engine::{SimError, SimResult, Simulator};
+pub use message::{MsgKind, Tag};
+pub use program::{Op, Program};
+pub use stats::{SimStats, TraceEvent};
+pub use time::SimTime;

@@ -1,0 +1,120 @@
+//! Directed-link occupancy.
+//!
+//! A circuit holds every directed link of its e-cube path for its whole
+//! duration. This module tracks which transmission (if any) holds each
+//! directed link, and counts contention events for the statistics
+//! report.
+
+use mce_hypercube::routing::DirectedLink;
+use std::collections::HashMap;
+
+/// Identifier of a transmission within one simulation run.
+pub type TransmissionId = u64;
+
+/// Occupancy table over all directed links of the cube.
+#[derive(Debug, Default)]
+pub struct LinkTable {
+    /// Current holder of each busy directed link.
+    busy: HashMap<DirectedLink, TransmissionId>,
+}
+
+impl LinkTable {
+    /// Fresh, all-free table.
+    pub fn new() -> Self {
+        LinkTable { busy: HashMap::new() }
+    }
+
+    /// Whether every link in `path` is currently free.
+    pub fn all_free(&self, path: &[DirectedLink]) -> bool {
+        path.iter().all(|l| !self.busy.contains_key(l))
+    }
+
+    /// Holders currently blocking `path` (deduplicated, sorted).
+    pub fn blockers(&self, path: &[DirectedLink]) -> Vec<TransmissionId> {
+        let mut ids: Vec<TransmissionId> =
+            path.iter().filter_map(|l| self.busy.get(l).copied()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Atomically acquire all links in `path` for transmission `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any link is already busy — callers must check
+    /// [`LinkTable::all_free`] first (the engine serializes attempts).
+    pub fn acquire(&mut self, path: &[DirectedLink], id: TransmissionId) {
+        for l in path {
+            let prev = self.busy.insert(*l, id);
+            assert!(prev.is_none(), "link {l} already held; engine bug");
+        }
+    }
+
+    /// Release all links held by transmission `id` along `path`.
+    pub fn release(&mut self, path: &[DirectedLink], id: TransmissionId) {
+        for l in path {
+            let prev = self.busy.remove(l);
+            assert_eq!(prev, Some(id), "link {l} not held by {id}; engine bug");
+        }
+    }
+
+    /// Number of currently busy directed links.
+    pub fn busy_count(&self) -> usize {
+        self.busy.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_hypercube::routing::ecube_path;
+    use mce_hypercube::NodeId;
+
+    fn links_of(s: u32, t: u32) -> Vec<DirectedLink> {
+        ecube_path(NodeId(s), NodeId(t)).links().collect()
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut table = LinkTable::new();
+        let p = links_of(0, 7);
+        assert!(table.all_free(&p));
+        table.acquire(&p, 1);
+        assert!(!table.all_free(&p));
+        assert_eq!(table.busy_count(), 3);
+        table.release(&p, 1);
+        assert!(table.all_free(&p));
+        assert_eq!(table.busy_count(), 0);
+    }
+
+    #[test]
+    fn detects_conflicting_paths() {
+        let mut table = LinkTable::new();
+        // Paper's example: 0->31 and 2->23 share directed link 3->7.
+        let p1 = links_of(0, 31);
+        let p2 = links_of(2, 23);
+        table.acquire(&p1, 1);
+        assert!(!table.all_free(&p2));
+        assert_eq!(table.blockers(&p2), vec![1]);
+        // 14->11 shares only a node with 0->31: free to proceed.
+        let p3 = links_of(14, 11);
+        assert!(table.all_free(&p3));
+    }
+
+    #[test]
+    fn opposite_directions_independent() {
+        let mut table = LinkTable::new();
+        table.acquire(&links_of(0, 7), 1);
+        assert!(table.all_free(&links_of(7, 0)), "full duplex");
+    }
+
+    #[test]
+    #[should_panic(expected = "already held")]
+    fn double_acquire_is_an_engine_bug() {
+        let mut table = LinkTable::new();
+        let p = links_of(0, 3);
+        table.acquire(&p, 1);
+        table.acquire(&p, 2);
+    }
+}

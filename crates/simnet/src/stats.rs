@@ -1,0 +1,107 @@
+//! Run statistics and tracing.
+
+use crate::message::Tag;
+use crate::time::SimTime;
+use mce_hypercube::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One traced event (optional, enabled by the engine's trace flag).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A transmission started (circuit established).
+    TransmissionStart {
+        /// Sending node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Start time.
+        at: SimTime,
+    },
+    /// A transmission completed and its payload was delivered.
+    TransmissionEnd {
+        /// Sending node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Message tag.
+        tag: Tag,
+        /// Completion time.
+        at: SimTime,
+    },
+    /// A FORCED message arrived with no posted receive and was
+    /// discarded ("fatal" per Section 7.3 — the run will deadlock if
+    /// someone waits for it).
+    ForcedDropped {
+        /// Sending node.
+        src: NodeId,
+        /// Receiving node that discarded the message.
+        dst: NodeId,
+        /// Message tag.
+        tag: Tag,
+        /// Drop time.
+        at: SimTime,
+    },
+    /// All nodes passed a barrier.
+    BarrierRelease {
+        /// Release time (all nodes resume here).
+        at: SimTime,
+    },
+}
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total transmissions started.
+    pub transmissions: u64,
+    /// Total payload bytes moved.
+    pub bytes_moved: u64,
+    /// Total link-dimension crossings (sum of path lengths).
+    pub link_crossings: u64,
+    /// Transmissions that had to wait for a busy link (edge
+    /// contention events).
+    pub edge_contention_events: u64,
+    /// Total time transmissions spent waiting on busy links, ns.
+    pub edge_contention_wait_ns: u64,
+    /// Transmissions delayed by the NIC send/recv serialization rule.
+    pub nic_serialization_events: u64,
+    /// Total NIC serialization delay, ns.
+    pub nic_serialization_wait_ns: u64,
+    /// FORCED messages discarded for want of a posted receive.
+    pub forced_drops: u64,
+    /// UNFORCED reserve-acknowledge handshakes performed.
+    pub reserve_handshakes: u64,
+    /// Barriers executed.
+    pub barriers: u64,
+    /// Per-label mark times: label -> latest time any node recorded it.
+    pub marks: BTreeMap<u32, SimTime>,
+}
+
+impl SimStats {
+    /// Mean hops per transmission.
+    pub fn mean_path_length(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.link_crossings as f64 / self.transmissions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_path_length() {
+        let mut s = SimStats::default();
+        assert_eq!(s.mean_path_length(), 0.0);
+        s.transmissions = 4;
+        s.link_crossings = 10;
+        assert!((s.mean_path_length() - 2.5).abs() < 1e-12);
+    }
+}

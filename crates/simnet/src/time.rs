@@ -1,0 +1,105 @@
+//! Simulated time.
+//!
+//! The engine keeps time in integer **nanoseconds** so that event
+//! ordering is exact and runs are bit-reproducible. All of the paper's
+//! parameters (λ = 95.0 µs, τ = 0.394 µs/B, δ = 10.3 µs/dim,
+//! ρ = 0.54 µs/B, ...) are exact multiples of a nanosecond.
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute simulated time (nanoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from microseconds (the paper's unit), rounding to the
+    /// nearest nanosecond.
+    #[inline]
+    pub fn from_us(us: f64) -> SimTime {
+        assert!(us >= 0.0 && us.is_finite(), "invalid time {us}");
+        SimTime((us * 1000.0).round() as u64)
+    }
+
+    /// The time in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The time in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Advance by a duration in nanoseconds.
+    #[inline]
+    pub fn plus_ns(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+
+    /// Saturating difference in nanoseconds.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+/// Convert a duration in microseconds to nanoseconds, rounding.
+#[inline]
+pub fn us_to_ns(us: f64) -> u64 {
+    assert!(us >= 0.0 && us.is_finite(), "invalid duration {us}");
+    (us * 1000.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        for us in [0.0, 0.394, 10.3, 82.5, 95.0, 150.0, 12345.678] {
+            let t = SimTime::from_us(us);
+            assert!((t.as_us() - us).abs() < 1e-9, "{us}");
+        }
+    }
+
+    #[test]
+    fn paper_constants_are_exact() {
+        assert_eq!(us_to_ns(0.394), 394);
+        assert_eq!(us_to_ns(10.3), 10_300);
+        assert_eq!(us_to_ns(82.5), 82_500);
+        assert_eq!(us_to_ns(0.54), 540);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_us(1.0).plus_ns(500);
+        assert_eq!(t.as_ns(), 1500);
+        assert_eq!(t.since(SimTime::from_us(1.0)), 500);
+        assert_eq!(SimTime::ZERO.since(t), 0, "saturating");
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_us(1.0) < SimTime::from_us(2.0));
+        assert_eq!(format!("{}", SimTime::from_us(1.5)), "1.500us");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn rejects_negative() {
+        let _ = SimTime::from_us(-1.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! ADI heat-equation solver — the workload that motivated the paper's
+//! matrix mapping (Section 3): implicit sweeps alternate between rows
+//! and columns, and every alternation transposes the grid with a
+//! complete exchange.
+//!
+//! ```text
+//! cargo run --release --example adi_heat [dimension] [rows_per_node] [steps]
+//! ```
+
+use multiphase_exchange::apps::adi::{adi_step_dense, AdiSolver};
+use multiphase_exchange::apps::transpose::{BandMatrix, Transport};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let d: u32 = args.next().map(|s| s.parse().expect("dimension")).unwrap_or(3);
+    let r: usize = args.next().map(|s| s.parse().expect("rows per node")).unwrap_or(4);
+    let steps: usize = args.next().map(|s| s.parse().expect("steps")).unwrap_or(12);
+    let n = (1usize << d) * r;
+    let mu = 0.3;
+
+    println!("ADI heat equation on a {n} x {n} grid, {} nodes, mu = {mu}.", 1usize << d);
+    println!("Each time step performs 4 distributed transposes (complete exchanges).\n");
+
+    // Initial condition: the fundamental sine bump.
+    let mut dense = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let x = (i + 1) as f64 / (n + 1) as f64;
+            let y = (j + 1) as f64 / (n + 1) as f64;
+            dense[i * n + j] = (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
+        }
+    }
+    let mut solver =
+        AdiSolver::new(BandMatrix::from_dense(d, r, &dense), mu).with_transport(Transport::Threads);
+    let mut reference = dense;
+
+    println!("{:>5} {:>14} {:>14} {:>12}", "step", "max|u| (dist)", "max|u| (ref)", "max diff");
+    for step in 0..=steps {
+        let dist_norm = solver.max_norm();
+        let ref_norm = reference.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        let diff = solver
+            .grid
+            .to_dense()
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!("{step:>5} {dist_norm:>14.6} {ref_norm:>14.6} {diff:>12.2e}");
+        assert!(diff < 1e-9, "distributed and sequential solutions diverged");
+        if step < steps {
+            solver.step();
+            reference = adi_step_dense(n, &reference, mu);
+        }
+    }
+    println!("\nHeat decays monotonically and the distributed solver tracks the");
+    println!("sequential reference to round-off across {steps} steps.");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: plan, simulate and verify a complete exchange.
+//!
+//! ```text
+//! cargo run --release --example quickstart [dimension] [block_bytes]
+//! ```
+
+use multiphase_exchange::exchange::api::CompleteExchange;
+use multiphase_exchange::partitions::partitions;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let d: u32 = args.next().map(|s| s.parse().expect("dimension")).unwrap_or(6);
+    let m: usize = args.next().map(|s| s.parse().expect("block bytes")).unwrap_or(24);
+
+    println!("Complete exchange on a {}-node circuit-switched hypercube (d = {d}),", 1u64 << d);
+    println!("block size {m} bytes per destination, iPSC-860 parameters.\n");
+
+    let ex = CompleteExchange::new(d);
+
+    // The planner enumerates all p(d) partitions.
+    let plan = ex.plan(m);
+    println!(
+        "p({d}) = {} candidate plans; best for {m} B: {:?} (predicted {:.0} us)\n",
+        partitions(d).len(),
+        plan.dims,
+        plan.predicted_us
+    );
+
+    println!("{:<22} {:>14} {:>14} {:>9}", "partition", "predicted(us)", "simulated(us)", "verified");
+    for part in partitions(d) {
+        let outcome = ex.run(m, part.parts()).expect("simulation failed");
+        println!(
+            "{:<22} {:>14.1} {:>14.1} {:>9}",
+            part.to_string(),
+            outcome.predicted_us,
+            outcome.simulated_us,
+            if outcome.verified { "yes" } else { "NO" }
+        );
+    }
+
+    let se = ex.run_standard(m).unwrap();
+    let ocs = ex.run_optimal(m).unwrap();
+    let best = ex.run_planned(m).unwrap();
+    println!(
+        "\nStandard Exchange {:.1} us, Optimal Circuit Switched {:.1} us, planned {:?} {:.1} us",
+        se.simulated_us, ocs.simulated_us, best.dims, best.simulated_us
+    );
+    let speedup = se.simulated_us.min(ocs.simulated_us) / best.simulated_us;
+    println!("Multiphase speedup over the better classical algorithm: {speedup:.2}x");
+}

@@ -1,0 +1,22 @@
+//! # multiphase-exchange
+//!
+//! Umbrella crate for the reproduction of Bokhari, *Multiphase
+//! Complete Exchange on a Circuit Switched Hypercube* (ICPP 1991).
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`hypercube`] — topology, e-cube routing, subcubes, contention;
+//! * [`simnet`] — discrete-event circuit-switched machine simulator;
+//! * [`partitions`] — integer partitions of the cube dimension;
+//! * [`model`] — the paper's analytic cost model (Eqs. 1–3, hulls);
+//! * [`exchange`] — the multiphase algorithm, schedules, planner, fabrics;
+//! * [`apps`] — transpose, 2-D FFT, ADI, distributed table lookup.
+//!
+//! See `examples/` for runnable entry points and `crates/bench` for
+//! the harness that regenerates every table and figure of the paper.
+
+pub use mce_apps as apps;
+pub use mce_core as exchange;
+pub use mce_hypercube as hypercube;
+pub use mce_model as model;
+pub use mce_partitions as partitions;
+pub use mce_simnet as simnet;

@@ -1,0 +1,128 @@
+//! Cross-crate application pipeline tests: the paper's motivating
+//! workloads running end-to-end on the exchange fabrics.
+
+use multiphase_exchange::apps::adi::{adi_step_dense, AdiSolver};
+use multiphase_exchange::apps::fft::{Complex, Direction};
+use multiphase_exchange::apps::fft2d::{fft2d_distributed, ComplexBands};
+use multiphase_exchange::apps::lookup::DistributedTable;
+use multiphase_exchange::apps::transpose::{
+    transpose_dense, transpose_distributed, BandMatrix, Transport,
+};
+use multiphase_exchange::partitions::partitions;
+
+/// Transpose must be exact for every partition of the cube dimension,
+/// on both transports.
+#[test]
+fn transpose_correct_for_every_partition() {
+    let d = 3u32;
+    let r = 2usize;
+    let n = (1usize << d) * r;
+    let dense: Vec<f64> = (0..n * n).map(|k| (k as f64).sqrt() * 3.25).collect();
+    let mat = BandMatrix::from_dense(d, r, &dense);
+    let expect = transpose_dense(n, &dense);
+    for part in partitions(d) {
+        let t = transpose_distributed(&mat, Some(part.parts()), Transport::Reference);
+        assert_eq!(t.to_dense(), expect, "partition {part}");
+    }
+    let t = transpose_distributed(&mat, None, Transport::Threads);
+    assert_eq!(t.to_dense(), expect);
+}
+
+/// A matrix-shaped workload exercising transpose composition:
+/// (A^T)^T = A under different partitions for each leg.
+#[test]
+fn double_transpose_mixed_partitions() {
+    let d = 4u32;
+    let r = 2usize;
+    let n = (1usize << d) * r;
+    let dense: Vec<f64> = (0..n * n).map(|k| ((k * 37) % 101) as f64).collect();
+    let mat = BandMatrix::from_dense(d, r, &dense);
+    let once = transpose_distributed(&mat, Some(&[2, 2]), Transport::Reference);
+    let twice = transpose_distributed(&once, Some(&[1, 3]), Transport::Reference);
+    assert_eq!(twice.to_dense(), dense);
+}
+
+/// 2-D FFT of a separable signal has the analytically known spectrum.
+#[test]
+fn fft2d_separable_signal_spectrum() {
+    let d = 2u32;
+    let r = 4usize;
+    let n = (1usize << d) * r; // 16
+    let dense: Vec<Complex> = (0..n * n)
+        .map(|k| {
+            let j = k % n;
+            Complex::new((2.0 * std::f64::consts::PI * 2.0 * j as f64 / n as f64).cos(), 0.0)
+        })
+        .collect();
+    let bands = ComplexBands::from_dense(d, r, &dense);
+    let freq = fft2d_distributed(&bands, Direction::Forward, None, Transport::Reference);
+    let spec = freq.to_dense();
+    // cos(2π·2x/N): peaks at (0, 2) and (0, N-2), magnitude N²/2.
+    let expect_mag = (n * n) as f64 / 2.0;
+    for i in 0..n {
+        for j in 0..n {
+            let mag = spec[i * n + j].abs();
+            if i == 0 && (j == 2 || j == n - 2) {
+                assert!((mag - expect_mag).abs() < 1e-6, "peak ({i},{j}): {mag}");
+            } else {
+                assert!(mag < 1e-6, "leak at ({i},{j}): {mag}");
+            }
+        }
+    }
+}
+
+/// ADI solved distributed vs dense for several partitions; physical
+/// sanity (decay) over a longer horizon.
+#[test]
+fn adi_long_horizon_tracks_reference() {
+    let d = 2u32;
+    let r = 4usize;
+    let n = (1usize << d) * r;
+    let mut dense = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            dense[i * n + j] = if (i + j) % 3 == 0 { 1.0 } else { -0.5 };
+        }
+    }
+    let mut solver = AdiSolver::new(BandMatrix::from_dense(d, r, &dense), 0.2)
+        .with_dims(vec![1, 1]);
+    let mut reference = dense;
+    for _ in 0..20 {
+        solver.step();
+        reference = adi_step_dense(n, &reference, 0.2);
+    }
+    let got = solver.grid.to_dense();
+    for (a, b) in got.iter().zip(&reference) {
+        assert!((a - b).abs() < 1e-8);
+    }
+    assert!(solver.max_norm() < 0.5, "diffusion must damp the field");
+}
+
+/// Table lookup at cube scale with querying skew (some nodes ask a
+/// lot, some nothing).
+#[test]
+fn lookup_with_skewed_batches() {
+    let d = 4u32;
+    let nodes = 1usize << d;
+    let entries: Vec<(u64, u64)> = (0..500u64).map(|k| (k, k.wrapping_mul(31) + 7)).collect();
+    let table = DistributedTable::new(d, &entries);
+    let queries: Vec<Vec<u64>> = (0..nodes)
+        .map(|x| {
+            if x % 3 == 0 {
+                (0..40u64).map(|i| (x as u64 * 13 + i * 7) % 600).collect()
+            } else if x % 3 == 1 {
+                vec![x as u64]
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let answers = table.batch_lookup(&queries, 40, None, Transport::Reference);
+    for (x, qs) in queries.iter().enumerate() {
+        assert_eq!(answers[x].len(), qs.len());
+        for (i, &k) in qs.iter().enumerate() {
+            let expect = if k < 500 { Some(k.wrapping_mul(31) + 7) } else { None };
+            assert_eq!(answers[x][i], expect, "node {x} key {k}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Every quantitative claim in the paper, verified in one place.
+//! This file is the machine-checkable companion to EXPERIMENTS.md.
+
+use multiphase_exchange::exchange::api::CompleteExchange;
+use multiphase_exchange::model::{
+    crossover_block_size, multiphase_time, optimal_cs_time, optimality_hull,
+    standard_exchange_time, MachineParams,
+};
+use multiphase_exchange::partitions::count;
+
+/// Abstract/§4: "the Standard Exchange approach that employs d
+/// transmissions of size 2^(d-1) blocks each" and "the Optimal Circuit
+/// Switched algorithm that employs 2^d - 1 transmissions of 1 block
+/// each" — transmission counts on the built programs.
+#[test]
+fn transmission_counts_match_abstract() {
+    use multiphase_exchange::exchange::schedule::{bytes_per_node, transmissions_per_node};
+    for d in 1..=10u32 {
+        assert_eq!(transmissions_per_node(&vec![1u32; d as usize]), d as u64);
+        assert_eq!(transmissions_per_node(&[d]), (1u64 << d) - 1);
+    }
+    // SE moves (d·2^(d-1))·m bytes per node; OCS the minimal (2^d-1)·m.
+    for d in 1..=8u32 {
+        let m = 10usize;
+        assert_eq!(
+            bytes_per_node(d, &vec![1u32; d as usize], m),
+            d as u64 * (1u64 << (d - 1)) * m as u64
+        );
+        assert_eq!(bytes_per_node(d, &[d], m), ((1u64 << d) - 1) * m as u64);
+    }
+}
+
+/// §4.3: hypothetical machine (τ=ρ=1, λ=200, δ=20, d=6) — "the
+/// Standard Exchange algorithm is better for blocks of size less than
+/// 30" and "for 24 bytes the Standard algorithm takes 15144 µsec".
+#[test]
+fn section_4_3_numbers() {
+    let hypo = MachineParams::hypothetical();
+    let crossover = crossover_block_size(&hypo, 6);
+    assert!(crossover < 30.0 && crossover > 29.0);
+    assert_eq!(standard_exchange_time(&hypo, 24.0, 6).round() as u64, 15144);
+}
+
+/// §5.1: the worked example's phase costs (with the phase-2 erratum
+/// reproduced both ways) and the conclusion that the two-phase plan is
+/// "substantially faster".
+#[test]
+fn section_5_1_worked_example() {
+    let hypo = MachineParams::hypothetical();
+    assert_eq!(optimal_cs_time(&hypo, 384.0, 2).round() as u64, 1832);
+    assert_eq!(optimal_cs_time(&hypo, 160.0, 4).round() as u64, 6040); // as printed
+    assert_eq!(optimal_cs_time(&hypo, 96.0, 4).round() as u64, 5080); // per the formula
+    let two_phase = multiphase_time(&hypo, 24.0, 6, &[2, 4]);
+    assert_eq!(two_phase.round() as u64, 9984);
+    let standard = standard_exchange_time(&hypo, 24.0, 6);
+    assert!(two_phase < standard && 10944.0 < standard);
+}
+
+/// §6: p(d) values — p(5)=7, p(7)=15, p(10)=42, p(15)=176, p(20)=627
+/// (quoted across the abstract, introduction and Section 6).
+#[test]
+fn partition_function_values() {
+    assert_eq!(count(5), 7);
+    assert_eq!(count(7), 15);
+    assert_eq!(count(10), 42);
+    assert_eq!(count(15), 176);
+    assert_eq!(count(20), 627);
+    // "p(20) = 672" appears once in the introduction as a typo for
+    // 627; the Section 6 table and mathematics give 627.
+}
+
+/// §8: "For dimensions 5, 6 and 7, the number of combinations are 7,
+/// 11 and 15."
+#[test]
+fn combination_counts_for_measured_dimensions() {
+    assert_eq!(count(5), 7);
+    assert_eq!(count(6), 11);
+    assert_eq!(count(7), 15);
+}
+
+/// §8 / Figure 4: d=5 hull is {2,3} then {5}, with {2,3} "optimal for
+/// block sizes less than 100 bytes".
+#[test]
+fn figure_4_claims() {
+    let params = MachineParams::ipsc860();
+    let hull = optimality_hull(&params, 5, 400.0, 1.0);
+    let names: Vec<String> = hull.iter().map(|f| f.partition.to_string()).collect();
+    assert_eq!(names, vec!["{3,2}", "{5}"]);
+    assert!((hull[0].to - 100.0).abs() < 40.0, "crossover near 100 B, got {}", hull[0].to);
+}
+
+/// §8 / Figure 5: d=6 hull {2,2,2}, {3,3}, {6}; {6} beyond ~140 B;
+/// {2,2,2} "only for extremely small sizes".
+#[test]
+fn figure_5_claims() {
+    let params = MachineParams::ipsc860();
+    let hull = optimality_hull(&params, 6, 400.0, 1.0);
+    let names: Vec<String> = hull.iter().map(|f| f.partition.to_string()).collect();
+    assert_eq!(names, vec!["{2,2,2}", "{3,3}", "{6}"]);
+    assert!(hull[0].to < 40.0);
+    assert!((hull[1].to - 140.0).abs() < 60.0);
+}
+
+/// §8 / Figure 6: d=7 hull {2,2,3}, {3,4}, {7}; {7} beyond ~160 B;
+/// {2,2,3} optimal 0-12 B; at 40 B the multiphase {3,4} beats both
+/// classical algorithms by more than 2x (0.016 s vs 0.037 s).
+#[test]
+fn figure_6_claims_model_and_simulation() {
+    let params = MachineParams::ipsc860();
+    let hull = optimality_hull(&params, 7, 400.0, 1.0);
+    let names: Vec<String> = hull.iter().map(|f| f.partition.to_string()).collect();
+    assert_eq!(names, vec!["{3,2,2}", "{4,3}", "{7}"]);
+    assert!(hull[0].to < 30.0, "{{2,2,3}} small-size face ends near 12 B, got {}", hull[0].to);
+    assert!((hull[1].to - 160.0).abs() < 60.0);
+
+    // Simulated (not just modeled) headline numbers.
+    let ex = CompleteExchange::new(7);
+    let se = ex.run_standard(40).unwrap();
+    let ocs = ex.run_optimal(40).unwrap();
+    let mp = ex.run(40, &[3, 4]).unwrap();
+    assert!(se.verified && ocs.verified && mp.verified);
+    assert!((se.simulated_us / 1e6 - 0.037).abs() < 0.005, "SE {}", se.simulated_us);
+    assert!((ocs.simulated_us / 1e6 - 0.037).abs() < 0.005, "OCS {}", ocs.simulated_us);
+    assert!((mp.simulated_us / 1e6 - 0.016).abs() < 0.002, "MP {}", mp.simulated_us);
+    assert!(se.simulated_us / mp.simulated_us > 2.0);
+    assert!(ocs.simulated_us / mp.simulated_us > 2.0);
+}
+
+/// §7.4: effective pairwise-exchange constants λ_eff = 177.5 and
+/// δ_eff = 20.6 derived from λ=95, λ₀=82.5, δ=10.3.
+#[test]
+fn section_7_4_effective_constants() {
+    let p = MachineParams::ipsc860();
+    assert!((p.lambda_eff() - 177.5).abs() < 1e-12);
+    assert!((p.delta_eff() - 20.6).abs() < 1e-12);
+    assert!((p.barrier_time(6) - 900.0).abs() < 1e-12);
+}
+
+/// §8: "In all cases there is good agreement between the predicted and
+/// observed run times" — simulated vs model within 1% without jitter
+/// over every hull partition and dimension.
+#[test]
+fn predicted_vs_simulated_agreement() {
+    for d in 5..=7u32 {
+        let params = MachineParams::ipsc860();
+        let ex = CompleteExchange::new(d);
+        for face in optimality_hull(&params, d, 200.0, 1.0) {
+            let m = 64usize;
+            let out = ex.run(m, face.partition.parts()).unwrap();
+            assert!(out.verified);
+            assert!(
+                out.model_error() < 0.01,
+                "d={d} {}: {}",
+                face.partition,
+                out.model_error()
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Planner persistence ("the optimal combination stored for repeated
+//! future use", §6) and large-scale thread-fabric stress.
+
+use multiphase_exchange::exchange::planner::Planner;
+use multiphase_exchange::exchange::thread_fabric::thread_complete_exchange;
+use multiphase_exchange::exchange::verify::{stamped_memories, verify_complete_exchange};
+use multiphase_exchange::model::MachineParams;
+
+/// The planner serializes to JSON and answers identically after a
+/// round trip — the paper's "done only once and stored" usage.
+#[test]
+fn planner_roundtrips_through_json() {
+    let planner = Planner::new(MachineParams::ipsc860(), 7, 400);
+    let json = serde_json::to_string(&planner).expect("serialize");
+    let back: Planner = serde_json::from_str(&json).expect("deserialize");
+    for m in (0..=400usize).step_by(13) {
+        assert_eq!(planner.lookup(m), back.lookup(m), "m={m}");
+        let a = planner.plan(m);
+        let b = back.plan(m);
+        assert_eq!(a.dims, b.dims);
+        assert!((a.predicted_us - b.predicted_us).abs() < 1e-12);
+    }
+    // The stored table is small: a handful of hull faces.
+    assert!(planner.faces().len() <= 6);
+}
+
+/// 64 real OS threads exchanging simultaneously: the crossbeam fabric
+/// must neither deadlock nor corrupt data at the paper's d=6 scale.
+#[test]
+fn thread_fabric_sixty_four_nodes() {
+    let d = 6u32;
+    let m = 32usize;
+    for dims in [vec![3u32, 3], vec![6], vec![2, 2, 2]] {
+        let out = thread_complete_exchange(d, &dims, stamped_memories(d, m), m);
+        assert!(
+            verify_complete_exchange(d, m, &out).is_empty(),
+            "dims {dims:?} corrupted data"
+        );
+    }
+}
+
+/// Repeated exchanges compose: running the complete exchange twice
+/// returns every block to its origin (the exchange is an involution on
+/// the (src, dst) labelling).
+#[test]
+fn double_exchange_is_involution() {
+    use multiphase_exchange::exchange::fabric::lockstep;
+    let d = 4u32;
+    let m = 8usize;
+    let initial = stamped_memories(d, m);
+    let once = lockstep::run(d, &[2, 2], initial.clone(), m);
+    let twice = lockstep::run(d, &[1, 3], once, m);
+    assert_eq!(twice, initial);
+}
