@@ -116,11 +116,7 @@ impl AdiSolver {
 
     /// Max-norm of the grid.
     pub fn max_norm(&self) -> f64 {
-        self.grid
-            .bands
-            .iter()
-            .flat_map(|b| b.iter())
-            .fold(0.0f64, |acc, &v| acc.max(v.abs()))
+        self.grid.bands.iter().flat_map(|b| b.iter()).fold(0.0f64, |acc, &v| acc.max(v.abs()))
     }
 }
 
@@ -175,7 +171,8 @@ mod tests {
             for j in 0..n {
                 let x = (i + 1) as f64 / (n + 1) as f64;
                 let y = (j + 1) as f64 / (n + 1) as f64;
-                dense[i * n + j] = (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
+                dense[i * n + j] =
+                    (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
             }
         }
         BandMatrix::from_dense(d, r, &dense)

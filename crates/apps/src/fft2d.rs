@@ -81,7 +81,8 @@ fn unpack_transposed(mem: &[u8], r: usize, nodes: usize) -> Vec<Complex> {
                 let mut im = [0u8; 8];
                 re.copy_from_slice(&mem[off..off + 8]);
                 im.copy_from_slice(&mem[off + 8..off + 16]);
-                band[b * n + p * r + a] = Complex::new(f64::from_le_bytes(re), f64::from_le_bytes(im));
+                band[b * n + p * r + a] =
+                    Complex::new(f64::from_le_bytes(re), f64::from_le_bytes(im));
             }
         }
     }
@@ -89,7 +90,11 @@ fn unpack_transposed(mem: &[u8], r: usize, nodes: usize) -> Vec<Complex> {
 }
 
 /// Transpose the distributed complex matrix (complete exchange).
-pub fn transpose_complex(data: &ComplexBands, dims: Option<&[u32]>, transport: Transport) -> ComplexBands {
+pub fn transpose_complex(
+    data: &ComplexBands,
+    dims: Option<&[u32]>,
+    transport: Transport,
+) -> ComplexBands {
     let nodes = 1usize << data.d;
     let m = data.r * data.r * 16;
     let planned;
@@ -164,9 +169,8 @@ mod tests {
 
     fn sample(d: u32, r: usize) -> ComplexBands {
         let n = (1usize << d) * r;
-        let dense: Vec<Complex> = (0..n * n)
-            .map(|k| Complex::new((k % 7) as f64 - 3.0, (k % 5) as f64 * 0.5))
-            .collect();
+        let dense: Vec<Complex> =
+            (0..n * n).map(|k| Complex::new((k % 7) as f64 - 3.0, (k % 5) as f64 * 0.5)).collect();
         ComplexBands::from_dense(d, r, &dense)
     }
 

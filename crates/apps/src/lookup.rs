@@ -14,11 +14,11 @@
 //! Batches between each pair are padded to a fixed per-pair capacity
 //! so that both rounds are fixed-block-size complete exchanges.
 
+use crate::transpose::Transport;
 use mce_core::fabric::lockstep;
 use mce_core::planner::best_plan;
 use mce_core::thread_fabric::thread_complete_exchange;
 use mce_model::MachineParams;
-use crate::transpose::Transport;
 use std::collections::HashMap;
 
 /// Sentinel for "no entry" answers and padding slots.
@@ -198,9 +198,8 @@ mod tests {
         let entries: Vec<(u64, u64)> = (0..200u64).map(|k| (k * 3, k * 3 + 1000)).collect();
         let table = DistributedTable::new(d, &entries);
         // Each node queries a mix of present and absent keys.
-        let queries: Vec<Vec<u64>> = (0..n as u64)
-            .map(|x| (0..20u64).map(|i| (x * 7 + i * 5) % 700).collect())
-            .collect();
+        let queries: Vec<Vec<u64>> =
+            (0..n as u64).map(|x| (0..20u64).map(|i| (x * 7 + i * 5) % 700).collect()).collect();
         (table, queries)
     }
 

@@ -86,11 +86,7 @@ pub fn matvec_distributed(a: &BandMatrix, x: &BandVector, dims: Option<&[u32]>) 
         .bands
         .iter()
         .zip(&full_x)
-        .map(|(band, xv)| {
-            (0..a.r)
-                .map(|i| (0..n).map(|j| band[i * n + j] * xv[j]).sum())
-                .collect()
-        })
+        .map(|(band, xv)| (0..a.r).map(|i| (0..n).map(|j| band[i * n + j] * xv[j]).sum()).collect())
         .collect();
     BandVector { d: a.d, r: a.r, pieces }
 }
@@ -122,12 +118,7 @@ mod tests {
         let n = (1usize << d) * r;
         let a: Vec<f64> = (0..n * n).map(|k| ((k * 7) % 13) as f64 - 6.0).collect();
         let x: Vec<f64> = (0..n).map(|k| (k as f64 * 0.3).cos()).collect();
-        (
-            BandMatrix::from_dense(d, r, &a),
-            BandVector::from_dense(d, r, &x),
-            a,
-            x,
-        )
+        (BandMatrix::from_dense(d, r, &a), BandVector::from_dense(d, r, &x), a, x)
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! block to every other processor: exactly the complete exchange with
 //! block size `m = 8 r^2` bytes.
 
-use mce_core::thread_fabric::thread_complete_exchange;
 use mce_core::fabric::lockstep;
 use mce_core::planner::best_plan;
+use mce_core::thread_fabric::thread_complete_exchange;
 use mce_model::MachineParams;
 
 /// A row-band-distributed square matrix of `f64`.
@@ -35,9 +35,7 @@ impl BandMatrix {
         let nodes = 1usize << d;
         let n = nodes * r;
         assert_eq!(dense.len(), n * n, "dense matrix must be N x N");
-        let bands = (0..nodes)
-            .map(|i| dense[i * r * n..(i + 1) * r * n].to_vec())
-            .collect();
+        let bands = (0..nodes).map(|i| dense[i * r * n..(i + 1) * r * n].to_vec()).collect();
         BandMatrix { d, r, bands }
     }
 

@@ -3,11 +3,11 @@
 //! scheduling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mce_core::builder::build_multiphase_programs;
 use mce_core::collectives::{
     allgather_memories, broadcast_memories, build_allgather_programs, build_broadcast_programs,
     build_scatter_programs, scatter_memories,
 };
-use mce_core::builder::build_multiphase_programs;
 use mce_core::perm_router::{bit_reversal, greedy_rounds};
 use mce_core::verify::stamped_memories;
 use mce_simnet::{SimConfig, Simulator};

@@ -41,9 +41,7 @@ fn bench_figure_cells(c: &mut Criterion) {
 fn bench_table_reports(c: &mut Criterion) {
     let mut group = c.benchmark_group("table_reports");
     group.sample_size(10);
-    group.bench_function("E3_partition_table", |b| {
-        b.iter(|| black_box(tables::partition_table()))
-    });
+    group.bench_function("E3_partition_table", |b| b.iter(|| black_box(tables::partition_table())));
     group.bench_function("E1_crossover", |b| b.iter(|| black_box(tables::crossover_report())));
     group.bench_function("E2_example51", |b| b.iter(|| black_box(tables::example51_report())));
     group.bench_function("E8_contention", |b| b.iter(|| black_box(tables::contention_report())));

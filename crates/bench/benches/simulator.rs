@@ -13,8 +13,8 @@ fn bench_full_exchange_sim(c: &mut Criterion) {
     for (d, dims) in [(5u32, vec![5u32]), (5, vec![2, 3]), (6, vec![3, 3]), (7, vec![3, 4])] {
         let m = 40usize;
         // Transmissions per run: nodes × Σ 2(2^di - 1) (sync + data).
-        let transmissions: u64 = (1u64 << d)
-            * dims.iter().map(|&di| 2 * ((1u64 << di) - 1)).sum::<u64>();
+        let transmissions: u64 =
+            (1u64 << d) * dims.iter().map(|&di| 2 * ((1u64 << di) - 1)).sum::<u64>();
         group.throughput(Throughput::Elements(transmissions));
         let label = format!("d{d}_{dims:?}");
         group.bench_function(BenchmarkId::new("run", label), |b| {

@@ -99,7 +99,9 @@ pub fn message_type_comparison() -> Vec<MessageTypeRow> {
     use mce_simnet::Tag;
     let one_way = |bytes: usize, kind: MsgKind| -> f64 {
         let programs = vec![
-            Program { ops: vec![Op::Send { dst: NodeId(1), from: 0..bytes, tag: Tag::data(0, 1), kind }] },
+            Program {
+                ops: vec![Op::Send { dst: NodeId(1), from: 0..bytes, tag: Tag::data(0, 1), kind }],
+            },
             Program {
                 ops: vec![
                     Op::post_recv(NodeId(0), Tag::data(0, 1), 0..bytes),

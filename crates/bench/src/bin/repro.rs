@@ -215,8 +215,10 @@ fn cmd_patterns() {
             r.flat_us
         );
     }
-    println!("
--> the hull DEGENERATES for these patterns: the binomial-tree /");
+    println!(
+        "
+-> the hull DEGENERATES for these patterns: the binomial-tree /"
+    );
     println!("   recursive-doubling plans already move minimal bytes, so the paper's");
     println!("   volume-vs-startup trade never opens up (see EXPERIMENTS.md E11).");
     write_json(&output_dir().join("patterns.json"), &rows);
@@ -241,8 +243,10 @@ fn cmd_switching() {
             r.saf_flat_us
         );
     }
-    println!("
--> under store and forward every partition moves the same byte-hops;");
+    println!(
+        "
+-> under store and forward every partition moves the same byte-hops;"
+    );
     println!("   the {{d}}-style plans collapse (distance multiplies the whole message)");
     println!("   and the big multiphase win exists only with circuits (Seidel 1989).");
     write_json(&output_dir().join("switching.json"), &rows);
@@ -259,11 +263,18 @@ fn cmd_permutation() {
     for r in &rows {
         println!(
             "{:<14} {:>7} {:>11} {:>14.1} {:>16.1} {:>11}",
-            r.name, r.rounds, r.lower_bound, r.scheduled_us, r.unscheduled_us, r.unscheduled_contention
+            r.name,
+            r.rounds,
+            r.lower_bound,
+            r.scheduled_us,
+            r.unscheduled_us,
+            r.unscheduled_contention
         );
     }
-    println!("
--> greedy rounds achieve zero contention and deterministic latency;");
+    println!(
+        "
+-> greedy rounds achieve zero contention and deterministic latency;"
+    );
     println!("   with the iPSC-860's 150d-us barrier a one-shot permutation is still");
     println!("   cheaper serialized FIFO-style — the full answer to the paper's open");
     println!("   question is in EXPERIMENTS.md E13.");
@@ -418,8 +429,5 @@ fn print_figure_summary(fig: &Figure, verbose: bool) {
     if verbose {
         println!("\n{}", ascii_plot(&curves, 68, 22, "block size (bytes)", "time (s)"));
     }
-    println!(
-        "artifacts: target/repro/figure{0}.csv, target/repro/figure{0}.json",
-        fig.number
-    );
+    println!("artifacts: target/repro/figure{0}.csv, target/repro/figure{0}.json", fig.number);
 }

@@ -19,9 +19,9 @@ use mce_core::perm_router::{
     greedy_rounds, permutation_memories, round_lower_bound, verify_permutation,
 };
 use mce_core::verify::stamped_memories;
+use mce_model::optimality_hull;
 use mce_model::patterns::{allgather_time, best_pattern_partition, broadcast_time, scatter_time};
 use mce_model::{best_saf_partition, multiphase_saf_time, multiphase_time, MachineParams};
-use mce_model::optimality_hull;
 use mce_simnet::{SimConfig, Simulator};
 use serde::{Deserialize, Serialize};
 
@@ -226,10 +226,7 @@ pub fn ncube2_study() -> Vec<Ncube2Row> {
 pub fn saf_circuit_agree_on_standard_exchange(d: u32, m: usize) -> (f64, f64) {
     let params = MachineParams::ipsc860();
     let ones = vec![1u32; d as usize];
-    (
-        multiphase_time(&params, m as f64, d, &ones),
-        multiphase_saf_time(&params, m as f64, d, &ones),
-    )
+    (multiphase_time(&params, m as f64, d, &ones), multiphase_saf_time(&params, m as f64, d, &ones))
 }
 
 #[cfg(test)]

@@ -60,10 +60,8 @@ pub fn regenerate_figure(number: u32, d: u32, m_max: usize, step: usize, jitter:
     let params = MachineParams::ipsc860();
     let parts = figure_partitions(&params, d, m_max as f64);
     let sizes: Vec<usize> = (1..=m_max / step).map(|k| k * step).collect();
-    let cells: Vec<(Partition, usize)> = parts
-        .iter()
-        .flat_map(|p| sizes.iter().map(move |&m| (p.clone(), m)))
-        .collect();
+    let cells: Vec<(Partition, usize)> =
+        parts.iter().flat_map(|p| sizes.iter().map(move |&m| (p.clone(), m))).collect();
     let points: Vec<FigurePoint> = cells
         .par_iter()
         .map(|(part, m)| {
@@ -133,8 +131,10 @@ mod tests {
         let params = MachineParams::ipsc860();
         for d in 5..=7u32 {
             let expect = paper_expectations(d);
-            let got: Vec<String> =
-                optimality_hull(&params, d, 400.0, 1.0).iter().map(|f| f.partition.to_string()).collect();
+            let got: Vec<String> = optimality_hull(&params, d, 400.0, 1.0)
+                .iter()
+                .map(|f| f.partition.to_string())
+                .collect();
             assert_eq!(got, expect.hull, "d={d}");
         }
     }

@@ -29,18 +29,18 @@ pub struct Curve {
 
 /// Render curves into a terminal plot, mirroring the layout of the
 /// paper's figures (time vs block size).
-pub fn ascii_plot(curves: &[Curve], width: usize, height: usize, x_label: &str, y_label: &str) -> String {
+pub fn ascii_plot(
+    curves: &[Curve],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
     let glyphs = ['o', '+', 'x', '*', '#', '@', '%', '&'];
-    let x_max = curves
-        .iter()
-        .flat_map(|c| c.points.iter().map(|p| p.0))
-        .fold(0.0f64, f64::max)
-        .max(1e-12);
-    let y_max = curves
-        .iter()
-        .flat_map(|c| c.points.iter().map(|p| p.1))
-        .fold(0.0f64, f64::max)
-        .max(1e-12);
+    let x_max =
+        curves.iter().flat_map(|c| c.points.iter().map(|p| p.0)).fold(0.0f64, f64::max).max(1e-12);
+    let y_max =
+        curves.iter().flat_map(|c| c.points.iter().map(|p| p.1)).fold(0.0f64, f64::max).max(1e-12);
     let mut canvas = vec![vec![' '; width + 1]; height + 1];
     for (ci, curve) in curves.iter().enumerate() {
         for &(x, y) in &curve.points {

@@ -1,5 +1,6 @@
 //! Regeneration of the paper's tables and in-text numeric claims.
 
+use mce_core::schedule::multiphase_schedule;
 use mce_hypercube::contention::{analyze, analyze_xor_step};
 use mce_hypercube::routing::ecube_path;
 use mce_hypercube::NodeId;
@@ -8,7 +9,6 @@ use mce_model::{
     standard_exchange_time, MachineParams,
 };
 use mce_partitions::{count, partitions};
-use mce_core::schedule::multiphase_schedule;
 use mce_simnet::{Op, Program, SimConfig, Simulator, Tag};
 use serde::{Deserialize, Serialize};
 
@@ -170,15 +170,14 @@ pub fn contention_report() -> ContentionReportOut {
     let p1 = ecube_path(NodeId(2), NodeId(23));
     let p2 = ecube_path(NodeId(14), NodeId(11));
     let report = analyze(&[p0.clone(), p1.clone(), p2.clone()]);
-    let shared_edge = report
-        .edge_conflicts
-        .first()
-        .map(|c| (c.link.undirected().0 .0, c.link.undirected().1 .0));
+    let shared_edge =
+        report.edge_conflicts.first().map(|c| (c.link.undirected().0 .0, c.link.undirected().1 .0));
     ContentionReportOut {
         paths: vec![(0, 31, p0.len()), (2, 23, p1.len()), (14, 11, p2.len())],
         edge_conflict_0_31_vs_2_23: !report.edge_conflicts.is_empty(),
         shared_edge,
-        node_shared_0_31_vs_14_11: p0.nodes().contains(&NodeId(15)) && p2.nodes().contains(&NodeId(15)),
+        node_shared_0_31_vs_14_11: p0.nodes().contains(&NodeId(15))
+            && p2.nodes().contains(&NodeId(15)),
     }
 }
 
@@ -211,7 +210,12 @@ pub fn schedule_audit(d: u32) -> ScheduleAudit {
             }
         }
     }
-    ScheduleAudit { dimension: d, partitions: parts.len() as u64, steps, conflicted_steps: conflicted }
+    ScheduleAudit {
+        dimension: d,
+        partitions: parts.len() as u64,
+        steps,
+        conflicted_steps: conflicted,
+    }
 }
 
 /// Per-phase timing check of eq. (3): simulate a single partial

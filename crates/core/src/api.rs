@@ -4,7 +4,7 @@ use crate::builder::{build_with_options, BuildOptions};
 use crate::planner::{best_plan, Plan};
 use crate::verify::{stamped_memories, verify_complete_exchange};
 use mce_model::{multiphase_time, MachineParams};
-use mce_simnet::{SimConfig, SimStats, Simulator, SimError};
+use mce_simnet::{SimConfig, SimError, SimStats, Simulator};
 
 /// Outcome of one simulated, verified complete exchange.
 #[derive(Debug, Clone)]

@@ -142,7 +142,11 @@ pub fn build_naive_programs(d: u32, m: usize) -> Vec<Program> {
         ops.push(Op::Barrier);
         for i in 1..n as u32 {
             let dst = (x + i) % n as u32;
-            ops.push(Op::send(dst.into(), dst as usize * m..(dst as usize + 1) * m, Tag::data(0, i)));
+            ops.push(Op::send(
+                dst.into(),
+                dst as usize * m..(dst as usize + 1) * m,
+                Tag::data(0, i),
+            ));
         }
         for i in 1..n as u32 {
             let src = (x + i) % n as u32;

@@ -201,7 +201,11 @@ pub fn allgather_memories(d: u32, m: usize) -> Vec<Vec<u8>> {
     (0..n)
         .map(|x| {
             let mut mem = vec![0u8; n * m];
-            crate::verify::fill_block(&mut mem[x * m..(x + 1) * m], NodeId(x as u32), NodeId(x as u32));
+            crate::verify::fill_block(
+                &mut mem[x * m..(x + 1) * m],
+                NodeId(x as u32),
+                NodeId(x as u32),
+            );
             mem
         })
         .collect()
@@ -212,10 +216,9 @@ pub fn verify_allgather(d: u32, m: usize, memories: &[Vec<u8>]) -> bool {
     let n = 1usize << d;
     memories.iter().all(|mem| {
         (0..n).all(|q| {
-            mem[q * m..(q + 1) * m]
-                .iter()
-                .enumerate()
-                .all(|(k, &b)| b == crate::verify::stamp_byte(NodeId(q as u32), NodeId(q as u32), k))
+            mem[q * m..(q + 1) * m].iter().enumerate().all(|(k, &b)| {
+                b == crate::verify::stamp_byte(NodeId(q as u32), NodeId(q as u32), k)
+            })
         })
     })
 }
@@ -226,7 +229,11 @@ pub fn scatter_memories(d: u32, m: usize) -> Vec<Vec<u8>> {
     let n = 1usize << d;
     let mut memories = vec![vec![0u8; n * m]; n];
     for q in 0..n {
-        crate::verify::fill_block(&mut memories[0][q * m..(q + 1) * m], NodeId(0), NodeId(q as u32));
+        crate::verify::fill_block(
+            &mut memories[0][q * m..(q + 1) * m],
+            NodeId(0),
+            NodeId(q as u32),
+        );
     }
     memories
 }

@@ -7,8 +7,8 @@
 //! It executes nodes round-robin, advancing each until it blocks, and
 //! detects deadlock as a full round without progress.
 
-use mce_simnet::{MsgKind, Op, Program, Tag};
 use mce_hypercube::NodeId;
+use mce_simnet::{MsgKind, Op, Program, Tag};
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -69,7 +69,10 @@ struct NodeRt {
 /// machine. Because nodes run round-robin (node 0 first each round),
 /// interleavings differ from the timed engine — agreement of the two
 /// executors is itself a meaningful test.
-pub fn execute(programs: &[Program], mut memories: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, ExecError> {
+pub fn execute(
+    programs: &[Program],
+    mut memories: Vec<Vec<u8>>,
+) -> Result<Vec<Vec<u8>>, ExecError> {
     let n = programs.len();
     assert_eq!(memories.len(), n);
     let mut nodes: Vec<NodeRt> = (0..n)
@@ -103,7 +106,10 @@ pub fn execute(programs: &[Program], mut memories: Vec<Vec<u8>>) -> Result<Vec<V
                         progressed = true;
                         if let Some(payload) = nodes[x].buffered.remove(&(src, tag)) {
                             if payload.len() != into.len() {
-                                return Err(ExecError::SizeMismatch { node: NodeId(x as u32), tag });
+                                return Err(ExecError::SizeMismatch {
+                                    node: NodeId(x as u32),
+                                    tag,
+                                });
                             }
                             nodes[x].arrived.insert((src, tag), (payload, into));
                         } else {
@@ -146,7 +152,9 @@ pub fn execute(programs: &[Program], mut memories: Vec<Vec<u8>>) -> Result<Vec<V
                         let mut scratch = vec![0u8; total];
                         for (i, &p) in perm.iter().enumerate() {
                             scratch[p as usize * block_bytes..(p as usize + 1) * block_bytes]
-                                .copy_from_slice(&memories[x][i * block_bytes..(i + 1) * block_bytes]);
+                                .copy_from_slice(
+                                    &memories[x][i * block_bytes..(i + 1) * block_bytes],
+                                );
                         }
                         memories[x][..total].copy_from_slice(&scratch);
                     }
@@ -253,10 +261,7 @@ mod tests {
 
     #[test]
     fn mismatched_barriers_deadlock() {
-        let programs = vec![
-            Program { ops: vec![Op::Barrier] },
-            Program { ops: vec![] },
-        ];
+        let programs = vec![Program { ops: vec![Op::Barrier] }, Program { ops: vec![] }];
         match execute(&programs, vec![vec![], vec![]]) {
             Err(ExecError::Deadlock { .. }) => {}
             other => panic!("expected barrier deadlock, got {other:?}"),

@@ -50,7 +50,11 @@ pub fn run_multiphase<C: NodeCtx>(ctx: &mut C, d: u32, dims: &[u32], memory: &mu
             let partner = phase.partner(me, step);
             let sb = phase.superblock_index(me, step) as usize;
             let range = sb * sb_bytes..(sb + 1) * sb_bytes;
-            let incoming = ctx.exchange(partner, Tag::data(phase.phase, step as u32 + 1), &memory[range.clone()]);
+            let incoming = ctx.exchange(
+                partner,
+                Tag::data(phase.phase, step as u32 + 1),
+                &memory[range.clone()],
+            );
             assert_eq!(incoming.len(), sb_bytes, "partner sent a mis-sized superblock");
             memory[range].copy_from_slice(&incoming);
         }

@@ -223,10 +223,7 @@ mod tests {
     fn non_resident_blocks_have_no_slot() {
         let dims = [1u32, 2];
         // Before phase 0, node 0 holds only blocks with src = 0.
-        assert_eq!(
-            slot_of_block_before_phase(3, &dims, 0, NodeId(0), NodeId(1), NodeId(0)),
-            None
-        );
+        assert_eq!(slot_of_block_before_phase(3, &dims, 0, NodeId(0), NodeId(1), NodeId(0)), None);
         // Before phase 1 (after phase 0 on the top bit), node 0 holds
         // blocks whose dst top bit is 0 and src low bits are 0.
         assert_eq!(

@@ -67,8 +67,8 @@ pub use builder::{
     build_multiphase_programs, build_naive_programs, build_optimal_cs_programs,
     build_standard_exchange_programs, build_with_options, BuildOptions,
 };
+pub use collectives::{build_allgather_programs, build_broadcast_programs, build_scatter_programs};
+pub use perm_router::{build_permutation_programs, greedy_rounds};
 pub use planner::{best_plan, Plan, Planner};
 pub use schedule::{multiphase_schedule, PhaseSchedule};
 pub use verify::{stamped_memories, verify_complete_exchange};
-pub use collectives::{build_allgather_programs, build_broadcast_programs, build_scatter_programs};
-pub use perm_router::{build_permutation_programs, greedy_rounds};

@@ -25,7 +25,6 @@ use mce_hypercube::contention::analyze_permutation;
 use mce_hypercube::routing::{ecube_path, DirectedLink};
 use mce_hypercube::NodeId;
 use mce_simnet::{Op, Program, Tag};
-use std::collections::HashSet;
 
 /// A round: pairs `(src, dst)` whose e-cube circuits are mutually
 /// edge-disjoint and may be established concurrently.
@@ -39,6 +38,60 @@ pub type Round = Vec<(NodeId, NodeId)>;
 /// conflict graph, at most `Δ + 1` rounds where `Δ` is the maximum
 /// number of circuits any circuit conflicts with.
 pub fn greedy_rounds(perm: &[NodeId]) -> Vec<Round> {
+    // Per-round occupancy as a flat bitmask over all directed links:
+    // bit `from·d + dimension`. Membership tests are single word ops
+    // instead of hash lookups, which is what makes the first-fit scan
+    // cheap for large cubes. The index space is sized from the widest
+    // node label actually present, so irregular inputs (sparse or
+    // oversized destinations) stay in bounds.
+    if perm.is_empty() {
+        return Vec::new();
+    }
+    let max_label =
+        perm.iter().map(|p| p.0).chain(std::iter::once(perm.len() as u32 - 1)).max().unwrap_or(0);
+    let d = (32 - max_label.leading_zeros()).max(1) as usize;
+    if d > mce_hypercube::MAX_DIMENSION as usize {
+        // Degenerate labels (beyond any constructible cube) would blow
+        // up the dense index space; fall back to set-based occupancy.
+        return greedy_rounds_sparse(perm);
+    }
+    let words = ((1usize << d) * d).div_ceil(64);
+    let link_bit = |l: &DirectedLink| -> usize { l.from.0 as usize * d + l.dimension() as usize };
+    let mut rounds: Vec<(Round, Vec<u64>)> = Vec::new();
+    let mut links: Vec<DirectedLink> = Vec::with_capacity(d);
+    for (x, &dst) in perm.iter().enumerate() {
+        let src = NodeId(x as u32);
+        if src == dst {
+            continue;
+        }
+        links.clear();
+        links.extend(ecube_path(src, dst).links());
+        let slot = rounds.iter().position(|(_, used)| {
+            links.iter().all(|l| {
+                let bit = link_bit(l);
+                used[bit / 64] & (1u64 << (bit % 64)) == 0
+            })
+        });
+        let i = match slot {
+            Some(i) => i,
+            None => {
+                rounds.push((Vec::new(), vec![0u64; words]));
+                rounds.len() - 1
+            }
+        };
+        rounds[i].0.push((src, dst));
+        for l in &links {
+            let bit = link_bit(l);
+            rounds[i].1[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+    rounds.into_iter().map(|(r, _)| r).collect()
+}
+
+/// Set-based first-fit identical to [`greedy_rounds`], used when node
+/// labels exceed every constructible cube dimension.
+fn greedy_rounds_sparse(perm: &[NodeId]) -> Vec<Round> {
+    use std::collections::HashSet;
     let mut rounds: Vec<(Round, HashSet<DirectedLink>)> = Vec::new();
     for (x, &dst) in perm.iter().enumerate() {
         let src = NodeId(x as u32);
@@ -46,9 +99,7 @@ pub fn greedy_rounds(perm: &[NodeId]) -> Vec<Round> {
             continue;
         }
         let links: Vec<DirectedLink> = ecube_path(src, dst).links().collect();
-        let slot = rounds
-            .iter()
-            .position(|(_, used)| links.iter().all(|l| !used.contains(l)));
+        let slot = rounds.iter().position(|(_, used)| links.iter().all(|l| !used.contains(l)));
         match slot {
             Some(i) => {
                 rounds[i].0.push((src, dst));
@@ -91,9 +142,7 @@ pub fn build_permutation_programs(d: u32, perm: &[NodeId], m: usize) -> Vec<Prog
     // Posting pass: receiver learns its (sender, round) statically.
     for (ri, round) in rounds.iter().enumerate() {
         for &(src, dst) in round {
-            programs[dst.index()]
-                .ops
-                .push(Op::post_recv(src, Tag::data(ri as u32, 1), m..2 * m));
+            programs[dst.index()].ops.push(Op::post_recv(src, Tag::data(ri as u32, 1), m..2 * m));
         }
     }
     for p in programs.iter_mut() {
@@ -140,9 +189,15 @@ pub fn build_unscheduled_permutation_programs(d: u32, perm: &[NodeId], m: usize)
         programs[x].ops.push(Op::send(dst, 0..m, Tag::data(0, 1)));
     }
     // Wait passes: each node waits for its inbound message if any.
+    // The inverse permutation is built once instead of an O(n²)
+    // `position` probe per node.
+    let mut inverse = vec![0usize; n];
+    for (x, &dst) in perm.iter().enumerate() {
+        inverse[dst.index()] = x;
+    }
     #[allow(clippy::needless_range_loop)] // x is a node label
     for x in 0..n {
-        let inbound = perm.iter().position(|&p| p == NodeId(x as u32)).unwrap();
+        let inbound = inverse[x];
         if inbound != x {
             programs[x].ops.push(Op::wait_recv(NodeId(inbound as u32), Tag::data(0, 1)));
         }
@@ -206,8 +261,7 @@ mod tests {
     fn rounds_are_edge_disjoint() {
         for perm in [bit_reversal(5), xor_perm(5, 13), shift_perm(5, 7)] {
             for round in greedy_rounds(&perm) {
-                let paths: Vec<_> =
-                    round.iter().map(|&(s, t)| ecube_path(s, t)).collect();
+                let paths: Vec<_> = round.iter().map(|&(s, t)| ecube_path(s, t)).collect();
                 assert!(analyze(&paths).is_edge_contention_free());
             }
         }
@@ -222,7 +276,7 @@ mod tests {
     fn rounds_cover_every_pair_once() {
         let perm = bit_reversal(6);
         let rounds = greedy_rounds(&perm);
-        let mut seen = HashSet::new();
+        let mut seen = std::collections::HashSet::new();
         for round in &rounds {
             for &(s, t) in round {
                 assert_eq!(perm[s.index()], t);
@@ -277,7 +331,7 @@ mod tests {
         assert_eq!(c_sched, 0);
         assert!(c_naive > 0, "bit reversal must contend unscheduled");
         // ...and its time is predictable from the round structure.
-        let rounds = greedy_rounds(&perm) .len() as f64;
+        let rounds = greedy_rounds(&perm).len() as f64;
         let barrier = 150.0 * d as f64;
         let step_min = 95.0 + 0.394 * m as f64; // + δh varies per round
         assert!(t_sched >= rounds * (step_min + barrier) - 1.0);
@@ -287,6 +341,15 @@ mod tests {
         // Without the barrier overhead the scheduled rounds would win:
         let transfer_only = rounds * (95.0 + 0.394 * m as f64 + 10.3 * 6.0);
         assert!(transfer_only < t_naive, "rounds at circuit speed beat serialization");
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert!(greedy_rounds(&[]).is_empty());
+        // Labels beyond any constructible cube take the sparse path.
+        let weird = vec![NodeId(3_000_000_000), NodeId(0)];
+        let rounds = greedy_rounds(&weird);
+        assert_eq!(rounds.iter().map(|r| r.len()).sum::<usize>(), 2);
     }
 
     #[test]

@@ -60,12 +60,7 @@ pub fn multiphase_schedule(d: u32, dims: &[u32]) -> Vec<PhaseSchedule> {
         .map(|(i, field)| {
             let w = field.width();
             let steps = (1u32..(1u32 << w)).map(|j| j << field.lo()).collect();
-            PhaseSchedule {
-                phase: i as u32,
-                field,
-                steps,
-                superblock_blocks: 1usize << (d - w),
-            }
+            PhaseSchedule { phase: i as u32, field, steps, superblock_blocks: 1usize << (d - w) }
         })
         .collect()
 }
@@ -80,9 +75,7 @@ pub fn transmissions_per_node(dims: &[u32]) -> u64 {
 /// Total bytes each node transmits for block size `m`:
 /// `Σ (2^(d_i) - 1) · m · 2^(d - d_i)`.
 pub fn bytes_per_node(d: u32, dims: &[u32], m: usize) -> u64 {
-    dims.iter()
-        .map(|&di| ((1u64 << di) - 1) * m as u64 * (1u64 << (d - di)))
-        .sum()
+    dims.iter().map(|&di| ((1u64 << di) - 1) * m as u64 * (1u64 << (d - di))).sum()
 }
 
 #[cfg(test)]
@@ -128,22 +121,14 @@ mod tests {
 
     #[test]
     fn every_step_is_contention_free() {
-        for dims in [
-            vec![5u32],
-            vec![1, 1, 1, 1, 1],
-            vec![2, 3],
-            vec![3, 2],
-            vec![2, 2, 3],
-            vec![4, 3],
-        ] {
+        for dims in
+            [vec![5u32], vec![1, 1, 1, 1, 1], vec![2, 3], vec![3, 2], vec![2, 2, 3], vec![4, 3]]
+        {
             let d: u32 = dims.iter().sum();
             for phase in multiphase_schedule(d, &dims) {
                 for &mask in &phase.steps {
                     let report = analyze_xor_step(d, mask);
-                    assert!(
-                        report.is_edge_contention_free(),
-                        "dims {dims:?} mask {mask:#b}"
-                    );
+                    assert!(report.is_edge_contention_free(), "dims {dims:?} mask {mask:#b}");
                 }
             }
         }

@@ -133,10 +133,7 @@ mod tests {
             let d: u32 = dims.iter().sum();
             let m = 16usize;
             let out = thread_complete_exchange(d, &dims, stamped_memories(d, m), m);
-            assert!(
-                verify_complete_exchange(d, m, &out).is_empty(),
-                "dims {dims:?} failed"
-            );
+            assert!(verify_complete_exchange(d, m, &out).is_empty(), "dims {dims:?} failed");
         }
     }
 
@@ -145,10 +142,7 @@ mod tests {
         for dims in [vec![5u32], vec![2, 3], vec![3, 2], vec![1, 1, 1, 1, 1]] {
             let m = 8usize;
             let out = thread_complete_exchange(5, &dims, stamped_memories(5, m), m);
-            assert!(
-                verify_complete_exchange(5, m, &out).is_empty(),
-                "dims {dims:?} failed"
-            );
+            assert!(verify_complete_exchange(5, m, &out).is_empty(), "dims {dims:?} failed");
         }
     }
 

@@ -1,0 +1,201 @@
+//! Determinism-regression snapshots: fixed workloads whose
+//! `finish_time`, full `SimStats` and final-memory digest were
+//! captured from the engine before the hot-path rewrite (wait-queues,
+//! slot tables, zero-copy payloads). The optimized engine must
+//! reproduce them bit-for-bit — any drift in event ordering, stats
+//! accounting or payload movement fails here first.
+
+use mce_core::builder::{build_multiphase_programs, build_with_options, BuildOptions};
+use mce_core::perm_router::{
+    bit_reversal, build_unscheduled_permutation_programs, permutation_memories,
+};
+use mce_core::verify::stamped_memories;
+use mce_simnet::{SimConfig, SimResult, Simulator};
+
+/// FNV-1a over all node memories (length-prefixed per node).
+fn memory_digest(memories: &[Vec<u8>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for mem in memories {
+        for b in (mem.len() as u64).to_le_bytes() {
+            eat(b);
+        }
+        for &b in mem {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// The observable fingerprint of one run.
+#[derive(Debug, PartialEq, Eq)]
+struct Snapshot {
+    finish_ns: u64,
+    transmissions: u64,
+    bytes_moved: u64,
+    link_crossings: u64,
+    edge_contention_events: u64,
+    edge_contention_wait_ns: u64,
+    nic_serialization_events: u64,
+    nic_serialization_wait_ns: u64,
+    forced_drops: u64,
+    reserve_handshakes: u64,
+    barriers: u64,
+    memory_digest: u64,
+}
+
+fn snapshot(result: &SimResult) -> Snapshot {
+    Snapshot {
+        finish_ns: result.finish_time.as_ns(),
+        transmissions: result.stats.transmissions,
+        bytes_moved: result.stats.bytes_moved,
+        link_crossings: result.stats.link_crossings,
+        edge_contention_events: result.stats.edge_contention_events,
+        edge_contention_wait_ns: result.stats.edge_contention_wait_ns,
+        nic_serialization_events: result.stats.nic_serialization_events,
+        nic_serialization_wait_ns: result.stats.nic_serialization_wait_ns,
+        forced_drops: result.stats.forced_drops,
+        reserve_handshakes: result.stats.reserve_handshakes,
+        barriers: result.stats.barriers,
+        memory_digest: memory_digest(&result.memories),
+    }
+}
+
+fn run_multiphase_d6_33() -> SimResult {
+    let (d, m) = (6u32, 40usize);
+    let programs = build_multiphase_programs(d, &[3, 3], m);
+    let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, stamped_memories(d, m));
+    sim.run().unwrap()
+}
+
+fn run_bit_reversal_unscheduled() -> SimResult {
+    let (d, m) = (6u32, 64usize);
+    let perm = bit_reversal(d);
+    let programs = build_unscheduled_permutation_programs(d, &perm, m);
+    let mems = permutation_memories(d, &perm, m);
+    let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, mems);
+    sim.run().unwrap()
+}
+
+fn run_store_and_forward() -> SimResult {
+    let (d, m) = (5u32, 40usize);
+    let programs = build_multiphase_programs(d, &[2, 3], m);
+    let cfg = SimConfig::ipsc860(d).with_store_and_forward();
+    let mut sim = Simulator::new(cfg, programs, stamped_memories(d, m));
+    sim.run().unwrap()
+}
+
+fn run_jittered_nosync() -> SimResult {
+    // No pairwise sync + jitter: exercises the NIC-serialization and
+    // edge-contention accounting paths that the aligned multiphase
+    // runs never hit.
+    let (d, m) = (5u32, 200usize);
+    let opts = BuildOptions { pairwise_sync: false, ..Default::default() };
+    let programs = build_with_options(d, &[5], m, opts);
+    let cfg = SimConfig::ipsc860(d).with_jitter(0.05, 99);
+    let mut sim = Simulator::new(cfg, programs, stamped_memories(d, m));
+    sim.run().unwrap()
+}
+
+#[test]
+fn multiphase_d6_33_matches_snapshot() {
+    assert_eq!(
+        snapshot(&run_multiphase_d6_33()),
+        Snapshot {
+            finish_ns: 9309320,
+            transmissions: 1792,
+            bytes_moved: 286720,
+            link_crossings: 3072,
+            edge_contention_events: 0,
+            edge_contention_wait_ns: 0,
+            nic_serialization_events: 0,
+            nic_serialization_wait_ns: 0,
+            forced_drops: 0,
+            reserve_handshakes: 0,
+            barriers: 2,
+            memory_digest: 8019284349596013101,
+        }
+    );
+}
+
+#[test]
+fn bit_reversal_unscheduled_matches_snapshot() {
+    assert_eq!(
+        snapshot(&run_bit_reversal_unscheduled()),
+        Snapshot {
+            finish_ns: 1586864,
+            transmissions: 56,
+            bytes_moved: 3584,
+            link_crossings: 192,
+            edge_contention_events: 32,
+            edge_contention_wait_ns: 9368896,
+            nic_serialization_events: 16,
+            nic_serialization_wait_ns: 0,
+            forced_drops: 0,
+            reserve_handshakes: 0,
+            barriers: 1,
+            memory_digest: 15827179416263861220,
+        }
+    );
+}
+
+#[test]
+fn store_and_forward_matches_snapshot() {
+    assert_eq!(
+        snapshot(&run_store_and_forward()),
+        Snapshot {
+            finish_ns: 7312800,
+            transmissions: 640,
+            bytes_moved: 66560,
+            link_crossings: 1024,
+            edge_contention_events: 0,
+            edge_contention_wait_ns: 0,
+            nic_serialization_events: 0,
+            nic_serialization_wait_ns: 0,
+            forced_drops: 0,
+            reserve_handshakes: 0,
+            barriers: 2,
+            memory_digest: 14841274650017736110,
+        }
+    );
+}
+
+#[test]
+fn jittered_nosync_matches_snapshot() {
+    assert_eq!(
+        snapshot(&run_jittered_nosync()),
+        Snapshot {
+            finish_ns: 7878371,
+            transmissions: 992,
+            bytes_moved: 198400,
+            link_crossings: 2560,
+            edge_contention_events: 313,
+            edge_contention_wait_ns: 11199023,
+            nic_serialization_events: 286,
+            nic_serialization_wait_ns: 9107858,
+            forced_drops: 0,
+            reserve_handshakes: 0,
+            barriers: 1,
+            memory_digest: 6797024586998232006,
+        }
+    );
+}
+
+/// Regenerator: `cargo test -p mce-core --test determinism_snapshot
+/// -- --ignored --nocapture` prints the snapshot literals to paste
+/// above when the engine's semantics change *intentionally*.
+#[test]
+#[ignore]
+fn print_snapshots() {
+    for (name, result) in [
+        ("multiphase_d6_33", run_multiphase_d6_33()),
+        ("bit_reversal_unscheduled", run_bit_reversal_unscheduled()),
+        ("store_and_forward", run_store_and_forward()),
+        ("jittered_nosync", run_jittered_nosync()),
+    ] {
+        println!("{name}: {:#?}", snapshot(&result));
+    }
+}

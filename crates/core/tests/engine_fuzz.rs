@@ -62,8 +62,9 @@ fn compile(d: u32, rounds: &[RoundKind]) -> Vec<Program> {
                 }
             }
             RoundKind::Rotate { r } => {
-                let perm: Arc<Vec<u32>> =
-                    Arc::new((0..NBLOCKS as u32).map(|i| (i + *r as u32) % NBLOCKS as u32).collect());
+                let perm: Arc<Vec<u32>> = Arc::new(
+                    (0..NBLOCKS as u32).map(|i| (i + *r as u32) % NBLOCKS as u32).collect(),
+                );
                 for p in programs.iter_mut() {
                     p.ops.push(Op::Permute { perm: Arc::clone(&perm), block_bytes: BLOCK });
                 }

@@ -70,7 +70,11 @@ pub fn analyze(paths: &[Path]) -> ContentionReport {
         for i in 0..users.len() {
             for j in i + 1..users.len() {
                 if seen_pairs.insert((users[i], users[j])) {
-                    edge_conflicts.push(Conflict { first: users[i], second: users[j], link: *link });
+                    edge_conflicts.push(Conflict {
+                        first: users[i],
+                        second: users[j],
+                        link: *link,
+                    });
                 }
             }
         }
@@ -86,11 +90,7 @@ pub fn analyze(paths: &[Path]) -> ContentionReport {
         }
     }
 
-    ContentionReport {
-        edge_conflicts,
-        node_sharing_pairs: node_pairs.len(),
-        max_link_load,
-    }
+    ContentionReport { edge_conflicts, node_sharing_pairs: node_pairs.len(), max_link_load }
 }
 
 /// Analyze the circuits realizing a permutation step: every node `x`
@@ -168,9 +168,7 @@ mod tests {
         // Bit reversal is a classic adversary for e-cube routing.
         let d = 4u32;
         let n = 1u32 << d;
-        let perm: Vec<NodeId> = (0..n)
-            .map(|x| NodeId(x.reverse_bits() >> (32 - d)))
-            .collect();
+        let perm: Vec<NodeId> = (0..n).map(|x| NodeId(x.reverse_bits() >> (32 - d))).collect();
         let report = analyze_permutation(&perm);
         assert!(!report.is_edge_contention_free(), "bit reversal should contend");
     }

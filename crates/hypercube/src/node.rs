@@ -73,10 +73,7 @@ impl NodeId {
     /// Render the label as a `width`-bit binary string, MSB first, as in
     /// Figure 1 of the paper (e.g. node 5 in a 5-cube is `"00101"`).
     pub fn to_binary(self, width: u32) -> String {
-        (0..width)
-            .rev()
-            .map(|b| if self.bit(b) == 1 { '1' } else { '0' })
-            .collect()
+        (0..width).rev().map(|b| if self.bit(b) == 1 { '1' } else { '0' }).collect()
     }
 }
 

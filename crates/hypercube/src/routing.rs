@@ -235,10 +235,7 @@ mod tests {
     #[test]
     fn intermediate_nodes() {
         let p = ecube_path(NodeId(0), NodeId(31));
-        assert_eq!(
-            p.intermediate_nodes(),
-            &[NodeId(1), NodeId(3), NodeId(7), NodeId(15)]
-        );
+        assert_eq!(p.intermediate_nodes(), &[NodeId(1), NodeId(3), NodeId(7), NodeId(15)]);
         let q = ecube_path(NodeId(0), NodeId(1));
         assert!(q.intermediate_nodes().is_empty());
     }

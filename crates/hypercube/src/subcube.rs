@@ -179,10 +179,7 @@ pub fn subcubes(cube: Hypercube, field: BitField) -> Vec<Subcube> {
 /// ```
 pub fn phase_fields(dimension: u32, dims: &[u32]) -> Vec<BitField> {
     let total: u32 = dims.iter().sum();
-    assert_eq!(
-        total, dimension,
-        "partition {dims:?} does not sum to cube dimension {dimension}"
-    );
+    assert_eq!(total, dimension, "partition {dims:?} does not sum to cube dimension {dimension}");
     let mut fields = Vec::with_capacity(dims.len());
     let mut hi = dimension;
     for &w in dims {
@@ -237,7 +234,10 @@ mod tests {
         assert!(!sc.contains(NodeId(0b00101)), "differs outside field");
         assert!(!sc.contains(NodeId(0b10100)), "differs in bit 0, outside field");
         let members: Vec<u32> = sc.members().map(|n| n.0).collect();
-        assert_eq!(members, vec![0b10001, 0b10011, 0b10101, 0b10111, 0b11001, 0b11011, 0b11101, 0b11111]);
+        assert_eq!(
+            members,
+            vec![0b10001, 0b10011, 0b10101, 0b10111, 0b11001, 0b11011, 0b11101, 0b11111]
+        );
     }
 
     #[test]

@@ -129,10 +129,7 @@ mod tests {
     #[test]
     fn dimension_bounds() {
         assert!(Hypercube::try_new(20).is_ok());
-        assert!(matches!(
-            Hypercube::try_new(21),
-            Err(TopologyError::DimensionOutOfRange(21))
-        ));
+        assert!(matches!(Hypercube::try_new(21), Err(TopologyError::DimensionOutOfRange(21))));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::{multiphase_time, MachineParams};
 use mce_partitions::{partitions, Partition};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One face of the hull: a half-open block-size interval on which a
@@ -48,9 +49,22 @@ mod infinite_as_null {
 /// Ties are broken toward the earlier partition in reverse-lexicographic
 /// enumeration order (i.e. toward fewer phases).
 pub fn best_partition(p: &MachineParams, m: f64, d: u32) -> (Partition, f64) {
-    let mut best: Option<(Partition, f64)> = None;
-    for part in partitions(d) {
+    let candidates = partitions(d);
+    // Fan candidate-plan evaluation across cores once the partition
+    // count justifies thread startup (p(24) ≈ 1575); the reduction is
+    // sequential either way, so the tie-break toward the earlier
+    // partition is preserved exactly.
+    let eval = |part: Partition| {
         let t = multiphase_time(p, m, d, part.parts());
+        (part, t)
+    };
+    let timed: Vec<(Partition, f64)> = if candidates.len() >= 1024 {
+        candidates.into_par_iter().map(eval).collect()
+    } else {
+        candidates.into_iter().map(eval).collect()
+    };
+    let mut best: Option<(Partition, f64)> = None;
+    for (part, t) in timed {
         match &best {
             Some((_, bt)) if *bt <= t => {}
             _ => best = Some((part, t)),
@@ -68,15 +82,27 @@ pub fn best_partition(p: &MachineParams, m: f64, d: u32) -> (Partition, f64) {
 /// breakpoints to within `step` bytes.
 pub fn optimality_hull(p: &MachineParams, d: u32, m_max: f64, step: f64) -> Vec<HullFace> {
     assert!(step > 0.0 && m_max >= 0.0);
+    // The per-size winners are independent: compute them in parallel
+    // (the planner's hull precompute is the expensive call site), then
+    // merge runs sequentially. The size list accumulates with the
+    // same float additions as the sequential loop, so breakpoints are
+    // bit-identical.
+    let sizes: Vec<f64> = {
+        let mut v = Vec::new();
+        let mut m = 0.0;
+        while m <= m_max {
+            v.push(m);
+            m += step;
+        }
+        v
+    };
+    let winners: Vec<Partition> = sizes.par_iter().map(|&m| best_partition(p, m, d).0).collect();
     let mut faces: Vec<HullFace> = Vec::new();
-    let mut m = 0.0;
-    while m <= m_max {
-        let (part, _) = best_partition(p, m, d);
+    for (&m, part) in sizes.iter().zip(winners) {
         match faces.last_mut() {
             Some(face) if face.partition == part => face.to = m + step,
             _ => faces.push(HullFace { partition: part, from: m, to: m + step }),
         }
-        m += step;
     }
     if let Some(last) = faces.last_mut() {
         last.to = f64::INFINITY;
@@ -90,10 +116,7 @@ mod tests {
 
     fn hull_partitions(d: u32) -> Vec<String> {
         let p = MachineParams::ipsc860();
-        optimality_hull(&p, d, 400.0, 1.0)
-            .iter()
-            .map(|f| f.partition.to_string())
-            .collect()
+        optimality_hull(&p, d, 400.0, 1.0).iter().map(|f| f.partition.to_string()).collect()
     }
 
     #[test]
@@ -132,7 +155,11 @@ mod tests {
         let p = MachineParams::ipsc860();
         let hull = optimality_hull(&p, 7, 400.0, 1.0);
         assert!(hull[0].to < 30.0, "{{2,2,3}} for small sizes only, got {}", hull[0].to);
-        assert!(hull[1].to > 120.0 && hull[1].to < 220.0, "{{7}} beyond ~160 B, got {}", hull[1].to);
+        assert!(
+            hull[1].to > 120.0 && hull[1].to < 220.0,
+            "{{7}} beyond ~160 B, got {}",
+            hull[1].to
+        );
     }
 
     #[test]
@@ -141,7 +168,9 @@ mod tests {
         // iPSC-860 for dimensions 5-7."
         for d in 5..=7u32 {
             assert!(
-                !hull_partitions(d).iter().any(|s| s.chars().filter(|&c| c == '1').count() == d as usize),
+                !hull_partitions(d)
+                    .iter()
+                    .any(|s| s.chars().filter(|&c| c == '1').count() == d as usize),
                 "d={d}"
             );
         }

@@ -34,9 +34,9 @@ pub mod hull;
 pub mod multiphase;
 pub mod optimal;
 pub mod params;
+pub mod partial;
 pub mod patterns;
 pub mod saf;
-pub mod partial;
 pub mod standard;
 pub mod sweep;
 
@@ -45,8 +45,10 @@ pub use hull::{best_partition, optimality_hull, HullFace};
 pub use multiphase::multiphase_time;
 pub use optimal::optimal_cs_time;
 pub use params::MachineParams;
-pub use patterns::{allgather_time, broadcast_time, scatter_allgather_broadcast_time, scatter_time};
 pub use partial::{effective_block_size, partial_exchange_time};
+pub use patterns::{
+    allgather_time, broadcast_time, scatter_allgather_broadcast_time, scatter_time,
+};
 pub use saf::{best_saf_partition, multiphase_saf_time, saf_message_time};
 pub use standard::standard_exchange_time;
 pub use sweep::{sweep, SweepPoint, SweepRow};

@@ -37,11 +37,7 @@ pub fn partial_exchange_time(p: &MachineParams, m: f64, di: u32, d: u32) -> f64 
         * (p.lambda_eff()
             + p.tau * effective_block_size(m, di, d)
             + p.delta_eff() * average_schedule_distance(di));
-    let shuffle = if di < d {
-        p.shuffle_time(m * (1u64 << d) as f64)
-    } else {
-        0.0
-    };
+    let shuffle = if di < d { p.shuffle_time(m * (1u64 << d) as f64) } else { 0.0 };
     transfer + shuffle + p.barrier_time(d)
 }
 

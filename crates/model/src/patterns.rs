@@ -97,8 +97,8 @@ pub fn broadcast_time(p: &MachineParams, m: f64, d: u32, dims: &[u32]) -> f64 {
 pub fn scatter_allgather_broadcast_time(p: &MachineParams, m: f64, d: u32) -> f64 {
     let piece = m / (1u64 << d) as f64;
     let ones = vec![1u32; d as usize];
-    scatter_time(p, piece, d, &ones) + allgather_time(p, piece, d, &ones)
-        - p.barrier_time(d) // the two halves share one barrier
+    scatter_time(p, piece, d, &ones) + allgather_time(p, piece, d, &ones) - p.barrier_time(d)
+    // the two halves share one barrier
 }
 
 /// Best partition for a pattern by exhaustive enumeration.
@@ -129,9 +129,7 @@ mod tests {
         let m = 10.0;
         // Recursive doubling {1,1,1,1}: Σ_{i=0..3} (λ + τ m 2^i + δ).
         let rd = allgather_time(&p, m, d, &[1, 1, 1, 1]);
-        let expect: f64 = (0..4)
-            .map(|i| 200.0 + 1.0 * m * (1u64 << i) as f64 + 20.0)
-            .sum();
+        let expect: f64 = (0..4).map(|i| 200.0 + 1.0 * m * (1u64 << i) as f64 + 20.0).sum();
         assert!((rd - expect).abs() < 1e-9);
         // Flat XOR {4}: (2^4 - 1)(λ + τ m + δ·avg).
         let flat = allgather_time(&p, m, d, &[4]);
@@ -160,8 +158,7 @@ mod tests {
         let m = 8.0;
         // Binomial {1,1,1}: portions 4m, 2m, m.
         let tree = scatter_time(&p, m, d, &[1, 1, 1]);
-        let expect: f64 =
-            (200.0 + 4.0 * m + 20.0) + (200.0 + 2.0 * m + 20.0) + (200.0 + m + 20.0);
+        let expect: f64 = (200.0 + 4.0 * m + 20.0) + (200.0 + 2.0 * m + 20.0) + (200.0 + m + 20.0);
         assert!((tree - expect).abs() < 1e-9, "{tree} vs {expect}");
         // Direct {3}: 7 sends of m bytes at average distance 12/7.
         let direct = scatter_time(&p, m, d, &[3]);

@@ -3,6 +3,7 @@
 
 use crate::{multiphase_time, MachineParams};
 use mce_partitions::{partitions, Partition};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Predicted time of one partition at one block size.
@@ -36,8 +37,12 @@ pub fn sweep(p: &MachineParams, d: u32, m_max: f64, step: f64) -> Vec<SweepRow> 
         }
         v
     };
+    // One independent prediction curve per partition: fan the rows
+    // out across cores. Each row's arithmetic is identical to the
+    // sequential version, so results are bit-equal, just reordered in
+    // time.
     partitions(d)
-        .into_iter()
+        .into_par_iter()
         .map(|part| {
             let points = sizes
                 .iter()

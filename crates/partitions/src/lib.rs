@@ -27,7 +27,9 @@ pub use count::{count, count_table};
 pub use enumerate::{partitions, Partitions};
 
 /// A partition of an integer, stored in canonical non-increasing order.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Partition(Vec<u32>);
 
 impl Partition {

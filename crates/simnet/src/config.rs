@@ -99,7 +99,8 @@ impl SimConfig {
     /// zero-byte (synchronization) messages.
     pub fn transmission_ns(&self, bytes: usize, hops: u32) -> u64 {
         let lambda = if bytes == 0 { self.params.lambda_zero } else { self.params.lambda };
-        us_to_ns(lambda) + us_to_ns(self.params.tau) * bytes as u64
+        us_to_ns(lambda)
+            + us_to_ns(self.params.tau) * bytes as u64
             + us_to_ns(self.params.delta) * hops as u64
     }
 

@@ -6,18 +6,50 @@
 //! UNFORCED delivery semantics and global barriers. Runs are
 //! deterministic: events are ordered by `(time, sequence)` and all
 //! iteration orders are fixed.
+//!
+//! # Hot-path internals
+//!
+//! The engine is the throughput ceiling for every figure, sweep and
+//! property suite in this repository, so its inner loop avoids
+//! per-event allocation and rescanning:
+//!
+//! * **Compiled programs** — before the run, each node's [`Op`] list
+//!   is compiled once: every `(src, tag)` message key is resolved to a
+//!   dense per-node *slot index* (receives are posted at most once per
+//!   key, so a slot is a single-use cell holding the posted range, the
+//!   delivered flag and any buffered UNFORCED payload), and every
+//!   `Send` gets its e-cube path precomputed into an inline
+//!   fixed-capacity link array (one hop per cube dimension) plus the receiver-side slot
+//!   it will deliver into. The event loop then executes ops by
+//!   reference — no `op.clone()`, no hash lookups.
+//! * **Zero-copy payloads** — payload bytes are copied out of the
+//!   sender's memory into a pooled buffer and *moved* through the
+//!   transmission to delivery (or to the UNFORCED buffer slot), where
+//!   the buffer returns to the pool. The only copies are the two
+//!   unavoidable memory-to-wire and wire-to-memory ones.
+//! * **Wait-queues** — a transmission that fails to start registers
+//!   watchers on the directed links of its segment, on the NIC state
+//!   of the affected endpoints, and (for the concurrency-window rule)
+//!   on the earliest future time its blocking condition can lapse.
+//!   A released link wakes only the transmissions actually blocked on
+//!   it. Woken candidates are retried in global issue order, exactly
+//!   reproducing the start order, one-shot blocking flags and wait
+//!   accounting of the previous full-rescan implementation (see the
+//!   determinism-snapshot suite in `mce-core`).
 
 use crate::config::{SimConfig, SwitchingMode};
+use crate::fxhash::FxHashMap;
 use crate::link::{LinkTable, TransmissionId};
 use crate::message::{MsgKind, Tag};
 use crate::program::{Op, Program};
 use crate::stats::{SimStats, TraceEvent};
 use crate::time::SimTime;
-use mce_hypercube::routing::{ecube_path, DirectedLink};
+use mce_hypercube::routing::DirectedLink;
 use mce_hypercube::NodeId;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,7 +90,12 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Deadlock { stuck, forced_drops } => {
-                write!(f, "deadlock: {} node(s) stuck ({} forced drops):", stuck.len(), forced_drops)?;
+                write!(
+                    f,
+                    "deadlock: {} node(s) stuck ({} forced drops):",
+                    stuck.len(),
+                    forced_drops
+                )?;
                 for (n, r) in stuck.iter().take(8) {
                     write!(f, " [{n}: {r}]")?;
                 }
@@ -92,25 +129,223 @@ pub struct SimResult {
     pub trace: Vec<TraceEvent>,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Longest e-cube path the inline link array can hold: one hop per
+/// cube dimension, matching `mce_hypercube::MAX_DIMENSION`.
+const MAX_HOPS: usize = mce_hypercube::MAX_DIMENSION as usize;
+
+/// Sentinel for "the receiver never posts this key".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Stack buffer an e-cube route expands into (no heap allocation).
+type RouteBuf = [DirectedLink; MAX_HOPS];
+
+/// A route is fully determined by its source and the XOR mask of the
+/// endpoints; this expands it hop by hop — correcting the lowest
+/// differing bit first, identical to [`ecube_path`] — into `buf` and
+/// returns the populated prefix.
+#[inline]
+fn expand_route(src: NodeId, mask: u32, buf: &mut RouteBuf) -> &[DirectedLink] {
+    debug_assert!(mask.count_ones() as usize <= MAX_HOPS);
+    let mut cur = src.0;
+    let mut diff = mask;
+    let mut len = 0usize;
+    while diff != 0 {
+        let next = cur ^ (diff & diff.wrapping_neg());
+        buf[len] = DirectedLink { from: NodeId(cur), to: NodeId(next) };
+        cur = next;
+        diff &= diff - 1;
+        len += 1;
+    }
+    &buf[..len]
+}
+
+#[inline]
+fn fresh_route_buf() -> RouteBuf {
+    [DirectedLink { from: NodeId(0), to: NodeId(0) }; MAX_HOPS]
+}
+
+/// A [`Program`] op with every per-event lookup resolved up front.
+#[derive(Debug, Clone)]
+enum CompiledOp {
+    PostRecv { slot: u32, tag: Tag, into: Range<usize> },
+    Send { dst: NodeId, from: Range<usize>, tag: Tag, kind: MsgKind, dst_slot: u32 },
+    WaitRecv { slot: u32, src: NodeId, tag: Tag },
+    Permute { perm: Arc<Vec<u32>>, block_bytes: usize },
+    Barrier,
+    Compute { ns: u64 },
+    Mark { label: u32 },
+}
+
+/// One node's compiled program plus its message-slot count.
+struct CompiledProgram {
+    ops: Vec<CompiledOp>,
+    num_slots: u32,
+}
+
+/// Pack a `(src, tag)` message key into one flat word for fast
+/// sorted-array searches.
+#[inline]
+fn pack_key(src: NodeId, tag: Tag) -> u128 {
+    ((src.0 as u128) << 64) | tag.0 as u128
+}
+
+/// Collect each node's posted `(src, tag)` keys, sorted for binary
+/// search. Duplicate posts are rejected later by the compile pass, so
+/// keys are unique and each slot is single-use.
+fn slot_keys(program: &Program) -> Vec<u128> {
+    let mut keys: Vec<u128> = program
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            Op::PostRecv { src, tag, .. } => Some(pack_key(*src, *tag)),
+            _ => None,
+        })
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Everything [`compile`] produces for one run.
+struct Compiled {
+    programs: Vec<CompiledProgram>,
+    /// Total `Send` ops across all nodes (capacity hint).
+    total_sends: usize,
+}
+
+/// Compile and validate in one pass over the ops. The checks (and
+/// their error strings) mirror [`Program::validate`]; fusing them into
+/// the compile walk and caching shared permutation validations keeps
+/// run startup off the benchmark's critical path.
+fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimError> {
+    let keys: Vec<Vec<u128>> = programs.iter().map(slot_keys).collect();
+    let slot_of = |node: usize, key: u128| -> u32 {
+        match keys[node].binary_search(&key) {
+            Ok(i) => i as u32,
+            Err(_) => NO_SLOT,
+        }
+    };
+    // Shuffle permutations are shared (`Arc`) across nodes: validate
+    // each distinct one once instead of once per node.
+    let mut checked_perms: crate::fxhash::FxHashSet<usize> = Default::default();
+    let mut total_sends = 0usize;
+    let mut compiled = Vec::with_capacity(programs.len());
+    let mut posted_bits: Vec<u64> = Vec::new();
+    for (x, program) in programs.iter().enumerate() {
+        let memory_len = memories[x].len();
+        let invalid = |i: usize, msg: String| SimError::InvalidProgram {
+            node: NodeId(x as u32),
+            reason: format!("op {i}: {msg}"),
+        };
+        posted_bits.clear();
+        posted_bits.resize(keys[x].len().div_ceil(64), 0);
+        let mut ops = Vec::with_capacity(program.ops.len());
+        for (i, op) in program.ops.iter().enumerate() {
+            let cop = match op {
+                Op::PostRecv { src, tag, into } => {
+                    if into.end > memory_len {
+                        return Err(invalid(
+                            i,
+                            format!("recv range {into:?} exceeds memory {memory_len}"),
+                        ));
+                    }
+                    let slot = slot_of(x, pack_key(*src, *tag));
+                    let (word, bit) = (slot as usize / 64, 1u64 << (slot % 64));
+                    if posted_bits[word] & bit != 0 {
+                        return Err(invalid(i, format!("duplicate post for ({src}, {tag})")));
+                    }
+                    posted_bits[word] |= bit;
+                    CompiledOp::PostRecv { slot, tag: *tag, into: into.clone() }
+                }
+                Op::Send { dst, from, tag, kind } => {
+                    if from.end > memory_len {
+                        return Err(invalid(
+                            i,
+                            format!("send range {from:?} exceeds memory {memory_len}"),
+                        ));
+                    }
+                    let mask = x as u32 ^ dst.0;
+                    if mask.count_ones() as usize > MAX_HOPS {
+                        return Err(invalid(
+                            i,
+                            format!("send to {dst}: path exceeds {MAX_HOPS} hops"),
+                        ));
+                    }
+                    total_sends += 1;
+                    CompiledOp::Send {
+                        dst: *dst,
+                        from: from.clone(),
+                        tag: *tag,
+                        kind: *kind,
+                        dst_slot: slot_of(dst.index(), pack_key(NodeId(x as u32), *tag)),
+                    }
+                }
+                Op::WaitRecv { src, tag } => {
+                    let slot = slot_of(x, pack_key(*src, *tag));
+                    let posted = slot != NO_SLOT
+                        && posted_bits[slot as usize / 64] & (1u64 << (slot % 64)) != 0;
+                    if !posted {
+                        return Err(invalid(i, format!("WaitRecv ({src}, {tag}) never posted")));
+                    }
+                    CompiledOp::WaitRecv { slot, src: *src, tag: *tag }
+                }
+                Op::Permute { perm, block_bytes } => {
+                    let n = perm.len();
+                    if n * block_bytes > memory_len {
+                        return Err(invalid(
+                            i,
+                            format!(
+                                "permute covers {} bytes > memory {memory_len}",
+                                n * block_bytes
+                            ),
+                        ));
+                    }
+                    if checked_perms.insert(Arc::as_ptr(perm) as usize) {
+                        let mut seen = vec![false; n];
+                        for &p in perm.iter() {
+                            if p as usize >= n || seen[p as usize] {
+                                return Err(invalid(i, "perm is not a permutation".to_string()));
+                            }
+                            seen[p as usize] = true;
+                        }
+                    }
+                    CompiledOp::Permute { perm: Arc::clone(perm), block_bytes: *block_bytes }
+                }
+                Op::Barrier => CompiledOp::Barrier,
+                Op::Compute { ns } => CompiledOp::Compute { ns: *ns },
+                Op::Mark { label } => CompiledOp::Mark { label: *label },
+            };
+            ops.push(cop);
+        }
+        compiled.push(CompiledProgram { ops, num_slots: keys[x].len() as u32 });
+    }
+    Ok(Compiled { programs: compiled, total_sends })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
     Ready,
-    Waiting(NodeId, Tag),
+    /// Waiting on the message bound to this slot of the node.
+    Waiting(u32),
     InBarrier,
     Sending(TransmissionId),
     Done,
+}
+
+/// Single-use receive cell for one `(src, tag)` key.
+#[derive(Debug, Default)]
+struct Slot {
+    posted: Option<Range<usize>>,
+    delivered: bool,
+    /// UNFORCED payload that arrived before its receive was posted.
+    buffered: Option<Vec<u8>>,
 }
 
 #[derive(Debug)]
 struct NodeState {
     pc: usize,
     status: Status,
-    /// Posted receives not yet consumed: (src, tag) -> memory range.
-    posted: HashMap<(NodeId, Tag), Range<usize>>,
-    /// Arrived-and-delivered message keys.
-    delivered: std::collections::HashSet<(NodeId, Tag)>,
-    /// UNFORCED arrivals buffered before their receive was posted.
-    buffered: HashMap<(NodeId, Tag), Vec<u8>>,
+    slots: Vec<Slot>,
     /// Active outgoing transmission interval (id, start, end).
     outgoing: Option<(TransmissionId, SimTime, SimTime)>,
     /// Active incoming transmission intervals (id, start, end).
@@ -119,13 +354,11 @@ struct NodeState {
 }
 
 impl NodeState {
-    fn new() -> Self {
+    fn new(num_slots: u32) -> Self {
         NodeState {
             pc: 0,
             status: Status::Ready,
-            posted: HashMap::new(),
-            delivered: std::collections::HashSet::new(),
-            buffered: HashMap::new(),
+            slots: (0..num_slots).map(|_| Slot::default()).collect(),
             outgoing: None,
             incoming: Vec::new(),
             finish: SimTime::ZERO,
@@ -140,7 +373,10 @@ struct Transmission {
     tag: Tag,
     kind: MsgKind,
     payload: Vec<u8>,
-    links: Vec<DirectedLink>,
+    /// XOR mask of the endpoints; the e-cube route expands from
+    /// `(src, mask)` on demand.
+    mask: u32,
+    dst_slot: u32,
     /// Circuit mode: total end-to-end duration. Store-and-forward
     /// mode: the duration of ONE hop.
     duration_ns: u64,
@@ -150,6 +386,11 @@ struct Transmission {
     requested_at: SimTime,
     blocked_by_link: bool,
     blocked_by_nic: bool,
+    /// Queue sequence of the current pending stint; orders retries the
+    /// way the old full-rescan ordered its pending list.
+    qseq: u64,
+    /// Whether the transmission is issued/requeued but not started.
+    pending: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +406,7 @@ pub struct Simulator {
     programs: Vec<Program>,
     memories: Vec<Vec<u8>>,
     trace_enabled: bool,
+    ran: bool,
 }
 
 impl Simulator {
@@ -176,7 +418,7 @@ impl Simulator {
     pub fn new(cfg: SimConfig, programs: Vec<Program>, memories: Vec<Vec<u8>>) -> Self {
         assert_eq!(programs.len(), cfg.num_nodes(), "one program per node required");
         assert_eq!(memories.len(), cfg.num_nodes(), "one memory per node required");
-        Simulator { cfg, programs, memories, trace_enabled: false }
+        Simulator { cfg, programs, memories, trace_enabled: false, ran: false }
     }
 
     /// Enable event tracing (records every transmission start/end).
@@ -187,21 +429,27 @@ impl Simulator {
 
     /// Run to completion, returning timings, statistics and final
     /// memories, or an error describing the failure.
+    ///
+    /// The initial memories are moved into the run and handed back in
+    /// [`SimResult::memories`] without a defensive copy, so a
+    /// simulator is single-shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called a second time — rebuild the [`Simulator`]
+    /// (program compilation is per-run anyway) to simulate again.
     pub fn run(&mut self) -> Result<SimResult, SimError> {
-        for (i, p) in self.programs.iter().enumerate() {
-            p.validate(self.memories[i].len())
-                .map_err(|reason| SimError::InvalidProgram { node: NodeId(i as u32), reason })?;
-        }
-        let mut rt = Runtime::new(&self.cfg, &self.programs, std::mem::take(&mut self.memories), self.trace_enabled);
-        let out = rt.run(&self.programs);
-        // Allow re-running: put memories back on failure paths too.
-        match out {
-            Ok(result) => {
-                self.memories = result.memories.clone();
-                Ok(result)
-            }
-            Err(e) => Err(e),
-        }
+        assert!(!self.ran, "Simulator::run is single-shot; build a new Simulator to re-run");
+        self.ran = true;
+        let Compiled { programs, total_sends } = compile(&self.programs, &self.memories)?;
+        let mut rt = Runtime::new(
+            &self.cfg,
+            &programs,
+            total_sends,
+            std::mem::take(&mut self.memories),
+            self.trace_enabled,
+        );
+        rt.run(&programs)
     }
 }
 
@@ -210,12 +458,38 @@ struct Runtime<'c> {
     nodes: Vec<NodeState>,
     memories: Vec<Vec<u8>>,
     links: LinkTable,
-    transmissions: HashMap<TransmissionId, Transmission>,
-    /// Transmissions issued but not yet started, in issue order.
-    pending: Vec<TransmissionId>,
+    /// Slab of transmissions, indexed by `tid - 1`; entries are taken
+    /// on completion.
+    transmissions: Vec<Option<Transmission>>,
+    /// Pending transmissions due a start attempt, kept sorted by
+    /// queue sequence (global issue order). Almost always one entry
+    /// deep, so a sorted vector beats a tree.
+    dirty: Vec<(u64, TransmissionId)>,
+    /// Transmissions watching a directed link for acquires/releases.
+    link_watch: FxHashMap<DirectedLink, Vec<TransmissionId>>,
+    /// Live registrations across all link watch lists; zero lets the
+    /// wake path skip its hash lookups entirely on contention-free
+    /// runs.
+    link_watch_entries: usize,
+    /// Transmissions watching a node's NIC intervals.
+    node_watch: Vec<Vec<TransmissionId>>,
+    /// `(time_ns, qseq, tid)` wake-ups for NIC-window conditions that
+    /// lapse by the passage of time alone.
+    lapse: BinaryHeap<Reverse<(u64, u64, TransmissionId)>>,
+    /// Reusable payload buffers.
+    pool: Vec<Vec<u8>>,
+    /// Reusable scratch for block permutations.
+    scratch: Vec<u8>,
     heap: BinaryHeap<Reverse<(SimTime, u64, EventKey)>>,
+    /// Events scheduled for the time currently being processed, in
+    /// push (= sequence) order. Same-time wake-ups dominate the event
+    /// mix and skip the heap entirely.
+    fifo: std::collections::VecDeque<EventKey>,
+    /// The simulated time currently being drained.
+    cur_t: SimTime,
     seq: u64,
     next_tid: TransmissionId,
+    next_qseq: u64,
     barrier_entered: u64,
     stats: SimStats,
     trace: Vec<TraceEvent>,
@@ -239,18 +513,33 @@ impl From<Event> for EventKey {
 }
 
 impl<'c> Runtime<'c> {
-    fn new(cfg: &'c SimConfig, programs: &[Program], memories: Vec<Vec<u8>>, trace_enabled: bool) -> Self {
+    fn new(
+        cfg: &'c SimConfig,
+        programs: &[CompiledProgram],
+        total_sends: usize,
+        memories: Vec<Vec<u8>>,
+        trace_enabled: bool,
+    ) -> Self {
         let n = programs.len();
         Runtime {
             cfg,
-            nodes: (0..n).map(|_| NodeState::new()).collect(),
+            nodes: programs.iter().map(|p| NodeState::new(p.num_slots)).collect(),
             memories,
-            links: LinkTable::new(),
-            transmissions: HashMap::new(),
-            pending: Vec::new(),
-            heap: BinaryHeap::new(),
+            links: LinkTable::for_cube(cfg.dimension),
+            transmissions: Vec::with_capacity(total_sends),
+            dirty: Vec::new(),
+            link_watch: FxHashMap::default(),
+            link_watch_entries: 0,
+            node_watch: (0..n).map(|_| Vec::new()).collect(),
+            lapse: BinaryHeap::new(),
+            pool: Vec::new(),
+            scratch: Vec::new(),
+            heap: BinaryHeap::with_capacity(total_sends + 2 * n),
+            fifo: std::collections::VecDeque::with_capacity(64),
+            cur_t: SimTime(u64::MAX),
             seq: 0,
             next_tid: 1,
+            next_qseq: 0,
             barrier_entered: 0,
             stats: SimStats::default(),
             trace: Vec::new(),
@@ -259,15 +548,62 @@ impl<'c> Runtime<'c> {
     }
 
     fn push(&mut self, at: SimTime, ev: Event) {
-        self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, ev.into())));
+        if at == self.cur_t {
+            // Same-time events keep sequence order by construction:
+            // everything already in the heap for this instant was
+            // pushed earlier (smaller sequence), everything pushed now
+            // appends in order.
+            self.fifo.push_back(ev.into());
+        } else {
+            self.seq += 1;
+            self.heap.push(Reverse((at, self.seq, ev.into())));
+        }
     }
 
-    fn run(&mut self, programs: &[Program]) -> Result<SimResult, SimError> {
+    #[inline]
+    fn tr(&self, id: TransmissionId) -> &Transmission {
+        self.transmissions[(id - 1) as usize].as_ref().expect("unknown transmission")
+    }
+
+    #[inline]
+    fn tr_mut(&mut self, id: TransmissionId) -> &mut Transmission {
+        self.transmissions[(id - 1) as usize].as_mut().expect("unknown transmission")
+    }
+
+    fn take_tr(&mut self, id: TransmissionId) -> Transmission {
+        self.transmissions[(id - 1) as usize].take().expect("unknown transmission")
+    }
+
+    /// Return a payload buffer to the pool.
+    fn recycle(&mut self, buf: Vec<u8>) {
+        // A handful of buffers covers every workload: payloads within
+        // one run are near-uniform in size.
+        if self.pool.len() < 64 {
+            self.pool.push(buf);
+        }
+    }
+
+    fn run(&mut self, programs: &[CompiledProgram]) -> Result<SimResult, SimError> {
         for i in 0..self.nodes.len() {
             self.push(SimTime::ZERO, Event::NodeReady(NodeId(i as u32)));
         }
-        while let Some(Reverse((t, _, key))) = self.heap.pop() {
+        loop {
+            // Heap entries for the current instant precede queued
+            // same-time events (they carry smaller sequence numbers);
+            // the queue only drains once the heap has none left, and
+            // time only advances once the queue is empty.
+            let (t, key) = if matches!(self.heap.peek(), Some(&Reverse((ht, _, _))) if ht == self.cur_t)
+            {
+                let Reverse((t, _, k)) = self.heap.pop().expect("peeked entry");
+                (t, k)
+            } else if let Some(k) = self.fifo.pop_front() {
+                (self.cur_t, k)
+            } else if let Some(Reverse((t, _, k))) = self.heap.pop() {
+                self.cur_t = t;
+                (t, k)
+            } else {
+                break;
+            };
             match key {
                 EventKey::NodeReady(n) => self.step_node(NodeId(n), t, programs)?,
                 EventKey::TransmissionEnd(id) => self.finish_transmission(id, t)?,
@@ -280,8 +616,13 @@ impl<'c> Runtime<'c> {
             .enumerate()
             .filter(|(_, s)| s.status != Status::Done)
             .map(|(i, s)| {
-                let reason = match &s.status {
-                    Status::Waiting(src, tag) => format!("waiting for ({src}, {tag})"),
+                let reason = match s.status {
+                    Status::Waiting(_) => match programs[i].ops.get(s.pc) {
+                        Some(CompiledOp::WaitRecv { src, tag, .. }) => {
+                            format!("waiting for ({src}, {tag})")
+                        }
+                        _ => "waiting".to_string(),
+                    },
                     Status::InBarrier => "in barrier".to_string(),
                     Status::Sending(id) => format!("sending #{id}"),
                     other => format!("{other:?}"),
@@ -304,7 +645,12 @@ impl<'c> Runtime<'c> {
 
     /// Execute ops at node `x` starting at time `t` until it blocks,
     /// yields, or finishes.
-    fn step_node(&mut self, x: NodeId, t: SimTime, programs: &[Program]) -> Result<(), SimError> {
+    fn step_node(
+        &mut self,
+        x: NodeId,
+        t: SimTime,
+        programs: &[CompiledProgram],
+    ) -> Result<(), SimError> {
         let xi = x.index();
         if self.nodes[xi].status == Status::Done {
             return Ok(()); // stale wake-up after completion
@@ -317,42 +663,51 @@ impl<'c> Runtime<'c> {
                 self.nodes[xi].finish = t;
                 return Ok(());
             };
-            match op.clone() {
-                Op::PostRecv { src, tag, into } => {
+            match op {
+                CompiledOp::PostRecv { slot, tag, into } => {
                     self.nodes[xi].pc += 1;
-                    if let Some(payload) = self.nodes[xi].buffered.remove(&(src, tag)) {
+                    let slot = *slot as usize;
+                    if let Some(payload) = self.nodes[xi].slots[slot].buffered.take() {
                         // Late post of a buffered UNFORCED message.
-                        self.deliver_into(x, src, tag, &payload, into)?;
+                        self.deliver_into(x, slot, *tag, &payload, into.clone())?;
+                        self.recycle(payload);
                     } else {
-                        self.nodes[xi].posted.insert((src, tag), into);
+                        self.nodes[xi].slots[slot].posted = Some(into.clone());
                     }
                 }
-                Op::Send { dst, from, tag, kind } => {
-                    assert_ne!(dst, x, "self-send is not modelled; use Permute/Compute");
+                CompiledOp::Send { dst, from, tag, kind, dst_slot } => {
+                    assert_ne!(*dst, x, "self-send is not modelled; use Permute/Compute");
                     self.nodes[xi].pc += 1;
-                    let id = self.issue_transmission(x, dst, tag, kind, from, t);
+                    let (dst, from, tag, kind, dst_slot) =
+                        (*dst, from.clone(), *tag, *kind, *dst_slot);
+                    let id = self.issue_transmission(x, dst, tag, kind, from, dst_slot, t);
                     self.nodes[xi].status = Status::Sending(id);
-                    self.try_start_pending(t);
+                    self.run_pending_scan(t);
                     return Ok(());
                 }
-                Op::WaitRecv { src, tag } => {
-                    if self.nodes[xi].delivered.contains(&(src, tag)) {
+                CompiledOp::WaitRecv { slot, .. } => {
+                    if self.nodes[xi].slots[*slot as usize].delivered {
                         self.nodes[xi].pc += 1;
                     } else {
-                        self.nodes[xi].status = Status::Waiting(src, tag);
+                        self.nodes[xi].status = Status::Waiting(*slot);
                         return Ok(());
                     }
                 }
-                Op::Permute { perm, block_bytes } => {
+                CompiledOp::Permute { perm, block_bytes } => {
                     self.nodes[xi].pc += 1;
                     let total = perm.len() * block_bytes;
-                    apply_block_permutation(&mut self.memories[xi], &perm, block_bytes);
+                    apply_block_permutation(
+                        &mut self.memories[xi],
+                        perm,
+                        *block_bytes,
+                        &mut self.scratch,
+                    );
                     let dur = self.cfg.shuffle_ns(total);
                     self.push(t.plus_ns(dur), Event::NodeReady(x));
                     self.nodes[xi].status = Status::Ready;
                     return Ok(());
                 }
-                Op::Barrier => {
+                CompiledOp::Barrier => {
                     self.nodes[xi].pc += 1;
                     self.nodes[xi].status = Status::InBarrier;
                     self.barrier_entered += 1;
@@ -369,14 +724,14 @@ impl<'c> Runtime<'c> {
                     }
                     return Ok(());
                 }
-                Op::Compute { ns } => {
+                CompiledOp::Compute { ns } => {
                     self.nodes[xi].pc += 1;
-                    self.push(t.plus_ns(ns), Event::NodeReady(x));
+                    self.push(t.plus_ns(*ns), Event::NodeReady(x));
                     return Ok(());
                 }
-                Op::Mark { label } => {
+                CompiledOp::Mark { label } => {
                     self.nodes[xi].pc += 1;
-                    let entry = self.stats.marks.entry(label).or_insert(t);
+                    let entry = self.stats.marks.entry(*label).or_insert(t);
                     if *entry < t {
                         *entry = t;
                     }
@@ -385,6 +740,7 @@ impl<'c> Runtime<'c> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn issue_transmission(
         &mut self,
         src: NodeId,
@@ -392,88 +748,175 @@ impl<'c> Runtime<'c> {
         tag: Tag,
         kind: MsgKind,
         from: Range<usize>,
+        dst_slot: u32,
         t: SimTime,
     ) -> TransmissionId {
         let id = self.next_tid;
         self.next_tid += 1;
-        let payload = self.memories[src.index()][from].to_vec();
-        let path = ecube_path(src, dst);
-        let links: Vec<DirectedLink> = path.links().collect();
-        let hops = links.len() as u32;
+        let payload = {
+            let mut buf = self.pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend_from_slice(&self.memories[src.index()][from]);
+            buf
+        };
+        let mask = src.0 ^ dst.0;
+        let hops = mask.count_ones();
         let mut duration_ns = match self.cfg.switching {
             SwitchingMode::Circuit => self.cfg.transmission_ns(payload.len(), hops),
             SwitchingMode::StoreAndForward => self.cfg.hop_ns(payload.len()),
         };
         if kind == MsgKind::Unforced && payload.len() > self.cfg.params.unforced_threshold {
-            duration_ns += self.cfg.reserve_ack_ns(if self.cfg.switching == SwitchingMode::Circuit {
-                hops
-            } else {
-                1
-            });
+            duration_ns +=
+                self.cfg.reserve_ack_ns(if self.cfg.switching == SwitchingMode::Circuit {
+                    hops
+                } else {
+                    1
+                });
             self.stats.reserve_handshakes += 1;
         }
         if self.cfg.jitter_frac > 0.0 {
             duration_ns = jitter(duration_ns, self.cfg.jitter_frac, self.cfg.seed, id);
         }
-        self.transmissions.insert(
-            id,
-            Transmission {
-                src,
-                dst,
-                tag,
-                kind,
-                payload,
-                links,
-                duration_ns,
-                hop_idx: 0,
-                requested_at: t,
-                blocked_by_link: false,
-                blocked_by_nic: false,
-            },
-        );
-        self.pending.push(id);
+        let qseq = self.next_qseq;
+        self.next_qseq += 1;
+        debug_assert_eq!(self.transmissions.len() as u64, id - 1);
+        self.transmissions.push(Some(Transmission {
+            src,
+            dst,
+            tag,
+            kind,
+            payload,
+            mask,
+            dst_slot,
+            duration_ns,
+            hop_idx: 0,
+            requested_at: t,
+            blocked_by_link: false,
+            blocked_by_nic: false,
+            qseq,
+            pending: true,
+        }));
+        self.dirty_insert((qseq, id));
         id
     }
 
-    /// Attempt to start every pending transmission, in issue order.
-    fn try_start_pending(&mut self, t: SimTime) {
-        let mut i = 0;
-        while i < self.pending.len() {
-            let id = self.pending[i];
-            if self.try_start(id, t) {
-                self.pending.remove(i);
-            } else {
-                i += 1;
+    /// Sorted-unique insert into the dirty list.
+    fn dirty_insert(&mut self, key: (u64, TransmissionId)) {
+        match self.dirty.binary_search(&key) {
+            Ok(_) => {}
+            Err(i) => self.dirty.insert(i, key),
+        }
+    }
+
+    /// Move every watcher of the segment's links onto the dirty set.
+    /// Called for both acquires (a watcher may need its blocked-by-link
+    /// flag and contention accounting updated) and releases (a watcher
+    /// may now start).
+    fn wake_link_watchers(&mut self, segment: &[DirectedLink]) {
+        if self.link_watch_entries == 0 {
+            return;
+        }
+        for link in segment {
+            let Some(watchers) = self.link_watch.get_mut(link) else { continue };
+            if watchers.is_empty() {
+                continue;
+            }
+            let woken = std::mem::take(watchers);
+            self.link_watch_entries -= woken.len();
+            for id in woken {
+                if let Some(Some(tr)) = self.transmissions.get((id - 1) as usize) {
+                    if tr.pending {
+                        let key = (tr.qseq, id);
+                        self.dirty_insert(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move every watcher of node `x`'s NIC state onto the dirty set.
+    fn wake_node_watchers(&mut self, x: NodeId) {
+        if self.node_watch[x.index()].is_empty() {
+            return;
+        }
+        let woken = std::mem::take(&mut self.node_watch[x.index()]);
+        for id in woken {
+            if let Some(Some(tr)) = self.transmissions.get((id - 1) as usize) {
+                if tr.pending {
+                    let key = (tr.qseq, id);
+                    self.dirty_insert(key);
+                }
+            }
+        }
+    }
+
+    /// Retry dirty pending transmissions in global queue order at time
+    /// `t`. Equivalent to one pass of the old `try_start_pending`
+    /// rescan: candidates dirtied *during* the pass join it only at
+    /// positions after the current cursor (exactly the state a single
+    /// in-order sweep would observe); earlier ones stay dirty for the
+    /// next trigger.
+    fn run_pending_scan(&mut self, t: SimTime) {
+        // Time-lapse wake-ups: NIC-window conditions expired by t.
+        while let Some(&Reverse((at, qseq, id))) = self.lapse.peek() {
+            if at > t.as_ns() {
+                break;
+            }
+            self.lapse.pop();
+            if let Some(Some(tr)) = self.transmissions.get((id - 1) as usize) {
+                if tr.pending && tr.qseq == qseq {
+                    self.dirty_insert((qseq, id));
+                }
+            }
+        }
+        let mut cursor: Option<(u64, TransmissionId)> = None;
+        loop {
+            // First dirty key strictly beyond the cursor; entries
+            // dirtied mid-scan at earlier positions wait for the next
+            // trigger, exactly like the old one-pass rescan.
+            let idx = match cursor {
+                None => 0,
+                Some(c) => self.dirty.partition_point(|&k| k <= c),
+            };
+            if idx >= self.dirty.len() {
+                break;
+            }
+            let key = self.dirty.remove(idx);
+            cursor = Some(key);
+            let (qseq, id) = key;
+            let alive = matches!(
+                self.transmissions.get((id - 1) as usize),
+                Some(Some(tr)) if tr.pending && tr.qseq == qseq
+            );
+            if alive {
+                self.try_start(id, t);
             }
         }
     }
 
     /// Try to establish the next segment of transmission `id` at time
     /// `t`: the whole circuit in circuit mode, the next single hop in
-    /// store-and-forward mode.
+    /// store-and-forward mode. On failure, registers the wait-queue
+    /// watchers that will re-dirty the transmission.
     fn try_start(&mut self, id: TransmissionId, t: SimTime) -> bool {
         let saf = self.cfg.switching == SwitchingMode::StoreAndForward;
-        let (src, dst, links_free, first_hop, last_hop) = {
-            let tr = &self.transmissions[&id];
-            let segment: &[DirectedLink] = if saf {
-                std::slice::from_ref(&tr.links[tr.hop_idx])
-            } else {
-                &tr.links
-            };
-            (
-                tr.src,
-                tr.dst,
-                self.links.all_free(segment),
-                tr.hop_idx == 0,
-                !saf || tr.hop_idx + 1 == tr.links.len(),
-            )
+        let (src, dst, mask, hop_idx) = {
+            let tr = self.tr(id);
+            (tr.src, tr.dst, tr.mask, tr.hop_idx)
         };
+        let mut route_buf = fresh_route_buf();
+        let route = expand_route(src, mask, &mut route_buf);
+        let segment = if saf { &route[hop_idx..hop_idx + 1] } else { route };
+        let links_free = self.links.all_free(segment);
+        let first_hop = hop_idx == 0;
+        let last_hop = !saf || hop_idx + 1 == route.len();
         if !links_free {
-            let tr = self.transmissions.get_mut(&id).unwrap();
+            let tr = self.tr_mut(id);
             if !tr.blocked_by_link {
                 tr.blocked_by_link = true;
                 self.stats.edge_contention_events += 1;
             }
+            self.watch_segment(id, segment);
             return false;
         }
         // NIC concurrency window (Section 7.2): outgoing at `src` may
@@ -494,43 +937,74 @@ impl<'c> Runtime<'c> {
             incoming_conflict || outgoing_conflict
         };
         if nic_conflict {
-            let tr = self.transmissions.get_mut(&id).unwrap();
-            if !tr.blocked_by_nic {
-                tr.blocked_by_nic = true;
-                self.stats.nic_serialization_events += 1;
+            {
+                let tr = self.tr_mut(id);
+                if !tr.blocked_by_nic {
+                    tr.blocked_by_nic = true;
+                    self.stats.nic_serialization_events += 1;
+                }
+            }
+            // Wake when one of our links is touched, when the blocking
+            // endpoints' NIC intervals change, or when the earliest
+            // blocking interval lapses by the passage of time alone.
+            self.watch_segment(id, segment);
+            let mut next_lapse = u64::MAX;
+            if first_hop {
+                if !self.node_watch[src.index()].contains(&id) {
+                    self.node_watch[src.index()].push(id);
+                }
+                for &(_, start, end) in &self.nodes[src.index()].incoming {
+                    if end > t && t.since(start) > window {
+                        next_lapse = next_lapse.min(end.as_ns());
+                    }
+                }
+            }
+            if last_hop {
+                if !self.node_watch[dst.index()].contains(&id) {
+                    self.node_watch[dst.index()].push(id);
+                }
+                if let Some((_, start, end)) = self.nodes[dst.index()].outgoing {
+                    if end > t && t.since(start) > window {
+                        next_lapse = next_lapse.min(end.as_ns());
+                    }
+                }
+            }
+            if next_lapse != u64::MAX {
+                let qseq = self.tr(id).qseq;
+                self.lapse.push(Reverse((next_lapse, qseq, id)));
             }
             return false;
         }
         // Start: hold the segment for its duration.
-        let (end, bytes, segment, tag) = {
-            let tr = self.transmissions.get_mut(&id).unwrap();
-            let end = t.plus_ns(tr.duration_ns);
-            let segment: Vec<DirectedLink> = if saf {
-                vec![tr.links[tr.hop_idx]]
-            } else {
-                tr.links.clone()
-            };
-            (end, tr.payload.len(), segment, tr.tag)
+        let (end, bytes, tag) = {
+            let tr = self.tr_mut(id);
+            tr.pending = false;
+            (t.plus_ns(tr.duration_ns), tr.payload.len(), tr.tag)
         };
-        self.links.acquire(&segment, id);
+        self.links.acquire(segment, id);
+        self.stats.link_crossings += segment.len() as u64;
         if first_hop {
             self.nodes[src.index()].outgoing = Some((id, t, end));
-        }
-        if last_hop {
-            self.nodes[dst.index()].incoming.push((id, t, end));
-        }
-        let tr = &self.transmissions[&id];
-        if first_hop {
+            self.wake_node_watchers(src);
             self.stats.transmissions += 1;
             self.stats.bytes_moved += bytes as u64;
         }
-        self.stats.link_crossings += segment.len() as u64;
-        let wait = t.since(tr.requested_at);
-        if tr.blocked_by_link {
-            self.stats.edge_contention_wait_ns += wait;
-        } else if tr.blocked_by_nic {
-            self.stats.nic_serialization_wait_ns += wait;
+        if last_hop {
+            self.nodes[dst.index()].incoming.push((id, t, end));
+            self.wake_node_watchers(dst);
         }
+        {
+            let tr = self.tr(id);
+            let wait = t.since(tr.requested_at);
+            if tr.blocked_by_link {
+                self.stats.edge_contention_wait_ns += wait;
+            } else if tr.blocked_by_nic {
+                self.stats.nic_serialization_wait_ns += wait;
+            }
+        }
+        // An acquire can flip a watcher's blocking cause; give link
+        // watchers their in-order look at the new state.
+        self.wake_link_watchers(segment);
         if first_hop && self.trace_enabled {
             self.trace.push(TraceEvent::TransmissionStart { src, dst, tag, bytes, at: t });
         }
@@ -538,51 +1012,80 @@ impl<'c> Runtime<'c> {
         true
     }
 
+    /// Register `id` on every directed link of its current segment.
+    fn watch_segment(&mut self, id: TransmissionId, segment: &[DirectedLink]) {
+        for link in segment {
+            let watchers = self.link_watch.entry(*link).or_default();
+            if !watchers.contains(&id) {
+                watchers.push(id);
+                self.link_watch_entries += 1;
+            }
+        }
+    }
+
     fn finish_transmission(&mut self, id: TransmissionId, t: SimTime) -> Result<(), SimError> {
         if self.cfg.switching == SwitchingMode::StoreAndForward {
             // Release the completed hop; advance or deliver.
-            let (done, was_first) = {
-                let tr = self.transmissions.get_mut(&id).unwrap();
-                let hop = tr.links[tr.hop_idx];
+            let (done, was_first, hop) = {
+                let mut route_buf = fresh_route_buf();
+                let (src, mask) = {
+                    let tr = self.tr(id);
+                    (tr.src, tr.mask)
+                };
+                let route = expand_route(src, mask, &mut route_buf);
+                let tr = self.tr_mut(id);
+                let hop = route[tr.hop_idx];
                 let was_first = tr.hop_idx == 0;
                 tr.hop_idx += 1;
-                let done = tr.hop_idx == tr.links.len();
-                self.links.release(std::slice::from_ref(&hop), id);
-                (done, was_first)
+                let done = tr.hop_idx == route.len();
+                (done, was_first, hop)
             };
+            self.links.release(std::slice::from_ref(&hop), id);
+            self.wake_link_watchers(std::slice::from_ref(&hop));
             if was_first {
                 // The sender's buffer is free once the message is
                 // stored at the first intermediate node.
-                let src = self.transmissions[&id].src;
+                let src = self.tr(id).src;
                 self.nodes[src.index()].outgoing = None;
+                self.wake_node_watchers(src);
                 self.push(t, Event::NodeReady(src));
             }
             if !done {
                 // Queue the next hop (clear one-shot blocking flags so
                 // each hop's wait is accounted once).
+                let qseq = self.next_qseq;
+                self.next_qseq += 1;
                 {
-                    let tr = self.transmissions.get_mut(&id).unwrap();
+                    let tr = self.tr_mut(id);
                     tr.requested_at = t;
                     tr.blocked_by_link = false;
                     tr.blocked_by_nic = false;
+                    tr.qseq = qseq;
+                    tr.pending = true;
                 }
-                self.pending.push(id);
-                self.try_start_pending(t);
+                self.dirty_insert((qseq, id));
+                self.run_pending_scan(t);
                 return Ok(());
             }
             // Fall through to delivery below.
-            let tr = self.transmissions.remove(&id).expect("unknown transmission");
-            let dst_state = &mut self.nodes[tr.dst.index()];
-            dst_state.incoming.retain(|&(iid, _, _)| iid != id);
+            let tr = self.take_tr(id);
+            let dst = tr.dst;
+            self.nodes[dst.index()].incoming.retain(|&(iid, _, _)| iid != id);
+            self.wake_node_watchers(dst);
             return self.deliver_and_wake(tr, t, false);
         }
-        let tr = self.transmissions.remove(&id).expect("unknown transmission");
-        self.links.release(&tr.links, id);
+        let tr = self.take_tr(id);
+        let mut route_buf = fresh_route_buf();
+        let route = expand_route(tr.src, tr.mask, &mut route_buf);
+        self.links.release(route, id);
+        self.wake_link_watchers(route);
         let src_state = &mut self.nodes[tr.src.index()];
         debug_assert!(matches!(src_state.outgoing, Some((oid, _, _)) if oid == id));
         src_state.outgoing = None;
+        self.wake_node_watchers(tr.src);
         let dst_state = &mut self.nodes[tr.dst.index()];
         dst_state.incoming.retain(|&(iid, _, _)| iid != id);
+        self.wake_node_watchers(tr.dst);
 
         self.deliver_and_wake(tr, t, true)
     }
@@ -590,16 +1093,30 @@ impl<'c> Runtime<'c> {
     /// Deliver a completed transmission's payload and wake the
     /// affected nodes. `wake_sender` is false in store-and-forward
     /// mode, where the sender was already released after hop 0.
-    fn deliver_and_wake(&mut self, tr: Transmission, t: SimTime, wake_sender: bool) -> Result<(), SimError> {
+    fn deliver_and_wake(
+        &mut self,
+        tr: Transmission,
+        t: SimTime,
+        wake_sender: bool,
+    ) -> Result<(), SimError> {
         if self.trace_enabled {
-            self.trace.push(TraceEvent::TransmissionEnd { src: tr.src, dst: tr.dst, tag: tr.tag, at: t });
+            self.trace.push(TraceEvent::TransmissionEnd {
+                src: tr.src,
+                dst: tr.dst,
+                tag: tr.tag,
+                at: t,
+            });
         }
 
-        // Deliver the payload.
-        let key = (tr.src, tr.tag);
-        if let Some(into) = self.nodes[tr.dst.index()].posted.remove(&key) {
-            self.deliver_into(tr.dst, tr.src, tr.tag, &tr.payload, into)?;
-            if self.nodes[tr.dst.index()].status == Status::Waiting(tr.src, tr.tag) {
+        // Deliver the payload (moved, not cloned).
+        let di = tr.dst.index();
+        let slot = tr.dst_slot;
+        let posted =
+            if slot != NO_SLOT { self.nodes[di].slots[slot as usize].posted.take() } else { None };
+        if let Some(into) = posted {
+            self.deliver_into(tr.dst, slot as usize, tr.tag, &tr.payload, into)?;
+            self.recycle(tr.payload);
+            if self.nodes[di].status == Status::Waiting(slot) {
                 self.push(t, Event::NodeReady(tr.dst));
             }
         } else {
@@ -614,9 +1131,16 @@ impl<'c> Runtime<'c> {
                             at: t,
                         });
                     }
+                    self.recycle(tr.payload);
                 }
                 MsgKind::Unforced => {
-                    self.nodes[tr.dst.index()].buffered.insert(key, tr.payload.clone());
+                    if slot != NO_SLOT {
+                        self.nodes[di].slots[slot as usize].buffered = Some(tr.payload);
+                    } else {
+                        // The receiver never posts this key; the bytes
+                        // are unobservable.
+                        self.recycle(tr.payload);
+                    }
                 }
             }
         }
@@ -626,14 +1150,15 @@ impl<'c> Runtime<'c> {
             self.push(t, Event::NodeReady(tr.src));
         }
         // Freed links / NIC units may unblock pending circuits.
-        self.try_start_pending(t);
+        self.run_pending_scan(t);
         Ok(())
     }
 
+    /// Copy a payload into the slot's memory range and mark delivery.
     fn deliver_into(
         &mut self,
         node: NodeId,
-        src: NodeId,
+        slot: usize,
         tag: Tag,
         payload: &[u8],
         into: Range<usize>,
@@ -647,24 +1172,34 @@ impl<'c> Runtime<'c> {
             });
         }
         self.memories[node.index()][into].copy_from_slice(payload);
-        self.nodes[node.index()].delivered.insert((src, tag));
+        self.nodes[node.index()].slots[slot].delivered = true;
         Ok(())
     }
 }
 
 /// Apply a block permutation in place: block `i` moves to `perm[i]`.
-fn apply_block_permutation(memory: &mut [u8], perm: &[u32], block_bytes: usize) {
+/// `scratch` is a reusable staging buffer (grown on demand) so the hot
+/// path never allocates.
+fn apply_block_permutation(
+    memory: &mut [u8],
+    perm: &[u32],
+    block_bytes: usize,
+    scratch: &mut Vec<u8>,
+) {
     if block_bytes == 0 || perm.is_empty() {
         return;
     }
     let total = perm.len() * block_bytes;
-    let mut scratch = vec![0u8; total];
+    if scratch.len() < total {
+        scratch.resize(total, 0);
+    }
+    let scratch = &mut scratch[..total];
     for (i, &p) in perm.iter().enumerate() {
         let srcr = i * block_bytes..(i + 1) * block_bytes;
         let dstr = p as usize * block_bytes..(p as usize + 1) * block_bytes;
         scratch[dstr].copy_from_slice(&memory[srcr]);
     }
-    memory[..total].copy_from_slice(&scratch);
+    memory[..total].copy_from_slice(scratch);
 }
 
 /// Deterministic multiplicative jitter in `[1 - frac, 1 + frac]`,
@@ -683,21 +1218,45 @@ fn jitter(base_ns: u64, frac: f64, seed: u64, id: TransmissionId) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mce_hypercube::routing::ecube_path;
 
     #[test]
     fn block_permutation_applies() {
+        let mut scratch = Vec::new();
         let mut mem: Vec<u8> = (0..12).collect();
         // 3 blocks of 4 bytes; rotate blocks right: i -> (i+1) % 3.
-        apply_block_permutation(&mut mem, &[1, 2, 0], 4);
+        apply_block_permutation(&mut mem, &[1, 2, 0], 4, &mut scratch);
         assert_eq!(mem, vec![8, 9, 10, 11, 0, 1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]
     fn identity_permutation_is_noop() {
+        let mut scratch = Vec::new();
         let mut mem: Vec<u8> = (0..16).collect();
         let before = mem.clone();
-        apply_block_permutation(&mut mem, &[0, 1, 2, 3], 4);
+        apply_block_permutation(&mut mem, &[0, 1, 2, 3], 4, &mut scratch);
         assert_eq!(mem, before);
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        let mut scratch = Vec::new();
+        let mut mem: Vec<u8> = (0..32).collect();
+        apply_block_permutation(&mut mem, &[1, 0], 16, &mut scratch);
+        let cap = scratch.capacity();
+        apply_block_permutation(&mut mem, &[1, 0], 16, &mut scratch);
+        assert_eq!(scratch.capacity(), cap, "no reallocation on repeat");
+        assert_eq!(mem, (0..32).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn expanded_route_matches_ecube_route() {
+        for (s, t) in [(0u32, 0b10110u32), (5, 5), (31, 0), (2, 23)] {
+            let mut buf = fresh_route_buf();
+            let route = expand_route(NodeId(s), s ^ t, &mut buf);
+            let expected: Vec<DirectedLink> = ecube_path(NodeId(s), NodeId(t)).links().collect();
+            assert_eq!(route, &expected[..], "{s}->{t}");
+        }
     }
 
     #[test]

@@ -30,6 +30,16 @@
 //! memories, so a single run yields both a timing *and* a correctness
 //! check.
 //!
+//! Internally the engine is built for throughput (it is the ceiling on
+//! every figure sweep and property suite): programs are *compiled*
+//! before the run so each `(src, tag)` message key becomes a dense
+//! per-node slot index and every send carries a precomputed inline
+//! e-cube path; payload buffers are pooled and moved, never cloned;
+//! and blocked transmissions sit on per-link / per-NIC wait-queues so
+//! a released circuit wakes only the transmissions actually blocked on
+//! it. See the `engine` module docs for the full design and the
+//! determinism-snapshot suite in `mce-core` that pins its behaviour.
+//!
 //! # Example
 //!
 //! ```
@@ -63,6 +73,7 @@
 
 pub mod config;
 pub mod engine;
+pub(crate) mod fxhash;
 pub mod link;
 pub mod message;
 pub mod program;

@@ -4,35 +4,77 @@
 //! duration. This module tracks which transmission (if any) holds each
 //! directed link, and counts contention events for the statistics
 //! report.
+//!
+//! Storage is a dense table indexed by `(from, dimension)` — O(1)
+//! checks with no hashing on the engine's hot path. The table grows on
+//! demand, so a [`LinkTable::new`] built without a dimension hint
+//! still works for any cube.
 
 use mce_hypercube::routing::DirectedLink;
-use std::collections::HashMap;
 
 /// Identifier of a transmission within one simulation run.
 pub type TransmissionId = u64;
 
+/// Slot value marking a free link (transmission ids start at 1).
+const FREE: TransmissionId = 0;
+
 /// Occupancy table over all directed links of the cube.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LinkTable {
-    /// Current holder of each busy directed link.
-    busy: HashMap<DirectedLink, TransmissionId>,
+    /// Holder of each directed link (`FREE` = unheld), indexed by
+    /// `from * stride + dimension`.
+    busy: Vec<TransmissionId>,
+    /// Dimensions per node in the index space.
+    stride: usize,
+    /// Number of currently busy directed links.
+    busy_links: usize,
+}
+
+impl Default for LinkTable {
+    fn default() -> Self {
+        LinkTable::new()
+    }
 }
 
 impl LinkTable {
-    /// Fresh, all-free table.
+    /// Fresh, all-free table for an unknown cube size. Uses a stride
+    /// wide enough for any supported dimension.
     pub fn new() -> Self {
-        LinkTable { busy: HashMap::new() }
+        LinkTable { busy: Vec::new(), stride: 32, busy_links: 0 }
+    }
+
+    /// Fresh table sized for a `d`-dimensional cube (tighter stride
+    /// and a pre-sized backing array).
+    pub fn for_cube(d: u32) -> Self {
+        let stride = (d as usize).max(1);
+        let slots = (1usize << d) * stride;
+        LinkTable { busy: vec![FREE; slots], stride, busy_links: 0 }
+    }
+
+    #[inline]
+    fn index(&self, l: &DirectedLink) -> usize {
+        l.from.0 as usize * self.stride + l.dimension() as usize
+    }
+
+    #[inline]
+    fn holder(&self, l: &DirectedLink) -> TransmissionId {
+        let i = self.index(l);
+        if i < self.busy.len() {
+            self.busy[i]
+        } else {
+            FREE
+        }
     }
 
     /// Whether every link in `path` is currently free.
     pub fn all_free(&self, path: &[DirectedLink]) -> bool {
-        path.iter().all(|l| !self.busy.contains_key(l))
+        path.iter().all(|l| self.holder(l) == FREE)
     }
 
     /// Holders currently blocking `path` (deduplicated, sorted).
     pub fn blockers(&self, path: &[DirectedLink]) -> Vec<TransmissionId> {
         let mut ids: Vec<TransmissionId> =
-            path.iter().filter_map(|l| self.busy.get(l).copied()).collect();
+            path.iter().map(|l| self.holder(l)).filter(|&id| id != FREE).collect();
         ids.sort_unstable();
         ids.dedup();
         ids
@@ -45,23 +87,35 @@ impl LinkTable {
     /// Panics if any link is already busy — callers must check
     /// [`LinkTable::all_free`] first (the engine serializes attempts).
     pub fn acquire(&mut self, path: &[DirectedLink], id: TransmissionId) {
+        assert_ne!(id, FREE, "transmission ids start at 1");
         for l in path {
-            let prev = self.busy.insert(*l, id);
-            assert!(prev.is_none(), "link {l} already held; engine bug");
+            let i = self.index(l);
+            if i >= self.busy.len() {
+                self.busy.resize(i + 1, FREE);
+            }
+            assert_eq!(self.busy[i], FREE, "link {l} already held; engine bug");
+            self.busy[i] = id;
+            self.busy_links += 1;
         }
     }
 
     /// Release all links held by transmission `id` along `path`.
     pub fn release(&mut self, path: &[DirectedLink], id: TransmissionId) {
         for l in path {
-            let prev = self.busy.remove(l);
-            assert_eq!(prev, Some(id), "link {l} not held by {id}; engine bug");
+            let i = self.index(l);
+            assert_eq!(
+                self.busy.get(i).copied(),
+                Some(id),
+                "link {l} not held by {id}; engine bug"
+            );
+            self.busy[i] = FREE;
+            self.busy_links -= 1;
         }
     }
 
     /// Number of currently busy directed links.
     pub fn busy_count(&self) -> usize {
-        self.busy.len()
+        self.busy_links
     }
 }
 
@@ -100,6 +154,18 @@ mod tests {
         // 14->11 shares only a node with 0->31: free to proceed.
         let p3 = links_of(14, 11);
         assert!(table.all_free(&p3));
+    }
+
+    #[test]
+    fn pre_sized_table_matches_grow_on_demand() {
+        let mut grown = LinkTable::new();
+        let mut sized = LinkTable::for_cube(5);
+        for (id, (s, t)) in [(1u64, (0u32, 31u32)), (2, (14, 11)), (3, (5, 6))].into_iter() {
+            grown.acquire(&links_of(s, t), id);
+            sized.acquire(&links_of(s, t), id);
+        }
+        assert_eq!(grown.busy_count(), sized.busy_count());
+        assert_eq!(grown.blockers(&links_of(2, 23)), sized.blockers(&links_of(2, 23)));
     }
 
     #[test]

@@ -95,14 +95,20 @@ impl Program {
     /// Validate static properties: every `WaitRecv` and every expected
     /// delivery has a matching earlier `PostRecv`, and memory ranges
     /// fit within `memory_len`.
+    ///
+    /// The engine's compile pass (`engine.rs`) re-implements these
+    /// checks fused with program compilation for speed; when adding or
+    /// changing a check here, mirror it there and extend the
+    /// `compile_checks_match_program_validate` parity test.
     pub fn validate(&self, memory_len: usize) -> Result<(), String> {
-        use std::collections::HashSet;
-        let mut posted: HashSet<(NodeId, Tag)> = HashSet::new();
+        let mut posted: crate::fxhash::FxHashSet<(NodeId, Tag)> = Default::default();
         for (i, op) in self.ops.iter().enumerate() {
             match op {
                 Op::PostRecv { src, tag, into } => {
                     if into.end > memory_len {
-                        return Err(format!("op {i}: recv range {into:?} exceeds memory {memory_len}"));
+                        return Err(format!(
+                            "op {i}: recv range {into:?} exceeds memory {memory_len}"
+                        ));
                     }
                     if !posted.insert((*src, *tag)) {
                         return Err(format!("op {i}: duplicate post for ({src}, {tag})"));
@@ -110,7 +116,9 @@ impl Program {
                 }
                 Op::Send { from, .. } => {
                     if from.end > memory_len {
-                        return Err(format!("op {i}: send range {from:?} exceeds memory {memory_len}"));
+                        return Err(format!(
+                            "op {i}: send range {from:?} exceeds memory {memory_len}"
+                        ));
                     }
                 }
                 Op::WaitRecv { src, tag } => {
@@ -121,7 +129,10 @@ impl Program {
                 Op::Permute { perm, block_bytes } => {
                     let n = perm.len();
                     if n * block_bytes > memory_len {
-                        return Err(format!("op {i}: permute covers {} bytes > memory {memory_len}", n * block_bytes));
+                        return Err(format!(
+                            "op {i}: permute covers {} bytes > memory {memory_len}",
+                            n * block_bytes
+                        ));
                     }
                     let mut seen = vec![false; n];
                     for &p in perm.iter() {
@@ -193,9 +204,8 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_permutation() {
-        let p = Program {
-            ops: vec![Op::Permute { perm: Arc::new(vec![0, 0, 1, 2]), block_bytes: 4 }],
-        };
+        let p =
+            Program { ops: vec![Op::Permute { perm: Arc::new(vec![0, 0, 1, 2]), block_bytes: 4 }] };
         assert!(p.validate(64).unwrap_err().contains("not a permutation"));
     }
 }

@@ -13,9 +13,7 @@ fn empty_memories(n: usize, bytes: usize) -> Vec<Vec<u8>> {
 fn one_way(d: u32, dst: u32, bytes: usize) -> (Vec<Program>, Vec<Vec<u8>>) {
     let n = 1usize << d;
     let mut programs = vec![Program::empty(); n];
-    programs[0] = Program {
-        ops: vec![Op::send(NodeId(dst), 0..bytes, Tag::data(0, 1))],
-    };
+    programs[0] = Program { ops: vec![Op::send(NodeId(dst), 0..bytes, Tag::data(0, 1))] };
     programs[dst as usize] = Program {
         ops: vec![
             Op::post_recv(NodeId(0), Tag::data(0, 1), 0..bytes),
@@ -95,7 +93,7 @@ fn edge_contention_serializes_circuits() {
     let r = sim.run().unwrap();
     let t1 = 95.0 + 0.394 * 1000.0 + 10.3 * 5.0; // 0->31, 5 hops
     let t2 = 95.0 + 0.394 * 1000.0 + 10.3 * 3.0; // 2->23, 3 hops
-    // Node 0's circuit wins (issue order); node 2 waits out t1.
+                                                 // Node 0's circuit wins (issue order); node 2 waits out t1.
     assert!((r.finish_time.as_us() - (t1 + t2)).abs() < 1e-6);
     assert_eq!(r.stats.edge_contention_events, 1);
     assert!(r.stats.edge_contention_wait_ns > 0);
@@ -217,11 +215,7 @@ fn pairwise_sync_recovers_concurrency_despite_stagger() {
     // (wanting to start at 50) is serialized until 92.8, landing at
     // 185.6; both then start data at 185.6 concurrently.
     let expect = 2.0 * t_sync + t_data;
-    assert!(
-        (r.finish_time.as_us() - expect).abs() < 1e-6,
-        "{} vs {expect}",
-        r.finish_time.as_us()
-    );
+    assert!((r.finish_time.as_us() - expect).abs() < 1e-6, "{} vs {expect}", r.finish_time.as_us());
 }
 
 #[test]
@@ -314,9 +308,7 @@ fn large_unforced_message_pays_reserve_handshake() {
 fn barrier_costs_150_per_dimension_and_aligns_nodes() {
     let d = 3u32;
     let n = 1usize << d;
-    let mk = |stagger_ns: u64| Program {
-        ops: vec![Op::Compute { ns: stagger_ns }, Op::Barrier],
-    };
+    let mk = |stagger_ns: u64| Program { ops: vec![Op::Compute { ns: stagger_ns }, Op::Barrier] };
     let programs: Vec<Program> = (0..n).map(|i| mk(i as u64 * 1000)).collect();
     let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, empty_memories(n, 1));
     let r = sim.run().unwrap();
@@ -331,9 +323,7 @@ fn barrier_costs_150_per_dimension_and_aligns_nodes() {
 fn permute_rearranges_blocks_and_costs_rho() {
     // 4 blocks of 8 bytes, rotate-left-by-one block index map.
     let perm = std::sync::Arc::new(vec![1u32, 2, 3, 0]);
-    let programs = vec![Program {
-        ops: vec![Op::Permute { perm, block_bytes: 8 }],
-    }];
+    let programs = vec![Program { ops: vec![Op::Permute { perm, block_bytes: 8 }] }];
     let mut mems = vec![(0..32u8).collect::<Vec<u8>>()];
     let cfg = SimConfig::ipsc860(0);
     let mut sim = Simulator::new(cfg, programs, std::mem::take(&mut mems));
@@ -347,11 +337,7 @@ fn permute_rearranges_blocks_and_costs_rho() {
 #[test]
 fn marks_record_phase_times() {
     let programs = vec![Program {
-        ops: vec![
-            Op::Mark { label: 0 },
-            Op::Compute { ns: 5000 },
-            Op::Mark { label: 1 },
-        ],
+        ops: vec![Op::Mark { label: 0 }, Op::Compute { ns: 5000 }, Op::Mark { label: 1 }],
     }];
     let mut sim = Simulator::new(SimConfig::ipsc860(0), programs, empty_memories(1, 1));
     let r = sim.run().unwrap();
@@ -395,12 +381,77 @@ fn size_mismatch_is_reported() {
 
 #[test]
 fn invalid_program_rejected_up_front() {
-    let programs = vec![Program {
-        ops: vec![Op::wait_recv(NodeId(1), Tag::data(0, 1))],
-    }];
+    let programs = vec![Program { ops: vec![Op::wait_recv(NodeId(1), Tag::data(0, 1))] }];
     let mut sim = Simulator::new(SimConfig::ipsc860(0), programs, empty_memories(1, 1));
     match sim.run() {
         Err(SimError::InvalidProgram { .. }) => {}
         other => panic!("expected invalid program, got {other:?}"),
     }
+}
+
+#[test]
+fn compile_checks_match_program_validate() {
+    // The engine's fused compile pass re-implements Program::validate
+    // for speed; this pins the two to identical accept/reject
+    // decisions and identical error strings so they cannot drift.
+    let bad_programs: Vec<Program> = vec![
+        // Recv range out of memory.
+        Program { ops: vec![Op::post_recv(NodeId(1), Tag::data(0, 1), 60..100)] },
+        // Duplicate post of the same key.
+        Program {
+            ops: vec![
+                Op::post_recv(NodeId(1), Tag::data(0, 1), 0..4),
+                Op::post_recv(NodeId(1), Tag::data(0, 1), 4..8),
+            ],
+        },
+        // Send range out of memory.
+        Program { ops: vec![Op::send(NodeId(1), 0..100, Tag::data(0, 1))] },
+        // Wait for a never-posted key.
+        Program { ops: vec![Op::wait_recv(NodeId(1), Tag::data(0, 9))] },
+        // Permute exceeding memory.
+        Program {
+            ops: vec![Op::Permute {
+                perm: std::sync::Arc::new((0..40u32).collect()),
+                block_bytes: 4,
+            }],
+        },
+        // Not a permutation.
+        Program {
+            ops: vec![Op::Permute { perm: std::sync::Arc::new(vec![0, 0, 1, 2]), block_bytes: 4 }],
+        },
+    ];
+    let memory_len = 64usize;
+    for bad in bad_programs {
+        let expected = bad.validate(memory_len).expect_err("program must be invalid");
+        let mut programs = vec![Program::empty(), Program::empty()];
+        programs[0] = bad;
+        let mut sim =
+            Simulator::new(SimConfig::ipsc860(1), programs, empty_memories(2, memory_len));
+        match sim.run() {
+            Err(SimError::InvalidProgram { node, reason }) => {
+                assert_eq!(node, NodeId(0));
+                assert_eq!(reason, expected, "engine and validator must agree verbatim");
+            }
+            other => panic!("expected InvalidProgram({expected}), got {other:?}"),
+        }
+    }
+    // And a valid program passes both.
+    let good = Program {
+        ops: vec![
+            Op::post_recv(NodeId(1), Tag::data(0, 1), 0..8),
+            Op::send(NodeId(1), 8..16, Tag::data(0, 1)),
+            Op::wait_recv(NodeId(1), Tag::data(0, 1)),
+        ],
+    };
+    good.validate(memory_len).unwrap();
+    let echo = Program {
+        ops: vec![
+            Op::post_recv(NodeId(0), Tag::data(0, 1), 0..8),
+            Op::send(NodeId(0), 8..16, Tag::data(0, 1)),
+            Op::wait_recv(NodeId(0), Tag::data(0, 1)),
+        ],
+    };
+    let mut sim =
+        Simulator::new(SimConfig::ipsc860(1), vec![good, echo], empty_memories(2, memory_len));
+    sim.run().unwrap();
 }

@@ -36,7 +36,10 @@ fn saf_time_is_hops_times_hop_cost() {
                 "bytes={bytes} hops={hops}: {} vs {expect}",
                 r.finish_time.as_us()
             );
-            assert_eq!(r.memories[dst as usize][..bytes], (0..bytes).map(|i| i as u8).collect::<Vec<_>>()[..]);
+            assert_eq!(
+                r.memories[dst as usize][..bytes],
+                (0..bytes).map(|i| i as u8).collect::<Vec<_>>()[..]
+            );
         }
     }
 }
@@ -71,8 +74,8 @@ fn saf_sender_is_released_after_first_hop() {
     let mut sim = Simulator::new(cfg, programs, vec![vec![9u8; bytes]; n]);
     let r = sim.run().unwrap();
     let hop = 95.0 + 0.394 * 100.0 + 10.3; // 144.7
-    // First message delivered at 3·hop = 434.1 (node 7 finish);
-    // second send runs [hop, 2·hop], node 1 finishes at 289.4.
+                                           // First message delivered at 3·hop = 434.1 (node 7 finish);
+                                           // second send runs [hop, 2·hop], node 1 finishes at 289.4.
     assert!((r.node_finish[7].as_us() - 3.0 * hop).abs() < 1e-6);
     assert!((r.node_finish[1].as_us() - 2.0 * hop).abs() < 1e-6);
 }

@@ -75,7 +75,8 @@ fn main() {
         round_lower_bound(&perm)
     );
     let programs = build_permutation_programs(d, &perm, m);
-    let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, permutation_memories(d, &perm, m));
+    let mut sim =
+        Simulator::new(SimConfig::ipsc860(d), programs, permutation_memories(d, &perm, m));
     let r = sim.run().expect("permutation failed");
     assert!(verify_permutation(&perm, m, &r.memories));
     println!(

@@ -38,7 +38,10 @@ fn main() {
     println!("naive unscheduled all-to-all:");
     println!("  time                   {:>10.1} us", naive.finish_time.as_us());
     println!("  edge contention events {:>10}", naive.stats.edge_contention_events);
-    println!("  time lost to waiting   {:>10.1} us", naive.stats.edge_contention_wait_ns as f64 / 1000.0);
+    println!(
+        "  time lost to waiting   {:>10.1} us",
+        naive.stats.edge_contention_wait_ns as f64 / 1000.0
+    );
     println!("  NIC serializations     {:>10}\n", naive.stats.nic_serialization_events);
 
     let ex = CompleteExchange::new(d);

@@ -57,11 +57,8 @@ fn main() {
     // Cross-check against the naive 2-D DFT on small sizes.
     if n <= 32 {
         let oracle = dft2d_naive(n, &dense, Direction::Forward);
-        let max_err = spectrum
-            .iter()
-            .zip(&oracle)
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0f64, f64::max);
+        let max_err =
+            spectrum.iter().zip(&oracle).map(|(a, b)| (*a - *b).abs()).fold(0.0f64, f64::max);
         println!("\nMax deviation from naive O(n^4) DFT oracle: {max_err:.2e}");
         assert!(max_err < 1e-8);
     }
@@ -69,12 +66,8 @@ fn main() {
 
     // Round trip.
     let back = fft2d_distributed(&freq, Direction::Inverse, None, Transport::Threads);
-    let max_rt = back
-        .to_dense()
-        .iter()
-        .zip(&dense)
-        .map(|(a, b)| (*a - *b).abs())
-        .fold(0.0f64, f64::max);
+    let max_rt =
+        back.to_dense().iter().zip(&dense).map(|(a, b)| (*a - *b).abs()).fold(0.0f64, f64::max);
     println!("Forward+inverse round-trip max error: {max_rt:.2e}");
     assert!(max_rt < 1e-9);
 }

@@ -18,7 +18,12 @@ fn main() {
     let hull = optimality_hull(&params, d, m_max as f64, 1.0);
     for face in &hull {
         let to = if face.to.is_finite() { format!("{:.0}", face.to) } else { "inf".into() };
-        println!("  {:<14} optimal for block sizes [{:.0}, {}) bytes", face.partition.to_string(), face.from, to);
+        println!(
+            "  {:<14} optimal for block sizes [{:.0}, {}) bytes",
+            face.partition.to_string(),
+            face.from,
+            to
+        );
     }
 
     // ASCII plot: predicted time vs block size for the hull partitions

@@ -26,7 +26,10 @@ fn main() {
         plan.predicted_us
     );
 
-    println!("{:<22} {:>14} {:>14} {:>9}", "partition", "predicted(us)", "simulated(us)", "verified");
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "partition", "predicted(us)", "simulated(us)", "verified"
+    );
     for part in partitions(d) {
         let outcome = ex.run(m, part.parts()).expect("simulation failed");
         println!(

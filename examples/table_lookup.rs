@@ -34,10 +34,7 @@ fn main() {
     let capacity = q; // safe upper bound
     let m = capacity * 8;
     let plan = best_plan(&MachineParams::ipsc860(), d, m);
-    println!(
-        "Per-pair batch {capacity} keys ({m} B) -> planned partition {:?}.\n",
-        plan.dims
-    );
+    println!("Per-pair batch {capacity} keys ({m} B) -> planned partition {:?}.\n", plan.dims);
 
     let started = std::time::Instant::now();
     let answers = table.batch_lookup(&queries, capacity, Some(&plan.dims), Transport::Threads);

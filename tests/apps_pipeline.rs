@@ -84,8 +84,8 @@ fn adi_long_horizon_tracks_reference() {
             dense[i * n + j] = if (i + j) % 3 == 0 { 1.0 } else { -0.5 };
         }
     }
-    let mut solver = AdiSolver::new(BandMatrix::from_dense(d, r, &dense), 0.2)
-        .with_dims(vec![1, 1]);
+    let mut solver =
+        AdiSolver::new(BandMatrix::from_dense(d, r, &dense), 0.2).with_dims(vec![1, 1]);
     let mut reference = dense;
     for _ in 0..20 {
         solver.step();

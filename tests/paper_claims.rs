@@ -148,12 +148,7 @@ fn predicted_vs_simulated_agreement() {
             let m = 64usize;
             let out = ex.run(m, face.partition.parts()).unwrap();
             assert!(out.verified);
-            assert!(
-                out.model_error() < 0.01,
-                "d={d} {}: {}",
-                face.partition,
-                out.model_error()
-            );
+            assert!(out.model_error() < 0.01, "d={d} {}: {}", face.partition, out.model_error());
         }
     }
 }

@@ -32,10 +32,7 @@ fn thread_fabric_sixty_four_nodes() {
     let m = 32usize;
     for dims in [vec![3u32, 3], vec![6], vec![2, 2, 2]] {
         let out = thread_complete_exchange(d, &dims, stamped_memories(d, m), m);
-        assert!(
-            verify_complete_exchange(d, m, &out).is_empty(),
-            "dims {dims:?} corrupted data"
-        );
+        assert!(verify_complete_exchange(d, m, &out).is_empty(), "dims {dims:?} corrupted data");
     }
 }
 

@@ -1,0 +1,297 @@
+//! Vendored stand-in for `criterion`: wall-clock benchmarking with the
+//! API subset this workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `iter`/`iter_batched`,
+//! throughput annotation). Results are printed and also appended as
+//! JSON lines under `target/criterion-lite/` so tooling can scrape
+//! them without parsing stdout.
+//!
+//! Tuning via environment:
+//! * `CRITERION_LITE_SAMPLE_MS` — target wall time per sample
+//!   (default 20 ms);
+//! * `CRITERION_LITE_OUT` — override the JSON output directory.
+
+use std::hint::black_box as std_black_box;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` for criterion compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work-size annotation used for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched inputs are grouped; purely advisory here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A `function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label `function/parameter`.
+    pub fn new<F: std::fmt::Display, P: std::fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+/// Conversion of plain strings and ids into benchmark labels.
+pub trait IntoBenchmarkId {
+    /// The final label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    sample_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_LITE_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(20);
+        Criterion { sample_target: Duration::from_millis(ms.max(1)) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, &mut f);
+        group.finish();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let label = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher {
+            sample_target: self.criterion.sample_target,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&label, &bencher.samples_ns, self.throughput);
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_target: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmark `routine` directly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Estimate a single-iteration time, then amortize over enough
+        // iterations to fill the per-sample budget.
+        let t0 = Instant::now();
+        std_black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters =
+            ((self.sample_target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000)) as u64;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            self.samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Benchmark `routine` over fresh inputs from `setup`; setup time
+    /// is excluded from measurement.
+    pub fn iter_batched<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        std_black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters =
+            ((self.sample_target.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000)) as u64;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            self.samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(label: &str, samples: &[f64], throughput: Option<Throughput>) {
+    let mut s = samples.to_vec();
+    let med = median(&mut s);
+    let lo = s.first().copied().unwrap_or(0.0);
+    let hi = s.last().copied().unwrap_or(0.0);
+    let mut line =
+        format!("{label:<50} time: [{} {} {}]", human_time(lo), human_time(med), human_time(hi));
+    let mut rate = None;
+    match throughput {
+        Some(Throughput::Elements(n)) if med > 0.0 => {
+            let eps = n as f64 / (med / 1e9);
+            rate = Some(("elements_per_sec", eps));
+            line.push_str(&format!("  thrpt: {:.0} elem/s", eps));
+        }
+        Some(Throughput::Bytes(n)) if med > 0.0 => {
+            let bps = n as f64 / (med / 1e9);
+            rate = Some(("bytes_per_sec", bps));
+            line.push_str(&format!("  thrpt: {:.1} MiB/s", bps / (1024.0 * 1024.0)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+    write_json_record(label, med, rate);
+}
+
+fn write_json_record(label: &str, median_ns: f64, rate: Option<(&str, f64)>) {
+    let dir =
+        std::env::var("CRITERION_LITE_OUT").unwrap_or_else(|_| "target/criterion-lite".to_string());
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = std::path::Path::new(&dir).join("results.jsonl");
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+        return;
+    };
+    let extra = match rate {
+        Some((k, v)) => format!(",\"{k}\":{v:.3}"),
+        None => String::new(),
+    };
+    let _ = writeln!(f, "{{\"id\":\"{label}\",\"median_ns\":{median_ns:.3}{extra}}}");
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,12 @@
+//! Vendored stand-in for `crossbeam`: only the `channel::unbounded`
+//! MPSC surface this workspace uses, backed by `std::sync::mpsc`.
+
+/// Unbounded MPSC channels.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -1,0 +1,154 @@
+//! Vendored stand-in for `rayon`: the `par_iter`/`into_par_iter` +
+//! `map` + `collect` subset this workspace uses, executed on real OS
+//! threads via `std::thread::scope`. Work is split into one contiguous
+//! chunk per available core, which preserves output order and gives
+//! genuine multi-core speedups for the embarrassingly-parallel loops
+//! (figure sweeps, plan searches) without a work-stealing pool.
+//!
+//! Unlike rayon, adapters are eager: `map` runs immediately and
+//! `collect` merely repackages. That is observationally equivalent for
+//! the pure element-wise pipelines used here.
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Run `f` over `items` on up to one thread per core, preserving
+/// order. Falls back to plain iteration for tiny inputs.
+pub fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Eagerly-evaluated "parallel iterator": a plain ordered result list
+/// with the consuming adapters benches and sweeps need.
+pub struct ParResults<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParResults<T> {
+    /// Parallel element-wise map.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParResults<U> {
+        ParResults { items: parallel_map(self.items, f) }
+    }
+
+    /// Keep elements passing `f` (runs after any parallel stage).
+    pub fn filter<F: Fn(&T) -> bool>(self, f: F) -> ParResults<T> {
+        ParResults { items: self.items.into_iter().filter(|t| f(t)).collect() }
+    }
+
+    /// Gather into any ordinary collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Consume with `f` (sequential tail of an eager pipeline).
+    pub fn for_each<F: Fn(T)>(self, f: F) {
+        self.items.into_iter().for_each(f);
+    }
+
+    /// Sum the elements.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Minimize by key, first minimum wins (stable, unlike rayon).
+    pub fn min_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, f: F) -> Option<T> {
+        let mut best: Option<T> = None;
+        for item in self.items {
+            best = match best {
+                None => Some(item),
+                Some(b) => {
+                    if f(&item, &b) == std::cmp::Ordering::Less {
+                        Some(item)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best
+    }
+}
+
+/// Owned-value parallel iteration (`Vec<T>::into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Begin an eager parallel pipeline over owned elements.
+    fn into_par_iter(self) -> ParResults<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParResults<T> {
+        ParResults { items: self }
+    }
+}
+
+/// Borrowing parallel iteration (`slice.par_iter()`).
+pub trait ParallelSlice<T: Sync> {
+    /// Begin an eager parallel pipeline over `&T` elements.
+    fn par_iter(&self) -> ParResults<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParResults<&T> {
+        ParResults { items: self.iter().collect() }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParResults<&T> {
+        ParResults { items: self.iter().collect() }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<u64> = (0..1000).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 999 * 1000 / 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Deserialization half: `Deserialize` consuming [`Value`]s through a
+//! `Deserializer`.
+
+use crate::value::Value;
+use std::marker::PhantomData;
+
+/// Error constructor bound for deserializer error types (the analogue
+/// of `serde::de::Error`).
+pub trait Error: Sized {
+    /// Build an error from a message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// Source of one value. Value-tree based: implementors only provide
+/// [`Deserializer::take_value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yield the underlying value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The canonical deserializer over an owned value, generic in the
+/// error type it reports.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wrap a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value, _marker: PhantomData }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserialize a `T` out of an owned value.
+pub fn from_value<'de, T: Deserialize<'de>, E: Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::<E>::new(value))
+}
+
+/// Remove field `name` from an object's field list (derive support).
+pub fn take_raw<E: Error>(fields: &mut Vec<(String, Value)>, name: &str) -> Result<Value, E> {
+    match fields.iter().position(|(k, _)| k == name) {
+        Some(i) => Ok(fields.remove(i).1),
+        None => Err(E::custom(format_args!("missing field `{name}`"))),
+    }
+}
+
+/// Remove and deserialize field `name` (derive support).
+pub fn take_field<'de, T: Deserialize<'de>, E: Error>(
+    fields: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, E> {
+    from_value(take_raw::<E>(fields, name)?)
+}
+
+fn as_u64<E: Error>(v: &Value, what: &str) -> Result<u64, E> {
+    match v {
+        Value::UInt(n) => Ok(*n),
+        Value::Int(n) if *n >= 0 => Ok(*n as u64),
+        Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => Ok(*f as u64),
+        other => Err(E::custom(format_args!("expected {what}, found {}", other.kind()))),
+    }
+}
+
+fn as_i64<E: Error>(v: &Value, what: &str) -> Result<i64, E> {
+    match v {
+        Value::UInt(n) if *n <= i64::MAX as u64 => Ok(*n as i64),
+        Value::Int(n) => Ok(*n),
+        Value::Float(f) if f.fract() == 0.0 => Ok(*f as i64),
+        other => Err(E::custom(format_args!("expected {what}, found {}", other.kind()))),
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = as_u64::<D::Error>(&v, stringify!($t))?;
+                <$t>::try_from(n).map_err(|_| D::Error::custom(format_args!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = as_i64::<D::Error>(&v, stringify!($t))?;
+                <$t>::try_from(n).map_err(|_| D::Error::custom(format_args!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_de_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(n) => Ok(n as $t),
+                    Value::Int(n) => Ok(n as $t),
+                    other => Err(D::Error::custom(format_args!(
+                        "expected number, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format_args!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format_args!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items.into_iter().map(from_value::<T, D::Error>).collect(),
+            other => Err(D::Error::custom(format_args!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value::<T, D::Error>(v).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($n:literal => $($t:ident),+) => {
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::Array(items) if items.len() == $n => {
+                        let mut it = items.into_iter();
+                        Ok(($(from_value::<$t, D::Error>(it.next().unwrap())?,)+))
+                    }
+                    other => Err(D::Error::custom(format_args!(
+                        "expected {}-tuple, found {}", $n, other.kind()))),
+                }
+            }
+        }
+    };
+}
+impl_de_tuple!(2 => T0, T1);
+impl_de_tuple!(3 => T0, T1, T2);
+impl_de_tuple!(4 => T0, T1, T2, T3);
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items.into_iter().map(from_value::<(K, V), D::Error>).collect(),
+            other => Err(D::Error::custom(format_args!("expected map, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(std::sync::Arc::new)
+    }
+}

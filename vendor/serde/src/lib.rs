@@ -1,0 +1,14 @@
+//! Vendored stand-in for `serde`, API-compatible with the subset this
+//! workspace uses (derive macros, `Serialize`/`Deserialize` traits,
+//! `#[serde(with = "...")]` field attributes). The container build
+//! environment has no crates.io access, so serialization is routed
+//! through a simple owned [`value::Value`] tree instead of serde's
+//! zero-copy visitor machinery.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

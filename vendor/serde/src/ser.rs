@@ -1,0 +1,168 @@
+//! Serialization half: `Serialize` producing [`Value`]s through a
+//! `Serializer`.
+
+use crate::value::Value;
+
+/// Uninhabited error type for infallible serializers.
+#[derive(Debug)]
+pub enum Never {}
+
+/// A type that can serialize itself through any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Sink for one value. Unlike real serde this is value-tree based:
+/// implementors only provide [`Serializer::serialize_value`].
+pub trait Serializer: Sized {
+    /// Successful output.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Accept a fully-built value.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize `Some(v)` (used by `#[serde(with = "...")]` helpers).
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(to_value(v))
+    }
+
+    /// Serialize `None` as null.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// The canonical serializer: builds a [`Value`], cannot fail.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Never;
+
+    fn serialize_value(self, v: Value) -> Result<Value, Never> {
+        Ok(v)
+    }
+}
+
+/// Serialize anything into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    match v.serialize(ValueSerializer) {
+        Ok(val) => val,
+        Err(never) => match never {},
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_value(Value::UInt(v as u64))
+                } else {
+                    s.serialize_value(Value::Int(v))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Float(*self as f64))
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_value(to_value(v)),
+            None => s.serialize_value(Value::Null),
+        }
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Array(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+    };
+}
+impl_ser_tuple!(A.0, B.1);
+impl_ser_tuple!(A.0, B.1, C.2);
+impl_ser_tuple!(A.0, B.1, C.2, D.3);
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Maps serialize as ordered `[key, value]` pair arrays so that
+        // non-string keys round-trip exactly.
+        s.serialize_value(Value::Array(
+            self.iter().map(|(k, v)| Value::Array(vec![to_value(k), to_value(v)])).collect(),
+        ))
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}

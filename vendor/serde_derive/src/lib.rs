@@ -1,0 +1,456 @@
+//! Vendored stand-in for `serde_derive`: hand-rolled token parsing
+//! (no `syn`/`quote` available offline) covering the shapes this
+//! workspace derives — named structs, tuple structs, unit enums and
+//! data-carrying enums — plus the `#[serde(with = "module")]` field
+//! attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Extract `with = "path"` from a `#[serde(...)]` attribute body.
+fn serde_with_from_attr(body: &TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    // Expect: serde ( with = "path" )
+    if tokens.len() == 2 {
+        if let (TokenTree::Ident(id), TokenTree::Group(g)) = (&tokens[0], &tokens[1]) {
+            if id.to_string() == "serde" {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if inner.len() == 3 {
+                    if let (TokenTree::Ident(k), TokenTree::Punct(eq), TokenTree::Literal(v)) =
+                        (&inner[0], &inner[1], &inner[2])
+                    {
+                        if k.to_string() == "with" && eq.as_char() == '=' {
+                            let s = v.to_string();
+                            return Some(s.trim_matches('"').to_string());
+                        }
+                    }
+                }
+                panic!("vendored serde_derive supports only #[serde(with = \"path\")], got #[serde({})]", g.stream());
+            }
+        }
+    }
+    None
+}
+
+/// Consume leading attributes, returning any `with` path found.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
+    let mut with = None;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g)) if p.as_char() == '#' => {
+                if let Some(w) = serde_with_from_attr(&g.stream()) {
+                    with = Some(w);
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, with)
+}
+
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse `{ field: Ty, ... }` contents into fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, with) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, j);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field {name}, got {other}"),
+        }
+        // Skip the type: consume until a top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+/// Count fields of a tuple struct/variant body `( Ty, Ty, ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(&tokens, i);
+        i = j;
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant `= expr` and the comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}`"),
+    };
+    Input { name, shape }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                match &f.with {
+                    Some(path) => pushes.push_str(&format!(
+                        "__fields.push(({n:?}.to_string(), match {path}::serialize(&self.{n}, ::serde::ser::ValueSerializer) {{ Ok(v) => v, Err(e) => match e {{}} }}));\n",
+                        n = f.name,
+                        path = path,
+                    )),
+                    None => pushes.push_str(&format!(
+                        "__fields.push(({n:?}.to_string(), ::serde::ser::to_value(&self.{n})));\n",
+                        n = f.name,
+                    )),
+                }
+            }
+            format!(
+                "let mut __fields: Vec<(String, ::serde::value::Value)> = Vec::new();\n{pushes}\
+                 serializer.serialize_value(::serde::value::Value::Object(__fields))"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            "serializer.serialize_value(::serde::ser::to_value(&self.0))".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::ser::to_value(&self.{i})")).collect();
+            format!(
+                "serializer.serialize_value(::serde::value::Value::Array(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serializer.serialize_value(::serde::value::Value::Str({v:?}.to_string())),\n",
+                        v = v.name,
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::ser::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> =
+                                binds.iter().map(|b| format!("::serde::ser::to_value({b})")).collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => serializer.serialize_value(::serde::value::Value::Object(vec![({v:?}.to_string(), {inner})])),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            assert!(f.with.is_none(), "with-attr unsupported inside enum variants");
+                            pushes.push_str(&format!(
+                                "__fields.push(({n:?}.to_string(), ::serde::ser::to_value({n})));\n",
+                                n = f.name,
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ let mut __fields: Vec<(String, ::serde::value::Value)> = Vec::new();\n{pushes} serializer.serialize_value(::serde::value::Value::Object(vec![({v:?}.to_string(), ::serde::value::Value::Object(__fields))])) }}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn serialize<S: ::serde::Serializer>(&self, serializer: S) -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                {body}\n\
+            }}\n\
+        }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                match &f.with {
+                    Some(path) => inits.push_str(&format!(
+                        "{n}: {path}::deserialize(::serde::de::ValueDeserializer::<D::Error>::new(::serde::de::take_raw::<D::Error>(&mut __fields, {n:?})?))?,\n",
+                        n = f.name,
+                        path = path,
+                    )),
+                    None => inits.push_str(&format!(
+                        "{n}: ::serde::de::take_field::<_, D::Error>(&mut __fields, {n:?})?,\n",
+                        n = f.name,
+                    )),
+                }
+            }
+            format!(
+                "let mut __fields = match deserializer.take_value()? {{\n\
+                     ::serde::value::Value::Object(f) => f,\n\
+                     other => return Err(<D::Error as ::serde::de::Error>::custom(format_args!(\"expected object for {name}, found {{}}\", other.kind()))),\n\
+                 }};\n\
+                 Ok({name} {{\n{inits}\n}})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "Ok({name}(::serde::de::from_value::<_, D::Error>(deserializer.take_value()?)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|_| {
+                    "::serde::de::from_value::<_, D::Error>(__it.next().unwrap())?".to_string()
+                })
+                .collect();
+            format!(
+                "match deserializer.take_value()? {{\n\
+                     ::serde::value::Value::Array(items) if items.len() == {n} => {{\n\
+                         let mut __it = items.into_iter();\n\
+                         Ok({name}({items}))\n\
+                     }}\n\
+                     other => Err(<D::Error as ::serde::de::Error>::custom(format_args!(\"expected {n}-array for {name}, found {{}}\", other.kind()))),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{v:?} => Ok({name}::{v}),\n", v = v.name))
+                    }
+                    VariantKind::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!("Ok({name}::{v}(::serde::de::from_value::<_, D::Error>(__payload)?))", v = v.name)
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|_| {
+                                    "::serde::de::from_value::<_, D::Error>(__it.next().unwrap())?"
+                                        .to_string()
+                                })
+                                .collect();
+                            format!(
+                                "match __payload {{\n\
+                                     ::serde::value::Value::Array(items) if items.len() == {n} => {{ let mut __it = items.into_iter(); Ok({name}::{v}({items})) }}\n\
+                                     other => Err(<D::Error as ::serde::de::Error>::custom(format_args!(\"bad payload for {name}::{v}: {{}}\", other.kind()))),\n\
+                                 }}",
+                                v = v.name,
+                                items = items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("{v:?} => {{ {ctor} }}\n", v = v.name));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{n}: ::serde::de::take_field::<_, D::Error>(&mut __vf, {n:?})?,\n",
+                                n = f.name
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                                 let mut __vf = match __payload {{\n\
+                                     ::serde::value::Value::Object(f) => f,\n\
+                                     other => return Err(<D::Error as ::serde::de::Error>::custom(format_args!(\"bad payload for {name}::{v}: {{}}\", other.kind()))),\n\
+                                 }};\n\
+                                 Ok({name}::{v} {{\n{inits}\n}})\n\
+                             }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match deserializer.take_value()? {{\n\
+                     ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(<D::Error as ::serde::de::Error>::custom(format_args!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::value::Value::Object(mut f) if f.len() == 1 => {{\n\
+                         let (__variant, __payload) = f.remove(0);\n\
+                         match __variant.as_str() {{\n\
+                             {data_arms}\n\
+                             other => Err(<D::Error as ::serde::de::Error>::custom(format_args!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(<D::Error as ::serde::de::Error>::custom(format_args!(\"expected enum {name}, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+            fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) -> ::std::result::Result<Self, D::Error> {{\n\
+                {body}\n\
+            }}\n\
+        }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
