@@ -1,0 +1,72 @@
+//! Throughput of batched independent simulator runs vs the
+//! hand-rolled per-run `Simulator::new` loop it replaces.
+//!
+//! The workload is the BENCH_engine.json scoreboard cell — a complete
+//! exchange at d = 7 with partition `[3, 4]`, m = 40 — run as eight
+//! jittered seed replicates:
+//!
+//! * `handrolled` rebuilds programs, memories and a fresh `Simulator`
+//!   per replicate (what figure sweeps did before the batch API);
+//! * `arena_seq` runs a `SimBatch` sequentially on one reused
+//!   [`SimArena`] — isolating the allocation-reuse + compile-cache win
+//!   from parallelism;
+//! * `parallel` is the full rayon path with per-worker arenas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mce_core::builder::build_multiphase_programs;
+use mce_core::verify::stamped_memories;
+use mce_simnet::batch::{SimArena, SimBatch};
+use mce_simnet::{SimConfig, Simulator};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const D: u32 = 7;
+const DIMS: [u32; 2] = [3, 4];
+const M: usize = 40;
+const REPLICATES: u64 = 8;
+const JITTER: f64 = 0.02;
+
+fn bench_batch_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REPLICATES));
+
+    group.bench_function(BenchmarkId::new("handrolled", "d7_[3,4]x8"), |b| {
+        b.iter(|| {
+            let mut finishes = Vec::with_capacity(REPLICATES as usize);
+            for seed in 1..=REPLICATES {
+                let programs = build_multiphase_programs(D, &DIMS, M);
+                let memories = stamped_memories(D, M);
+                let cfg = SimConfig::ipsc860(D).with_jitter(JITTER, seed);
+                let mut sim = Simulator::new(cfg, programs, memories);
+                finishes.push(sim.run().unwrap().finish_time);
+            }
+            black_box(finishes)
+        })
+    });
+
+    let programs = Arc::new(build_multiphase_programs(D, &DIMS, M));
+    let memories = Arc::new(stamped_memories(D, M));
+
+    group.bench_function(BenchmarkId::new("arena_seq", "d7_[3,4]x8"), |b| {
+        let mut arena = SimArena::new();
+        b.iter(|| {
+            let mut batch = SimBatch::new(SimConfig::ipsc860(D));
+            batch.seed_sweep(JITTER, 1..=REPLICATES, &programs, &memories);
+            black_box(batch.run_on(&mut arena))
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("parallel", "d7_[3,4]x8"), |b| {
+        b.iter(|| {
+            let mut batch = SimBatch::new(SimConfig::ipsc860(D));
+            batch.seed_sweep(JITTER, 1..=REPLICATES, &programs, &memories);
+            black_box(batch.run())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sweep);
+criterion_main!(benches);

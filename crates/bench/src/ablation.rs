@@ -4,8 +4,10 @@
 
 use mce_core::builder::{build_with_options, BuildOptions};
 use mce_core::verify::{stamped_memories, verify_complete_exchange};
-use mce_simnet::{MsgKind, Op, Program, SimConfig, Simulator};
+use mce_simnet::batch::SimBatch;
+use mce_simnet::{MsgKind, Op, Program, SimConfig, SimError, SimResult};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One ablation row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -26,22 +28,13 @@ pub struct AblationRow {
     pub note: String,
 }
 
-fn run_config(
+fn row_from_result(
     label: &str,
     d: u32,
-    dims: &[u32],
     m: usize,
-    opts: BuildOptions,
-    jitter: f64,
+    result: Result<SimResult, SimError>,
 ) -> AblationRow {
-    let programs = build_with_options(d, dims, m, opts);
-    let cfg = if jitter > 0.0 {
-        SimConfig::ipsc860(d).with_jitter(jitter, 0xAB1A)
-    } else {
-        SimConfig::ipsc860(d)
-    };
-    let mut sim = Simulator::new(cfg, programs, stamped_memories(d, m));
-    match sim.run() {
+    match result {
         Ok(r) => AblationRow {
             config: label.to_string(),
             completed: true,
@@ -58,7 +51,7 @@ fn run_config(
             verified: false,
             nic_serializations: 0,
             forced_drops: match &e {
-                mce_simnet::SimError::Deadlock { forced_drops, .. } => *forced_drops,
+                SimError::Deadlock { forced_drops, .. } => *forced_drops,
                 _ => 0,
             },
             note: e.to_string(),
@@ -66,19 +59,38 @@ fn run_config(
     }
 }
 
-/// Run the Section 7 ablation suite on one configuration.
+/// Run the Section 7 ablation suite on one configuration. The six
+/// rows are independent runs of one cube/block-size template, so they
+/// execute as one parallel [`SimBatch`].
 pub fn ablation_suite(d: u32, dims: &[u32], m: usize) -> Vec<AblationRow> {
     let base = BuildOptions::default();
     let nosync = BuildOptions { pairwise_sync: false, ..base };
     let nobarrier = BuildOptions { barrier_per_phase: false, ..base };
-    vec![
-        run_config("paper implementation (sync + barrier)", d, dims, m, base, 0.0),
-        run_config("paper implementation, 5% hardware jitter", d, dims, m, base, 0.05),
-        run_config("no pairwise sync, aligned (lucky lockstep)", d, dims, m, nosync, 0.0),
-        run_config("no pairwise sync, 5% jitter (serializes)", d, dims, m, nosync, 0.05),
-        run_config("no per-phase barrier, aligned", d, dims, m, nobarrier, 0.0),
-        run_config("no per-phase barrier, 20% jitter (fatal?)", d, dims, m, nobarrier, 0.20),
-    ]
+    let rows: [(&str, BuildOptions, f64); 6] = [
+        ("paper implementation (sync + barrier)", base, 0.0),
+        ("paper implementation, 5% hardware jitter", base, 0.05),
+        ("no pairwise sync, aligned (lucky lockstep)", nosync, 0.0),
+        ("no pairwise sync, 5% jitter (serializes)", nosync, 0.05),
+        ("no per-phase barrier, aligned", nobarrier, 0.0),
+        ("no per-phase barrier, 20% jitter (fatal?)", nobarrier, 0.20),
+    ];
+    let mut batch = SimBatch::new(SimConfig::ipsc860(d));
+    for (_, opts, jitter) in &rows {
+        let cfg = if *jitter > 0.0 {
+            SimConfig::ipsc860(d).with_jitter(*jitter, 0xAB1A)
+        } else {
+            SimConfig::ipsc860(d)
+        };
+        batch.push_with_config(
+            cfg,
+            Arc::new(build_with_options(d, dims, m, *opts)),
+            stamped_memories(d, m),
+        );
+    }
+    rows.iter()
+        .zip(batch.run())
+        .map(|((label, _, _), result)| row_from_result(label, d, m, result))
+        .collect()
 }
 
 /// FORCED vs UNFORCED comparison (Section 7.1): one-way transfers at
@@ -93,11 +105,13 @@ pub struct MessageTypeRow {
     pub unforced_us: f64,
 }
 
-/// Regenerate the FORCED/UNFORCED comparison.
+/// Regenerate the FORCED/UNFORCED comparison: one batch of fourteen
+/// independent one-way transfers (7 sizes × 2 message kinds).
 pub fn message_type_comparison() -> Vec<MessageTypeRow> {
     use mce_hypercube::NodeId;
     use mce_simnet::Tag;
-    let one_way = |bytes: usize, kind: MsgKind| -> f64 {
+    const SIZES: [usize; 7] = [0, 50, 100, 101, 200, 400, 1000];
+    let one_way = |bytes: usize, kind: MsgKind| -> (Arc<Vec<Program>>, Vec<Vec<u8>>) {
         let programs = vec![
             Program {
                 ops: vec![Op::Send { dst: NodeId(1), from: 0..bytes, tag: Tag::data(0, 1), kind }],
@@ -109,17 +123,24 @@ pub fn message_type_comparison() -> Vec<MessageTypeRow> {
                 ],
             },
         ];
-        let mems = vec![vec![3u8; bytes.max(1)]; 2];
-        let mut sim = Simulator::new(SimConfig::ipsc860(1), programs, mems);
-        sim.run().expect("message-type run failed").finish_time.as_us()
+        (Arc::new(programs), vec![vec![3u8; bytes.max(1)]; 2])
     };
-    [0usize, 50, 100, 101, 200, 400, 1000]
+    let mut batch = SimBatch::new(SimConfig::ipsc860(1));
+    for &bytes in &SIZES {
+        for kind in [MsgKind::Forced, MsgKind::Unforced] {
+            let (programs, mems) = one_way(bytes, kind);
+            batch.push_run(programs, mems);
+        }
+    }
+    let times: Vec<f64> = batch
+        .run()
+        .into_iter()
+        .map(|r| r.expect("message-type run failed").finish_time.as_us())
+        .collect();
+    SIZES
         .iter()
-        .map(|&bytes| MessageTypeRow {
-            bytes,
-            forced_us: one_way(bytes, MsgKind::Forced),
-            unforced_us: one_way(bytes, MsgKind::Unforced),
-        })
+        .zip(times.chunks_exact(2))
+        .map(|(&bytes, pair)| MessageTypeRow { bytes, forced_us: pair[0], unforced_us: pair[1] })
         .collect()
 }
 

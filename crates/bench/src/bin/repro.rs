@@ -17,6 +17,10 @@
 //! ```
 //!
 //! Figure artifacts (CSV + JSON) land in `target/repro/`.
+//!
+//! All simulation fan-outs (figure grids, ablation rows, study cells)
+//! execute through `mce_simnet::batch`: rayon-parallel with per-worker
+//! simulation arenas, bit-identical to the equivalent one-shot runs.
 
 use mce_bench::figures::{paper_expectations, regenerate_figure, Figure};
 use mce_bench::report::{ascii_plot, write_csv, write_json, Curve};

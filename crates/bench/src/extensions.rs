@@ -22,8 +22,10 @@ use mce_core::verify::stamped_memories;
 use mce_model::optimality_hull;
 use mce_model::patterns::{allgather_time, best_pattern_partition, broadcast_time, scatter_time};
 use mce_model::{best_saf_partition, multiphase_saf_time, multiphase_time, MachineParams};
-use mce_simnet::{SimConfig, Simulator};
+use mce_simnet::batch::SimBatch;
+use mce_simnet::SimConfig;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// E11: one collective pattern at one block size.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,17 +49,20 @@ pub struct PatternRow {
     pub verified: bool,
 }
 
-/// Run E11 for one dimension over several block sizes.
+/// Run E11 for one dimension over several block sizes. Every
+/// (size, pattern) cell is an independent run of the model's best
+/// plan, so the study executes as one parallel [`SimBatch`].
 pub fn patterns_study(d: u32, sizes: &[usize]) -> Vec<PatternRow> {
     let params = MachineParams::ipsc860();
     let ones = vec![1u32; d as usize];
-    let mut rows = Vec::new();
     type CostFn = fn(&MachineParams, f64, u32, &[u32]) -> f64;
     let patterns: [(&str, CostFn); 3] = [
         ("allgather", allgather_time as CostFn),
         ("scatter", scatter_time as CostFn),
         ("broadcast", broadcast_time as CostFn),
     ];
+    let mut batch = SimBatch::new(SimConfig::ipsc860(d));
+    let mut cells = Vec::new();
     for &m in sizes {
         for (name, cost) in &patterns {
             let (best, predicted) = best_pattern_partition(&params, m as f64, d, cost);
@@ -66,26 +71,32 @@ pub fn patterns_study(d: u32, sizes: &[usize]) -> Vec<PatternRow> {
                 "scatter" => (build_scatter_programs(d, &best, m), scatter_memories(d, m)),
                 _ => (build_broadcast_programs(d, &best, m), broadcast_memories(d, m)),
             };
-            let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, memories);
-            let result = sim.run().expect("pattern run failed");
-            let verified = match *name {
+            batch.push_run(Arc::new(programs), memories);
+            cells.push((m, *name, *cost, best, predicted));
+        }
+    }
+    cells
+        .into_iter()
+        .zip(batch.run())
+        .map(|((m, name, cost, best, predicted), result)| {
+            let result = result.expect("pattern run failed");
+            let verified = match name {
                 "allgather" => verify_allgather(d, m, &result.memories),
                 "scatter" => verify_scatter(d, m, &result.memories),
                 _ => verify_broadcast(d, m, &result.memories),
             };
-            rows.push(PatternRow {
+            PatternRow {
                 pattern: name.to_string(),
                 block_size: m,
-                best_partition: best.clone(),
+                best_partition: best,
                 predicted_us: predicted,
                 simulated_us: result.finish_time.as_us(),
                 neighbor_us: cost(&params, m as f64, d, &ones),
                 flat_us: cost(&params, m as f64, d, &[d]),
                 verified,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// E12: one switching-mode comparison cell.
@@ -106,33 +117,49 @@ pub struct SwitchingRow {
     pub saf_flat_us: f64,
 }
 
-/// Run E12: simulate the complete exchange under both switching modes.
+/// Run E12: simulate the complete exchange under both switching
+/// modes. Three independent runs per block size (circuit best, SAF
+/// best, SAF `{d}`), batched across all sizes.
 pub fn switching_study(d: u32, sizes: &[usize]) -> Vec<SwitchingRow> {
     let params = MachineParams::ipsc860();
-    sizes
-        .iter()
-        .map(|&m| {
-            let (circuit_best, _) = mce_model::best_partition(&params, m as f64, d);
-            let circuit_best = circuit_best.parts().to_vec();
-            let (saf_best, _) = best_saf_partition(&params, m as f64, d);
-            let run = |dims: &[u32], saf: bool| {
-                let programs = build_multiphase_programs(d, dims, m);
-                let cfg = if saf {
-                    SimConfig::ipsc860(d).with_store_and_forward()
-                } else {
-                    SimConfig::ipsc860(d)
-                };
-                let mut sim = Simulator::new(cfg, programs, stamped_memories(d, m));
-                sim.run().expect("switching run failed").finish_time.as_us()
+    let mut batch = SimBatch::new(SimConfig::ipsc860(d));
+    let mut plans = Vec::new();
+    for &m in sizes {
+        let (circuit_best, _) = mce_model::best_partition(&params, m as f64, d);
+        let circuit_best = circuit_best.parts().to_vec();
+        let (saf_best, _) = best_saf_partition(&params, m as f64, d);
+        let mut queue = |dims: &[u32], saf: bool| {
+            let cfg = if saf {
+                SimConfig::ipsc860(d).with_store_and_forward()
+            } else {
+                SimConfig::ipsc860(d)
             };
-            SwitchingRow {
-                block_size: m,
-                circuit_us: run(&circuit_best, false),
-                circuit_best,
-                saf_us: run(&saf_best, true),
-                saf_best,
-                saf_flat_us: run(&[d], true),
-            }
+            batch.push_with_config(
+                cfg,
+                Arc::new(build_multiphase_programs(d, dims, m)),
+                stamped_memories(d, m),
+            );
+        };
+        queue(&circuit_best, false);
+        queue(&saf_best, true);
+        queue(&[d], true);
+        plans.push((m, circuit_best, saf_best));
+    }
+    let times: Vec<f64> = batch
+        .run()
+        .into_iter()
+        .map(|r| r.expect("switching run failed").finish_time.as_us())
+        .collect();
+    plans
+        .into_iter()
+        .zip(times.chunks_exact(3))
+        .map(|((block_size, circuit_best, saf_best), t)| SwitchingRow {
+            block_size,
+            circuit_best,
+            circuit_us: t[0],
+            saf_best,
+            saf_us: t[1],
+            saf_flat_us: t[2],
         })
         .collect()
 }
@@ -154,25 +181,32 @@ pub struct PermutationRow {
     pub unscheduled_contention: u64,
 }
 
-/// Run E13 on bit reversal and a cyclic shift.
+/// Run E13 on bit reversal and a cyclic shift: four independent runs
+/// (2 permutations × scheduled/unscheduled) in one batch.
 pub fn permutation_study(d: u32, m: usize) -> Vec<PermutationRow> {
     let n = 1u32 << d;
     let shift: Vec<mce_hypercube::NodeId> =
         (0..n).map(|x| mce_hypercube::NodeId((x + 1) % n)).collect();
-    [("bit_reversal", bit_reversal(d)), ("cyclic_shift", shift)]
+    let perms = [("bit_reversal", bit_reversal(d)), ("cyclic_shift", shift)];
+    let mut batch = SimBatch::new(SimConfig::ipsc860(d));
+    for (_, perm) in &perms {
+        let memories = Arc::new(permutation_memories(d, perm, m));
+        batch.push_run(Arc::new(build_permutation_programs(d, perm, m)), &memories);
+        batch.push_run(Arc::new(build_unscheduled_permutation_programs(d, perm, m)), &memories);
+    }
+    let results = batch.run();
+    perms
         .into_iter()
-        .map(|(name, perm)| {
-            let run = |programs: Vec<mce_simnet::Program>| {
-                let mems = permutation_memories(d, &perm, m);
-                let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, mems);
-                let r = sim.run().expect("permutation run failed");
+        .zip(results.chunks_exact(2))
+        .map(|((name, perm), pair)| {
+            let mut checked = pair.iter().map(|r| {
+                let r = r.as_ref().expect("permutation run failed");
                 assert!(verify_permutation(&perm, m, &r.memories));
                 (r.finish_time.as_us(), r.stats.edge_contention_events)
-            };
-            let (scheduled_us, sched_contention) = run(build_permutation_programs(d, &perm, m));
+            });
+            let (scheduled_us, sched_contention) = checked.next().unwrap();
+            let (unscheduled_us, unscheduled_contention) = checked.next().unwrap();
             assert_eq!(sched_contention, 0);
-            let (unscheduled_us, unscheduled_contention) =
-                run(build_unscheduled_permutation_programs(d, &perm, m));
             PermutationRow {
                 name: name.to_string(),
                 rounds: greedy_rounds(&perm).len(),

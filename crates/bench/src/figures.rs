@@ -6,9 +6,10 @@ use mce_core::builder::build_multiphase_programs;
 use mce_core::verify::{stamped_memories, verify_complete_exchange};
 use mce_model::{multiphase_time, optimality_hull, MachineParams};
 use mce_partitions::Partition;
-use mce_simnet::{SimConfig, Simulator};
-use rayon::prelude::*;
+use mce_simnet::batch::{run_cells, Memories, RunSpec};
+use mce_simnet::SimConfig;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One figure sample: a (partition, block size) cell.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -62,28 +63,37 @@ pub fn regenerate_figure(number: u32, d: u32, m_max: usize, step: usize, jitter:
     let sizes: Vec<usize> = (1..=m_max / step).map(|k| k * step).collect();
     let cells: Vec<(Partition, usize)> =
         parts.iter().flat_map(|p| sizes.iter().map(move |&m| (p.clone(), m))).collect();
-    let points: Vec<FigurePoint> = cells
-        .par_iter()
-        .map(|(part, m)| {
-            let dims = part.parts();
-            let programs = build_multiphase_programs(d, dims, *m);
+    // Each (partition, block-size) cell is an independent simulation:
+    // fan them out through the batch subsystem, building each cell's
+    // programs and memories on the worker thread and reusing one
+    // simulation arena per worker.
+    let points: Vec<FigurePoint> = run_cells(
+        cells,
+        |(part, m)| {
             let cfg = if jitter > 0.0 {
                 SimConfig::ipsc860(d).with_jitter(jitter, 0x1991 + *m as u64)
             } else {
                 SimConfig::ipsc860(d)
             };
-            let mut sim = Simulator::new(cfg, programs, stamped_memories(d, *m));
-            let result = sim.run().expect("figure simulation failed");
-            let verified = verify_complete_exchange(d, *m, &result.memories).is_empty();
+            RunSpec {
+                cfg,
+                programs: Arc::new(build_multiphase_programs(d, part.parts(), *m)),
+                memories: Memories::Owned(stamped_memories(d, *m)),
+                trace: false,
+            }
+        },
+        |(part, m), result| {
+            let result = result.expect("figure simulation failed");
+            let verified = verify_complete_exchange(d, m, &result.memories).is_empty();
             FigurePoint {
                 partition: part.to_string(),
-                block_size: *m,
-                predicted_us: multiphase_time(&params, *m as f64, d, dims),
+                block_size: m,
+                predicted_us: multiphase_time(&params, m as f64, d, part.parts()),
                 simulated_us: result.finish_time.as_us(),
                 verified,
             }
-        })
-        .collect();
+        },
+    );
     Figure {
         number,
         dimension: d,

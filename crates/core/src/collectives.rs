@@ -270,10 +270,35 @@ mod tests {
     use super::*;
     use mce_model::patterns::{allgather_time, broadcast_time, scatter_time};
     use mce_model::MachineParams;
-    use mce_simnet::{SimConfig, Simulator};
+    use mce_simnet::batch::SimBatch;
+    use mce_simnet::{Program, SimConfig, SimResult, Simulator};
+    use std::sync::Arc;
 
     fn all_test_partitions(d: u32) -> Vec<Vec<u32>> {
         mce_partitions::partitions(d).into_iter().map(|p| p.parts().to_vec()).collect()
+    }
+
+    /// One batched run per partition of `d`: every partition's plan is
+    /// an independent simulation, so the whole per-partition sweep
+    /// executes as one SimBatch.
+    fn run_per_partition(
+        d: u32,
+        build: impl Fn(&[u32]) -> (Vec<Program>, Vec<Vec<u8>>),
+    ) -> Vec<(Vec<u32>, SimResult)> {
+        let dims_list = all_test_partitions(d);
+        let mut batch = SimBatch::new(SimConfig::ipsc860(d));
+        for dims in &dims_list {
+            let (programs, memories) = build(dims);
+            batch.push_run(Arc::new(programs), memories);
+        }
+        dims_list
+            .into_iter()
+            .zip(batch.run())
+            .map(|(dims, r)| {
+                let r = r.unwrap_or_else(|e| panic!("dims {dims:?}: {e}"));
+                (dims, r)
+            })
+            .collect()
     }
 
     #[test]
@@ -281,10 +306,10 @@ mod tests {
         let d = 4u32;
         let m = 16usize;
         let params = MachineParams::ipsc860();
-        for dims in all_test_partitions(d) {
-            let programs = build_allgather_programs(d, &dims, m);
-            let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, allgather_memories(d, m));
-            let r = sim.run().unwrap_or_else(|e| panic!("dims {dims:?}: {e}"));
+        let runs = run_per_partition(d, |dims| {
+            (build_allgather_programs(d, dims, m), allgather_memories(d, m))
+        });
+        for (dims, r) in runs {
             assert!(verify_allgather(d, m, &r.memories), "dims {dims:?} wrong data");
             let predicted = allgather_time(&params, m as f64, d, &dims);
             let err = (r.finish_time.as_us() - predicted).abs() / predicted;
@@ -297,10 +322,10 @@ mod tests {
         let d = 4u32;
         let m = 16usize;
         let params = MachineParams::ipsc860();
-        for dims in all_test_partitions(d) {
-            let programs = build_scatter_programs(d, &dims, m);
-            let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, scatter_memories(d, m));
-            let r = sim.run().unwrap_or_else(|e| panic!("dims {dims:?}: {e}"));
+        let runs = run_per_partition(d, |dims| {
+            (build_scatter_programs(d, dims, m), scatter_memories(d, m))
+        });
+        for (dims, r) in runs {
             assert!(verify_scatter(d, m, &r.memories), "dims {dims:?} wrong data");
             let predicted = scatter_time(&params, m as f64, d, &dims);
             let err = (r.finish_time.as_us() - predicted).abs() / predicted;
@@ -313,10 +338,10 @@ mod tests {
         let d = 4u32;
         let m = 64usize;
         let params = MachineParams::ipsc860();
-        for dims in all_test_partitions(d) {
-            let programs = build_broadcast_programs(d, &dims, m);
-            let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, broadcast_memories(d, m));
-            let r = sim.run().unwrap_or_else(|e| panic!("dims {dims:?}: {e}"));
+        let runs = run_per_partition(d, |dims| {
+            (build_broadcast_programs(d, dims, m), broadcast_memories(d, m))
+        });
+        for (dims, r) in runs {
             assert!(verify_broadcast(d, m, &r.memories), "dims {dims:?} wrong data");
             let predicted = broadcast_time(&params, m as f64, d, &dims);
             let err = (r.finish_time.as_us() - predicted).abs() / predicted;
@@ -351,20 +376,26 @@ mod tests {
 
     #[test]
     fn contention_free_throughout() {
-        // No pattern run may record an edge contention event.
+        // No pattern run may record an edge contention event: all nine
+        // (partition, pattern) combinations in one batch.
         let d = 5u32;
         let m = 32usize;
+        let mut batch = SimBatch::new(SimConfig::ipsc860(d));
+        let mut labels = Vec::new();
         for dims in [vec![1u32; 5], vec![5], vec![2, 3]] {
             for (programs, memories) in [
                 (build_allgather_programs(d, &dims, m), allgather_memories(d, m)),
                 (build_scatter_programs(d, &dims, m), scatter_memories(d, m)),
                 (build_broadcast_programs(d, &dims, m), broadcast_memories(d, m)),
             ] {
-                let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, memories);
-                let r = sim.run().unwrap();
-                assert_eq!(r.stats.edge_contention_events, 0, "{dims:?}");
-                assert_eq!(r.stats.forced_drops, 0, "{dims:?}");
+                batch.push_run(Arc::new(programs), memories);
+                labels.push(dims.clone());
             }
+        }
+        for (dims, r) in labels.into_iter().zip(batch.run()) {
+            let r = r.unwrap();
+            assert_eq!(r.stats.edge_contention_events, 0, "{dims:?}");
+            assert_eq!(r.stats.forced_drops, 0, "{dims:?}");
         }
     }
 }

@@ -241,7 +241,9 @@ pub fn verify_permutation(perm: &[NodeId], m: usize, memories: &[Vec<u8>]) -> bo
 mod tests {
     use super::*;
     use mce_hypercube::contention::analyze;
+    use mce_simnet::batch::SimBatch;
     use mce_simnet::{SimConfig, Simulator};
+    use std::sync::Arc;
 
     fn xor_perm(d: u32, mask: u32) -> Vec<NodeId> {
         (0..1u32 << d).map(|x| NodeId(x ^ mask)).collect()
@@ -302,13 +304,19 @@ mod tests {
 
     #[test]
     fn scheduled_permutation_simulates_correctly() {
-        for perm in [bit_reversal(5), shift_perm(5, 11), xor_perm(5, 21)] {
-            let m = 64usize;
-            let programs = build_permutation_programs(5, &perm, m);
-            let mems = permutation_memories(5, &perm, m);
-            let mut sim = Simulator::new(SimConfig::ipsc860(5), programs, mems);
-            let r = sim.run().unwrap();
-            assert!(verify_permutation(&perm, m, &r.memories));
+        // Three independent permutation runs: one batch.
+        let m = 64usize;
+        let perms = [bit_reversal(5), shift_perm(5, 11), xor_perm(5, 21)];
+        let mut batch = SimBatch::new(SimConfig::ipsc860(5));
+        for perm in &perms {
+            batch.push_run(
+                Arc::new(build_permutation_programs(5, perm, m)),
+                permutation_memories(5, perm, m),
+            );
+        }
+        for (perm, r) in perms.iter().zip(batch.run()) {
+            let r = r.unwrap();
+            assert!(verify_permutation(perm, m, &r.memories));
             assert_eq!(r.stats.edge_contention_events, 0, "rounds must not contend");
         }
     }
@@ -318,15 +326,17 @@ mod tests {
         let d = 6u32;
         let m = 800usize;
         let perm = bit_reversal(d);
-        let run = |programs: Vec<Program>| {
-            let mems = permutation_memories(d, &perm, m);
-            let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, mems);
-            let r = sim.run().unwrap();
+        let mems = Arc::new(permutation_memories(d, &perm, m));
+        let mut batch = SimBatch::new(SimConfig::ipsc860(d));
+        batch.push_run(Arc::new(build_permutation_programs(d, &perm, m)), &mems);
+        batch.push_run(Arc::new(build_unscheduled_permutation_programs(d, &perm, m)), &mems);
+        let mut results = batch.run().into_iter().map(|r| {
+            let r = r.unwrap();
             assert!(verify_permutation(&perm, m, &r.memories));
             (r.finish_time.as_us(), r.stats.edge_contention_events)
-        };
-        let (t_sched, c_sched) = run(build_permutation_programs(d, &perm, m));
-        let (t_naive, c_naive) = run(build_unscheduled_permutation_programs(d, &perm, m));
+        });
+        let (t_sched, c_sched) = results.next().unwrap();
+        let (t_naive, c_naive) = results.next().unwrap();
         // Scheduling buys zero contention and deterministic latency...
         assert_eq!(c_sched, 0);
         assert!(c_naive > 0, "bit reversal must contend unscheduled");

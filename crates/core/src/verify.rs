@@ -208,4 +208,23 @@ mod tests {
         // Every slot except the self-block (x -> x at slot x) is wrong.
         assert_eq!(bad.len(), 8 * 8 - 8);
     }
+
+    #[test]
+    fn batched_exchange_runs_verify_across_block_ladder() {
+        // The stamp check must hold for every run of a batched
+        // block-size ladder: simulation moves real bytes, so any
+        // cross-run state leakage in the arena would corrupt a stamp.
+        use mce_simnet::batch::SimBatch;
+        use mce_simnet::SimConfig;
+        let d = 4u32;
+        let sizes = [8usize, 16, 48];
+        let mut batch = SimBatch::new(SimConfig::ipsc860(d));
+        batch.block_ladder(&sizes, |m| {
+            (crate::builder::build_multiphase_programs(d, &[2, 2], m), stamped_memories(d, m))
+        });
+        for (&m, r) in sizes.iter().zip(batch.run()) {
+            let r = r.unwrap();
+            assert!(verify_complete_exchange(d, m, &r.memories).is_empty(), "m={m}");
+        }
+    }
 }

@@ -10,7 +10,9 @@ use mce_core::perm_router::{
     bit_reversal, build_unscheduled_permutation_programs, permutation_memories,
 };
 use mce_core::verify::stamped_memories;
-use mce_simnet::{SimConfig, SimResult, Simulator};
+use mce_simnet::batch::{SimArena, SimBatch};
+use mce_simnet::{Program, SimConfig, SimResult, Simulator};
+use std::sync::Arc;
 
 /// FNV-1a over all node memories (length-prefixed per node).
 fn memory_digest(memories: &[Vec<u8>]) -> u64 {
@@ -64,40 +66,76 @@ fn snapshot(result: &SimResult) -> Snapshot {
     }
 }
 
-fn run_multiphase_d6_33() -> SimResult {
-    let (d, m) = (6u32, 40usize);
-    let programs = build_multiphase_programs(d, &[3, 3], m);
-    let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, stamped_memories(d, m));
+/// One of the four pinned workloads as a (config, programs, memories)
+/// spec, shared by the one-shot, arena-reuse and batch paths. Built
+/// per index so each test constructs only the workload it runs.
+fn workload_spec(workload: usize) -> (SimConfig, Vec<Program>, Vec<Vec<u8>>) {
+    match workload {
+        0 => {
+            let (d, m) = (6u32, 40usize);
+            (
+                SimConfig::ipsc860(d),
+                build_multiphase_programs(d, &[3, 3], m),
+                stamped_memories(d, m),
+            )
+        }
+        1 => {
+            let (d, m) = (6u32, 64usize);
+            let perm = bit_reversal(d);
+            (
+                SimConfig::ipsc860(d),
+                build_unscheduled_permutation_programs(d, &perm, m),
+                permutation_memories(d, &perm, m),
+            )
+        }
+        2 => {
+            let (d, m) = (5u32, 40usize);
+            (
+                SimConfig::ipsc860(d).with_store_and_forward(),
+                build_multiphase_programs(d, &[2, 3], m),
+                stamped_memories(d, m),
+            )
+        }
+        // No pairwise sync + jitter: exercises the NIC-serialization
+        // and edge-contention accounting paths that the aligned
+        // multiphase runs never hit.
+        3 => {
+            let (d, m) = (5u32, 200usize);
+            let opts = BuildOptions { pairwise_sync: false, ..Default::default() };
+            (
+                SimConfig::ipsc860(d).with_jitter(0.05, 99),
+                build_with_options(d, &[5], m, opts),
+                stamped_memories(d, m),
+            )
+        }
+        other => panic!("no workload {other}"),
+    }
+}
+
+fn workload_specs() -> Vec<(SimConfig, Vec<Program>, Vec<Vec<u8>>)> {
+    (0..4).map(workload_spec).collect()
+}
+
+fn one_shot(workload: usize) -> SimResult {
+    let (cfg, programs, memories) = workload_spec(workload);
+    let mut sim = Simulator::new(cfg, programs, memories);
     sim.run().unwrap()
+}
+
+fn run_multiphase_d6_33() -> SimResult {
+    one_shot(0)
 }
 
 fn run_bit_reversal_unscheduled() -> SimResult {
-    let (d, m) = (6u32, 64usize);
-    let perm = bit_reversal(d);
-    let programs = build_unscheduled_permutation_programs(d, &perm, m);
-    let mems = permutation_memories(d, &perm, m);
-    let mut sim = Simulator::new(SimConfig::ipsc860(d), programs, mems);
-    sim.run().unwrap()
+    one_shot(1)
 }
 
 fn run_store_and_forward() -> SimResult {
-    let (d, m) = (5u32, 40usize);
-    let programs = build_multiphase_programs(d, &[2, 3], m);
-    let cfg = SimConfig::ipsc860(d).with_store_and_forward();
-    let mut sim = Simulator::new(cfg, programs, stamped_memories(d, m));
-    sim.run().unwrap()
+    one_shot(2)
 }
 
 fn run_jittered_nosync() -> SimResult {
-    // No pairwise sync + jitter: exercises the NIC-serialization and
-    // edge-contention accounting paths that the aligned multiphase
-    // runs never hit.
-    let (d, m) = (5u32, 200usize);
-    let opts = BuildOptions { pairwise_sync: false, ..Default::default() };
-    let programs = build_with_options(d, &[5], m, opts);
-    let cfg = SimConfig::ipsc860(d).with_jitter(0.05, 99);
-    let mut sim = Simulator::new(cfg, programs, stamped_memories(d, m));
-    sim.run().unwrap()
+    one_shot(3)
 }
 
 #[test]
@@ -182,6 +220,40 @@ fn jittered_nosync_matches_snapshot() {
             memory_digest: 6797024586998232006,
         }
     );
+}
+
+/// Batch determinism regression: `SimBatch` results must be
+/// bit-identical to the sequential one-shot `Simulator` runs for all
+/// four snapshot workloads — arena reuse must not leak any state
+/// between runs.
+#[test]
+fn batch_results_are_bit_identical_to_one_shot_runs() {
+    let one_shot_snaps: Vec<Snapshot> = (0..4).map(|i| snapshot(&one_shot(i))).collect();
+
+    // Parallel batch path (per-worker arenas).
+    let mut batch = SimBatch::new(SimConfig::ipsc860(6));
+    for (cfg, programs, memories) in workload_specs() {
+        batch.push_with_config(cfg, Arc::new(programs), memories);
+    }
+    let batch_snaps: Vec<Snapshot> =
+        batch.run().into_iter().map(|r| snapshot(&r.unwrap())).collect();
+    assert_eq!(batch_snaps, one_shot_snaps, "SimBatch drifted from one-shot runs");
+
+    // One arena driving all four workloads back to back, twice: the
+    // second pass runs on an arena warmed by every other workload, so
+    // any cross-run leakage (pool payloads, wait-queue registrations,
+    // slot state, link occupancy) would show up as a snapshot diff.
+    let mut arena = SimArena::new();
+    for pass in 0..2 {
+        for (i, (cfg, programs, memories)) in workload_specs().into_iter().enumerate() {
+            let r = arena.run(&cfg, &programs, memories).unwrap();
+            assert_eq!(
+                snapshot(&r),
+                one_shot_snaps[i],
+                "arena reuse leaked state (workload {i}, pass {pass})"
+            );
+        }
+    }
 }
 
 /// Regenerator: `cargo test -p mce-core --test determinism_snapshot

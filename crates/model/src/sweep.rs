@@ -28,14 +28,18 @@ pub struct SweepRow {
 /// `0, step, 2·step, ..., m_max`.
 pub fn sweep(p: &MachineParams, d: u32, m_max: f64, step: f64) -> Vec<SweepRow> {
     assert!(step > 0.0);
-    let sizes: Vec<f64> = {
-        let mut v = Vec::new();
-        let mut m = 0.0;
-        while m <= m_max {
-            v.push(m);
-            m += step;
-        }
-        v
+    // Each size is computed as `i · step` rather than by repeated
+    // `m += step` accumulation: for non-dyadic steps (0.1, 0.3, ...)
+    // the accumulated error can push the running value past `m_max`
+    // one iteration early and silently drop the final sample. The
+    // epsilon absorbs the one-rounding error of the division itself.
+    let sizes: Vec<f64> = if m_max.is_nan() || m_max < 0.0 {
+        // Negative or NaN bound: empty grid, matching the old
+        // `while m <= m_max` loop (NaN comparisons are false).
+        Vec::new()
+    } else {
+        let last = (m_max / step + 1e-9).floor() as usize;
+        (0..=last).map(|i| i as f64 * step).collect()
     };
     // One independent prediction curve per partition: fan the rows
     // out across cores. Each row's arithmetic is identical to the
@@ -74,6 +78,32 @@ mod tests {
             for w in row.points.windows(2) {
                 assert!(w[1].predicted_us > w[0].predicted_us);
             }
+        }
+    }
+
+    #[test]
+    fn non_dyadic_step_keeps_the_final_sample() {
+        // Regression: with `m += step` accumulation, 0.1 + 0.1 + 0.1
+        // lands at 0.30000000000000004 > 0.3 and the m_max sample was
+        // silently skipped. The grid must end at (approximately) m_max.
+        let p = MachineParams::ipsc860();
+        let rows = sweep(&p, 3, 0.3, 0.1);
+        for row in &rows {
+            assert_eq!(row.points.len(), 4, "0, 0.1, 0.2, 0.3");
+            let last = row.points.last().unwrap().block_size;
+            assert!((last - 0.3).abs() < 1e-9, "final sample {last} != 0.3");
+        }
+        // A longer non-representable ladder still hits every multiple.
+        let rows = sweep(&p, 3, 40.0, 0.1);
+        for row in &rows {
+            assert_eq!(row.points.len(), 401);
+            let last = row.points.last().unwrap().block_size;
+            assert!((last - 40.0).abs() < 1e-9, "final sample {last} != 40.0");
+        }
+        // Degenerate bounds give empty grids, as the old loop did.
+        for bad in [-1.0, f64::NAN, f64::NEG_INFINITY] {
+            let rows = sweep(&p, 3, bad, 0.1);
+            assert!(rows.iter().all(|r| r.points.is_empty()), "m_max={bad}");
         }
     }
 

@@ -1,0 +1,500 @@
+//! Batch execution of independent simulator runs.
+//!
+//! Every figure, ablation row, property suite and verification pass in
+//! this repository is a fan-out of *independent* deterministic
+//! [`Simulator`](crate::Simulator) runs. The one-shot `Simulator` is
+//! the right tool for a single run; for many runs it rebuilds every
+//! pooled allocation (payload buffers, event heap, wait-queue tables,
+//! link table, per-node state) and recompiles the programs each time.
+//! This module batches the runs instead:
+//!
+//! * [`SimBatch`] is a builder: one base [`SimConfig`] template plus a
+//!   list of variant runs — seed sweeps for jitter replicates
+//!   ([`SimBatch::seed_sweep`]), NIC concurrency-window sweeps
+//!   ([`SimBatch::window_sweep`]), circuit vs store-and-forward
+//!   comparisons ([`SimBatch::switching_comparison`]), block-size
+//!   ladders ([`SimBatch::block_ladder`]) or arbitrary
+//!   [`RunSpec`]s. [`SimBatch::run`] executes them rayon-parallel with
+//!   one [`SimArena`] per worker; results come back in push order.
+//! * [`SimArena`] (re-exported from the engine) drives any number of
+//!   runs over reused allocations, plus a compiled-program cache for
+//!   program sets shared across runs via `Arc`.
+//! * [`run_cells`] is the streaming fan-out for heterogeneous sweeps
+//!   (one programs/memories build per cell): the build closure runs on
+//!   the worker thread, so only ~one cell per core is materialized at
+//!   a time — same peak memory as a hand-rolled parallel loop, with
+//!   arena reuse on top.
+//!
+//! # When to use what
+//!
+//! * One run, or a run whose memories you want moved (not cloned) into
+//!   the result: one-shot [`Simulator`](crate::Simulator).
+//! * N runs of *shared* programs (seed/window/switching sweeps): a
+//!   [`SimBatch`] with `Arc`-shared programs and memories — compile
+//!   once, simulate N times.
+//! * N runs with per-run programs (figure grids, partition sweeps):
+//!   [`run_cells`], or a [`SimBatch`] of owned specs when N is small.
+//!
+//! # Error contract and determinism
+//!
+//! Arena reuse is observationally invisible: every run starts from
+//! fully reset state and produces bit-identical results to a one-shot
+//! `Simulator` (pinned by the determinism-snapshot suite in
+//! `mce-core`). Failures on these run paths are typed [`SimError`]s,
+//! never panics: re-running a spent `Simulator` is
+//! [`SimError::AlreadyRan`], a self-send is rejected at compile time
+//! as [`SimError::SelfSend`], and a bad config (negative jitter,
+//! oversized dimension, wrong program/memory counts) is
+//! [`SimError::InvalidConfig`] before any simulated time elapses.
+//! (The one exception is the eager [`Simulator::new`](crate::Simulator::new)
+//! constructor, which keeps its documented assert on program/memory
+//! counts; the arena and batch entry points report the same condition
+//! as `InvalidConfig`.)
+
+use crate::config::{SimConfig, SwitchingMode};
+pub use crate::engine::SimArena;
+use crate::engine::{SimError, SimResult};
+use crate::program::Program;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Initial node memories of one run: either an `Arc`-shared template
+/// cloned per run (sweeps where every replicate starts identically) or
+/// a one-off owned set moved into the run.
+pub enum Memories {
+    /// Shared template; each run clones it.
+    Shared(Arc<Vec<Vec<u8>>>),
+    /// Owned set consumed by exactly one run.
+    Owned(Vec<Vec<u8>>),
+}
+
+impl Memories {
+    fn materialize(self) -> Vec<Vec<u8>> {
+        match self {
+            Memories::Shared(template) => Vec::clone(&template),
+            Memories::Owned(memories) => memories,
+        }
+    }
+}
+
+impl From<Vec<Vec<u8>>> for Memories {
+    fn from(memories: Vec<Vec<u8>>) -> Self {
+        Memories::Owned(memories)
+    }
+}
+
+impl From<Arc<Vec<Vec<u8>>>> for Memories {
+    fn from(template: Arc<Vec<Vec<u8>>>) -> Self {
+        Memories::Shared(template)
+    }
+}
+
+impl From<&Arc<Vec<Vec<u8>>>> for Memories {
+    fn from(template: &Arc<Vec<Vec<u8>>>) -> Self {
+        Memories::Shared(Arc::clone(template))
+    }
+}
+
+/// One fully-specified run within a batch.
+pub struct RunSpec {
+    /// Configuration of this run.
+    pub cfg: SimConfig,
+    /// Per-node programs, `Arc`-shared so sweeps over one program set
+    /// hit the arena's compile cache.
+    pub programs: Arc<Vec<Program>>,
+    /// Initial node memories.
+    pub memories: Memories,
+    /// Record transmission start/end trace events.
+    pub trace: bool,
+}
+
+impl SimArena {
+    /// Execute one batch spec on this arena.
+    pub fn run_spec(&mut self, spec: RunSpec) -> Result<SimResult, SimError> {
+        let RunSpec { cfg, programs, memories, trace } = spec;
+        if Arc::strong_count(&programs) == 1 {
+            // This spec owns the last Arc to its program set, so no
+            // later run can ever present the same set again: compile
+            // uncached instead of pinning a dead entry (run_cells
+            // grids and block ladders build unique programs per cell).
+            return self.run_traced(&cfg, &programs, memories.materialize(), trace);
+        }
+        self.run_shared_traced(&cfg, &programs, memories.materialize(), trace)
+    }
+}
+
+/// A batch of independent simulation runs built from one [`SimConfig`]
+/// template. See the [module docs](self) for the full contract.
+///
+/// # Example
+///
+/// ```
+/// use mce_simnet::batch::SimBatch;
+/// use mce_simnet::{Op, Program, SimConfig, Tag};
+/// use mce_hypercube::NodeId;
+/// use std::sync::Arc;
+///
+/// // Eight jitter replicates of a one-way transfer, in parallel.
+/// let programs = Arc::new(vec![
+///     Program { ops: vec![Op::send(NodeId(1), 0..64, Tag::data(0, 1))] },
+///     Program {
+///         ops: vec![
+///             Op::post_recv(NodeId(0), Tag::data(0, 1), 0..64),
+///             Op::wait_recv(NodeId(0), Tag::data(0, 1)),
+///         ],
+///     },
+/// ]);
+/// let memories = Arc::new(vec![vec![7u8; 64], vec![0u8; 64]]);
+/// let mut batch = SimBatch::new(SimConfig::ipsc860(1));
+/// batch.seed_sweep(0.05, 1..=8, &programs, &memories);
+/// let results = batch.run();
+/// assert_eq!(results.len(), 8);
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
+pub struct SimBatch {
+    base: SimConfig,
+    runs: Vec<RunSpec>,
+}
+
+impl SimBatch {
+    /// Empty batch whose sweeps derive their configs from `base`.
+    pub fn new(base: SimConfig) -> Self {
+        SimBatch { base, runs: Vec::new() }
+    }
+
+    /// The config template sweeps derive from.
+    pub fn base(&self) -> &SimConfig {
+        &self.base
+    }
+
+    /// Number of runs queued.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no runs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Queue an explicit spec; returns its result index.
+    pub fn push(&mut self, spec: RunSpec) -> usize {
+        self.runs.push(spec);
+        self.runs.len() - 1
+    }
+
+    /// Queue one run of the base config; returns its result index.
+    pub fn push_run(
+        &mut self,
+        programs: Arc<Vec<Program>>,
+        memories: impl Into<Memories>,
+    ) -> usize {
+        let cfg = self.base.clone();
+        self.push_with_config(cfg, programs, memories)
+    }
+
+    /// Queue one run under an explicit config (block-size grids and
+    /// ablations where every cell differs); returns its result index.
+    pub fn push_with_config(
+        &mut self,
+        cfg: SimConfig,
+        programs: Arc<Vec<Program>>,
+        memories: impl Into<Memories>,
+    ) -> usize {
+        self.push(RunSpec { cfg, programs, memories: memories.into(), trace: false })
+    }
+
+    /// Queue one jitter replicate per seed: the base config with
+    /// `jitter_frac` and that seed. Returns the result index range.
+    pub fn seed_sweep(
+        &mut self,
+        jitter_frac: f64,
+        seeds: impl IntoIterator<Item = u64>,
+        programs: &Arc<Vec<Program>>,
+        memories: &Arc<Vec<Vec<u8>>>,
+    ) -> Range<usize> {
+        let start = self.runs.len();
+        for seed in seeds {
+            let mut cfg = self.base.clone();
+            cfg.jitter_frac = jitter_frac;
+            cfg.seed = seed;
+            self.push_with_config(cfg, Arc::clone(programs), memories);
+        }
+        start..self.runs.len()
+    }
+
+    /// Queue one run per NIC concurrency window (ns), Section 7.2's
+    /// knob. Returns the result index range.
+    pub fn window_sweep(
+        &mut self,
+        windows_ns: impl IntoIterator<Item = u64>,
+        programs: &Arc<Vec<Program>>,
+        memories: &Arc<Vec<Vec<u8>>>,
+    ) -> Range<usize> {
+        let start = self.runs.len();
+        for window in windows_ns {
+            let mut cfg = self.base.clone();
+            cfg.concurrency_window_ns = window;
+            self.push_with_config(cfg, Arc::clone(programs), memories);
+        }
+        start..self.runs.len()
+    }
+
+    /// Queue the same workload under circuit switching and under
+    /// store-and-forward; returns `(circuit_index, saf_index)`.
+    pub fn switching_comparison(
+        &mut self,
+        programs: &Arc<Vec<Program>>,
+        memories: &Arc<Vec<Vec<u8>>>,
+    ) -> (usize, usize) {
+        let mut circuit = self.base.clone();
+        circuit.switching = SwitchingMode::Circuit;
+        let mut saf = self.base.clone();
+        saf.switching = SwitchingMode::StoreAndForward;
+        (
+            self.push_with_config(circuit, Arc::clone(programs), memories),
+            self.push_with_config(saf, Arc::clone(programs), memories),
+        )
+    }
+
+    /// Queue one run per block size, with `build` producing that
+    /// size's programs and memories. Returns the result index range.
+    pub fn block_ladder(
+        &mut self,
+        sizes: &[usize],
+        mut build: impl FnMut(usize) -> (Vec<Program>, Vec<Vec<u8>>),
+    ) -> Range<usize> {
+        let start = self.runs.len();
+        for &m in sizes {
+            let (programs, memories) = build(m);
+            self.push_run(Arc::new(programs), memories);
+        }
+        start..self.runs.len()
+    }
+
+    /// Execute the batch rayon-parallel, one [`SimArena`] per worker
+    /// thread. Results are in push order; each is exactly what a
+    /// one-shot [`Simulator`](crate::Simulator) of that spec returns.
+    pub fn run(self) -> Vec<Result<SimResult, SimError>> {
+        rayon::parallel_map_init(self.runs, SimArena::new, |arena, spec| arena.run_spec(spec))
+    }
+
+    /// Execute the batch sequentially on one caller-supplied arena, in
+    /// push order. Useful for determinism tests and for callers that
+    /// already parallelize one level up.
+    pub fn run_on(self, arena: &mut SimArena) -> Vec<Result<SimResult, SimError>> {
+        self.runs.into_iter().map(|spec| arena.run_spec(spec)).collect()
+    }
+}
+
+/// Streaming fan-out over heterogeneous cells (figure grids, partition
+/// sweeps): `build` turns a cell into a [`RunSpec`] *on the worker
+/// thread* — so at most one cell's programs and memories per core are
+/// alive at a time — and `finish` folds the cell and its result into
+/// the output. Output order matches `cells` order; every worker reuses
+/// one [`SimArena`] across its share of the cells.
+pub fn run_cells<T: Send, U: Send>(
+    cells: Vec<T>,
+    build: impl Fn(&T) -> RunSpec + Sync,
+    finish: impl Fn(T, Result<SimResult, SimError>) -> U + Sync,
+) -> Vec<U> {
+    rayon::parallel_map_init(cells, SimArena::new, |arena, cell| {
+        let result = arena.run_spec(build(&cell));
+        finish(cell, result)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Tag;
+    use crate::program::Op;
+    use mce_hypercube::NodeId;
+
+    /// Node 0 sends `bytes` to the far corner of a d-cube; others idle.
+    fn one_way(d: u32, bytes: usize) -> (Arc<Vec<Program>>, Arc<Vec<Vec<u8>>>) {
+        let n = 1usize << d;
+        let dst = (n - 1) as u32;
+        let mut programs = vec![Program::empty(); n];
+        programs[0] = Program { ops: vec![Op::send(NodeId(dst), 0..bytes, Tag::data(0, 1))] };
+        programs[dst as usize] = Program {
+            ops: vec![
+                Op::post_recv(NodeId(0), Tag::data(0, 1), 0..bytes),
+                Op::wait_recv(NodeId(0), Tag::data(0, 1)),
+            ],
+        };
+        let mut memories = vec![vec![0u8; bytes]; n];
+        memories[0] = vec![9u8; bytes];
+        (Arc::new(programs), Arc::new(memories))
+    }
+
+    #[test]
+    fn seed_sweep_is_deterministic_and_seed_sensitive() {
+        let (programs, memories) = one_way(3, 200);
+        let sweep = |seeds: Range<u64>| -> Vec<u64> {
+            let mut batch = SimBatch::new(SimConfig::ipsc860(3));
+            batch.seed_sweep(0.05, seeds, &programs, &memories);
+            batch.run().into_iter().map(|r| r.unwrap().finish_time.as_ns()).collect()
+        };
+        let a = sweep(1..9);
+        let b = sweep(1..9);
+        assert_eq!(a, b, "same seeds, same results");
+        let mut distinct = a.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 1, "different seeds must perturb timing: {a:?}");
+    }
+
+    #[test]
+    fn window_sweep_serializes_below_the_stagger() {
+        // Two nodes exchange with a 50 µs stagger: a zero window
+        // serializes, a huge window lets the transfers overlap.
+        let bytes = 500usize;
+        let mk = |other: u32, delay: u64| {
+            let mut ops = vec![Op::post_recv(NodeId(other), Tag::data(0, 1), 0..bytes)];
+            if delay > 0 {
+                ops.push(Op::Compute { ns: delay });
+            }
+            ops.push(Op::send(NodeId(other), 0..bytes, Tag::data(0, 1)));
+            ops.push(Op::wait_recv(NodeId(other), Tag::data(0, 1)));
+            Program { ops }
+        };
+        let programs = Arc::new(vec![mk(1, 0), mk(0, 50_000)]);
+        let memories = Arc::new(vec![vec![1u8; bytes]; 2]);
+        let mut batch = SimBatch::new(SimConfig::ipsc860(1));
+        let range = batch.window_sweep([0, 100_000_000], &programs, &memories);
+        assert_eq!(range, 0..2);
+        let results = batch.run();
+        let narrow = results[0].as_ref().unwrap().finish_time;
+        let wide = results[1].as_ref().unwrap().finish_time;
+        assert!(narrow > wide, "narrow window must serialize: {narrow} vs {wide}");
+    }
+
+    #[test]
+    fn switching_comparison_prices_saf_hops() {
+        let (programs, memories) = one_way(4, 400);
+        let mut batch = SimBatch::new(SimConfig::ipsc860(4));
+        let (ci, si) = batch.switching_comparison(&programs, &memories);
+        let results = batch.run();
+        let circuit = results[ci].as_ref().unwrap().finish_time;
+        let saf = results[si].as_ref().unwrap().finish_time;
+        // 4 hops: SAF pays λ + τm per hop, circuit pays it once.
+        assert!(saf > circuit, "{saf} vs {circuit}");
+    }
+
+    #[test]
+    fn parallel_and_sequential_batches_agree() {
+        let (programs, memories) = one_way(3, 64);
+        let build = |batch: &mut SimBatch| {
+            batch.seed_sweep(0.03, 1..6, &programs, &memories);
+            batch.window_sweep([0, 2_000], &programs, &memories);
+        };
+        let mut parallel = SimBatch::new(SimConfig::ipsc860(3));
+        build(&mut parallel);
+        let mut sequential = SimBatch::new(SimConfig::ipsc860(3));
+        build(&mut sequential);
+        let mut arena = SimArena::new();
+        let par: Vec<_> =
+            parallel.run().into_iter().map(|r| r.unwrap().finish_time.as_ns()).collect();
+        let seq: Vec<_> = sequential
+            .run_on(&mut arena)
+            .into_iter()
+            .map(|r| r.unwrap().finish_time.as_ns())
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn invalid_jitter_is_a_typed_error_not_a_panic() {
+        let (programs, memories) = one_way(2, 16);
+        let mut batch = SimBatch::new(SimConfig::ipsc860(2));
+        batch.seed_sweep(-0.5, [1], &programs, &memories);
+        match batch.run().pop().unwrap() {
+            Err(SimError::InvalidConfig { reason }) => {
+                assert!(reason.contains("jitter"), "{reason}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let (programs, _) = one_way(2, 16);
+        let mut arena = SimArena::new();
+        let err = arena.run(&SimConfig::ipsc860(2), &programs, vec![vec![0u8; 16]; 3]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn block_ladder_runs_every_size() {
+        let sizes = [16usize, 64, 256];
+        let mut batch = SimBatch::new(SimConfig::ipsc860(2));
+        let range = batch.block_ladder(&sizes, |m| {
+            let (programs, memories) = one_way(2, m);
+            (Vec::clone(&programs), Vec::clone(&memories))
+        });
+        assert_eq!(range, 0..3);
+        let results = batch.run();
+        let times: Vec<u64> = results.into_iter().map(|r| r.unwrap().finish_time.as_ns()).collect();
+        assert!(times[0] < times[1] && times[1] < times[2], "τm grows with m: {times:?}");
+    }
+
+    #[test]
+    fn run_cells_streams_heterogeneous_workloads() {
+        let cells: Vec<u32> = (1..=4).collect();
+        let out = run_cells(
+            cells,
+            |&d| {
+                let (programs, memories) = one_way(d, 32);
+                RunSpec {
+                    cfg: SimConfig::ipsc860(d),
+                    programs,
+                    memories: Memories::Shared(memories),
+                    trace: false,
+                }
+            },
+            |d, result| (d, result.unwrap().finish_time.as_us()),
+        );
+        assert_eq!(out.len(), 4);
+        // δ per hop: farther corners take longer.
+        for w in out.windows(2) {
+            assert!(w[1].1 > w[0].1, "{out:?}");
+        }
+    }
+
+    type MixedSpec = (SimConfig, Arc<Vec<Program>>, Arc<Vec<Vec<u8>>>);
+
+    #[test]
+    fn arena_reuse_matches_fresh_arenas_across_mixed_workloads() {
+        // One arena drives runs of different dimensions, program sets
+        // and switching modes back to back; every result must equal a
+        // fresh-arena run of the same spec.
+        let specs: Vec<MixedSpec> = vec![
+            {
+                let (p, m) = one_way(2, 100);
+                (SimConfig::ipsc860(2), p, m)
+            },
+            {
+                let (p, m) = one_way(4, 300);
+                (SimConfig::ipsc860(4).with_store_and_forward(), p, m)
+            },
+            {
+                let (p, m) = one_way(3, 50);
+                (SimConfig::ipsc860(3).with_jitter(0.05, 7), p, m)
+            },
+            {
+                let (p, m) = one_way(2, 100);
+                (SimConfig::ipsc860(2), p, m)
+            },
+        ];
+        let mut shared = SimArena::new();
+        for (cfg, programs, memories) in &specs {
+            let via_shared = shared.run_shared(cfg, programs, Vec::clone(memories)).unwrap();
+            let via_fresh =
+                SimArena::new().run_shared(cfg, programs, Vec::clone(memories)).unwrap();
+            assert_eq!(via_shared.finish_time, via_fresh.finish_time);
+            assert_eq!(via_shared.memories, via_fresh.memories);
+            assert_eq!(via_shared.stats, via_fresh.stats);
+        }
+    }
+}

@@ -94,6 +94,43 @@ impl SimConfig {
         1usize << self.dimension
     }
 
+    /// Static validity check, run by the engine before any simulated
+    /// time elapses: the dimension must fit the engine's inline e-cube
+    /// route buffers (`mce_hypercube::MAX_DIMENSION` hops), the jitter
+    /// fraction must be a finite value in `[0, 1)`, and every machine
+    /// timing parameter must be finite and non-negative. The time
+    /// conversions (`us_to_ns`, `SimTime::from_us`) only debug-assert,
+    /// so this is the release-build gate keeping negative or NaN
+    /// durations from silently saturating to 0 ns.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dimension > mce_hypercube::MAX_DIMENSION {
+            return Err(format!(
+                "dimension {} exceeds MAX_DIMENSION {}",
+                self.dimension,
+                mce_hypercube::MAX_DIMENSION
+            ));
+        }
+        if !(0.0..1.0).contains(&self.jitter_frac) {
+            return Err(format!("jitter fraction {} outside [0, 1)", self.jitter_frac));
+        }
+        let timings = [
+            ("lambda", self.params.lambda),
+            ("lambda_zero", self.params.lambda_zero),
+            ("tau", self.params.tau),
+            ("delta", self.params.delta),
+            ("rho", self.params.rho),
+            ("barrier_per_dim", self.params.barrier_per_dim),
+        ];
+        for (name, us) in timings {
+            if !us.is_finite() || us < 0.0 {
+                return Err(format!(
+                    "machine parameter {name} = {us} µs is not a finite \u{2265} 0 duration"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Duration in ns of a transmission of `bytes` across `hops`
     /// dimensions: `λ + τ·bytes + δ·hops`, with `λ₀` replacing `λ` for
     /// zero-byte (synchronization) messages.
@@ -165,5 +202,49 @@ mod tests {
     #[should_panic(expected = "jitter")]
     fn rejects_bad_jitter() {
         let _ = SimConfig::ipsc860(3).with_jitter(1.5, 1);
+    }
+
+    #[test]
+    fn validate_accepts_all_stock_configs() {
+        for d in 0..=10u32 {
+            assert!(SimConfig::ipsc860(d).validate().is_ok());
+            assert!(SimConfig::hypothetical(d).validate().is_ok());
+            assert!(SimConfig::ipsc860(d).with_store_and_forward().validate().is_ok());
+            assert!(SimConfig::ipsc860(d).with_jitter(0.05, 42).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_negative_or_nan_jitter() {
+        let mut c = SimConfig::ipsc860(4);
+        c.jitter_frac = -0.1;
+        assert!(c.validate().unwrap_err().contains("jitter"));
+        c.jitter_frac = f64::NAN;
+        assert!(c.validate().unwrap_err().contains("jitter"));
+        c.jitter_frac = 1.0;
+        assert!(c.validate().unwrap_err().contains("jitter"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_machine_timings() {
+        // us_to_ns only debug-asserts, so validate() is what stops a
+        // negative or NaN parameter from saturating to 0 ns in release.
+        let mut c = SimConfig::ipsc860(4);
+        c.params.tau = -0.01;
+        assert!(c.validate().unwrap_err().contains("tau"));
+        c.params.tau = f64::NAN;
+        assert!(c.validate().unwrap_err().contains("tau"));
+        c.params.tau = 0.394;
+        c.params.barrier_per_dim = f64::INFINITY;
+        assert!(c.validate().unwrap_err().contains("barrier_per_dim"));
+    }
+
+    #[test]
+    fn validate_rejects_oversized_dimension() {
+        let mut c = SimConfig::ipsc860(5);
+        c.dimension = mce_hypercube::MAX_DIMENSION + 1;
+        assert!(c.validate().unwrap_err().contains("dimension"));
+        c.dimension = mce_hypercube::MAX_DIMENSION;
+        assert!(c.validate().is_ok());
     }
 }

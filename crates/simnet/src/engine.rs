@@ -84,6 +84,25 @@ pub enum SimError {
         /// Validator message.
         reason: String,
     },
+    /// A program sends to its own node. Self-sends are not modelled
+    /// (local data movement is `Permute`/`Compute`); the compile pass
+    /// rejects them before any simulated time elapses.
+    SelfSend {
+        /// Offending node.
+        node: NodeId,
+        /// Index of the offending op in that node's program.
+        op: usize,
+    },
+    /// [`Simulator::run`] was called a second time. A `Simulator` is
+    /// single-shot (its initial memories are moved into the run); use
+    /// [`crate::batch::SimArena`] to drive many runs over reused
+    /// allocations.
+    AlreadyRan,
+    /// The [`crate::SimConfig`] failed [`crate::SimConfig::validate`].
+    InvalidConfig {
+        /// Validator message.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -108,6 +127,16 @@ impl std::fmt::Display for SimError {
             SimError::InvalidProgram { node, reason } => {
                 write!(f, "invalid program at node {node}: {reason}")
             }
+            SimError::SelfSend { node, op } => {
+                write!(
+                    f,
+                    "self-send at node {node} op {op}: use Permute/Compute for local data movement"
+                )
+            }
+            SimError::AlreadyRan => {
+                write!(f, "Simulator::run is single-shot; build a new Simulator or use SimArena")
+            }
+            SimError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
         }
     }
 }
@@ -258,6 +287,9 @@ fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimEr
                     CompiledOp::PostRecv { slot, tag: *tag, into: into.clone() }
                 }
                 Op::Send { dst, from, tag, kind } => {
+                    if dst.index() == x {
+                        return Err(SimError::SelfSend { node: NodeId(x as u32), op: i });
+                    }
                     if from.end > memory_len {
                         return Err(invalid(
                             i,
@@ -364,6 +396,17 @@ impl NodeState {
             finish: SimTime::ZERO,
         }
     }
+
+    /// Re-arm for a new run, keeping the slot and interval allocations.
+    fn reset(&mut self, num_slots: u32) {
+        self.pc = 0;
+        self.status = Status::Ready;
+        self.slots.clear();
+        self.slots.resize_with(num_slots as usize, Slot::default);
+        self.outgoing = None;
+        self.incoming.clear();
+        self.finish = SimTime::ZERO;
+    }
 }
 
 #[derive(Debug)]
@@ -432,25 +475,185 @@ impl Simulator {
     ///
     /// The initial memories are moved into the run and handed back in
     /// [`SimResult::memories`] without a defensive copy, so a
-    /// simulator is single-shot.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called a second time — rebuild the [`Simulator`]
-    /// (program compilation is per-run anyway) to simulate again.
+    /// simulator is single-shot: a second call returns
+    /// [`SimError::AlreadyRan`] instead of simulating again. To drive
+    /// many runs over reused allocations, use a
+    /// [`SimArena`] (or [`crate::batch::SimBatch`]) instead of
+    /// rebuilding a `Simulator` per run.
     pub fn run(&mut self) -> Result<SimResult, SimError> {
-        assert!(!self.ran, "Simulator::run is single-shot; build a new Simulator to re-run");
+        if self.ran {
+            return Err(SimError::AlreadyRan);
+        }
         self.ran = true;
-        let Compiled { programs, total_sends } = compile(&self.programs, &self.memories)?;
-        let mut rt = Runtime::new(
+        let mut arena = SimArena::new();
+        arena.run_traced(
             &self.cfg,
-            &programs,
-            total_sends,
+            &self.programs,
             std::mem::take(&mut self.memories),
             self.trace_enabled,
-        );
-        rt.run(&programs)
+        )
     }
+}
+
+/// Cache slots kept for compiled program sets (see
+/// [`SimArena::run_shared`]); batches rarely cycle through more
+/// distinct shared program sets than this at once.
+const COMPILED_CACHE_CAP: usize = 32;
+
+/// One cached compilation: the program set is kept alive so its
+/// pointer identity cannot be recycled by a later allocation.
+struct CachedCompile {
+    programs: Arc<Vec<Program>>,
+    mem_lens: Vec<usize>,
+    compiled: Arc<Compiled>,
+}
+
+/// Reusable simulation state: drives any number of runs while
+/// recycling the allocations that [`Simulator`] would otherwise
+/// rebuild per run — payload-buffer pools, the event heap and FIFO,
+/// wait-queue tables, per-node state, the link table (per dimension)
+/// and permute scratch — plus a compiled-program cache for program
+/// sets shared across runs (seed sweeps, config sweeps).
+///
+/// Arena reuse is invisible in the results: every run starts from
+/// fully reset state, so outputs are bit-identical to one-shot
+/// [`Simulator`] runs (pinned by the determinism-snapshot suite in
+/// `mce-core`). An arena is cheap to create; batch executors keep one
+/// per worker thread.
+#[derive(Default)]
+pub struct SimArena {
+    nodes: Vec<NodeState>,
+    links: Option<(u32, LinkTable)>,
+    transmissions: Vec<Option<Transmission>>,
+    dirty: Vec<(u64, TransmissionId)>,
+    link_watch: FxHashMap<DirectedLink, Vec<TransmissionId>>,
+    node_watch: Vec<Vec<TransmissionId>>,
+    lapse: BinaryHeap<Reverse<(u64, u64, TransmissionId)>>,
+    pool: Vec<Vec<u8>>,
+    scratch: Vec<u8>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventKey)>>,
+    fifo: std::collections::VecDeque<EventKey>,
+    compiled: Vec<CachedCompile>,
+}
+
+impl SimArena {
+    /// Fresh arena with no recycled allocations yet.
+    pub fn new() -> Self {
+        SimArena::default()
+    }
+
+    /// Run one simulation, reusing this arena's allocations. Programs
+    /// are compiled for this run only; for program sets shared across
+    /// several runs prefer [`SimArena::run_shared`], which caches the
+    /// compilation.
+    pub fn run(
+        &mut self,
+        cfg: &SimConfig,
+        programs: &[Program],
+        memories: Vec<Vec<u8>>,
+    ) -> Result<SimResult, SimError> {
+        self.run_traced(cfg, programs, memories, false)
+    }
+
+    /// [`SimArena::run`] with event tracing on or off.
+    pub fn run_traced(
+        &mut self,
+        cfg: &SimConfig,
+        programs: &[Program],
+        memories: Vec<Vec<u8>>,
+        trace: bool,
+    ) -> Result<SimResult, SimError> {
+        check_shape(cfg, programs.len(), memories.len())?;
+        let compiled = compile(programs, &memories)?;
+        self.run_compiled(cfg, &compiled, memories, trace)
+    }
+
+    /// Run a *shared* program set (identified by its `Arc`): the
+    /// compile pass is cached, so seed sweeps and config sweeps over
+    /// one program set compile once instead of once per run.
+    pub fn run_shared(
+        &mut self,
+        cfg: &SimConfig,
+        programs: &Arc<Vec<Program>>,
+        memories: Vec<Vec<u8>>,
+    ) -> Result<SimResult, SimError> {
+        self.run_shared_traced(cfg, programs, memories, false)
+    }
+
+    /// [`SimArena::run_shared`] with event tracing on or off.
+    pub fn run_shared_traced(
+        &mut self,
+        cfg: &SimConfig,
+        programs: &Arc<Vec<Program>>,
+        memories: Vec<Vec<u8>>,
+        trace: bool,
+    ) -> Result<SimResult, SimError> {
+        check_shape(cfg, programs.len(), memories.len())?;
+        let compiled = self.compiled_for(programs, &memories)?;
+        self.run_compiled(cfg, &compiled, memories, trace)
+    }
+
+    /// Cached compile keyed on program-set identity + memory lengths
+    /// (compilation validates ranges against them).
+    fn compiled_for(
+        &mut self,
+        programs: &Arc<Vec<Program>>,
+        memories: &[Vec<u8>],
+    ) -> Result<Arc<Compiled>, SimError> {
+        let hit = self.compiled.iter().find(|c| {
+            Arc::ptr_eq(&c.programs, programs)
+                && c.mem_lens.len() == memories.len()
+                && c.mem_lens.iter().zip(memories).all(|(&l, m)| l == m.len())
+        });
+        if let Some(c) = hit {
+            return Ok(Arc::clone(&c.compiled));
+        }
+        let compiled = Arc::new(compile(programs, memories)?);
+        if self.compiled.len() >= COMPILED_CACHE_CAP {
+            self.compiled.remove(0);
+        }
+        self.compiled.push(CachedCompile {
+            programs: Arc::clone(programs),
+            mem_lens: memories.iter().map(Vec::len).collect(),
+            compiled: Arc::clone(&compiled),
+        });
+        Ok(compiled)
+    }
+
+    fn run_compiled(
+        &mut self,
+        cfg: &SimConfig,
+        compiled: &Compiled,
+        memories: Vec<Vec<u8>>,
+        trace: bool,
+    ) -> Result<SimResult, SimError> {
+        let mut rt = Runtime::from_arena(
+            cfg,
+            &compiled.programs,
+            compiled.total_sends,
+            memories,
+            trace,
+            self,
+        );
+        let out = rt.run(&compiled.programs);
+        rt.reclaim(self);
+        out
+    }
+}
+
+/// Shared config/shape validation for every arena-driven run.
+fn check_shape(cfg: &SimConfig, num_programs: usize, num_memories: usize) -> Result<(), SimError> {
+    cfg.validate().map_err(|reason| SimError::InvalidConfig { reason })?;
+    let n = cfg.num_nodes();
+    if num_programs != n || num_memories != n {
+        return Err(SimError::InvalidConfig {
+            reason: format!(
+                "cube of {n} nodes needs one program and one memory per node \
+                 (got {num_programs} programs, {num_memories} memories)"
+            ),
+        });
+    }
+    Ok(())
 }
 
 struct Runtime<'c> {
@@ -513,29 +716,56 @@ impl From<Event> for EventKey {
 }
 
 impl<'c> Runtime<'c> {
-    fn new(
+    /// Assemble a runtime from the arena's recycled allocations; the
+    /// arena is drained for the duration of the run and refilled by
+    /// [`Runtime::reclaim`]. All recycled containers were left empty
+    /// (or, for nodes/links, are reset here), so a run observes
+    /// exactly the state a freshly-allocated runtime would.
+    fn from_arena(
         cfg: &'c SimConfig,
         programs: &[CompiledProgram],
         total_sends: usize,
         memories: Vec<Vec<u8>>,
         trace_enabled: bool,
+        arena: &mut SimArena,
     ) -> Self {
         let n = programs.len();
+        let mut nodes = std::mem::take(&mut arena.nodes);
+        for (i, p) in programs.iter().enumerate() {
+            if i < nodes.len() {
+                nodes[i].reset(p.num_slots);
+            } else {
+                nodes.push(NodeState::new(p.num_slots));
+            }
+        }
+        nodes.truncate(n);
+        let links = match arena.links.take() {
+            Some((dim, table)) if dim == cfg.dimension => table,
+            _ => LinkTable::for_cube(cfg.dimension),
+        };
+        let mut transmissions = std::mem::take(&mut arena.transmissions);
+        transmissions.reserve(total_sends);
+        let mut node_watch = std::mem::take(&mut arena.node_watch);
+        node_watch.resize_with(n, Vec::new);
+        let mut heap = std::mem::take(&mut arena.heap);
+        heap.reserve(total_sends + 2 * n);
+        let mut fifo = std::mem::take(&mut arena.fifo);
+        fifo.reserve(64);
         Runtime {
             cfg,
-            nodes: programs.iter().map(|p| NodeState::new(p.num_slots)).collect(),
+            nodes,
             memories,
-            links: LinkTable::for_cube(cfg.dimension),
-            transmissions: Vec::with_capacity(total_sends),
-            dirty: Vec::new(),
-            link_watch: FxHashMap::default(),
+            links,
+            transmissions,
+            dirty: std::mem::take(&mut arena.dirty),
+            link_watch: std::mem::take(&mut arena.link_watch),
             link_watch_entries: 0,
-            node_watch: (0..n).map(|_| Vec::new()).collect(),
-            lapse: BinaryHeap::new(),
-            pool: Vec::new(),
-            scratch: Vec::new(),
-            heap: BinaryHeap::with_capacity(total_sends + 2 * n),
-            fifo: std::collections::VecDeque::with_capacity(64),
+            node_watch,
+            lapse: std::mem::take(&mut arena.lapse),
+            pool: std::mem::take(&mut arena.pool),
+            scratch: std::mem::take(&mut arena.scratch),
+            heap,
+            fifo,
             cur_t: SimTime(u64::MAX),
             seq: 0,
             next_tid: 1,
@@ -545,6 +775,54 @@ impl<'c> Runtime<'c> {
             trace: Vec::new(),
             trace_enabled,
         }
+    }
+
+    /// Return every recycled allocation to the arena, cleared of
+    /// run-specific contents (stale wait-queue registrations, lapse
+    /// wake-ups and unfinished transmissions from error runs must not
+    /// leak into the next run). Payload pool and scratch survive
+    /// as-is: their contents are overwritten before use.
+    fn reclaim(self, arena: &mut SimArena) {
+        let Runtime {
+            nodes,
+            mut links,
+            mut transmissions,
+            mut dirty,
+            mut link_watch,
+            mut node_watch,
+            mut lapse,
+            pool,
+            scratch,
+            mut heap,
+            mut fifo,
+            cfg,
+            ..
+        } = self;
+        transmissions.clear();
+        dirty.clear();
+        for watchers in link_watch.values_mut() {
+            watchers.clear();
+        }
+        for watchers in node_watch.iter_mut() {
+            watchers.clear();
+        }
+        lapse.clear();
+        heap.clear();
+        fifo.clear();
+        if links.busy_count() > 0 {
+            links.clear();
+        }
+        arena.nodes = nodes;
+        arena.links = Some((cfg.dimension, links));
+        arena.transmissions = transmissions;
+        arena.dirty = dirty;
+        arena.link_watch = link_watch;
+        arena.node_watch = node_watch;
+        arena.lapse = lapse;
+        arena.pool = pool;
+        arena.scratch = scratch;
+        arena.heap = heap;
+        arena.fifo = fifo;
     }
 
     fn push(&mut self, at: SimTime, ev: Event) {
@@ -676,7 +954,8 @@ impl<'c> Runtime<'c> {
                     }
                 }
                 CompiledOp::Send { dst, from, tag, kind, dst_slot } => {
-                    assert_ne!(*dst, x, "self-send is not modelled; use Permute/Compute");
+                    // Self-sends were rejected by the compile pass
+                    // (`SimError::SelfSend`), so `dst != x` here.
                     self.nodes[xi].pc += 1;
                     let (dst, from, tag, kind, dst_slot) =
                         (*dst, from.clone(), *tag, *kind, *dst_slot);

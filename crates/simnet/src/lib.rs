@@ -40,6 +40,20 @@
 //! it. See the `engine` module docs for the full design and the
 //! determinism-snapshot suite in `mce-core` that pins its behaviour.
 //!
+//! A [`Simulator`] is **single-shot** (its initial memories move into
+//! the run; a second [`Simulator::run`] returns
+//! [`SimError::AlreadyRan`]). For fan-outs of independent runs —
+//! figure grids, seed sweeps, ablations — use the [`batch`] module:
+//! [`SimBatch`] runs variants of one [`SimConfig`] template
+//! rayon-parallel with per-worker [`SimArena`]s that reuse payload
+//! pools, event-queue allocations and compiled programs across runs,
+//! bit-identically to the equivalent one-shot runs. On the run and
+//! batch paths misuse surfaces as typed [`SimError`]s (`AlreadyRan`,
+//! `SelfSend`, `InvalidConfig`), not panics; only the eager
+//! constructors keep their documented asserts ([`Simulator::new`] on
+//! program/memory counts, [`SimConfig::with_jitter`] on the fraction
+//! range).
+//!
 //! # Example
 //!
 //! ```
@@ -71,6 +85,7 @@
 //! assert!((result.finish_time.as_us() - 387.5).abs() < 1e-6);
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod engine;
 pub(crate) mod fxhash;
@@ -80,6 +95,7 @@ pub mod program;
 pub mod stats;
 pub mod time;
 
+pub use batch::{SimArena, SimBatch};
 pub use config::SimConfig;
 pub use engine::{SimError, SimResult, Simulator};
 pub use message::{MsgKind, Tag};

@@ -117,6 +117,14 @@ impl LinkTable {
     pub fn busy_count(&self) -> usize {
         self.busy_links
     }
+
+    /// Force every link free, keeping the backing allocation. Used
+    /// when re-arming the table after an aborted run that left
+    /// circuits established.
+    pub fn clear(&mut self) {
+        self.busy.fill(FREE);
+        self.busy_links = 0;
+    }
 }
 
 #[cfg(test)]

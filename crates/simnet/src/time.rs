@@ -19,9 +19,15 @@ impl SimTime {
 
     /// Construct from microseconds (the paper's unit), rounding to the
     /// nearest nanosecond.
+    ///
+    /// Negative, NaN or infinite inputs are programming errors: they
+    /// debug-assert, and in release builds saturate through the
+    /// float-to-int cast (negative/NaN to `0`). Configuration-level
+    /// inputs should be vetted by [`crate::SimConfig::validate`]
+    /// before they reach here.
     #[inline]
     pub fn from_us(us: f64) -> SimTime {
-        assert!(us >= 0.0 && us.is_finite(), "invalid time {us}");
+        debug_assert!(us >= 0.0 && us.is_finite(), "invalid time {us}");
         SimTime((us * 1000.0).round() as u64)
     }
 
@@ -57,9 +63,12 @@ impl std::fmt::Display for SimTime {
 }
 
 /// Convert a duration in microseconds to nanoseconds, rounding.
+///
+/// Negative, NaN or infinite durations debug-assert (release builds
+/// saturate through the cast); see [`SimTime::from_us`].
 #[inline]
 pub fn us_to_ns(us: f64) -> u64 {
-    assert!(us >= 0.0 && us.is_finite(), "invalid duration {us}");
+    debug_assert!(us >= 0.0 && us.is_finite(), "invalid duration {us}");
     (us * 1000.0).round() as u64
 }
 
@@ -98,8 +107,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid time")]
-    fn rejects_negative() {
-        let _ = SimTime::from_us(-1.0);
+    #[cfg_attr(debug_assertions, should_panic(expected = "invalid time"))]
+    fn rejects_negative_in_debug() {
+        let t = SimTime::from_us(-1.0);
+        // Release builds: the cast saturates to the origin.
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "invalid duration"))]
+    fn rejects_nan_duration_in_debug() {
+        let ns = us_to_ns(f64::NAN);
+        assert_eq!(ns, 0);
     }
 }

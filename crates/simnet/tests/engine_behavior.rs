@@ -380,6 +380,56 @@ fn size_mismatch_is_reported() {
 }
 
 #[test]
+fn rerun_yields_already_ran_error_not_a_panic() {
+    // A Simulator is single-shot (its memories move into the run);
+    // calling run() again must surface as a typed error.
+    let (programs, mems) = one_way(3, 2, 32);
+    let mut sim = Simulator::new(SimConfig::ipsc860(3), programs, mems);
+    assert!(sim.run().is_ok());
+    match sim.run() {
+        Err(SimError::AlreadyRan) => {}
+        other => panic!("expected AlreadyRan, got {other:?}"),
+    }
+    // And a third call keeps saying so.
+    assert!(matches!(sim.run(), Err(SimError::AlreadyRan)));
+}
+
+#[test]
+fn self_send_rejected_at_compile_time_not_mid_run() {
+    // Node 2 sends to itself after an expensive compute; the compile
+    // pass must reject the program before any simulated time elapses
+    // (previously this aborted mid-run via assert_ne!).
+    let n = 4usize;
+    let mut programs = vec![Program::empty(); n];
+    programs[2] = Program {
+        ops: vec![
+            Op::Compute { ns: 1_000_000 },
+            Op::send(NodeId(2), 0..8, Tag::data(0, 1)), // op index 1
+        ],
+    };
+    let mut sim = Simulator::new(SimConfig::ipsc860(2), programs, empty_memories(n, 8));
+    match sim.run() {
+        Err(SimError::SelfSend { node, op }) => {
+            assert_eq!(node, NodeId(2));
+            assert_eq!(op, 1);
+        }
+        other => panic!("expected SelfSend, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_config_rejected_up_front() {
+    let mut cfg = SimConfig::ipsc860(2);
+    cfg.jitter_frac = -0.25;
+    let (programs, mems) = one_way(2, 1, 8);
+    let mut sim = Simulator::new(cfg, programs, mems);
+    match sim.run() {
+        Err(SimError::InvalidConfig { reason }) => assert!(reason.contains("jitter"), "{reason}"),
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
 fn invalid_program_rejected_up_front() {
     let programs = vec![Program { ops: vec![Op::wait_recv(NodeId(1), Tag::data(0, 1))] }];
     let mut sim = Simulator::new(SimConfig::ipsc860(0), programs, empty_memories(1, 1));

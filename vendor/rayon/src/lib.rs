@@ -43,6 +43,48 @@ pub fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) 
     out.into_iter().flatten().collect()
 }
 
+/// Like [`parallel_map`], but each worker thread first builds a local
+/// state with `init` and threads it through its chunk — the
+/// `map_init` pattern of real rayon. Used for per-worker scratch that
+/// is expensive to build per item (e.g. simulation arenas).
+pub fn parallel_map_init<T: Send, U: Send, S>(
+    items: Vec<T>,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, T) -> U + Sync,
+) -> Vec<U> {
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 || n < 2 {
+        let mut state = init();
+        return items.into_iter().map(|t| f(&mut state, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let init = &init;
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    c.into_iter().map(|t| f(&mut state, t)).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
 /// Eagerly-evaluated "parallel iterator": a plain ordered result list
 /// with the consuming adapters benches and sweeps need.
 pub struct ParResults<T> {
@@ -53,6 +95,15 @@ impl<T: Send> ParResults<T> {
     /// Parallel element-wise map.
     pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParResults<U> {
         ParResults { items: parallel_map(self.items, f) }
+    }
+
+    /// Parallel map with per-worker state (rayon's `map_init`).
+    pub fn map_init<U: Send, S, I: Fn() -> S + Sync, F: Fn(&mut S, T) -> U + Sync>(
+        self,
+        init: I,
+        f: F,
+    ) -> ParResults<U> {
+        ParResults { items: parallel_map_init(self.items, init, f) }
     }
 
     /// Keep elements passing `f` (runs after any parallel stage).
@@ -150,5 +201,51 @@ mod tests {
         let v: Vec<u64> = (0..1000).collect();
         let s: u64 = v.par_iter().map(|&x| x).sum();
         assert_eq!(s, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn map_init_preserves_order_and_reuses_state() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let v: Vec<u64> = (0..10_000).collect();
+        let inits = AtomicUsize::new(0);
+        let out: Vec<(u64, u64)> = crate::parallel_map_init(
+            v.clone(),
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0u64
+            },
+            |acc, x| {
+                // Per-worker position counter: pairs each output with
+                // how many items its worker had already processed.
+                let pos = *acc;
+                *acc += 1;
+                (x * 2, pos)
+            },
+        );
+        assert_eq!(
+            out.iter().map(|&(x, _)| x).collect::<Vec<_>>(),
+            v.iter().map(|x| x * 2).collect::<Vec<_>>()
+        );
+        // The state is built once per worker, not once per item...
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let inits = inits.load(Ordering::SeqCst);
+        assert!((1..=workers).contains(&inits), "init ran {inits} times for {workers} workers");
+        // ...and threaded through every call: within each contiguous
+        // worker chunk the recorded positions must count 0, 1, 2, ...
+        // (a regression that rebuilt the state per item would record
+        // all zeros).
+        let mut expected = 0u64;
+        for &(_, pos) in &out {
+            if pos == 0 {
+                expected = 0; // a new worker's chunk begins
+            }
+            assert_eq!(pos, expected, "state not threaded through the chunk");
+            expected += 1;
+        }
+        assert_eq!(
+            out.iter().filter(|&&(_, pos)| pos == 0).count(),
+            inits,
+            "each worker state starts exactly one chunk"
+        );
     }
 }
