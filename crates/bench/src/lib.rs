@@ -13,6 +13,7 @@
 //! | E8 | §2 contention examples | `repro contention` |
 //! | E9 | schedule contention audit | `repro schedule-audit` |
 //! | E10 | §7.1-7.3 ablations | `repro ablation` |
+//! | E15 | degraded-network robustness | `repro robustness` |
 //!
 //! Each figure run writes CSV and JSON under `target/repro/` and
 //! prints a paper-vs-model-vs-simulation comparison.
@@ -21,6 +22,7 @@ pub mod ablation;
 pub mod extensions;
 pub mod figures;
 pub mod report;
+pub mod robustness;
 pub mod tables;
 
 /// Output directory for regenerated artifacts.

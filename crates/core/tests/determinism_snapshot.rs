@@ -10,8 +10,9 @@ use mce_core::perm_router::{
     bit_reversal, build_unscheduled_permutation_programs, permutation_memories,
 };
 use mce_core::verify::stamped_memories;
+use mce_hypercube::NodeId;
 use mce_simnet::batch::{SimArena, SimBatch};
-use mce_simnet::{Program, SimConfig, SimResult, Simulator};
+use mce_simnet::{BackgroundStream, NetCondition, Program, SimConfig, SimResult, Simulator};
 use std::sync::Arc;
 
 /// FNV-1a over all node memories (length-prefixed per node).
@@ -46,6 +47,7 @@ struct Snapshot {
     forced_drops: u64,
     reserve_handshakes: u64,
     barriers: u64,
+    background_transmissions: u64,
     memory_digest: u64,
 }
 
@@ -62,6 +64,7 @@ fn snapshot(result: &SimResult) -> Snapshot {
         forced_drops: result.stats.forced_drops,
         reserve_handshakes: result.stats.reserve_handshakes,
         barriers: result.stats.barriers,
+        background_transmissions: result.stats.background_transmissions,
         memory_digest: memory_digest(&result.memories),
     }
 }
@@ -108,12 +111,36 @@ fn workload_spec(workload: usize) -> (SimConfig, Vec<Program>, Vec<Vec<u8>>) {
                 stamped_memories(d, m),
             )
         }
+        // Conditioned network (see `mce_simnet::netcond`): a dead
+        // cable rerouted around (bit-reversal masks have even weight,
+        // so every route survives one fault), heterogeneous seeded
+        // link speeds, and a background-traffic hotspot contending
+        // with the permutation.
+        4 => {
+            let (d, m) = (6u32, 64usize);
+            let perm = bit_reversal(d);
+            let netcond = NetCondition::seeded_speeds(1.0, 2.5, 0xC0DED)
+                .with_fault(NodeId(0), 0)
+                .with_background(BackgroundStream {
+                    src: NodeId(0),
+                    dst: NodeId(63),
+                    bytes: 256,
+                    start_ns: 100_000,
+                    period_ns: 400_000,
+                    count: 25,
+                });
+            (
+                SimConfig::ipsc860(d).with_netcond(netcond),
+                build_unscheduled_permutation_programs(d, &perm, m),
+                permutation_memories(d, &perm, m),
+            )
+        }
         other => panic!("no workload {other}"),
     }
 }
 
 fn workload_specs() -> Vec<(SimConfig, Vec<Program>, Vec<Vec<u8>>)> {
-    (0..4).map(workload_spec).collect()
+    (0..5).map(workload_spec).collect()
 }
 
 fn one_shot(workload: usize) -> SimResult {
@@ -138,6 +165,10 @@ fn run_jittered_nosync() -> SimResult {
     one_shot(3)
 }
 
+fn run_conditioned_storm() -> SimResult {
+    one_shot(4)
+}
+
 #[test]
 fn multiphase_d6_33_matches_snapshot() {
     assert_eq!(
@@ -154,6 +185,7 @@ fn multiphase_d6_33_matches_snapshot() {
             forced_drops: 0,
             reserve_handshakes: 0,
             barriers: 2,
+            background_transmissions: 0,
             memory_digest: 8019284349596013101,
         }
     );
@@ -175,6 +207,7 @@ fn bit_reversal_unscheduled_matches_snapshot() {
             forced_drops: 0,
             reserve_handshakes: 0,
             barriers: 1,
+            background_transmissions: 0,
             memory_digest: 15827179416263861220,
         }
     );
@@ -196,6 +229,7 @@ fn store_and_forward_matches_snapshot() {
             forced_drops: 0,
             reserve_handshakes: 0,
             barriers: 2,
+            background_transmissions: 0,
             memory_digest: 14841274650017736110,
         }
     );
@@ -217,7 +251,36 @@ fn jittered_nosync_matches_snapshot() {
             forced_drops: 0,
             reserve_handshakes: 0,
             barriers: 1,
+            background_transmissions: 0,
             memory_digest: 6797024586998232006,
+        }
+    );
+}
+
+/// The conditioned-network snapshot: a dead cable (rerouted), seeded
+/// heterogeneous link speeds and a background hotspot over the
+/// unscheduled bit-reversal workload. The memory digest equals the
+/// unconditioned bit-reversal digest — degradation slows the run
+/// (finish 2.04 ms vs 1.59 ms, more contention wait) but must never
+/// corrupt data movement.
+#[test]
+fn conditioned_storm_matches_snapshot() {
+    assert_eq!(
+        snapshot(&run_conditioned_storm()),
+        Snapshot {
+            finish_ns: 2042388,
+            transmissions: 56,
+            bytes_moved: 3584,
+            link_crossings: 192,
+            edge_contention_events: 32,
+            edge_contention_wait_ns: 13585275,
+            nic_serialization_events: 20,
+            nic_serialization_wait_ns: 0,
+            forced_drops: 0,
+            reserve_handshakes: 0,
+            barriers: 1,
+            background_transmissions: 25,
+            memory_digest: 15827179416263861220,
         }
     );
 }
@@ -228,7 +291,7 @@ fn jittered_nosync_matches_snapshot() {
 /// between runs.
 #[test]
 fn batch_results_are_bit_identical_to_one_shot_runs() {
-    let one_shot_snaps: Vec<Snapshot> = (0..4).map(|i| snapshot(&one_shot(i))).collect();
+    let one_shot_snaps: Vec<Snapshot> = (0..5).map(|i| snapshot(&one_shot(i))).collect();
 
     // Parallel batch path (per-worker arenas).
     let mut batch = SimBatch::new(SimConfig::ipsc860(6));
@@ -267,6 +330,7 @@ fn print_snapshots() {
         ("bit_reversal_unscheduled", run_bit_reversal_unscheduled()),
         ("store_and_forward", run_store_and_forward()),
         ("jittered_nosync", run_jittered_nosync()),
+        ("conditioned_storm", run_conditioned_storm()),
     ] {
         println!("{name}: {:#?}", snapshot(&result));
     }

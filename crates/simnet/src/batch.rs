@@ -54,9 +54,12 @@
 use crate::config::{SimConfig, SwitchingMode};
 pub use crate::engine::SimArena;
 use crate::engine::{SimError, SimResult};
+use crate::netcond::{BackgroundStream, Cable, NetCondition, SpeedProfile};
 use crate::program::Program;
 use std::ops::Range;
 use std::sync::Arc;
+
+pub mod agg;
 
 /// Initial node memories of one run: either an `Arc`-shared template
 /// cloned per run (sweeps where every replicate starts identically) or
@@ -257,6 +260,87 @@ impl SimBatch {
         )
     }
 
+    /// Derive a run config with the base's netcond (or a fresh no-op
+    /// one) transformed by `f`.
+    fn conditioned_config(&self, f: impl FnOnce(&mut NetCondition)) -> SimConfig {
+        let mut cfg = self.base.clone();
+        let mut nc = cfg.netcond.take().unwrap_or_default();
+        f(&mut nc);
+        cfg.netcond = Some(nc);
+        cfg
+    }
+
+    /// Queue one run per fault count `0..=max_faults`: row `k` kills
+    /// the first `k` cables of a deterministic shuffle of all cables
+    /// (seeded by `fault_seed`), so fault sets are nested — each row
+    /// strictly extends the previous one's damage. Rows whose faults
+    /// cut every route of the workload come back as typed
+    /// [`SimError::Unroutable`] results, not panics (any fault makes a
+    /// complete exchange unroutable, since Hamming-distance-1 pairs
+    /// have a single xor-mask decomposition). Returns the result index
+    /// range.
+    pub fn fault_ladder(
+        &mut self,
+        max_faults: usize,
+        fault_seed: u64,
+        programs: &Arc<Vec<Program>>,
+        memories: &Arc<Vec<Vec<u8>>>,
+    ) -> Range<usize> {
+        let cables = shuffled_cables(self.base.dimension, fault_seed);
+        let max_faults = max_faults.min(cables.len());
+        let start = self.runs.len();
+        for k in 0..=max_faults {
+            let cfg = self.conditioned_config(|nc| nc.faults = cables[..k].to_vec());
+            self.push_with_config(cfg, Arc::clone(programs), memories);
+        }
+        start..self.runs.len()
+    }
+
+    /// Queue one run per degradation severity: severity `s` draws every
+    /// link's slowdown factor deterministically from `[1, s]`
+    /// ([`SpeedProfile::Seeded`] with `speed_seed`), so `1.0` is the
+    /// undegraded network and growing `s` stretches a heterogeneous
+    /// subset of links further and further. Returns the result index
+    /// range.
+    pub fn degradation_sweep(
+        &mut self,
+        severities: impl IntoIterator<Item = f64>,
+        speed_seed: u64,
+        programs: &Arc<Vec<Program>>,
+        memories: &Arc<Vec<Vec<u8>>>,
+    ) -> Range<usize> {
+        let start = self.runs.len();
+        for severity in severities {
+            let cfg = self.conditioned_config(|nc| {
+                nc.speed = SpeedProfile::Seeded { min: 1.0, max: severity, seed: speed_seed };
+            });
+            self.push_with_config(cfg, Arc::clone(programs), memories);
+        }
+        start..self.runs.len()
+    }
+
+    /// Queue one run per background-traffic level: level `l` injects
+    /// `l` copies of `stream`, phase-staggered across one period, so
+    /// growing levels pile more and more competing circuits onto the
+    /// stream's route (a hotspot). Level `0` is the quiet network.
+    /// Returns the result index range.
+    pub fn hotspot_sweep(
+        &mut self,
+        levels: impl IntoIterator<Item = u32>,
+        stream: BackgroundStream,
+        programs: &Arc<Vec<Program>>,
+        memories: &Arc<Vec<Vec<u8>>>,
+    ) -> Range<usize> {
+        let start = self.runs.len();
+        for level in levels {
+            let cfg = self.conditioned_config(|nc| {
+                nc.background = (0..level).map(|j| stream.staggered(j, level)).collect();
+            });
+            self.push_with_config(cfg, Arc::clone(programs), memories);
+        }
+        start..self.runs.len()
+    }
+
     /// Queue one run per block size, with `build` producing that
     /// size's programs and memories. Returns the result index range.
     pub fn block_ladder(
@@ -285,6 +369,30 @@ impl SimBatch {
     pub fn run_on(self, arena: &mut SimArena) -> Vec<Result<SimResult, SimError>> {
         self.runs.into_iter().map(|spec| arena.run_spec(spec)).collect()
     }
+}
+
+/// All cables of a `d`-cube in a deterministic seeded shuffle
+/// (Fisher-Yates over splitmix64 draws). Prefixes of the result give
+/// nested fault sets for [`SimBatch::fault_ladder`].
+fn shuffled_cables(d: u32, seed: u64) -> Vec<Cable> {
+    let n = 1u32 << d;
+    let mut cables: Vec<Cable> = (0..n)
+        .flat_map(|node| {
+            (0..d)
+                .filter(move |&dim| node & (1 << dim) == 0)
+                .map(move |dim| Cable { node: mce_hypercube::NodeId(node), dim })
+        })
+        .collect();
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(crate::fxhash::SPLITMIX64_GOLDEN);
+        crate::fxhash::splitmix64_mix(state)
+    };
+    for i in (1..cables.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        cables.swap(i, j);
+    }
+    cables
 }
 
 /// Streaming fan-out over heterogeneous cells (figure grids, partition
@@ -460,6 +568,119 @@ mod tests {
         for w in out.windows(2) {
             assert!(w[1].1 > w[0].1, "{out:?}");
         }
+    }
+
+    #[test]
+    fn shuffled_cables_cover_the_cube_and_are_seed_stable() {
+        let a = shuffled_cables(3, 7);
+        let b = shuffled_cables(3, 7);
+        assert_eq!(a, b, "same seed, same order");
+        assert_eq!(a.len(), 4 * 3, "2^(d-1) * d cables");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "no duplicates");
+        assert_ne!(a, shuffled_cables(3, 8), "different seed, different order");
+    }
+
+    #[test]
+    fn fault_ladder_degrades_until_unroutable() {
+        // One-way 0 -> 7 (3-bit mask): survives light damage by
+        // rerouting, eventually becomes unroutable as the ladder cuts
+        // the whole neighbourhood.
+        let (programs, memories) = one_way(3, 64);
+        let mut batch = SimBatch::new(SimConfig::ipsc860(3));
+        let range = batch.fault_ladder(12, 0xFA017, &programs, &memories);
+        assert_eq!(range, 0..13);
+        let results = batch.run();
+        // Row 0 is the undamaged network: identical to unconditioned.
+        let clean = SimArena::new()
+            .run_shared(&SimConfig::ipsc860(3), &programs, Vec::clone(&memories))
+            .unwrap();
+        let row0 = results[0].as_ref().unwrap();
+        assert_eq!(row0.finish_time, clean.finish_time);
+        assert_eq!(row0.memories, clean.memories);
+        // Feasibility is monotone along the nested ladder: once a row
+        // is unroutable, every later row (a superset of faults) is too.
+        let feasible: Vec<bool> = results.iter().map(Result::is_ok).collect();
+        let first_dead = feasible.iter().position(|&ok| !ok);
+        if let Some(k) = first_dead {
+            assert!(feasible[k..].iter().all(|&ok| !ok), "{feasible:?}");
+            assert!(matches!(results[k], Err(SimError::Unroutable { .. })));
+        }
+        // The full 12-fault row kills every cable: certainly dead.
+        assert!(results[12].is_err());
+    }
+
+    #[test]
+    fn degradation_sweep_slows_runs_down() {
+        let (programs, memories) = one_way(4, 300);
+        let mut batch = SimBatch::new(SimConfig::ipsc860(4));
+        let range = batch.degradation_sweep([1.0, 2.0, 8.0], 11, &programs, &memories);
+        assert_eq!(range, 0..3);
+        let results = batch.run();
+        let times: Vec<u64> =
+            results.iter().map(|r| r.as_ref().unwrap().finish_time.as_ns()).collect();
+        // Severity 1.0 is the nominal network.
+        let clean = SimArena::new()
+            .run_shared(&SimConfig::ipsc860(4), &programs, Vec::clone(&memories))
+            .unwrap();
+        assert_eq!(times[0], clean.finish_time.as_ns());
+        assert!(times[0] <= times[1] && times[1] < times[2], "{times:?}");
+    }
+
+    #[test]
+    fn hotspot_sweep_contends_with_the_workload() {
+        let (programs, memories) = one_way(3, 400);
+        let stream = BackgroundStream {
+            src: mce_hypercube::NodeId(0),
+            dst: mce_hypercube::NodeId(7),
+            bytes: 400,
+            start_ns: 0,
+            period_ns: 100_000,
+            count: 50,
+        };
+        let mut batch = SimBatch::new(SimConfig::ipsc860(3));
+        let range = batch.hotspot_sweep([0, 1, 4], stream, &programs, &memories);
+        assert_eq!(range, 0..3);
+        let results = batch.run();
+        let rows: Vec<(u64, u64)> = results
+            .iter()
+            .map(|r| {
+                let r = r.as_ref().unwrap();
+                (r.finish_time.as_ns(), r.stats.background_transmissions)
+            })
+            .collect();
+        assert_eq!(rows[0].1, 0, "level 0 injects nothing");
+        assert!(rows[1].1 > 0 && rows[2].1 > rows[1].1, "{rows:?}");
+        // The algorithm's transfer shares links with the hotspot:
+        // heavier traffic cannot make it finish earlier.
+        assert!(rows[0].0 <= rows[1].0 && rows[1].0 <= rows[2].0, "{rows:?}");
+        // And data still arrives intact under contention.
+        assert_eq!(results[2].as_ref().unwrap().memories[7], vec![9u8; 400]);
+    }
+
+    #[test]
+    fn aggregate_summarizes_seed_replicates() {
+        let (programs, memories) = one_way(3, 200);
+        let mut batch = SimBatch::new(SimConfig::ipsc860(3));
+        let range = batch.seed_sweep(0.05, 1..=8, &programs, &memories);
+        let results = batch.run();
+        let agg = agg::aggregate_range(&results, range);
+        assert_eq!(agg.runs, 8);
+        assert_eq!(agg.failures, 0);
+        assert_eq!(agg.finish_us.n, 8);
+        assert!(agg.finish_us.min <= agg.finish_us.mean);
+        assert!(agg.finish_us.mean <= agg.finish_us.max);
+        assert!(agg.finish_us.stddev > 0.0, "jitter replicates must spread");
+        assert_eq!(agg.transmissions.stddev, 0.0, "same workload, same count");
+        // Failures are counted, not folded.
+        let mut batch = SimBatch::new(SimConfig::ipsc860(3));
+        batch.seed_sweep(0.05, 1..=2, &programs, &memories);
+        let mut results = batch.run();
+        results.push(Err(SimError::AlreadyRan));
+        let agg = agg::aggregate(&results);
+        assert_eq!((agg.runs, agg.failures, agg.finish_us.n), (3, 1, 2));
     }
 
     type MixedSpec = (SimConfig, Arc<Vec<Program>>, Arc<Vec<Vec<u8>>>);

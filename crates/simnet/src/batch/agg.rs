@@ -1,0 +1,143 @@
+//! Per-batch aggregation over replicate runs.
+//!
+//! Sweeps in this repository routinely run the same workload many
+//! times — jitter seeds, conditioned-network severities, arena-reuse
+//! replicates — and every consumer used to hand-roll its own
+//! mean/min/max folding. [`aggregate`] folds a slice of batch results
+//! into one [`RunAggregate`]: a [`MetricSummary`]
+//! (mean/stddev/min/max/n) per metric of interest, computed over the
+//! *successful* runs, with the failure count reported alongside.
+//! Summaries are deterministic: samples are folded in result order.
+
+use crate::engine::{SimError, SimResult};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Five-number summary of one metric over the successful runs of a
+/// batch. `stddev` is the sample standard deviation (`n - 1`
+/// denominator), `0.0` for fewer than two samples; all fields are
+/// `0.0` for an empty sample set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Number of samples folded.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    /// Summarize a sample slice.
+    pub fn from_samples(samples: &[f64]) -> MetricSummary {
+        let n = samples.len();
+        if n == 0 {
+            return MetricSummary::default();
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        MetricSummary { n, mean, stddev, min, max }
+    }
+
+    /// Half-width of the `mean ± stddev/√n` band (standard error).
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Aggregated metrics of one batch (or one replicate range of a
+/// batch): summaries over the successful runs plus the failure count.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunAggregate {
+    /// Total results folded (successes + failures).
+    pub runs: usize,
+    /// Results that were `Err` (excluded from every summary).
+    pub failures: usize,
+    /// Finish time, µs.
+    pub finish_us: MetricSummary,
+    /// Transmissions started by the algorithm.
+    pub transmissions: MetricSummary,
+    /// Edge-contention events.
+    pub edge_contention_events: MetricSummary,
+    /// Edge-contention wait, µs.
+    pub edge_contention_wait_us: MetricSummary,
+    /// NIC serialization events.
+    pub nic_serialization_events: MetricSummary,
+    /// NIC serialization wait, µs.
+    pub nic_serialization_wait_us: MetricSummary,
+    /// FORCED messages dropped.
+    pub forced_drops: MetricSummary,
+    /// Background-traffic transmissions (conditioned runs).
+    pub background_transmissions: MetricSummary,
+}
+
+/// Fold a slice of batch results (as returned by
+/// [`crate::batch::SimBatch::run`]) into per-metric summaries.
+pub fn aggregate(results: &[Result<SimResult, SimError>]) -> RunAggregate {
+    let ok: Vec<&SimResult> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+    let col = |f: &dyn Fn(&SimResult) -> f64| -> MetricSummary {
+        let samples: Vec<f64> = ok.iter().map(|r| f(r)).collect();
+        MetricSummary::from_samples(&samples)
+    };
+    RunAggregate {
+        runs: results.len(),
+        failures: results.len() - ok.len(),
+        finish_us: col(&|r| r.finish_time.as_us()),
+        transmissions: col(&|r| r.stats.transmissions as f64),
+        edge_contention_events: col(&|r| r.stats.edge_contention_events as f64),
+        edge_contention_wait_us: col(&|r| r.stats.edge_contention_wait_ns as f64 / 1000.0),
+        nic_serialization_events: col(&|r| r.stats.nic_serialization_events as f64),
+        nic_serialization_wait_us: col(&|r| r.stats.nic_serialization_wait_ns as f64 / 1000.0),
+        forced_drops: col(&|r| r.stats.forced_drops as f64),
+        background_transmissions: col(&|r| r.stats.background_transmissions as f64),
+    }
+}
+
+/// [`aggregate`] over one result-index range, as handed back by the
+/// sweep builders ([`crate::batch::SimBatch::seed_sweep`] and
+/// friends).
+pub fn aggregate_range(
+    results: &[Result<SimResult, SimError>],
+    range: Range<usize>,
+) -> RunAggregate {
+    aggregate(&results[range])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let s = MetricSummary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set: sqrt(32/7).
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.stderr() - s.stddev / 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_summaries() {
+        assert_eq!(MetricSummary::from_samples(&[]), MetricSummary::default());
+        let one = MetricSummary::from_samples(&[3.5]);
+        assert_eq!((one.n, one.mean, one.stddev, one.min, one.max), (1, 3.5, 0.0, 3.5, 3.5));
+    }
+}

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::netcond::NetCondition;
 use crate::time::us_to_ns;
 use mce_model::MachineParams;
 use serde::{Deserialize, Serialize};
@@ -44,6 +45,11 @@ pub struct SimConfig {
     pub seed: u64,
     /// Switching discipline (circuit by default).
     pub switching: SwitchingMode,
+    /// Network conditions: link faults, heterogeneous link speeds and
+    /// background traffic (see [`crate::netcond`]). `None` — and any
+    /// no-op condition — leaves runs bit-identical to the base
+    /// simulator.
+    pub netcond: Option<NetCondition>,
 }
 
 impl SimConfig {
@@ -57,6 +63,7 @@ impl SimConfig {
             jitter_frac: 0.0,
             seed: 0x5eed_1991,
             switching: SwitchingMode::Circuit,
+            netcond: None,
         }
     }
 
@@ -69,6 +76,7 @@ impl SimConfig {
             jitter_frac: 0.0,
             seed: 0x5eed_1991,
             switching: SwitchingMode::Circuit,
+            netcond: None,
         }
     }
 
@@ -85,6 +93,13 @@ impl SimConfig {
         assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
         self.jitter_frac = frac;
         self.seed = seed;
+        self
+    }
+
+    /// Attach network conditions (degraded/heterogeneous links, dead
+    /// cables, background traffic).
+    pub fn with_netcond(mut self, netcond: NetCondition) -> Self {
+        self.netcond = Some(netcond);
         self
     }
 
@@ -128,6 +143,9 @@ impl SimConfig {
                 ));
             }
         }
+        if let Some(nc) = &self.netcond {
+            nc.validate(self.dimension).map_err(|e| format!("netcond: {e}"))?;
+        }
         Ok(())
     }
 
@@ -151,6 +169,33 @@ impl SimConfig {
     /// (two zero-byte messages over the same circuit).
     pub fn reserve_ack_ns(&self, hops: u32) -> u64 {
         2 * (us_to_ns(self.params.lambda_zero) + us_to_ns(self.params.delta) * hops as u64)
+    }
+
+    /// Duration in ns of a transmission over *conditioned* links
+    /// (see [`crate::netcond`]): `max_factor` is the largest slowdown
+    /// factor along the path (the slowest link bottlenecks the
+    /// per-byte stream) and `sum_factor` the sum of factors (each
+    /// hop's switching delay stretches individually):
+    /// `λ + τ·bytes·max_factor + δ·sum_factor`, λ₀ for zero-byte
+    /// messages. With unit factors this equals
+    /// [`SimConfig::transmission_ns`] exactly.
+    pub fn conditioned_transmission_ns(
+        &self,
+        bytes: usize,
+        max_factor: f64,
+        sum_factor: f64,
+    ) -> u64 {
+        let lambda = if bytes == 0 { self.params.lambda_zero } else { self.params.lambda };
+        us_to_ns(lambda)
+            + (us_to_ns(self.params.tau) as f64 * bytes as f64 * max_factor).round() as u64
+            + (us_to_ns(self.params.delta) as f64 * sum_factor).round() as u64
+    }
+
+    /// Conditioned-link version of [`SimConfig::reserve_ack_ns`]:
+    /// `2·(λ₀ + δ·sum_factor)`.
+    pub fn conditioned_reserve_ack_ns(&self, sum_factor: f64) -> u64 {
+        2 * (us_to_ns(self.params.lambda_zero)
+            + (us_to_ns(self.params.delta) as f64 * sum_factor).round() as u64)
     }
 
     /// Duration in ns of a global barrier.
@@ -237,6 +282,32 @@ mod tests {
         c.params.tau = 0.394;
         c.params.barrier_per_dim = f64::INFINITY;
         assert!(c.validate().unwrap_err().contains("barrier_per_dim"));
+    }
+
+    #[test]
+    fn conditioned_durations_match_nominal_at_unit_factors() {
+        let c = SimConfig::ipsc860(5);
+        for (bytes, hops) in [(0usize, 1u32), (40, 3), (397, 5)] {
+            assert_eq!(
+                c.conditioned_transmission_ns(bytes, 1.0, hops as f64),
+                c.transmission_ns(bytes, hops),
+                "bytes={bytes} hops={hops}"
+            );
+            assert_eq!(c.conditioned_reserve_ack_ns(hops as f64), c.reserve_ack_ns(hops));
+        }
+        // Slowdown scales τ by the bottleneck and δ by the sum.
+        assert_eq!(c.conditioned_transmission_ns(100, 2.0, 5.0), 95_000 + 2 * 39_400 + 5 * 10_300);
+    }
+
+    #[test]
+    fn validate_checks_netcond() {
+        use crate::netcond::NetCondition;
+        let mut c = SimConfig::ipsc860(3).with_netcond(NetCondition::uniform_slowdown(2.0));
+        assert!(c.validate().is_ok());
+        c.netcond = Some(NetCondition::uniform_slowdown(f64::NAN));
+        assert!(c.validate().unwrap_err().contains("netcond"));
+        c.netcond = Some(NetCondition::default().with_fault(mce_hypercube::NodeId(0), 7));
+        assert!(c.validate().unwrap_err().contains("cable"));
     }
 
     #[test]

@@ -41,6 +41,9 @@ use crate::config::{SimConfig, SwitchingMode};
 use crate::fxhash::FxHashMap;
 use crate::link::{LinkTable, TransmissionId};
 use crate::message::{MsgKind, Tag};
+use crate::netcond::{
+    background_tag, ecube_route_is_dead, plan_route, BackgroundStream, FaultSet, NetCondition,
+};
 use crate::program::{Op, Program};
 use crate::stats::{SimStats, TraceEvent};
 use crate::time::SimTime;
@@ -103,6 +106,28 @@ pub enum SimError {
         /// Validator message.
         reason: String,
     },
+    /// Under the configured link faults (see [`crate::netcond`]) no
+    /// xor-mask decomposition routes `src` to `dst`: every
+    /// dimension-correction order crosses a dead cable. Detected for
+    /// every transmission of the compiled program — and every
+    /// background stream — before any simulated time elapses.
+    Unroutable {
+        /// Transmitting node.
+        src: NodeId,
+        /// Unreachable node.
+        dst: NodeId,
+    },
+}
+
+impl SimError {
+    /// The nodes a [`SimError::Deadlock`] reports as blocked, in node
+    /// order; empty for every other error.
+    pub fn blocked(&self) -> Vec<NodeId> {
+        match self {
+            SimError::Deadlock { stuck, .. } => stuck.iter().map(|(n, _)| *n).collect(),
+            _ => Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -137,6 +162,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "Simulator::run is single-shot; build a new Simulator or use SimArena")
             }
             SimError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            SimError::Unroutable { src, dst } => write!(
+                f,
+                "unroutable: no fault-avoiding xor-mask decomposition routes {src} to {dst}"
+            ),
         }
     }
 }
@@ -191,6 +220,97 @@ fn expand_route(src: NodeId, mask: u32, buf: &mut RouteBuf) -> &[DirectedLink] {
 #[inline]
 fn fresh_route_buf() -> RouteBuf {
     [DirectedLink { from: NodeId(0), to: NodeId(0) }; MAX_HOPS]
+}
+
+/// Expand a route given an explicit dimension-correction order (a
+/// fault-avoiding alternate decomposition of the xor mask).
+#[inline]
+fn expand_route_dims<'b>(src: NodeId, dims: &[u8], buf: &'b mut RouteBuf) -> &'b [DirectedLink] {
+    debug_assert!(dims.len() <= MAX_HOPS);
+    let mut cur = src.0;
+    for (i, &dim) in dims.iter().enumerate() {
+        let next = cur ^ (1u32 << dim);
+        buf[i] = DirectedLink { from: NodeId(cur), to: NodeId(next) };
+        cur = next;
+    }
+    &buf[..dims.len()]
+}
+
+/// The route of `(src, mask)` for this run: the fault-avoiding
+/// override when the conditioned state holds one, the plain e-cube
+/// expansion otherwise.
+#[inline]
+fn route_for<'b>(
+    conditioned: Option<&Conditioned>,
+    src: NodeId,
+    mask: u32,
+    buf: &'b mut RouteBuf,
+) -> &'b [DirectedLink] {
+    if let Some(cond) = conditioned {
+        if let Some(dims) = cond.reroutes.get(&(src.0, mask)) {
+            return expand_route_dims(src, dims, buf);
+        }
+    }
+    expand_route(src, mask, buf)
+}
+
+/// Per-run state of a conditioned network (faults resolved to route
+/// overrides, background-stream schedule). Built before any simulated
+/// time elapses; `None` on unconditioned runs.
+struct Conditioned {
+    /// Fault-avoiding dimension orders for every `(src, mask)` whose
+    /// e-cube route crosses a dead cable.
+    reroutes: FxHashMap<(u32, u32), Vec<u8>>,
+    /// Background streams (copied out of the config).
+    streams: Vec<BackgroundStream>,
+    /// Injections left per stream.
+    remaining: Vec<u32>,
+}
+
+/// Resolve a [`NetCondition`] against a compiled program set: find a
+/// fault-avoiding route for every send and every background stream (or
+/// fail with [`SimError::Unroutable`]), and set up the injection
+/// schedule.
+fn build_conditioned(
+    cfg: &SimConfig,
+    compiled: &Compiled,
+    nc: &NetCondition,
+) -> Result<Conditioned, SimError> {
+    let mut reroutes: FxHashMap<(u32, u32), Vec<u8>> = Default::default();
+    let faults = FaultSet::new(cfg.dimension, &nc.faults);
+    if faults.any() {
+        let mut resolve = |src: NodeId, dst: NodeId| -> Result<(), SimError> {
+            let mask = src.0 ^ dst.0;
+            if mask == 0
+                || reroutes.contains_key(&(src.0, mask))
+                || !ecube_route_is_dead(src, mask, &faults)
+            {
+                return Ok(());
+            }
+            match plan_route(src, mask, &faults) {
+                Some(dims) => {
+                    reroutes.insert((src.0, mask), dims);
+                    Ok(())
+                }
+                None => Err(SimError::Unroutable { src, dst }),
+            }
+        };
+        for (x, program) in compiled.programs.iter().enumerate() {
+            for op in &program.ops {
+                if let CompiledOp::Send { dst, .. } = op {
+                    resolve(NodeId(x as u32), *dst)?;
+                }
+            }
+        }
+        for stream in &nc.background {
+            resolve(stream.src, stream.dst)?;
+        }
+    }
+    Ok(Conditioned {
+        reroutes,
+        streams: nc.background.clone(),
+        remaining: nc.background.iter().map(|s| s.count).collect(),
+    })
 }
 
 /// A [`Program`] op with every per-event lookup resolved up front.
@@ -434,12 +554,17 @@ struct Transmission {
     qseq: u64,
     /// Whether the transmission is issued/requeued but not started.
     pending: bool,
+    /// Background-traffic injection: occupies links like any circuit
+    /// but bypasses NIC state, delivery and algorithm statistics.
+    background: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     NodeReady(NodeId),
     TransmissionEnd(TransmissionId),
+    /// Fire one injection of background stream `i`.
+    Inject(u32),
 }
 
 /// The simulator. Construct with programs and initial memories, then
@@ -627,6 +752,13 @@ impl SimArena {
         memories: Vec<Vec<u8>>,
         trace: bool,
     ) -> Result<SimResult, SimError> {
+        // Resolve network conditions (fault-avoiding routes, injection
+        // schedule) before any simulated time elapses; Unroutable
+        // surfaces here.
+        let conditioned = match &cfg.netcond {
+            Some(nc) => Some(build_conditioned(cfg, compiled, nc)?),
+            None => None,
+        };
         let mut rt = Runtime::from_arena(
             cfg,
             &compiled.programs,
@@ -635,6 +767,10 @@ impl SimArena {
             trace,
             self,
         );
+        if let Some(nc) = &cfg.netcond {
+            rt.links.set_speeds(cfg.dimension, &nc.resolve_speeds(cfg.dimension));
+            rt.conditioned = conditioned;
+        }
         let out = rt.run(&compiled.programs);
         rt.reclaim(self);
         out
@@ -688,6 +824,8 @@ struct Runtime<'c> {
     /// push (= sequence) order. Same-time wake-ups dominate the event
     /// mix and skip the heap entirely.
     fifo: std::collections::VecDeque<EventKey>,
+    /// Conditioned-network state (`None` on unconditioned runs).
+    conditioned: Option<Conditioned>,
     /// The simulated time currently being drained.
     cur_t: SimTime,
     seq: u64,
@@ -704,6 +842,7 @@ struct Runtime<'c> {
 enum EventKey {
     NodeReady(u32),
     TransmissionEnd(u64),
+    Inject(u32),
 }
 
 impl From<Event> for EventKey {
@@ -711,6 +850,7 @@ impl From<Event> for EventKey {
         match e {
             Event::NodeReady(n) => EventKey::NodeReady(n.0),
             Event::TransmissionEnd(t) => EventKey::TransmissionEnd(t),
+            Event::Inject(i) => EventKey::Inject(i),
         }
     }
 }
@@ -766,6 +906,7 @@ impl<'c> Runtime<'c> {
             scratch: std::mem::take(&mut arena.scratch),
             heap,
             fifo,
+            conditioned: None,
             cur_t: SimTime(u64::MAX),
             seq: 0,
             next_tid: 1,
@@ -811,6 +952,9 @@ impl<'c> Runtime<'c> {
         fifo.clear();
         if links.busy_count() > 0 {
             links.clear();
+        }
+        if links.has_speeds() {
+            links.clear_speeds();
         }
         arena.nodes = nodes;
         arena.links = Some((cfg.dimension, links));
@@ -865,6 +1009,18 @@ impl<'c> Runtime<'c> {
         for i in 0..self.nodes.len() {
             self.push(SimTime::ZERO, Event::NodeReady(NodeId(i as u32)));
         }
+        if let Some(cond) = &self.conditioned {
+            let first: Vec<(u32, u64)> = cond
+                .streams
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.count > 0)
+                .map(|(i, s)| (i as u32, s.start_ns))
+                .collect();
+            for (i, start_ns) in first {
+                self.push(SimTime(start_ns), Event::Inject(i));
+            }
+        }
         loop {
             // Heap entries for the current instant precede queued
             // same-time events (they carry smaller sequence numbers);
@@ -885,6 +1041,7 @@ impl<'c> Runtime<'c> {
             match key {
                 EventKey::NodeReady(n) => self.step_node(NodeId(n), t, programs)?,
                 EventKey::TransmissionEnd(id) => self.finish_transmission(id, t)?,
+                EventKey::Inject(i) => self.inject_background(i as usize, t),
             }
         }
         // All events drained: every node must be Done.
@@ -1030,32 +1187,123 @@ impl<'c> Runtime<'c> {
         dst_slot: u32,
         t: SimTime,
     ) -> TransmissionId {
-        let id = self.next_tid;
-        self.next_tid += 1;
         let payload = {
             let mut buf = self.pool.pop().unwrap_or_default();
             buf.clear();
             buf.extend_from_slice(&self.memories[src.index()][from]);
             buf
         };
-        let mask = src.0 ^ dst.0;
-        let hops = mask.count_ones();
-        let mut duration_ns = match self.cfg.switching {
-            SwitchingMode::Circuit => self.cfg.transmission_ns(payload.len(), hops),
-            SwitchingMode::StoreAndForward => self.cfg.hop_ns(payload.len()),
+        self.issue_payload(src, dst, tag, kind, payload, dst_slot, t, false)
+    }
+
+    /// Fire one injection of background stream `si`: a link-occupying
+    /// transmission that bypasses NIC state and delivery. Schedules the
+    /// stream's next injection.
+    fn inject_background(&mut self, si: usize, t: SimTime) {
+        let (src, dst, bytes, period_ns, remaining) = {
+            let cond = self.conditioned.as_mut().expect("Inject event on unconditioned run");
+            let s = cond.streams[si];
+            cond.remaining[si] -= 1;
+            (s.src, s.dst, s.bytes, s.period_ns, cond.remaining[si])
         };
-        if kind == MsgKind::Unforced && payload.len() > self.cfg.params.unforced_threshold {
-            duration_ns +=
-                self.cfg.reserve_ack_ns(if self.cfg.switching == SwitchingMode::Circuit {
-                    hops
-                } else {
-                    1
-                });
-            self.stats.reserve_handshakes += 1;
+        let mut payload = self.pool.pop().unwrap_or_default();
+        payload.clear();
+        payload.resize(bytes, 0);
+        self.issue_payload(
+            src,
+            dst,
+            background_tag(si),
+            MsgKind::Forced,
+            payload,
+            NO_SLOT,
+            t,
+            true,
+        );
+        if remaining > 0 {
+            self.push(t.plus_ns(period_ns), Event::Inject(si as u32));
+        }
+        self.run_pending_scan(t);
+    }
+
+    /// Price one transmission (or one store-and-forward hop) over
+    /// conditioned links: duration, the UNFORCED reserve surcharge
+    /// and jitter, as a pure function of `(bytes, kind, factors, id)`
+    /// — the single source of truth shared by the issue path and the
+    /// store-and-forward hop-repricing path, so the two cannot
+    /// diverge. (The reserve-handshake *statistic* is counted once at
+    /// issue, not here.)
+    fn conditioned_priced_ns(
+        &self,
+        bytes: usize,
+        kind: MsgKind,
+        max_f: f64,
+        sum_f: f64,
+        id: TransmissionId,
+    ) -> u64 {
+        let mut dur = self.cfg.conditioned_transmission_ns(bytes, max_f, sum_f);
+        if kind == MsgKind::Unforced && bytes > self.cfg.params.unforced_threshold {
+            dur += self.cfg.conditioned_reserve_ack_ns(sum_f);
         }
         if self.cfg.jitter_frac > 0.0 {
-            duration_ns = jitter(duration_ns, self.cfg.jitter_frac, self.cfg.seed, id);
+            dur = jitter(dur, self.cfg.jitter_frac, self.cfg.seed, id);
         }
+        dur
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_payload(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        tag: Tag,
+        kind: MsgKind,
+        payload: Vec<u8>,
+        dst_slot: u32,
+        t: SimTime,
+        background: bool,
+    ) -> TransmissionId {
+        let id = self.next_tid;
+        self.next_tid += 1;
+        let mask = src.0 ^ dst.0;
+        let hops = mask.count_ones();
+        let circuit = self.cfg.switching == SwitchingMode::Circuit;
+        // Conditioned network: (max, sum) factors of the actual
+        // (possibly fault-rerouted) path. For store-and-forward this
+        // prices hop 0; later hops are re-priced as they queue.
+        let factors = if self.links.has_speeds() {
+            let mut buf = fresh_route_buf();
+            let route = route_for(self.conditioned.as_ref(), src, mask, &mut buf);
+            Some(if circuit {
+                self.links.segment_factors(route)
+            } else {
+                let f = self.links.factor(&route[0]);
+                (f, f)
+            })
+        } else {
+            None
+        };
+        if kind == MsgKind::Unforced && payload.len() > self.cfg.params.unforced_threshold {
+            self.stats.reserve_handshakes += 1;
+        }
+        let duration_ns = match factors {
+            Some((max_f, sum_f)) => {
+                self.conditioned_priced_ns(payload.len(), kind, max_f, sum_f, id)
+            }
+            None => {
+                let mut dur = if circuit {
+                    self.cfg.transmission_ns(payload.len(), hops)
+                } else {
+                    self.cfg.hop_ns(payload.len())
+                };
+                if kind == MsgKind::Unforced && payload.len() > self.cfg.params.unforced_threshold {
+                    dur += self.cfg.reserve_ack_ns(if circuit { hops } else { 1 });
+                }
+                if self.cfg.jitter_frac > 0.0 {
+                    dur = jitter(dur, self.cfg.jitter_frac, self.cfg.seed, id);
+                }
+                dur
+            }
+        };
         let qseq = self.next_qseq;
         self.next_qseq += 1;
         debug_assert_eq!(self.transmissions.len() as u64, id - 1);
@@ -1074,6 +1322,7 @@ impl<'c> Runtime<'c> {
             blocked_by_nic: false,
             qseq,
             pending: true,
+            background,
         }));
         self.dirty_insert((qseq, id));
         id
@@ -1179,12 +1428,12 @@ impl<'c> Runtime<'c> {
     /// watchers that will re-dirty the transmission.
     fn try_start(&mut self, id: TransmissionId, t: SimTime) -> bool {
         let saf = self.cfg.switching == SwitchingMode::StoreAndForward;
-        let (src, dst, mask, hop_idx) = {
+        let (src, dst, mask, hop_idx, background) = {
             let tr = self.tr(id);
-            (tr.src, tr.dst, tr.mask, tr.hop_idx)
+            (tr.src, tr.dst, tr.mask, tr.hop_idx, tr.background)
         };
         let mut route_buf = fresh_route_buf();
-        let route = expand_route(src, mask, &mut route_buf);
+        let route = route_for(self.conditioned.as_ref(), src, mask, &mut route_buf);
         let segment = if saf { &route[hop_idx..hop_idx + 1] } else { route };
         let links_free = self.links.all_free(segment);
         let first_hop = hop_idx == 0;
@@ -1193,7 +1442,11 @@ impl<'c> Runtime<'c> {
             let tr = self.tr_mut(id);
             if !tr.blocked_by_link {
                 tr.blocked_by_link = true;
-                self.stats.edge_contention_events += 1;
+                // Background injections contend but stay out of the
+                // algorithm's contention statistics.
+                if !background {
+                    self.stats.edge_contention_events += 1;
+                }
             }
             self.watch_segment(id, segment);
             return false;
@@ -1201,8 +1454,10 @@ impl<'c> Runtime<'c> {
         // NIC concurrency window (Section 7.2): outgoing at `src` may
         // not overlap an incoming unless their starts are within the
         // window; symmetrically for the receiver's active outgoing.
+        // Background traffic models pass-through circuits from other
+        // jobs: it occupies links only and bypasses the NIC rule.
         let window = self.cfg.concurrency_window_ns;
-        let nic_conflict = {
+        let nic_conflict = !background && {
             let incoming_conflict = first_hop
                 && self.nodes[src.index()]
                     .incoming
@@ -1261,18 +1516,23 @@ impl<'c> Runtime<'c> {
             (t.plus_ns(tr.duration_ns), tr.payload.len(), tr.tag)
         };
         self.links.acquire(segment, id);
-        self.stats.link_crossings += segment.len() as u64;
-        if first_hop {
-            self.nodes[src.index()].outgoing = Some((id, t, end));
-            self.wake_node_watchers(src);
-            self.stats.transmissions += 1;
-            self.stats.bytes_moved += bytes as u64;
-        }
-        if last_hop {
-            self.nodes[dst.index()].incoming.push((id, t, end));
-            self.wake_node_watchers(dst);
-        }
-        {
+        if background {
+            if first_hop {
+                self.stats.background_transmissions += 1;
+                self.stats.background_bytes += bytes as u64;
+            }
+        } else {
+            self.stats.link_crossings += segment.len() as u64;
+            if first_hop {
+                self.nodes[src.index()].outgoing = Some((id, t, end));
+                self.wake_node_watchers(src);
+                self.stats.transmissions += 1;
+                self.stats.bytes_moved += bytes as u64;
+            }
+            if last_hop {
+                self.nodes[dst.index()].incoming.push((id, t, end));
+                self.wake_node_watchers(dst);
+            }
             let tr = self.tr(id);
             let wait = t.since(tr.requested_at);
             if tr.blocked_by_link {
@@ -1305,23 +1565,23 @@ impl<'c> Runtime<'c> {
     fn finish_transmission(&mut self, id: TransmissionId, t: SimTime) -> Result<(), SimError> {
         if self.cfg.switching == SwitchingMode::StoreAndForward {
             // Release the completed hop; advance or deliver.
-            let (done, was_first, hop) = {
+            let (done, was_first, hop, background) = {
                 let mut route_buf = fresh_route_buf();
                 let (src, mask) = {
                     let tr = self.tr(id);
                     (tr.src, tr.mask)
                 };
-                let route = expand_route(src, mask, &mut route_buf);
+                let route = route_for(self.conditioned.as_ref(), src, mask, &mut route_buf);
                 let tr = self.tr_mut(id);
                 let hop = route[tr.hop_idx];
                 let was_first = tr.hop_idx == 0;
                 tr.hop_idx += 1;
                 let done = tr.hop_idx == route.len();
-                (done, was_first, hop)
+                (done, was_first, hop, tr.background)
             };
             self.links.release(std::slice::from_ref(&hop), id);
             self.wake_link_watchers(std::slice::from_ref(&hop));
-            if was_first {
+            if was_first && !background {
                 // The sender's buffer is free once the message is
                 // stored at the first intermediate node.
                 let src = self.tr(id).src;
@@ -1334,6 +1594,19 @@ impl<'c> Runtime<'c> {
                 // each hop's wait is accounted once).
                 let qseq = self.next_qseq;
                 self.next_qseq += 1;
+                if self.links.has_speeds() {
+                    // Conditioned network: re-price the next hop by its
+                    // own link factor (heterogeneous hops differ).
+                    let (src, mask, hop_idx, bytes, kind) = {
+                        let tr = self.tr(id);
+                        (tr.src, tr.mask, tr.hop_idx, tr.payload.len(), tr.kind)
+                    };
+                    let mut route_buf = fresh_route_buf();
+                    let route = route_for(self.conditioned.as_ref(), src, mask, &mut route_buf);
+                    let f = self.links.factor(&route[hop_idx]);
+                    let dur = self.conditioned_priced_ns(bytes, kind, f, f, id);
+                    self.tr_mut(id).duration_ns = dur;
+                }
                 {
                     let tr = self.tr_mut(id);
                     tr.requested_at = t;
@@ -1348,25 +1621,30 @@ impl<'c> Runtime<'c> {
             }
             // Fall through to delivery below.
             let tr = self.take_tr(id);
-            let dst = tr.dst;
-            self.nodes[dst.index()].incoming.retain(|&(iid, _, _)| iid != id);
-            self.wake_node_watchers(dst);
+            if !tr.background {
+                let dst = tr.dst;
+                self.nodes[dst.index()].incoming.retain(|&(iid, _, _)| iid != id);
+                self.wake_node_watchers(dst);
+            }
             return self.deliver_and_wake(tr, t, false);
         }
         let tr = self.take_tr(id);
         let mut route_buf = fresh_route_buf();
-        let route = expand_route(tr.src, tr.mask, &mut route_buf);
+        let route = route_for(self.conditioned.as_ref(), tr.src, tr.mask, &mut route_buf);
         self.links.release(route, id);
         self.wake_link_watchers(route);
-        let src_state = &mut self.nodes[tr.src.index()];
-        debug_assert!(matches!(src_state.outgoing, Some((oid, _, _)) if oid == id));
-        src_state.outgoing = None;
-        self.wake_node_watchers(tr.src);
-        let dst_state = &mut self.nodes[tr.dst.index()];
-        dst_state.incoming.retain(|&(iid, _, _)| iid != id);
-        self.wake_node_watchers(tr.dst);
+        if !tr.background {
+            let src_state = &mut self.nodes[tr.src.index()];
+            debug_assert!(matches!(src_state.outgoing, Some((oid, _, _)) if oid == id));
+            src_state.outgoing = None;
+            self.wake_node_watchers(tr.src);
+            let dst_state = &mut self.nodes[tr.dst.index()];
+            dst_state.incoming.retain(|&(iid, _, _)| iid != id);
+            self.wake_node_watchers(tr.dst);
+        }
 
-        self.deliver_and_wake(tr, t, true)
+        let wake_sender = !tr.background;
+        self.deliver_and_wake(tr, t, wake_sender)
     }
 
     /// Deliver a completed transmission's payload and wake the
@@ -1385,6 +1663,15 @@ impl<'c> Runtime<'c> {
                 tag: tr.tag,
                 at: t,
             });
+        }
+
+        if tr.background {
+            // Background payloads are never delivered: the bytes model
+            // traffic from outside the partition. Freed links may
+            // unblock pending circuits.
+            self.recycle(tr.payload);
+            self.run_pending_scan(t);
+            return Ok(());
         }
 
         // Deliver the payload (moved, not cloned).
@@ -1484,10 +1771,7 @@ fn apply_block_permutation(
 /// Deterministic multiplicative jitter in `[1 - frac, 1 + frac]`,
 /// derived from (seed, transmission id) by splitmix64.
 fn jitter(base_ns: u64, frac: f64, seed: u64, id: TransmissionId) -> u64 {
-    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
+    let z = crate::fxhash::splitmix64_mix(seed ^ id.wrapping_mul(crate::fxhash::SPLITMIX64_GOLDEN));
     // Map to [-1, 1).
     let u = (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
     let scaled = base_ns as f64 * (1.0 + frac * u);

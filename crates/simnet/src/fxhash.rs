@@ -55,6 +55,19 @@ impl Hasher for FxHasher {
     }
 }
 
+/// The splitmix64 increment (golden-ratio constant), shared by every
+/// deterministic draw in this crate (jitter, seeded speed profiles,
+/// cable shuffles) so the mixer exists in exactly one place.
+pub const SPLITMIX64_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 finalization mix.
+#[inline]
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// `BuildHasher` plugging [`FxHasher`] into std collections.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 

@@ -40,6 +40,15 @@
 //! it. See the `engine` module docs for the full design and the
 //! determinism-snapshot suite in `mce-core` that pins its behaviour.
 //!
+//! The network need not be perfect: a [`NetCondition`] attached to
+//! [`SimConfig::netcond`] degrades it declaratively — per-link
+//! slowdown factors (uniform, per-dimension, or seeded heterogeneous),
+//! dead cables (validated against the compiled program before any
+//! simulated time elapses, with fault-avoiding xor-mask rerouting and
+//! a typed [`SimError::Unroutable`] when no route exists), and
+//! deterministic background-traffic streams that contend for links
+//! with the algorithm under test. See the [`netcond`] module docs.
+//!
 //! A [`Simulator`] is **single-shot** (its initial memories move into
 //! the run; a second [`Simulator::run`] returns
 //! [`SimError::AlreadyRan`]). For fan-outs of independent runs —
@@ -91,6 +100,7 @@ pub mod engine;
 pub(crate) mod fxhash;
 pub mod link;
 pub mod message;
+pub mod netcond;
 pub mod program;
 pub mod stats;
 pub mod time;
@@ -99,6 +109,7 @@ pub use batch::{SimArena, SimBatch};
 pub use config::SimConfig;
 pub use engine::{SimError, SimResult, Simulator};
 pub use message::{MsgKind, Tag};
+pub use netcond::{BackgroundStream, Cable, NetCondition, SpeedProfile};
 pub use program::{Op, Program};
 pub use stats::{SimStats, TraceEvent};
 pub use time::SimTime;

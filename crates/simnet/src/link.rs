@@ -19,6 +19,12 @@ pub type TransmissionId = u64;
 const FREE: TransmissionId = 0;
 
 /// Occupancy table over all directed links of the cube.
+///
+/// When the run is *conditioned* (see [`crate::netcond`]) the table
+/// additionally carries a per-directed-link slowdown factor, installed
+/// by [`LinkTable::set_speeds`] before the run and queried on every
+/// transmission start; an empty speed table means the homogeneous
+/// nominal network and costs nothing on the hot path.
 #[derive(Debug)]
 pub struct LinkTable {
     /// Holder of each directed link (`FREE` = unheld), indexed by
@@ -28,6 +34,9 @@ pub struct LinkTable {
     stride: usize,
     /// Number of currently busy directed links.
     busy_links: usize,
+    /// Per-link slowdown factors, same indexing as `busy`; empty for
+    /// unconditioned runs (factor `1.0` everywhere).
+    speeds: Vec<f64>,
 }
 
 impl Default for LinkTable {
@@ -40,7 +49,7 @@ impl LinkTable {
     /// Fresh, all-free table for an unknown cube size. Uses a stride
     /// wide enough for any supported dimension.
     pub fn new() -> Self {
-        LinkTable { busy: Vec::new(), stride: 32, busy_links: 0 }
+        LinkTable { busy: Vec::new(), stride: 32, busy_links: 0, speeds: Vec::new() }
     }
 
     /// Fresh table sized for a `d`-dimensional cube (tighter stride
@@ -48,7 +57,7 @@ impl LinkTable {
     pub fn for_cube(d: u32) -> Self {
         let stride = (d as usize).max(1);
         let slots = (1usize << d) * stride;
-        LinkTable { busy: vec![FREE; slots], stride, busy_links: 0 }
+        LinkTable { busy: vec![FREE; slots], stride, busy_links: 0, speeds: Vec::new() }
     }
 
     #[inline]
@@ -125,6 +134,61 @@ impl LinkTable {
         self.busy.fill(FREE);
         self.busy_links = 0;
     }
+
+    /// Install per-directed-link slowdown factors for a conditioned
+    /// run. `factors` is indexed `from * d + dim` (the layout of
+    /// [`crate::netcond::NetCondition::resolve_speeds`]) and is
+    /// re-strided into this table's index space.
+    pub fn set_speeds(&mut self, d: u32, factors: &[f64]) {
+        let n = 1usize << d;
+        let dims = d as usize;
+        debug_assert_eq!(factors.len(), n * dims);
+        self.speeds.clear();
+        self.speeds.resize(n * self.stride, 1.0);
+        for node in 0..n {
+            for dim in 0..dims {
+                self.speeds[node * self.stride + dim] = factors[node * dims + dim];
+            }
+        }
+    }
+
+    /// Drop the speed table (back to the homogeneous nominal network).
+    pub fn clear_speeds(&mut self) {
+        self.speeds.clear();
+    }
+
+    /// Whether a speed table is installed (i.e. the run is
+    /// conditioned).
+    #[inline]
+    pub fn has_speeds(&self) -> bool {
+        !self.speeds.is_empty()
+    }
+
+    /// Slowdown factor of one directed link (`1.0` when no speed table
+    /// is installed).
+    #[inline]
+    pub fn factor(&self, l: &DirectedLink) -> f64 {
+        if self.speeds.is_empty() {
+            1.0
+        } else {
+            self.speeds[self.index(l)]
+        }
+    }
+
+    /// `(max, sum)` of the slowdown factors along `path`, in path
+    /// order (the deterministic summation order).
+    pub fn segment_factors(&self, path: &[DirectedLink]) -> (f64, f64) {
+        let mut max_f = 0.0f64;
+        let mut sum_f = 0.0f64;
+        for l in path {
+            let f = self.factor(l);
+            if f > max_f {
+                max_f = f;
+            }
+            sum_f += f;
+        }
+        (max_f, sum_f)
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +245,28 @@ mod tests {
         let mut table = LinkTable::new();
         table.acquire(&links_of(0, 7), 1);
         assert!(table.all_free(&links_of(7, 0)), "full duplex");
+    }
+
+    #[test]
+    fn speed_table_installs_and_clears() {
+        let mut table = LinkTable::for_cube(2);
+        assert!(!table.has_speeds());
+        let l01 = DirectedLink { from: NodeId(0), to: NodeId(1) };
+        assert_eq!(table.factor(&l01), 1.0);
+        // Layout from resolve_speeds: from * d + dim for d = 2.
+        let mut factors = vec![1.0; 4 * 2];
+        factors[0] = 3.0; // node 0, dim 0
+        factors[2 * 2 + 1] = 0.5; // node 2, dim 1
+        table.set_speeds(2, &factors);
+        assert!(table.has_speeds());
+        assert_eq!(table.factor(&l01), 3.0);
+        let l20 = DirectedLink { from: NodeId(2), to: NodeId(0) };
+        assert_eq!(table.factor(&l20), 0.5);
+        let path = [l01, l20];
+        assert_eq!(table.segment_factors(&path), (3.0, 3.5));
+        table.clear_speeds();
+        assert!(!table.has_speeds());
+        assert_eq!(table.factor(&l01), 1.0);
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub enum Op {
     /// discarded by the "operating system".
     PostRecv { src: NodeId, tag: Tag, into: Range<usize> },
     /// Send `from` (byte range of node memory) to `dst`. Blocks until
-    /// the circuit releases (transmission complete).
+    /// the circuit releases (transmission complete). Routes e-cube;
+    /// under a [`crate::NetCondition`] with dead cables the engine
+    /// substitutes a fault-avoiding xor-mask decomposition at compile
+    /// time, or rejects the run as
+    /// [`crate::SimError::Unroutable`] when the subcube offers none.
     Send { dst: NodeId, from: Range<usize>, tag: Tag, kind: MsgKind },
     /// Block until the message (src, tag) has been delivered.
     WaitRecv { src: NodeId, tag: Tag },

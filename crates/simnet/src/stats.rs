@@ -77,6 +77,13 @@ pub struct SimStats {
     pub reserve_handshakes: u64,
     /// Barriers executed.
     pub barriers: u64,
+    /// Background-traffic transmissions started (see
+    /// [`crate::netcond`]); kept out of `transmissions` so algorithm
+    /// metrics stay clean.
+    pub background_transmissions: u64,
+    /// Payload bytes moved by background traffic (never delivered to
+    /// node memories).
+    pub background_bytes: u64,
     /// Per-label mark times: label -> latest time any node recorded it.
     pub marks: BTreeMap<u32, SimTime>,
 }

@@ -235,14 +235,108 @@ fn forced_message_without_posted_receive_is_dropped_and_deadlocks() {
         },
     ];
     let mut sim = Simulator::new(SimConfig::ipsc860(1), programs, empty_memories(2, bytes));
-    match sim.run() {
-        Err(SimError::Deadlock { stuck, forced_drops }) => {
-            assert_eq!(forced_drops, 1);
+    let err = sim.run().unwrap_err();
+    match &err {
+        SimError::Deadlock { stuck, forced_drops } => {
+            assert_eq!(*forced_drops, 1);
             assert_eq!(stuck.len(), 1);
             assert_eq!(stuck[0].0, NodeId(1));
+            assert!(stuck[0].1.contains("waiting for"), "{}", stuck[0].1);
         }
         other => panic!("expected deadlock, got {other:?}"),
     }
+    assert_eq!(err.blocked(), vec![NodeId(1)]);
+}
+
+// Deadlock-regression suite: the event queue draining with unfinished
+// nodes must always surface as a typed `SimError::Deadlock` naming
+// every blocked node (`SimError::blocked()`), never a silent success,
+// a hang or a panic — whatever combination of waits, barriers and
+// network conditions starved the queue.
+
+#[test]
+fn mismatched_barrier_deadlocks_with_blocked_nodes_listed() {
+    // Node 0 enters a barrier nobody else reaches: queue drains with
+    // node 0 InBarrier (Program::empty documents this trap).
+    let n = 4usize;
+    let mut programs = vec![Program::empty(); n];
+    programs[0] = Program { ops: vec![Op::Barrier] };
+    let mut sim = Simulator::new(SimConfig::ipsc860(2), programs, empty_memories(n, 1));
+    let err = sim.run().unwrap_err();
+    match &err {
+        SimError::Deadlock { stuck, forced_drops } => {
+            assert_eq!(*forced_drops, 0);
+            assert_eq!(stuck.len(), 1);
+            assert_eq!(stuck[0].0, NodeId(0));
+            assert!(stuck[0].1.contains("barrier"), "{}", stuck[0].1);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+    assert_eq!(err.blocked(), vec![NodeId(0)]);
+}
+
+#[test]
+fn wait_for_a_message_nobody_sends_deadlocks_every_blocked_node() {
+    // Both nodes wait on receives that are never sent: every node is
+    // blocked when the queue drains, and all are listed in node order.
+    let bytes = 8usize;
+    let mk = |other: u32| Program {
+        ops: vec![
+            Op::post_recv(NodeId(other), Tag::data(0, 1), 0..bytes),
+            Op::wait_recv(NodeId(other), Tag::data(0, 1)),
+        ],
+    };
+    let programs = vec![mk(1), mk(0)];
+    let mut sim = Simulator::new(SimConfig::ipsc860(1), programs, empty_memories(2, bytes));
+    let err = sim.run().unwrap_err();
+    assert_eq!(err.blocked(), vec![NodeId(0), NodeId(1)]);
+    match err {
+        SimError::Deadlock { forced_drops, .. } => assert_eq!(forced_drops, 0),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadlock_is_still_detected_under_background_traffic() {
+    // A conditioned run whose background stream keeps the event queue
+    // alive long after the nodes starve: once the (finite) injections
+    // drain, the deadlock must surface exactly as in the quiet case.
+    use mce_simnet::{BackgroundStream, NetCondition};
+    let bytes = 10usize;
+    let programs = vec![
+        Program { ops: vec![Op::send(NodeId(1), 0..bytes, Tag::data(0, 1))] },
+        Program {
+            ops: vec![
+                Op::Compute { ns: 10_000_000 },
+                Op::post_recv(NodeId(0), Tag::data(0, 1), 0..bytes),
+                Op::wait_recv(NodeId(0), Tag::data(0, 1)),
+            ],
+        },
+    ];
+    let nc = NetCondition::default().with_background(BackgroundStream {
+        src: NodeId(1),
+        dst: NodeId(0),
+        bytes: 64,
+        start_ns: 0,
+        period_ns: 5_000_000,
+        count: 10, // injections continue past the 10 ms starvation point
+    });
+    let cfg = SimConfig::ipsc860(1).with_netcond(nc);
+    let mut sim = Simulator::new(cfg, programs, empty_memories(2, bytes));
+    let err = sim.run().unwrap_err();
+    assert_eq!(err.blocked(), vec![NodeId(1)]);
+    match err {
+        SimError::Deadlock { forced_drops, .. } => {
+            assert_eq!(forced_drops, 1, "background payloads are not FORCED drops")
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn blocked_is_empty_for_non_deadlock_errors() {
+    assert!(SimError::AlreadyRan.blocked().is_empty());
+    assert!(SimError::Unroutable { src: NodeId(0), dst: NodeId(1) }.blocked().is_empty());
 }
 
 #[test]

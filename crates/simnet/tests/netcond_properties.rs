@@ -1,0 +1,130 @@
+//! Property suite for the network-conditions layer: a `NetCondition`
+//! with no faults, unit speed factors and no background traffic must
+//! be **bit-identical** to the unconditioned run, across random cube
+//! dimensions, workloads, switching modes, jitter settings and no-op
+//! profile encodings.
+
+use mce_hypercube::NodeId;
+use mce_simnet::batch::SimArena;
+use mce_simnet::netcond::SpeedProfile;
+use mce_simnet::{NetCondition, Op, Program, SimConfig, Tag};
+use proptest::prelude::*;
+
+/// A randomly generated (but deterministic, from the proptest stream)
+/// workload: `pairs` staggered pairwise exchanges in a `d`-cube.
+fn exchange_workload(
+    d: u32,
+    bytes: usize,
+    pair_seeds: &[(u64, u64)],
+) -> (Vec<Program>, Vec<Vec<u8>>) {
+    let n = 1usize << d;
+    let mut programs = vec![Program::empty(); n];
+    for (step, &(a_seed, stagger)) in pair_seeds.iter().enumerate() {
+        let a = (a_seed % n as u64) as u32;
+        // Pick a distinct partner deterministically.
+        let b = (a ^ (1 + (a_seed >> 32) as u32 % (n as u32 - 1))) % n as u32;
+        if a == b {
+            continue;
+        }
+        let tag = Tag::data(1, step as u32);
+        let add = |p: &mut Program, me: u32, peer: u32| {
+            p.ops.push(Op::post_recv(NodeId(peer), tag, 0..bytes));
+            if stagger > 0 {
+                p.ops.push(Op::Compute { ns: stagger % 200_000 });
+            }
+            p.ops.push(Op::send(NodeId(peer), 0..bytes, tag));
+            p.ops.push(Op::wait_recv(NodeId(peer), tag));
+            let _ = me;
+        };
+        // Only add each exchange once per endpoint per step to keep
+        // (src, tag) keys unique.
+        if programs[a as usize].ops.iter().len() / 4 == step
+            && programs[b as usize].ops.iter().len() / 4 == step
+        {
+            add(&mut programs[a as usize], a, b);
+            add(&mut programs[b as usize], b, a);
+        }
+    }
+    let memories = (0..n).map(|x| vec![x as u8; bytes]).collect();
+    (programs, memories)
+}
+
+/// One no-op profile per encoding family.
+fn noop_netcond(which: u8, d: u32) -> NetCondition {
+    match which % 3 {
+        0 => NetCondition { speed: SpeedProfile::Uniform(1.0), ..Default::default() },
+        1 => NetCondition {
+            speed: SpeedProfile::PerDimension(vec![1.0; d as usize]),
+            ..Default::default()
+        },
+        _ => NetCondition {
+            speed: SpeedProfile::Seeded { min: 1.0, max: 1.0, seed: 0xD15EA5E },
+            ..Default::default()
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn noop_condition_is_bit_identical(
+        d in 1u32..=4,
+        bytes in 1usize..400,
+        pair_count in 1usize..6,
+        seed_base in 0u64..u64::MAX / 2,
+        jitter_on in 0u8..2,
+        saf in 0u8..2,
+        which in 0u8..3,
+    ) {
+        let pair_seeds: Vec<(u64, u64)> = (0..pair_count)
+            .map(|i| {
+                let s = seed_base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+                (s, s >> 17)
+            })
+            .collect();
+        let (programs, memories) = exchange_workload(d, bytes, &pair_seeds);
+        let mut cfg = SimConfig::ipsc860(d);
+        if jitter_on == 1 {
+            cfg = cfg.with_jitter(0.05, seed_base ^ 0xA5A5);
+        }
+        if saf == 1 {
+            cfg = cfg.with_store_and_forward();
+        }
+        let conditioned_cfg = cfg.clone().with_netcond(noop_netcond(which, d));
+
+        let mut arena = SimArena::new();
+        let plain = arena.run(&cfg, &programs, memories.clone()).unwrap();
+        let conditioned = arena.run(&conditioned_cfg, &programs, memories).unwrap();
+
+        prop_assert_eq!(plain.finish_time, conditioned.finish_time);
+        prop_assert_eq!(&plain.node_finish, &conditioned.node_finish);
+        prop_assert_eq!(&plain.stats, &conditioned.stats);
+        prop_assert_eq!(&plain.memories, &conditioned.memories);
+    }
+
+    #[test]
+    fn uniform_slowdown_never_speeds_a_run_up(
+        d in 2u32..=4,
+        bytes in 1usize..300,
+        factor_milli in 1000u64..4000,
+    ) {
+        let pair_seeds: Vec<(u64, u64)> = (0..3)
+            .map(|i| ((bytes as u64) << 20 | i, i * 31_000))
+            .collect();
+        let (programs, memories) = exchange_workload(d, bytes, &pair_seeds);
+        let cfg = SimConfig::ipsc860(d);
+        let factor = factor_milli as f64 / 1000.0;
+        let slowed_cfg =
+            cfg.clone().with_netcond(NetCondition::uniform_slowdown(factor));
+        let mut arena = SimArena::new();
+        let plain = arena.run(&cfg, &programs, memories.clone()).unwrap();
+        let slowed = arena.run(&slowed_cfg, &programs, memories).unwrap();
+        prop_assert!(
+            slowed.finish_time >= plain.finish_time,
+            "slowdown {} sped the run up: {} < {}",
+            factor, slowed.finish_time, plain.finish_time
+        );
+        prop_assert_eq!(&plain.memories, &slowed.memories, "data movement unaffected");
+    }
+}
