@@ -335,20 +335,34 @@ fn cmd_robustness(d: u32, quick: bool) {
     );
     println!("partitions: {:?}", report.partitions);
     println!(
-        "\n{:<16} {:>9} {:<36} {:>14}",
-        "scenario", "feasible", "winner ladder (size: partition)", "{d} takeover"
+        "\n{:<16} {:>9} {:<36} {:>12} {:>12} {:>10}",
+        "scenario",
+        "feasible",
+        "winner ladder (size: partition)",
+        "sim takeover",
+        "model pred",
+        "max err"
     );
     for s in &report.scenarios {
         let ladder: Vec<String> =
             s.best_by_size.iter().map(|(m, p, _)| format!("{m}:{p}")).collect();
+        let fmt_takeover = |t: Option<usize>| {
+            t.map(|m| format!("{m} B")).unwrap_or_else(|| {
+                if s.feasible {
+                    ">range".into()
+                } else {
+                    "-".into()
+                }
+            })
+        };
         println!(
-            "{:<16} {:>9} {:<36} {:>14}",
+            "{:<16} {:>9} {:<36} {:>12} {:>12} {:>10}",
             s.scenario,
             s.feasible,
             ladder.join(" "),
-            s.singleton_crossover_bytes
-                .map(|m| format!("{m} B"))
-                .unwrap_or_else(|| if s.feasible { ">range".into() } else { "-".into() }),
+            fmt_takeover(s.singleton_crossover_bytes),
+            fmt_takeover(s.model_crossover_bytes),
+            s.model_max_rel_err.map(|e| format!("{e:.3}")).unwrap_or_else(|| "-".into()),
         );
     }
     println!("\n-> faults: every complete exchange contains distance-1 transfers, so any");
@@ -369,6 +383,8 @@ fn cmd_robustness(d: u32, quick: bool) {
                 r.feasible.to_string(),
                 format!("{:.1}", r.finish_us.mean),
                 format!("{:.1}", r.finish_us.stddev),
+                r.model_predicted_us.map(|v| format!("{v:.1}")).unwrap_or_default(),
+                r.model_rel_err.map(|v| format!("{v:.4}")).unwrap_or_default(),
                 format!("{:.1}", r.edge_contention_events),
                 format!("{:.1}", r.background_transmissions),
                 r.verified.to_string(),
@@ -385,6 +401,8 @@ fn cmd_robustness(d: u32, quick: bool) {
             "feasible",
             "mean_us",
             "stddev_us",
+            "model_us",
+            "model_rel_err",
             "edge_contention",
             "background_tx",
             "verified",

@@ -20,11 +20,16 @@
 //! Each (scenario, partition, block-size) cell runs `replicates`
 //! jitter-seeded replicates through one parallel
 //! [`SimBatch`](mce_simnet::batch::SimBatch) and is summarized with
-//! [`mce_simnet::batch::agg`]. The report records, per scenario, the
-//! best partition at every block size and the block size where the
-//! singleton plan `{d}` takes over — the paper's crossover — so the
-//! artifact shows directly how degradation *shifts the optimal phase
-//! count*. Measured at d = 6: background hotspot traffic punishes the
+//! [`mce_simnet::batch::agg`]. Every feasible cell also carries the
+//! netcond-aware analytic prediction (`mce_model::conditioned`, via
+//! [`mce_simnet::conformance`]) and its relative error against the
+//! simulated mean, so the artifact doubles as a conformance record:
+//! per scenario it reports the simulated *and* the model-predicted
+//! `{d}` takeover plus the worst per-cell model error. The report
+//! records, per scenario, the best partition at every block size and
+//! the block size where the singleton plan `{d}` takes over — the
+//! paper's crossover — so the artifact shows directly how degradation
+//! *shifts the optimal phase count*. Measured at d = 6: background hotspot traffic punishes the
 //! long-circuit plans (which hold many links per transmission) and
 //! pushes the `{6}` takeover from 160 B out to 280-360 B as traffic
 //! grows, while seeded slowdowns stretch every plan's τ and δ terms
@@ -38,7 +43,8 @@ use mce_hypercube::NodeId;
 use mce_model::MachineParams;
 use mce_partitions::Partition;
 use mce_simnet::batch::{agg, SimBatch};
-use mce_simnet::{BackgroundStream, NetCondition, Program, SimConfig, SimError};
+use mce_simnet::conformance;
+use mce_simnet::{NetCondition, Program, SimConfig, SimError};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -106,6 +112,14 @@ pub struct RobustnessRow {
     pub feasible: bool,
     /// Finish-time summary over the successful replicates, µs.
     pub finish_us: agg::MetricSummary,
+    /// Conditioned-model prediction for this cell, µs
+    /// (`mce_model::conditioned` via the scenario's condition summary;
+    /// `None` for infeasible cells — the model prices runs, not typed
+    /// routing failures).
+    pub model_predicted_us: Option<f64>,
+    /// Relative model error against the mean simulated finish time,
+    /// `|pred - sim| / sim` (`None` for infeasible cells).
+    pub model_rel_err: Option<f64>,
     /// Mean edge-contention events per run.
     pub edge_contention_events: f64,
     /// Mean background transmissions per run.
@@ -127,6 +141,12 @@ pub struct ScenarioSummary {
     /// Smallest block size from which `{d}` stays the winner
     /// (`None` = the singleton never takes over within the sweep).
     pub singleton_crossover_bytes: Option<usize>,
+    /// The conditioned model's answer to the same question, from the
+    /// per-cell predictions over the same grid — the artifact shows
+    /// predicted and simulated crossovers side by side.
+    pub model_crossover_bytes: Option<usize>,
+    /// Largest `model_rel_err` over the scenario's feasible cells.
+    pub model_max_rel_err: Option<f64>,
 }
 
 /// The full study artifact.
@@ -147,7 +167,6 @@ pub struct RobustnessReport {
 /// The degradation scenarios of one study, in report order.
 fn scenarios(opts: &RobustnessOptions) -> Vec<(String, NetCondition)> {
     let d = opts.d;
-    let n = 1u32 << d;
     let mut out = vec![("baseline".to_string(), NetCondition::default())];
     for &s in &opts.slowdowns {
         out.push((
@@ -157,25 +176,12 @@ fn scenarios(opts: &RobustnessOptions) -> Vec<(String, NetCondition)> {
     }
     for &level in &opts.hotspot_levels {
         // `level` streams piled onto the main diagonal, phase-staggered
-        // across one period. Streams must outlast the slowest cell
-        // (Standard Exchange at m_max under contention, tens of ms)
-        // but not much more — the engine drains all queued injections
-        // before returning, so oversized counts are pure post-finish
-        // work: 150 x 600 µs = 90 ms covers every cell with margin.
-        let period_ns = 600_000u64;
-        let mut nc = NetCondition::default();
-        for j in 0..level {
-            let stream = BackgroundStream {
-                src: NodeId(j % n),
-                dst: NodeId((j % n) ^ (n - 1)),
-                bytes: 400,
-                start_ns: 0,
-                period_ns,
-                count: 150,
-            };
-            nc = nc.with_background(stream.staggered(j, level));
-        }
-        out.push((format!("hotspot_{level}"), nc));
+        // across one period — the shared ladder shape of
+        // `conformance::hotspot_condition` (its 150 × 600 µs schedule
+        // outlasts the slowest cell with margin; the engine drains
+        // queued injections after finish, so oversized counts are pure
+        // post-finish work).
+        out.push((format!("hotspot_{level}"), conformance::hotspot_condition(d, level)));
     }
     for &k in &opts.fault_counts {
         let mut nc = NetCondition::default();
@@ -232,10 +238,17 @@ pub fn robustness_study(opts: &RobustnessOptions) -> RobustnessReport {
     let sizes_n = opts.sizes.len();
     let mut rows = Vec::new();
     let mut summaries = Vec::new();
-    for (si, (label, _)) in scenarios.iter().enumerate() {
+    for (si, (label, nc)) in scenarios.iter().enumerate() {
+        // The conditioned model's view of this scenario: one summary
+        // extraction, jitter-free predictions per (partition, size).
+        let model_cfg = SimConfig::ipsc860(d).with_netcond(nc.clone());
+        let cond = conformance::condition_summary(&model_cfg);
         let mut best_by_size: Vec<(usize, String, usize)> = Vec::new();
+        let mut model_best_by_size: Vec<(usize, String)> = Vec::new();
+        let mut model_max_rel_err: Option<f64> = None;
         for (mi, &m) in opts.sizes.iter().enumerate() {
             let mut best: Option<(f64, &Partition)> = None;
+            let mut model_best: Option<(f64, &Partition)> = None;
             for (pi, part) in parts.iter().enumerate() {
                 let start = ((si * parts.len() + pi) * sizes_n + mi) * reps;
                 let cell = &results[start..start + reps];
@@ -249,12 +262,22 @@ pub fn robustness_study(opts: &RobustnessOptions) -> RobustnessReport {
                     && cell.iter().all(|r| {
                         verify_complete_exchange(d, m, &r.as_ref().unwrap().memories).is_empty()
                     });
-                if feasible {
+                let (model_predicted_us, model_rel_err) = if feasible {
+                    let pred = conformance::predicted_us_with(&model_cfg, &cond, part.parts(), m);
                     let t = summary.finish_us.mean;
+                    let err = (pred - t).abs() / t;
+                    model_max_rel_err =
+                        Some(model_max_rel_err.map_or(err, |worst: f64| worst.max(err)));
+                    if model_best.is_none_or(|(bt, _)| pred < bt) {
+                        model_best = Some((pred, part));
+                    }
                     if best.is_none_or(|(bt, _)| t < bt) {
                         best = Some((t, part));
                     }
-                }
+                    (Some(pred), Some(err))
+                } else {
+                    (None, None)
+                };
                 rows.push(RobustnessRow {
                     scenario: label.clone(),
                     partition: part.to_string(),
@@ -262,6 +285,8 @@ pub fn robustness_study(opts: &RobustnessOptions) -> RobustnessReport {
                     block_size: m,
                     feasible,
                     finish_us: summary.finish_us,
+                    model_predicted_us,
+                    model_rel_err,
                     edge_contention_events: summary.edge_contention_events.mean,
                     background_transmissions: summary.background_transmissions.mean,
                     verified,
@@ -270,24 +295,26 @@ pub fn robustness_study(opts: &RobustnessOptions) -> RobustnessReport {
             if let Some((_, part)) = best {
                 best_by_size.push((m, part.to_string(), part.parts().len()));
             }
-        }
-        // Crossover: smallest size from which {d} stays the winner.
-        let singleton = format!("{{{d}}}");
-        let mut crossover = None;
-        for (m, winner, _) in &best_by_size {
-            if *winner == singleton {
-                if crossover.is_none() {
-                    crossover = Some(*m);
-                }
-            } else {
-                crossover = None;
+            if let Some((_, part)) = model_best {
+                model_best_by_size.push((m, part.to_string()));
             }
         }
+        // Crossover: smallest size from which {d} stays the winner
+        // (the shared definition in `conformance::singleton_takeover`).
+        let singleton = format!("{{{d}}}");
         summaries.push(ScenarioSummary {
             scenario: label.clone(),
             feasible: !best_by_size.is_empty(),
+            singleton_crossover_bytes: conformance::singleton_takeover(
+                &singleton,
+                best_by_size.iter().map(|(m, w, _)| (*m, w.as_str())),
+            ),
+            model_crossover_bytes: conformance::singleton_takeover(
+                &singleton,
+                model_best_by_size.iter().map(|(m, w)| (*m, w.as_str())),
+            ),
             best_by_size,
-            singleton_crossover_bytes: crossover,
+            model_max_rel_err,
         });
     }
     RobustnessReport {
@@ -341,6 +368,31 @@ mod tests {
             .iter()
             .filter(|r| r.scenario == "hotspot_3" && r.feasible)
             .all(|r| r.background_transmissions > 0.0));
+
+        // Every feasible cell carries a model prediction within the
+        // conformance envelope (deterministic regimes tight, hotspot
+        // loose); infeasible cells carry none.
+        for row in &report.rows {
+            assert_eq!(row.model_predicted_us.is_some(), row.feasible, "{row:?}");
+            if let Some(err) = row.model_rel_err {
+                let tolerance = if row.scenario.starts_with("hotspot") { 0.40 } else { 0.20 };
+                assert!(err <= tolerance, "model error {err:.3} too large: {row:?}");
+            }
+        }
+        for s in report.scenarios.iter().filter(|s| s.feasible) {
+            assert!(s.model_max_rel_err.is_some(), "{s:?}");
+            // Predicted and simulated takeovers sit within one ladder
+            // step of each other on this quick grid.
+            if let (Some(sim), Some(model)) = (s.singleton_crossover_bytes, s.model_crossover_bytes)
+            {
+                let sim_i = opts.sizes.iter().position(|&m| m == sim).unwrap();
+                let model_i = opts.sizes.iter().position(|&m| m == model).unwrap();
+                assert!(
+                    sim_i.abs_diff(model_i) <= 1,
+                    "takeover disagreement beyond one step: {s:?}"
+                );
+            }
+        }
 
         // Degradation never beats the baseline on the same cell.
         for row in &report.rows {

@@ -1,0 +1,854 @@
+//! Netcond-aware analytic model: predicted exchange times on a
+//! *degraded* cube.
+//!
+//! The base model (Eqs. 1-3) prices a perfect, homogeneous
+//! circuit-switched hypercube. The simulator's network-conditions
+//! layer (`mce_simnet::netcond`) degrades that network declaratively —
+//! per-link slowdown factors, cable overrides, background-traffic
+//! hotspots — and the ROADMAP asks for the analytic side of that
+//! story: *predict the conditioned crossover* instead of measuring it.
+//!
+//! This module prices every algorithm of the base model against a
+//! [`ConditionSummary`]: a per-dimension compression of the network
+//! state. The summary carries, per cube dimension,
+//!
+//! * a slowdown-factor distribution ([`DimFactor`]: mean/min/max over
+//!   the `2^d` directed links crossing that dimension), matching the
+//!   engine's conditioned transmission law `λ + τ·m·max(f_i) +
+//!   δ·Σf_i` over the links of a circuit, and
+//! * a contention load ([`DimContention`]: what fraction of the
+//!   dimension's links carry a background stream, how utilized those
+//!   links are, and how long one stream occupancy lasts).
+//!
+//! Predictions are per *schedule step*: a step with XOR mask `S`
+//! prices its transfer with the expected `max`/`Σ` of the factors over
+//! the dimensions of `S` (order statistics over the per-dimension
+//! spread stand in for the exact per-link draw) and adds the expected
+//! contention delay of [`ConditionSummary::step_delay_us`]. Summing
+//! the steps of each phase recovers conditioned analogues of every
+//! base-model quantity: [`conditioned_multiphase_time`],
+//! [`conditioned_standard_exchange_time`] /
+//! [`conditioned_optimal_cs_time`] (raw Eqs. 1-2),
+//! [`conditioned_crossover_block_size`], [`conditioned_best_partition`]
+//! / [`conditioned_optimality_hull`], and the store-and-forward
+//! variants.
+//!
+//! Two contracts anchor the module (both enforced by the property and
+//! conformance suites):
+//!
+//! * **No-op exactness** — a [`ConditionSummary::noop`] (unit factors,
+//!   no contention) reproduces the unconditioned model *bit for bit*:
+//!   every `conditioned_*` function short-circuits to its unconditioned
+//!   counterpart, mirroring the engine guarantee that a no-op
+//!   `NetCondition` is bit-identical to an unconditioned run.
+//! * **Conformance** — against the simulator the predictions stay
+//!   within the per-regime tolerances documented in
+//!   `crates/model/README.md` (tight for uniform/per-dimension
+//!   slowdowns, looser for seeded heterogeneity and hotspot
+//!   contention), and the predicted *winner* among candidate
+//!   partitions matches simulation away from the crossover. The
+//!   harness lives in `mce_simnet::conformance` and
+//!   `crates/simnet/tests/model_conformance.rs`.
+//!
+//! All predictions remain **affine in the block size** `m` (factors
+//! and contention loads are m-independent; the backlog term scales
+//! with the step's own affine duration), so crossovers are exact
+//! intersections of straight lines, like in the paper.
+
+use crate::{
+    best_partition_by, crossover_block_size, multiphase_saf_time, multiphase_time, optimal_cs_time,
+    optimality_hull_by, standard_exchange_time, HullFace, MachineParams,
+};
+use mce_partitions::Partition;
+use serde::{Deserialize, Serialize};
+
+/// Slowdown-factor distribution of one cube dimension: statistics of
+/// the `2^d` directed-link factors crossing that dimension (`1.0` =
+/// nominal speed, `2.0` = twice as slow).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DimFactor {
+    /// Mean factor over the dimension's directed links.
+    pub mean: f64,
+    /// Smallest factor.
+    pub min: f64,
+    /// Largest factor.
+    pub max: f64,
+}
+
+impl DimFactor {
+    /// The nominal (unit-speed) distribution.
+    pub fn unit() -> DimFactor {
+        DimFactor { mean: 1.0, min: 1.0, max: 1.0 }
+    }
+
+    /// Whether every link of this dimension runs at nominal speed.
+    pub fn is_unit(&self) -> bool {
+        self.mean == 1.0 && self.min == 1.0 && self.max == 1.0
+    }
+}
+
+/// Background-traffic load on one cube dimension, compressed from the
+/// stream set: `touch` is the fraction of the dimension's directed
+/// links that lie on some stream's route, `util` the mean duty cycle
+/// of those touched links (occupancy duration over injection period,
+/// capped at 1), and `busy_us` the mean duration of one occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DimContention {
+    /// Fraction of this dimension's directed links on a stream route.
+    pub touch: f64,
+    /// Mean utilization of a touched link, in `[0, 1]`.
+    pub util: f64,
+    /// Mean occupancy duration, µs.
+    pub busy_us: f64,
+}
+
+impl DimContention {
+    /// Whether no stream touches this dimension.
+    pub fn is_idle(&self) -> bool {
+        self.touch == 0.0 || self.util == 0.0 || self.busy_us == 0.0
+    }
+}
+
+/// Tuning constants of the contention term, fixed by calibrating the
+/// model against the simulator (the conformance harness re-measures
+/// the resulting accuracy envelope on every run; see
+/// `crates/model/README.md`). They encode *mechanisms*, not fits to
+/// individual scenarios:
+mod tuning {
+    /// A blocked stream re-fires the moment the algorithm releases its
+    /// links, so during an exchange a touched link's effective duty
+    /// cycle saturates well above its quiet-network value.
+    pub const UTIL_SATURATION: f64 = 2.0;
+
+    /// Residual occupancy seen by the gated arrival at a busy stream
+    /// link, as a fraction of one occupancy (½ for a memoryless
+    /// arrival; the engine's FIFO wake order and circuit re-acquisition
+    /// push it higher).
+    pub const RESIDUAL: f64 = 0.75;
+
+    /// Weight of the backlog term: injections queued while the
+    /// previous step held their links re-fire at release and drain
+    /// *ahead of* the next circuit (earlier queue sequence wins), so a
+    /// step also pays `u/(1-u)` of the previous step's own
+    /// (m-dependent) duration — the drain itself admits new arrivals,
+    /// hence the geometric `1/(1-u)`.
+    pub const BACKLOG: f64 = 0.85;
+
+    /// Cap on the utilization entering `u/(1-u)`, keeping the drain
+    /// estimate finite when a stream's occupancy approaches its
+    /// period.
+    pub const UTIL_CAP: f64 = 0.9;
+
+    /// Extra effective draws in the per-step factor maximum under
+    /// spread profiles: the coupled schedule is gated by the slowest
+    /// of many concurrent pairs (barrier at every phase boundary,
+    /// pairwise chaining within), so the bandwidth bottleneck a phase
+    /// *feels* sits above the single-pair expectation.
+    pub const GATING_DRAWS: f64 = 2.0;
+
+    /// Weight of the pair-desync penalty under spread profiles: the
+    /// two directions of an exchange cross *different* directed links,
+    /// so their sync messages take different times, the data starts
+    /// drift apart, and the NIC concurrency window (Section 7.2)
+    /// serializes part of what the clean network overlaps. The drift
+    /// scales with the per-direction spread of the `δ·Σf` term.
+    pub const DESYNC: f64 = 1.2;
+
+    /// Spread weight on the store-and-forward τ term: a SAF hop
+    /// retransmits the whole (effective) block, so the pair completes
+    /// at the slower direction's per-byte factor, not the mean one —
+    /// circuit switching handles this through the path-maximum order
+    /// statistic, SAF needs it on each hop's own factor.
+    pub const SAF_TAU_SPREAD: f64 = 0.2;
+}
+
+/// Per-dimension compression of a degraded network, the input of every
+/// `conditioned_*` prediction. Build one with
+/// [`ConditionSummary::noop`] / [`ConditionSummary::from_link_factors`]
+/// / [`ConditionSummary::add_stream`], or extract one from a simulator
+/// configuration with `mce_simnet::conformance::condition_summary`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConditionSummary {
+    factors: Vec<DimFactor>,
+    contention: Vec<DimContention>,
+}
+
+impl ConditionSummary {
+    /// The no-op summary for a `d`-cube: unit factors, no contention.
+    /// Conditioned predictions under it are bit-equal to the
+    /// unconditioned model.
+    pub fn noop(d: u32) -> ConditionSummary {
+        ConditionSummary {
+            factors: vec![DimFactor::unit(); d as usize],
+            contention: vec![DimContention::default(); d as usize],
+        }
+    }
+
+    /// Summarize a flat per-directed-link factor table indexed
+    /// `from * d + dim` (the layout of
+    /// `mce_simnet::NetCondition::resolve_speeds`) into per-dimension
+    /// distributions.
+    pub fn from_link_factors(d: u32, link_factors: &[f64]) -> ConditionSummary {
+        let dims = d as usize;
+        let n = 1usize << d;
+        assert_eq!(link_factors.len(), n * dims, "factor table must be 2^d x d");
+        let mut summary = ConditionSummary::noop(d);
+        for (k, slot) in summary.factors.iter_mut().enumerate() {
+            let (mut sum, mut lo, mut hi) = (0.0f64, f64::INFINITY, f64::NEG_INFINITY);
+            for from in 0..n {
+                let f = link_factors[from * dims + k];
+                sum += f;
+                lo = lo.min(f);
+                hi = hi.max(f);
+            }
+            *slot = DimFactor { mean: sum / n as f64, min: lo, max: hi };
+        }
+        summary
+    }
+
+    /// Cube dimension this summary describes.
+    pub fn dimension(&self) -> u32 {
+        self.factors.len() as u32
+    }
+
+    /// Per-dimension factor distributions.
+    pub fn factors(&self) -> &[DimFactor] {
+        &self.factors
+    }
+
+    /// Per-dimension contention loads.
+    pub fn contention(&self) -> &[DimContention] {
+        &self.contention
+    }
+
+    /// Fold one background stream into the contention summary: the
+    /// stream's circuit crosses the dimensions of `path_mask`
+    /// (`src XOR dst`), occupying one directed link per dimension for
+    /// `busy_us` out of every `period_us`.
+    pub fn add_stream(&mut self, path_mask: u32, busy_us: f64, period_us: f64) {
+        assert!(busy_us >= 0.0 && period_us > 0.0, "stream occupancy must be positive");
+        let n = (1u64 << self.dimension()) as f64;
+        let util = (busy_us / period_us).min(1.0);
+        let mut mask = path_mask;
+        while mask != 0 {
+            let k = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let c = &mut self.contention[k];
+            // Touch-weighted running means keep `util`/`busy_us`
+            // representative of one touched link as streams accumulate.
+            let new_touch = c.touch + 1.0 / n;
+            c.util = (c.util * c.touch + util / n) / new_touch;
+            c.busy_us = (c.busy_us * c.touch + busy_us / n) / new_touch;
+            c.touch = new_touch.min(1.0);
+        }
+    }
+
+    /// Whether this summary cannot change any prediction: unit factors
+    /// everywhere and no contention. All `conditioned_*` functions
+    /// short-circuit to the unconditioned model when this holds, which
+    /// is what makes no-op conditions *bit-equal*, not merely close.
+    pub fn is_noop(&self) -> bool {
+        self.factors.iter().all(DimFactor::is_unit)
+            && self.contention.iter().all(DimContention::is_idle)
+    }
+
+    /// Expected `Σ f_i` over the links of one circuit crossing the
+    /// dimensions of `mask` (the engine's per-hop switching-delay
+    /// stretch; per-dimension means are exact in expectation).
+    pub fn sum_factor(&self, mask: u32) -> f64 {
+        let mut sum = 0.0;
+        let mut m = mask;
+        while m != 0 {
+            sum += self.factors[m.trailing_zeros() as usize].mean;
+            m &= m - 1;
+        }
+        sum
+    }
+
+    /// Expected `max f_i` over the links of a *pairwise exchange*
+    /// crossing the dimensions of `mask`: both directions of the pair
+    /// run concurrently and the pair completes at the slower one, so
+    /// the bandwidth bottleneck is the worst of `2·|mask|` link draws
+    /// — plus [`tuning::GATING_DRAWS`] phantom draws, because the
+    /// coupled schedule is gated by the slowest of many concurrent
+    /// pairs, not an average one. Deterministic profiles (zero spread)
+    /// reduce to the exact maximum of the per-dimension factors;
+    /// spread profiles add the uniform order-statistic correction
+    /// `spread · j/(j+1)` above the pooled minimum.
+    pub fn max_factor(&self, mask: u32) -> f64 {
+        let hops = mask.count_ones();
+        if hops == 0 {
+            return 1.0;
+        }
+        let (mut max_mean, mut pool_min, mut pool_max) = (0.0f64, 0.0f64, 0.0f64);
+        let mut m = mask;
+        while m != 0 {
+            let f = &self.factors[m.trailing_zeros() as usize];
+            m &= m - 1;
+            max_mean = max_mean.max(f.mean);
+            pool_min += f.min;
+            pool_max += f.max;
+        }
+        pool_min /= hops as f64;
+        pool_max /= hops as f64;
+        let draws = (2 * hops) as f64 + tuning::GATING_DRAWS;
+        let order_stat = pool_min + (pool_max - pool_min) * draws / (draws + 1.0);
+        order_stat.max(max_mean)
+    }
+
+    /// Scale of the factor spread along one circuit crossing the
+    /// dimensions of `mask`: the pooled per-dimension `max - min`,
+    /// `√hops`-scaled (per-direction sums of independent draws drift
+    /// apart like a random walk). Zero for deterministic profiles.
+    pub fn spread_scale(&self, mask: u32) -> f64 {
+        let hops = mask.count_ones();
+        if hops == 0 {
+            return 0.0;
+        }
+        let mut spread = 0.0f64;
+        let mut m = mask;
+        while m != 0 {
+            let f = &self.factors[m.trailing_zeros() as usize];
+            m &= m - 1;
+            spread += f.max - f.min;
+        }
+        spread / hops as f64 * (hops as f64).sqrt()
+    }
+
+    /// Expected contention delay one schedule step adds, µs. `mask`
+    /// names the dimensions the step's circuits cross, `concurrency`
+    /// the number of simultaneous transmissions (all `2^d` nodes send
+    /// in every step of a complete exchange), and `step_us` the step's
+    /// own conditioned transfer duration (the backlog a long step
+    /// accumulates behind its held links drains before the next step).
+    ///
+    /// Mechanism (constants in [`tuning`], calibrated against the
+    /// engine — see `crates/simnet/tests/contention_calibration.rs`):
+    /// a pair's circuit is *hit* when some link of its path is a
+    /// stream-routed link in its busy phase; the coupled schedule
+    /// (pairwise chaining within a phase, barriers between phases) is
+    /// gated by the worst of the `concurrency` concurrent paths, so
+    /// the step pays, with probability `1 - (1-q_pair)^concurrency`,
+    ///
+    /// * the *residual* of the occupancy it ran into, plus
+    /// * the *backlog drain*: every injection blocked during the
+    ///   previous step fires ahead of the algorithm's next circuit
+    ///   (FIFO by request time), costing `u/(1-u)` of the step's own
+    ///   duration.
+    ///
+    /// This is the dilute-traffic estimate. Dense anti-phased ladders
+    /// can starve multi-hop circuits outright (no simultaneous free
+    /// window across their links until the streams exhaust) — a regime
+    /// the summary deliberately does not model; see the accuracy
+    /// envelope in `crates/model/README.md`.
+    pub fn step_delay_us(&self, mask: u32, concurrency: u32, step_us: f64) -> f64 {
+        let mut miss_pair = 1.0f64; // P(one path sees no busy stream link)
+        let mut weight = 0.0f64;
+        let mut busy_weighted = 0.0f64;
+        let mut util_weighted = 0.0f64;
+        let mut m = mask;
+        while m != 0 {
+            let c = &self.contention[m.trailing_zeros() as usize];
+            m &= m - 1;
+            if c.is_idle() {
+                continue;
+            }
+            let duty = (c.util * tuning::UTIL_SATURATION).min(1.0);
+            let hit = c.touch * duty;
+            miss_pair *= 1.0 - hit;
+            weight += hit;
+            busy_weighted += hit * c.busy_us;
+            util_weighted += hit * c.util;
+        }
+        if weight == 0.0 {
+            return 0.0;
+        }
+        let busy = busy_weighted / weight;
+        let util = (util_weighted / weight).min(tuning::UTIL_CAP);
+        // P(at least one of `concurrency` independent paths is hit).
+        let any_hit = 1.0 - miss_pair.powi(concurrency as i32);
+        any_hit * (tuning::RESIDUAL * busy + tuning::BACKLOG * util / (1.0 - util) * step_us)
+    }
+}
+
+/// Price one circuit-switched schedule step: a pairwise exchange of
+/// `bytes` over the dimensions of `mask`, with pairwise-sync overhead
+/// when the machine uses it, plus the expected contention delay.
+fn conditioned_step_us(
+    p: &MachineParams,
+    bytes: f64,
+    mask: u32,
+    cond: &ConditionSummary,
+    concurrency: u32,
+) -> f64 {
+    let transfer = p.lambda_eff()
+        + p.tau * bytes * cond.max_factor(mask)
+        + p.delta_eff() * cond.sum_factor(mask)
+        + tuning::DESYNC * p.delta_eff() * cond.spread_scale(mask);
+    // The sync and data acquisitions are back to back on the same
+    // links, so a step waits on the background at most once.
+    transfer + cond.step_delay_us(mask, concurrency, transfer)
+}
+
+/// Conditioned analogue of [`crate::partial_exchange_time`] (Eq. 3):
+/// one multiphase partial exchange on the subcube spanned by
+/// dimensions `lo .. lo + di` of a `d`-cube, with original block size
+/// `m` bytes. Steps are priced individually (their factor maxima and
+/// sums differ per XOR mask), so this is `O(2^di)` instead of the
+/// closed form — still trivially cheap at the paper's dimensions.
+pub fn conditioned_partial_exchange_time(
+    p: &MachineParams,
+    m: f64,
+    lo: u32,
+    di: u32,
+    d: u32,
+    cond: &ConditionSummary,
+) -> f64 {
+    assert!(di >= 1 && lo + di <= d, "field [{lo}, {}) invalid for cube {d}", lo + di);
+    assert_eq!(cond.dimension(), d, "summary dimension mismatch");
+    if cond.is_noop() {
+        return crate::partial_exchange_time(p, m, di, d);
+    }
+    let meff = crate::effective_block_size(m, di, d);
+    let concurrency = 1u32 << d;
+    let mut t = 0.0;
+    for j in 1u32..(1 << di) {
+        t += conditioned_step_us(p, meff, j << lo, cond, concurrency);
+    }
+    if di < d {
+        t += p.shuffle_time(m * (1u64 << d) as f64);
+    }
+    t + p.barrier_time(d)
+}
+
+/// Conditioned analogue of [`crate::multiphase_time`]: the full
+/// multiphase complete exchange with partition `dims` on a degraded
+/// `d`-cube.
+///
+/// Unlike the homogeneous model, the cost now depends on *which* cube
+/// dimensions each phase routes. `dims` is taken in the given order
+/// with the same layout the program builder uses (`mce-core`): phase 1
+/// routes the **top** `dims[0]` bits, phase 2 the next field down, and
+/// so on.
+pub fn conditioned_multiphase_time(
+    p: &MachineParams,
+    m: f64,
+    d: u32,
+    dims: &[u32],
+    cond: &ConditionSummary,
+) -> f64 {
+    let total: u32 = dims.iter().sum();
+    assert_eq!(total, d, "partition {dims:?} does not sum to dimension {d}");
+    assert_eq!(cond.dimension(), d, "summary dimension mismatch");
+    if cond.is_noop() {
+        return multiphase_time(p, m, d, dims);
+    }
+    let mut hi = d;
+    let mut t = 0.0;
+    for &di in dims {
+        hi -= di;
+        t += conditioned_partial_exchange_time(p, m, hi, di, d, cond);
+    }
+    t
+}
+
+/// Conditioned analogue of raw Eq. (1): Standard Exchange, one
+/// distance-1 transmission of `m 2^(d-1)` bytes per dimension plus two
+/// shuffles' worth of permutation per phase, now with each dimension's
+/// own slowdown factor and contention load.
+pub fn conditioned_standard_exchange_time(
+    p: &MachineParams,
+    m: f64,
+    d: u32,
+    cond: &ConditionSummary,
+) -> f64 {
+    assert!(d >= 1, "standard exchange needs d >= 1");
+    assert_eq!(cond.dimension(), d, "summary dimension mismatch");
+    if cond.is_noop() {
+        return standard_exchange_time(p, m, d);
+    }
+    let half_n = (1u64 << (d - 1)) as f64;
+    let concurrency = 1u32 << d;
+    let mut t = 0.0;
+    for k in 0..d {
+        let mask = 1u32 << k;
+        let transfer = p.lambda
+            + (p.tau * cond.max_factor(mask) + 2.0 * p.rho) * m * half_n
+            + p.delta * cond.sum_factor(mask);
+        t += transfer + cond.step_delay_us(mask, concurrency, transfer);
+    }
+    t
+}
+
+/// Conditioned analogue of raw Eq. (2): the Optimal Circuit Switched
+/// algorithm's `2^d - 1` single-block transmissions, each priced with
+/// the factor maximum/sum and contention load of its own XOR mask.
+pub fn conditioned_optimal_cs_time(
+    p: &MachineParams,
+    m: f64,
+    d: u32,
+    cond: &ConditionSummary,
+) -> f64 {
+    assert!(d >= 1, "optimal circuit switched exchange needs d >= 1");
+    assert_eq!(cond.dimension(), d, "summary dimension mismatch");
+    if cond.is_noop() {
+        return optimal_cs_time(p, m, d);
+    }
+    let concurrency = 1u32 << d;
+    let mut t = 0.0;
+    for j in 1u32..(1 << d) {
+        let transfer = p.lambda + p.tau * m * cond.max_factor(j) + p.delta * cond.sum_factor(j);
+        t += transfer + cond.step_delay_us(j, concurrency, transfer);
+    }
+    t
+}
+
+/// Whether Standard Exchange is predicted to beat Optimal Circuit
+/// Switched for block size `m` on the conditioned cube (raw model).
+pub fn conditioned_standard_wins(
+    p: &MachineParams,
+    m: f64,
+    d: u32,
+    cond: &ConditionSummary,
+) -> bool {
+    conditioned_standard_exchange_time(p, m, d, cond) < conditioned_optimal_cs_time(p, m, d, cond)
+}
+
+/// The conditioned Standard-vs-Optimal crossover block size: the `m`
+/// where the two raw conditioned predictions intersect. Every
+/// conditioned prediction is affine in `m`, so the crossover is an
+/// exact line intersection, evaluated from two samples per algorithm —
+/// no scanning. Returns `f64::INFINITY` when Standard Exchange wins at
+/// every size (the slopes no longer cross, e.g. under contention that
+/// saturates the long-circuit plan).
+pub fn conditioned_crossover_block_size(p: &MachineParams, d: u32, cond: &ConditionSummary) -> f64 {
+    assert!(d >= 2, "crossover undefined for d < 2 (algorithms coincide at d = 1)");
+    assert_eq!(cond.dimension(), d, "summary dimension mismatch");
+    if cond.is_noop() {
+        return crossover_block_size(p, d);
+    }
+    let se0 = conditioned_standard_exchange_time(p, 0.0, d, cond);
+    let se_slope = conditioned_standard_exchange_time(p, 1.0, d, cond) - se0;
+    let ocs0 = conditioned_optimal_cs_time(p, 0.0, d, cond);
+    let ocs_slope = conditioned_optimal_cs_time(p, 1.0, d, cond) - ocs0;
+    if se_slope <= ocs_slope {
+        // Standard's per-byte cost no longer exceeds Optimal's: the
+        // lines diverge and Standard wins everywhere (or they never
+        // meet above m = 0).
+        return if se0 < ocs0 { f64::INFINITY } else { 0.0 };
+    }
+    ((ocs0 - se0) / (se_slope - ocs_slope)).max(0.0)
+}
+
+/// Conditioned analogue of [`crate::best_partition`]: exhaustive
+/// enumeration under [`conditioned_multiphase_time`]. Partitions are
+/// priced in canonical (non-increasing) part order, matching the
+/// layout `mce-core` builds programs with.
+pub fn conditioned_best_partition(
+    p: &MachineParams,
+    m: f64,
+    d: u32,
+    cond: &ConditionSummary,
+) -> (Partition, f64) {
+    best_partition_by(d, |part| conditioned_multiphase_time(p, m, d, part.parts(), cond))
+}
+
+/// Conditioned analogue of [`crate::optimality_hull`]: the best
+/// partition at each block size in `[0, m_max]` at `step` resolution,
+/// merged into faces. Conditioned predictions stay affine in `m`, so
+/// each partition still occupies one contiguous interval.
+pub fn conditioned_optimality_hull(
+    p: &MachineParams,
+    d: u32,
+    m_max: f64,
+    step: f64,
+    cond: &ConditionSummary,
+) -> Vec<HullFace> {
+    optimality_hull_by(d, m_max, step, |m, part| {
+        conditioned_multiphase_time(p, m, d, part.parts(), cond)
+    })
+}
+
+/// One conditioned store-and-forward schedule step: the step's message
+/// is received and retransmitted at every hop, so each dimension of
+/// `mask` is a full `λ + τ·m·f + δ·f` transfer at that dimension's
+/// mean factor (no path maximum — hops don't share a circuit), with
+/// sync messages likewise forwarded per hop.
+fn conditioned_saf_step_us(
+    p: &MachineParams,
+    bytes: f64,
+    mask: u32,
+    cond: &ConditionSummary,
+    concurrency: u32,
+) -> f64 {
+    let mut transfer = 0.0;
+    let mut m = mask;
+    while m != 0 {
+        let f = &cond.factors[m.trailing_zeros() as usize];
+        m &= m - 1;
+        let f_tau = f.mean + tuning::SAF_TAU_SPREAD * (f.max - f.min);
+        transfer += p.lambda + p.tau * bytes * f_tau + p.delta * f.mean;
+        if p.pairwise_sync {
+            transfer += p.lambda_zero + p.delta * f.mean;
+        }
+    }
+    // Heterogeneous per-direction hop times desynchronize the pair and
+    // the NIC window serializes part of the overlap, as in the
+    // circuit-switched step.
+    transfer += tuning::DESYNC * p.delta_eff() * cond.spread_scale(mask);
+    transfer + cond.step_delay_us(mask, concurrency, transfer)
+}
+
+/// Conditioned analogue of `partial_exchange_saf_time`: one partial
+/// exchange on dimensions `lo .. lo + di` under store and forward.
+pub fn conditioned_partial_exchange_saf_time(
+    p: &MachineParams,
+    m: f64,
+    lo: u32,
+    di: u32,
+    d: u32,
+    cond: &ConditionSummary,
+) -> f64 {
+    assert!(di >= 1 && lo + di <= d, "field [{lo}, {}) invalid for cube {d}", lo + di);
+    assert_eq!(cond.dimension(), d, "summary dimension mismatch");
+    if cond.is_noop() {
+        return crate::saf::partial_exchange_saf_time(p, m, di, d);
+    }
+    let meff = crate::effective_block_size(m, di, d);
+    let concurrency = 1u32 << d;
+    let mut t = 0.0;
+    for j in 1u32..(1 << di) {
+        t += conditioned_saf_step_us(p, meff, j << lo, cond, concurrency);
+    }
+    if di < d {
+        t += p.shuffle_time(m * (1u64 << d) as f64);
+    }
+    t + p.barrier_time(d)
+}
+
+/// Conditioned analogue of [`crate::multiphase_saf_time`]: the full
+/// multiphase complete exchange under store and forward on a degraded
+/// cube, phases laid out top-down like
+/// [`conditioned_multiphase_time`].
+pub fn conditioned_multiphase_saf_time(
+    p: &MachineParams,
+    m: f64,
+    d: u32,
+    dims: &[u32],
+    cond: &ConditionSummary,
+) -> f64 {
+    let total: u32 = dims.iter().sum();
+    assert_eq!(total, d, "partition {dims:?} does not sum to {d}");
+    assert_eq!(cond.dimension(), d, "summary dimension mismatch");
+    if cond.is_noop() {
+        return multiphase_saf_time(p, m, d, dims);
+    }
+    let mut hi = d;
+    let mut t = 0.0;
+    for &di in dims {
+        hi -= di;
+        t += conditioned_partial_exchange_saf_time(p, m, hi, di, d, cond);
+    }
+    t
+}
+
+/// Conditioned analogue of [`crate::best_saf_partition`].
+pub fn conditioned_best_saf_partition(
+    p: &MachineParams,
+    m: f64,
+    d: u32,
+    cond: &ConditionSummary,
+) -> (Partition, f64) {
+    best_partition_by(d, |part| conditioned_multiphase_saf_time(p, m, d, part.parts(), cond))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(d: u32, f: f64) -> ConditionSummary {
+        let n = 1usize << d;
+        ConditionSummary::from_link_factors(d, &vec![f; n * d as usize])
+    }
+
+    #[test]
+    fn noop_summary_is_detected_and_bit_equal() {
+        let p = MachineParams::ipsc860();
+        for d in 2..=6u32 {
+            let cond = ConditionSummary::noop(d);
+            assert!(cond.is_noop());
+            for m in [0.0, 24.0, 160.0] {
+                assert_eq!(
+                    conditioned_multiphase_time(&p, m, d, &[d], &cond).to_bits(),
+                    multiphase_time(&p, m, d, &[d]).to_bits()
+                );
+                assert_eq!(
+                    conditioned_standard_exchange_time(&p, m, d, &cond).to_bits(),
+                    standard_exchange_time(&p, m, d).to_bits()
+                );
+            }
+            assert_eq!(
+                conditioned_crossover_block_size(&p, d, &cond).to_bits(),
+                crossover_block_size(&p, d).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_slowdown_scales_tau_and_delta_terms() {
+        // With factor f on every link, the conditioned per-step price
+        // is λ_eff + f·τ·meff + f·δ_eff·dist — check against a hand
+        // computation for a single-phase plan.
+        let p = MachineParams::hypothetical();
+        let d = 3u32;
+        let cond = uniform(d, 2.0);
+        assert!(!cond.is_noop());
+        let m = 10.0;
+        let mut expect = 0.0;
+        for j in 1u32..8 {
+            let hops = j.count_ones() as f64;
+            expect += p.lambda + p.tau * m * 2.0 + p.delta * 2.0 * hops;
+        }
+        let got = conditioned_multiphase_time(&p, m, d, &[d], &cond);
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn per_dimension_factors_price_fields_differently() {
+        // Slow only the top dimension: a partition whose first phase
+        // routes the top bits must cost more than the mirror ordering
+        // prices its bottom field... and more than the clean cube.
+        let p = MachineParams::ipsc860();
+        let d = 4u32;
+        let n = 1usize << d;
+        let mut link_factors = vec![1.0; n * d as usize];
+        for from in 0..n {
+            link_factors[from * d as usize + 3] = 5.0; // dim 3 slow
+        }
+        let cond = ConditionSummary::from_link_factors(d, &link_factors);
+        let clean = multiphase_time(&p, 40.0, d, &[2, 2]);
+        let degraded = conditioned_multiphase_time(&p, 40.0, d, &[2, 2], &cond);
+        assert!(degraded > clean, "{degraded} vs {clean}");
+        // Only the phase routing dims {3,2} pays; the {1,0} phase is
+        // priced clean. Check the split via the partial times.
+        let top = conditioned_partial_exchange_time(&p, 40.0, 2, 2, d, &cond);
+        let bottom = conditioned_partial_exchange_time(&p, 40.0, 0, 2, d, &cond);
+        assert!(top > bottom);
+        assert!((bottom - crate::partial_exchange_time(&p, 40.0, 2, d)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_link_factors_summarizes_distribution() {
+        let d = 2u32;
+        // dim 0 factors: 1, 2, 3, 4 -> mean 2.5; dim 1 all 1.0.
+        let link_factors = vec![1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0];
+        let cond = ConditionSummary::from_link_factors(d, &link_factors);
+        let f0 = cond.factors()[0];
+        assert_eq!((f0.mean, f0.min, f0.max), (2.5, 1.0, 4.0));
+        assert!(cond.factors()[1].is_unit());
+        // max_factor over dim 0 alone: order statistic over 2 + 2
+        // gating draws of [1,4] = 1 + 3·(4/5) = 3.4, floored by the
+        // mean 2.5 -> 3.4.
+        assert!((cond.max_factor(0b01) - 3.4).abs() < 1e-12);
+        // sum over both dims: 2.5 + 1.0.
+        assert!((cond.sum_factor(0b11) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_punishes_long_circuits_hardest() {
+        // A hotspot on every dimension: the singleton plan (many
+        // multi-dimension circuits) must gain more than Standard
+        // Exchange (d single-dimension steps), pushing the crossover
+        // out — the robustness study's measured effect.
+        let p = MachineParams::ipsc860();
+        let d = 6u32;
+        let mut cond = ConditionSummary::noop(d);
+        for s in 0..4u32 {
+            cond.add_stream(0x3F ^ (s & 1), 314.0, 600.0);
+        }
+        assert!(!cond.is_noop());
+        let clean_cross = crossover_block_size(&p, d);
+        let hot_cross = conditioned_crossover_block_size(&p, d, &cond);
+        assert!(
+            hot_cross > clean_cross * 1.2,
+            "contention must move the crossover out: {clean_cross} -> {hot_cross}"
+        );
+        // And the conditioned OCS time exceeds its clean price by more
+        // (relatively) than SE's.
+        let m = 100.0;
+        let ocs_ratio = conditioned_optimal_cs_time(&p, m, d, &cond) / optimal_cs_time(&p, m, d);
+        let se_ratio =
+            conditioned_standard_exchange_time(&p, m, d, &cond) / standard_exchange_time(&p, m, d);
+        assert!(ocs_ratio > se_ratio, "{ocs_ratio} vs {se_ratio}");
+    }
+
+    #[test]
+    fn predictions_are_affine_in_block_size() {
+        let p = MachineParams::ipsc860();
+        let d = 5u32;
+        let mut cond = uniform(d, 1.7);
+        cond.add_stream(0b11111, 250.0, 500.0);
+        for dims in [vec![d], vec![2, 3], vec![1; d as usize]] {
+            let t0 = conditioned_multiphase_time(&p, 0.0, d, &dims, &cond);
+            let t1 = conditioned_multiphase_time(&p, 64.0, d, &dims, &cond);
+            let t2 = conditioned_multiphase_time(&p, 128.0, d, &dims, &cond);
+            assert!(((t2 - t1) - (t1 - t0)).abs() < 1e-6, "{dims:?} not affine");
+        }
+    }
+
+    #[test]
+    fn conditioned_hull_faces_tile_and_prefer_fine_partitions_under_contention() {
+        let p = MachineParams::ipsc860();
+        let d = 6u32;
+        let mut cond = ConditionSummary::noop(d);
+        for _ in 0..6 {
+            cond.add_stream(0x3F, 314.0, 600.0);
+        }
+        let hull = conditioned_optimality_hull(&p, d, 400.0, 4.0, &cond);
+        assert_eq!(hull[0].from, 0.0);
+        for w in hull.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        assert_eq!(hull.last().unwrap().to, f64::INFINITY);
+        // The clean hull hands {6} the tail beyond ~140 B; under a
+        // heavy hotspot the singleton's takeover must move out (or
+        // vanish from the swept range entirely).
+        let clean = crate::optimality_hull(&p, d, 400.0, 4.0);
+        let takeover = |faces: &[HullFace]| {
+            faces
+                .iter()
+                .find(|f| f.partition.parts() == [d])
+                .map(|f| f.from)
+                .unwrap_or(f64::INFINITY)
+        };
+        assert!(takeover(&hull) > takeover(&clean) * 1.2);
+    }
+
+    #[test]
+    fn saf_noop_matches_unconditioned_and_slowdown_scales() {
+        let p = MachineParams::ipsc860();
+        let d = 4u32;
+        let noop = ConditionSummary::noop(d);
+        for dims in [vec![d], vec![2, 2], vec![1; d as usize]] {
+            assert_eq!(
+                conditioned_multiphase_saf_time(&p, 30.0, d, &dims, &noop).to_bits(),
+                multiphase_saf_time(&p, 30.0, d, &dims).to_bits()
+            );
+        }
+        let slowed = uniform(d, 3.0);
+        for dims in [vec![d], vec![2, 2]] {
+            assert!(
+                conditioned_multiphase_saf_time(&p, 30.0, d, &dims, &slowed)
+                    > multiphase_saf_time(&p, 30.0, d, &dims)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_wrong_dimension_summary() {
+        let p = MachineParams::ipsc860();
+        let cond = ConditionSummary::noop(3);
+        let _ = conditioned_multiphase_time(&p, 10.0, 4, &[4], &cond);
+    }
+}

@@ -49,13 +49,21 @@ mod infinite_as_null {
 /// Ties are broken toward the earlier partition in reverse-lexicographic
 /// enumeration order (i.e. toward fewer phases).
 pub fn best_partition(p: &MachineParams, m: f64, d: u32) -> (Partition, f64) {
+    best_partition_by(d, |part| multiphase_time(p, m, d, part.parts()))
+}
+
+/// [`best_partition`] under an arbitrary pricing function — the shared
+/// enumeration core behind the clean model, the conditioned model
+/// (`crate::conditioned`) and any future pricing variant. `price` must
+/// be a pure function of the partition.
+pub fn best_partition_by(d: u32, price: impl Fn(&Partition) -> f64 + Sync) -> (Partition, f64) {
     let candidates = partitions(d);
     // Fan candidate-plan evaluation across cores once the partition
     // count justifies thread startup (p(24) ≈ 1575); the reduction is
     // sequential either way, so the tie-break toward the earlier
     // partition is preserved exactly.
     let eval = |part: Partition| {
-        let t = multiphase_time(p, m, d, part.parts());
+        let t = price(&part);
         (part, t)
     };
     let timed: Vec<(Partition, f64)> = if candidates.len() >= 1024 {
@@ -81,6 +89,20 @@ pub fn best_partition(p: &MachineParams, m: f64, d: u32) -> (Partition, f64) {
 /// contiguous interval; scanning at fine resolution recovers the
 /// breakpoints to within `step` bytes.
 pub fn optimality_hull(p: &MachineParams, d: u32, m_max: f64, step: f64) -> Vec<HullFace> {
+    optimality_hull_by(d, m_max, step, |m, part| multiphase_time(p, m, d, part.parts()))
+}
+
+/// [`optimality_hull`] under an arbitrary pricing function
+/// `price(m, partition)` — the shared scan-and-merge core behind the
+/// clean and conditioned hulls. The pricing must be affine in `m` for
+/// the merged faces to be the true lower envelope (every model in this
+/// crate is).
+pub fn optimality_hull_by(
+    d: u32,
+    m_max: f64,
+    step: f64,
+    price: impl Fn(f64, &Partition) -> f64 + Sync,
+) -> Vec<HullFace> {
     assert!(step > 0.0 && m_max >= 0.0);
     // The per-size winners are independent: compute them in parallel
     // (the planner's hull precompute is the expensive call site), then
@@ -96,7 +118,8 @@ pub fn optimality_hull(p: &MachineParams, d: u32, m_max: f64, step: f64) -> Vec<
         }
         v
     };
-    let winners: Vec<Partition> = sizes.par_iter().map(|&m| best_partition(p, m, d).0).collect();
+    let winners: Vec<Partition> =
+        sizes.par_iter().map(|&m| best_partition_by(d, |part| price(m, part)).0).collect();
     let mut faces: Vec<HullFace> = Vec::new();
     for (&m, part) in sizes.iter().zip(winners) {
         match faces.last_mut() {

@@ -29,6 +29,7 @@
 //! assert_eq!(t.round() as u64, 9984);
 //! ```
 
+pub mod conditioned;
 pub mod crossover;
 pub mod hull;
 pub mod multiphase;
@@ -40,8 +41,15 @@ pub mod saf;
 pub mod standard;
 pub mod sweep;
 
+pub use conditioned::{
+    conditioned_best_partition, conditioned_best_saf_partition, conditioned_crossover_block_size,
+    conditioned_multiphase_saf_time, conditioned_multiphase_time, conditioned_optimal_cs_time,
+    conditioned_optimality_hull, conditioned_partial_exchange_saf_time,
+    conditioned_partial_exchange_time, conditioned_standard_exchange_time,
+    conditioned_standard_wins, ConditionSummary, DimContention, DimFactor,
+};
 pub use crossover::{crossover_block_size, standard_wins};
-pub use hull::{best_partition, optimality_hull, HullFace};
+pub use hull::{best_partition, best_partition_by, optimality_hull, optimality_hull_by, HullFace};
 pub use multiphase::multiphase_time;
 pub use optimal::optimal_cs_time;
 pub use params::MachineParams;
@@ -51,7 +59,7 @@ pub use patterns::{
 };
 pub use saf::{best_saf_partition, multiphase_saf_time, saf_message_time};
 pub use standard::standard_exchange_time;
-pub use sweep::{sweep, SweepPoint, SweepRow};
+pub use sweep::{sweep, sweep_by, SweepPoint, SweepRow};
 
 /// Average circuit length over the steps of an XOR exchange schedule on
 /// a dimension-`d` cube: `d 2^(d-1) / (2^d - 1)`.

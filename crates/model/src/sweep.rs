@@ -27,6 +27,18 @@ pub struct SweepRow {
 /// Sweep all partitions of `d` over block sizes
 /// `0, step, 2·step, ..., m_max`.
 pub fn sweep(p: &MachineParams, d: u32, m_max: f64, step: f64) -> Vec<SweepRow> {
+    sweep_by(d, m_max, step, |m, part| multiphase_time(p, m, d, part.parts()))
+}
+
+/// [`sweep`] under an arbitrary pricing function `price(m, partition)`
+/// — the shared grid core behind the clean and conditioned
+/// (`crate::conditioned`) sweeps.
+pub fn sweep_by(
+    d: u32,
+    m_max: f64,
+    step: f64,
+    price: impl Fn(f64, &Partition) -> f64 + Sync,
+) -> Vec<SweepRow> {
     assert!(step > 0.0);
     // Each size is computed as `i · step` rather than by repeated
     // `m += step` accumulation: for non-dyadic steps (0.1, 0.3, ...)
@@ -50,10 +62,7 @@ pub fn sweep(p: &MachineParams, d: u32, m_max: f64, step: f64) -> Vec<SweepRow> 
         .map(|part| {
             let points = sizes
                 .iter()
-                .map(|&m| SweepPoint {
-                    block_size: m,
-                    predicted_us: multiphase_time(p, m, d, part.parts()),
-                })
+                .map(|&m| SweepPoint { block_size: m, predicted_us: price(m, &part) })
                 .collect();
             SweepRow { partition: part, points }
         })

@@ -32,22 +32,19 @@ pub struct MetricSummary {
 }
 
 impl MetricSummary {
-    /// Summarize a sample slice.
+    /// Summarize a sample slice. Internally folds through
+    /// [`MetricAccumulator`] (Welford's single-pass recurrence), so
+    /// large-mean/small-variance replicate sets — exactly what jitter
+    /// sweeps produce, means in the tens of milliseconds with
+    /// microsecond spreads — keep full precision, unlike the textbook
+    /// `E[x²] - E[x]²` form whose subtraction cancels catastrophically
+    /// there.
     pub fn from_samples(samples: &[f64]) -> MetricSummary {
-        let n = samples.len();
-        if n == 0 {
-            return MetricSummary::default();
+        let mut acc = MetricAccumulator::default();
+        for &s in samples {
+            acc.push(s);
         }
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let stddev = if n < 2 {
-            0.0
-        } else {
-            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
-            var.sqrt()
-        };
-        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        MetricSummary { n, mean, stddev, min, max }
+        acc.finish()
     }
 
     /// Half-width of the `mean ± stddev/√n` band (standard error).
@@ -57,6 +54,45 @@ impl MetricSummary {
         } else {
             self.stddev / (self.n as f64).sqrt()
         }
+    }
+}
+
+/// Streaming Welford accumulator behind [`MetricSummary`]: one pass,
+/// no sample buffer, numerically stable for any mean/variance ratio
+/// (the running `m2` accumulates *centered* squares, so no
+/// large-magnitude subtraction ever happens).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricAccumulator {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MetricAccumulator {
+    /// Fold in one sample.
+    pub fn push(&mut self, sample: f64) {
+        if self.n == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.n += 1;
+        let delta = sample - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (sample - self.mean);
+    }
+
+    /// The summary of everything pushed so far.
+    pub fn finish(&self) -> MetricSummary {
+        if self.n == 0 {
+            return MetricSummary::default();
+        }
+        let stddev = if self.n < 2 { 0.0 } else { (self.m2 / (self.n - 1) as f64).sqrt() };
+        MetricSummary { n: self.n, mean: self.mean, stddev, min: self.min, max: self.max }
     }
 }
 
@@ -91,8 +127,11 @@ pub struct RunAggregate {
 pub fn aggregate(results: &[Result<SimResult, SimError>]) -> RunAggregate {
     let ok: Vec<&SimResult> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
     let col = |f: &dyn Fn(&SimResult) -> f64| -> MetricSummary {
-        let samples: Vec<f64> = ok.iter().map(|r| f(r)).collect();
-        MetricSummary::from_samples(&samples)
+        let mut acc = MetricAccumulator::default();
+        for r in &ok {
+            acc.push(f(r));
+        }
+        acc.finish()
     };
     RunAggregate {
         runs: results.len(),
@@ -139,5 +178,42 @@ mod tests {
         assert_eq!(MetricSummary::from_samples(&[]), MetricSummary::default());
         let one = MetricSummary::from_samples(&[3.5]);
         assert_eq!((one.n, one.mean, one.stddev, one.min, one.max), (1, 3.5, 0.0, 3.5, 3.5));
+    }
+
+    /// Regression: large-mean/small-variance replicates — a jitter
+    /// sweep's finish times in nanoseconds, means around 10^10 with
+    /// single-digit spreads. The naive `E[x²] - E[x]²` form loses all
+    /// significant digits there (`10^20 - 10^20`); Welford keeps the
+    /// exact answer.
+    #[test]
+    fn welford_survives_large_mean_small_variance() {
+        let base = 1.0e10;
+        let samples: Vec<f64> = [0.0, 1.0, 2.0, 3.0, 4.0].iter().map(|o| base + o).collect();
+        let s = MetricSummary::from_samples(&samples);
+        // Exact values: mean = base + 2, sample variance = 2.5.
+        assert_eq!(s.mean, base + 2.0);
+        let expect = 2.5f64.sqrt();
+        assert!(
+            (s.stddev - expect).abs() < 1e-9,
+            "stddev {} should be {expect} (naive form gives 0 or NaN here)",
+            s.stddev
+        );
+        // Demonstrate the failure mode this pins against: the naive
+        // two-accumulator form collapses to zero variance.
+        let sum: f64 = samples.iter().sum();
+        let sum_sq: f64 = samples.iter().map(|x| x * x).sum();
+        let n = samples.len() as f64;
+        let naive_var = (sum_sq - sum * sum / n) / (n - 1.0);
+        assert!(
+            naive_var <= 0.0 || (naive_var.sqrt() - expect).abs() > 0.3,
+            "if the naive form ever becomes accurate here, drop this guard: {naive_var}"
+        );
+
+        // And the streaming accumulator matches the slice fold.
+        let mut acc = MetricAccumulator::default();
+        for &x in &samples {
+            acc.push(x);
+        }
+        assert_eq!(acc.finish(), s);
     }
 }

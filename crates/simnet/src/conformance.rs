@@ -1,0 +1,454 @@
+//! Model-vs-simulator conformance: extract a [`ConditionSummary`] from
+//! a simulator configuration and check the conditioned analytic model
+//! (`mce_model::conditioned`) against batched simulation runs.
+//!
+//! The analytic model and the discrete-event engine are this
+//! repository's two independent accounts of the same machine. The
+//! unconditioned halves are pinned against each other by
+//! `predicted_vs_simulated_agreement` (within 1%); this module extends
+//! that bridge to *degraded* networks, in the spirit of validating an
+//! abstraction against concrete executions: every scenario runs both
+//! sides over the same grid and reports per-cell relative error plus
+//! winner (best-partition) agreement.
+//!
+//! * [`condition_summary`] compresses a [`SimConfig`]'s
+//!   [`NetCondition`](crate::NetCondition) into the per-dimension
+//!   [`ConditionSummary`] the model prices against: resolved link
+//!   speeds folded per dimension, background streams folded into
+//!   per-dimension contention loads (route, occupancy duration under
+//!   the configured switching mode, duty cycle).
+//! * [`predicted_us`] prices one `(partition, block size)` cell under
+//!   that summary, circuit-switched or store-and-forward to match the
+//!   config.
+//! * [`run_scenario`] sweeps a partition × block-size grid through a
+//!   [`SimBatch`], producing a [`ScenarioOutcome`] with per-cell
+//!   errors and the two winner ladders.
+//!
+//! The harness proper lives in `crates/simnet/tests/model_conformance.rs`
+//! (quick grid in the normal suite, full grid behind `--ignored`) and
+//! the per-regime accuracy envelope it enforces is documented in
+//! `crates/model/README.md`.
+
+use crate::batch::SimBatch;
+use crate::config::{SimConfig, SwitchingMode};
+use crate::netcond::NetCondition;
+use crate::program::Program;
+use mce_hypercube::routing::DirectedLink;
+use mce_hypercube::NodeId;
+use mce_model::{conditioned_multiphase_saf_time, conditioned_multiphase_time, ConditionSummary};
+use mce_partitions::Partition;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Extract the per-dimension [`ConditionSummary`] of a configuration:
+/// the model-side view of the config's [`NetCondition`](crate::NetCondition)
+/// (or a no-op summary when the config is unconditioned).
+///
+/// Link-speed distributions come from
+/// [`NetCondition::resolve_speeds`] folded per dimension, so every
+/// profile family and cable override is summarized exactly. Each
+/// background stream contributes one touched directed link per
+/// dimension of its route, occupied for the stream's conditioned
+/// transmission duration out of every period (per-hop duration under
+/// store and forward, where a hop holds only one link at a time).
+/// Streams are assumed to outlast the run being predicted — the
+/// convention of every hotspot ladder in this repository; `start_ns`
+/// and `count` are not consulted.
+pub fn condition_summary(cfg: &SimConfig) -> ConditionSummary {
+    let d = cfg.dimension;
+    let Some(nc) = &cfg.netcond else {
+        return ConditionSummary::noop(d);
+    };
+    let link_factors = nc.resolve_speeds(d);
+    let mut summary = ConditionSummary::from_link_factors(d, &link_factors);
+    for stream in &nc.background {
+        let mask = stream.src.0 ^ stream.dst.0;
+        if mask == 0 || stream.period_ns == 0 || stream.count == 0 {
+            continue;
+        }
+        let (max_f, sum_f) = route_factors(d, stream.src, mask, &link_factors);
+        let period_us = stream.period_ns as f64 / 1000.0;
+        let busy_us = match cfg.switching {
+            SwitchingMode::Circuit => {
+                cfg.conditioned_transmission_ns(stream.bytes, max_f, sum_f) as f64 / 1000.0
+            }
+            SwitchingMode::StoreAndForward => {
+                // One hop holds one link; use the mean per-hop duration.
+                let hops = mask.count_ones() as f64;
+                cfg.conditioned_transmission_ns(stream.bytes, sum_f / hops, sum_f / hops) as f64
+                    / 1000.0
+            }
+        };
+        summary.add_stream(mask, busy_us, period_us);
+    }
+    summary
+}
+
+/// `(max, sum)` slowdown factors along the e-cube route of
+/// `(src, mask)`, from a flat `from * d + dim` factor table.
+fn route_factors(d: u32, src: NodeId, mask: u32, link_factors: &[f64]) -> (f64, f64) {
+    let dims = d as usize;
+    let mut cur = src.0;
+    let mut rem = mask;
+    let (mut max_f, mut sum_f) = (0.0f64, 0.0f64);
+    while rem != 0 {
+        let bit = rem & rem.wrapping_neg();
+        let link = DirectedLink { from: NodeId(cur), to: NodeId(cur ^ bit) };
+        let f = link_factors[link.from.0 as usize * dims + link.dimension() as usize];
+        max_f = max_f.max(f);
+        sum_f += f;
+        cur ^= bit;
+        rem &= rem - 1;
+    }
+    (max_f, sum_f)
+}
+
+/// Price one `(partition, block size)` cell of `cfg` with the
+/// conditioned analytic model: [`conditioned_multiphase_time`] under
+/// circuit switching, [`conditioned_multiphase_saf_time`] under store
+/// and forward, both against [`condition_summary`]`(cfg)`.
+pub fn predicted_us(cfg: &SimConfig, dims: &[u32], m: usize) -> f64 {
+    let cond = condition_summary(cfg);
+    predicted_us_with(cfg, &cond, dims, m)
+}
+
+/// [`predicted_us`] against a precomputed summary (grids price many
+/// cells under one condition; the summary extraction is per-scenario,
+/// not per-cell).
+pub fn predicted_us_with(cfg: &SimConfig, cond: &ConditionSummary, dims: &[u32], m: usize) -> f64 {
+    match cfg.switching {
+        SwitchingMode::Circuit => {
+            conditioned_multiphase_time(&cfg.params, m as f64, cfg.dimension, dims, cond)
+        }
+        SwitchingMode::StoreAndForward => {
+            conditioned_multiphase_saf_time(&cfg.params, m as f64, cfg.dimension, dims, cond)
+        }
+    }
+}
+
+/// One `(partition, block size)` cell: both accounts and their
+/// relative disagreement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConformanceCell {
+    /// Partition in paper notation, canonical order.
+    pub partition: String,
+    /// Block size, bytes.
+    pub block_size: usize,
+    /// Simulated finish time, µs.
+    pub simulated_us: f64,
+    /// Conditioned-model prediction, µs.
+    pub predicted_us: f64,
+}
+
+impl ConformanceCell {
+    /// Relative prediction error, against the simulated value.
+    pub fn rel_err(&self) -> f64 {
+        if self.simulated_us == 0.0 {
+            return if self.predicted_us == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (self.predicted_us - self.simulated_us).abs() / self.simulated_us
+    }
+}
+
+/// Outcome of one scenario's grid: per-cell errors plus the simulated
+/// and predicted winner ladders over the block sizes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Scenario label, e.g. `d5/hotspot_4`.
+    pub label: String,
+    /// Block-size ladder, bytes, ascending.
+    pub sizes: Vec<usize>,
+    /// Partitions compared, paper notation.
+    pub partitions: Vec<String>,
+    /// Every cell, partition-major in `partitions` × `sizes` order.
+    pub cells: Vec<ConformanceCell>,
+    /// Largest per-cell relative error.
+    pub max_rel_err: f64,
+    /// Index into `partitions` of the simulated winner per size.
+    pub simulated_winner: Vec<usize>,
+    /// Index into `partitions` of the predicted winner per size.
+    pub predicted_winner: Vec<usize>,
+}
+
+impl ScenarioOutcome {
+    /// Size indices where model and simulator *materially* disagree on
+    /// the winning partition away from the crossover. A ladder step is
+    /// exempt when:
+    ///
+    /// * the simulated winner changes at it or at an adjacent step —
+    ///   at the crossover the candidates are within a hair of each
+    ///   other and either answer is defensible (the paper's own
+    ///   crossover is a band, not a point); or
+    /// * the model's pick is a *statistical tie*: its simulated time
+    ///   is within `margin_frac` of the simulated winner's, so the
+    ///   "wrong" choice costs less than the margin (two plans can run
+    ///   neck and neck across a whole ladder, e.g. `{2,1}` vs Standard
+    ///   Exchange under store and forward).
+    ///
+    /// Everywhere else the winner must match exactly.
+    pub fn winner_disagreements_off_crossover(&self, margin_frac: f64) -> Vec<usize> {
+        let sim = &self.simulated_winner;
+        (0..sim.len())
+            .filter(|&i| {
+                let near_boundary =
+                    (i > 0 && sim[i] != sim[i - 1]) || (i + 1 < sim.len() && sim[i] != sim[i + 1]);
+                if near_boundary || self.predicted_winner[i] == sim[i] {
+                    return false;
+                }
+                let sim_time = |pi: usize| self.cells[pi * self.sizes.len() + i].simulated_us;
+                let best = sim_time(sim[i]);
+                let picked = sim_time(self.predicted_winner[i]);
+                picked > best * (1.0 + margin_frac)
+            })
+            .collect()
+    }
+
+    /// Smallest ladder size from which the simulated winner stays the
+    /// singleton `{d}` — the measured conditioned crossover (`None`
+    /// when the singleton never takes over within the ladder).
+    pub fn simulated_singleton_takeover(&self) -> Option<usize> {
+        self.takeover(&self.simulated_winner)
+    }
+
+    /// The model-side counterpart of
+    /// [`ScenarioOutcome::simulated_singleton_takeover`].
+    pub fn predicted_singleton_takeover(&self) -> Option<usize> {
+        self.takeover(&self.predicted_winner)
+    }
+
+    fn takeover(&self, winners: &[usize]) -> Option<usize> {
+        let singleton = self.partitions.iter().find(|p| !p.contains(','))?;
+        singleton_takeover(
+            singleton,
+            self.sizes.iter().zip(winners).map(|(&m, &w)| (m, self.partitions[w].as_str())),
+        )
+    }
+}
+
+/// Smallest ladder size from which `singleton` (the `{d}` plan, in
+/// paper notation) *stays* the winner: a later size where it loses
+/// resets the takeover. The one shared definition of the measured
+/// crossover, used by [`ScenarioOutcome`], the robustness study and
+/// the paper-claims pin — tweak it here and every consumer moves
+/// together.
+pub fn singleton_takeover<'a>(
+    singleton: &str,
+    winners: impl IntoIterator<Item = (usize, &'a str)>,
+) -> Option<usize> {
+    let mut takeover = None;
+    for (m, winner) in winners {
+        if winner == singleton {
+            takeover.get_or_insert(m);
+        } else {
+            takeover = None;
+        }
+    }
+    takeover
+}
+
+/// Run one scenario: simulate every `(partition, block size)` cell of
+/// the grid under `cfg` through a parallel [`SimBatch`] (jitter-free
+/// and single-replicate — both sides are deterministic) and price the
+/// same cells with the conditioned model. `build` compiles one cell's
+/// workload: `(dimension, partition parts, block size)` to per-node
+/// programs and initial memories (callers pass
+/// `mce_core::builder::build_multiphase_programs` plus stamped
+/// memories; the builder crate sits above this one).
+///
+/// # Panics
+///
+/// Panics if any cell fails to simulate — conformance scenarios are
+/// routable by construction (no faults), so a typed failure here is a
+/// harness bug, not data.
+pub fn run_scenario(
+    label: &str,
+    cfg: &SimConfig,
+    partitions: &[Partition],
+    sizes: &[usize],
+    build: impl Fn(u32, &[u32], usize) -> (Vec<Program>, Vec<Vec<u8>>),
+) -> ScenarioOutcome {
+    assert!(!partitions.is_empty() && !sizes.is_empty(), "empty conformance grid");
+    let cond = condition_summary(cfg);
+    let mut batch = SimBatch::new(cfg.clone());
+    let mut predicted = Vec::with_capacity(partitions.len() * sizes.len());
+    for part in partitions {
+        for &m in sizes {
+            let (programs, memories) = build(cfg.dimension, part.parts(), m);
+            batch.push_run(Arc::new(programs), memories);
+            predicted.push(predicted_us_with(cfg, &cond, part.parts(), m));
+        }
+    }
+    let results = batch.run();
+
+    let mut cells = Vec::with_capacity(predicted.len());
+    let mut max_rel_err = 0.0f64;
+    for (i, (result, pred)) in results.iter().zip(&predicted).enumerate() {
+        let sim = match result {
+            Ok(r) => r.finish_time.as_us(),
+            Err(e) => panic!("conformance cell {i} of {label} failed to simulate: {e}"),
+        };
+        let cell = ConformanceCell {
+            partition: partitions[i / sizes.len()].to_string(),
+            block_size: sizes[i % sizes.len()],
+            simulated_us: sim,
+            predicted_us: *pred,
+        };
+        max_rel_err = max_rel_err.max(cell.rel_err());
+        cells.push(cell);
+    }
+
+    let winner = |time: &dyn Fn(usize, usize) -> f64| -> Vec<usize> {
+        (0..sizes.len())
+            .map(|mi| {
+                (0..partitions.len())
+                    .min_by(|&a, &b| time(a, mi).total_cmp(&time(b, mi)))
+                    .expect("at least one partition")
+            })
+            .collect()
+    };
+    let simulated_winner = winner(&|pi, mi| cells[pi * sizes.len() + mi].simulated_us);
+    let predicted_winner = winner(&|pi, mi| cells[pi * sizes.len() + mi].predicted_us);
+
+    ScenarioOutcome {
+        label: label.to_string(),
+        sizes: sizes.to_vec(),
+        partitions: partitions.iter().map(|p| p.to_string()).collect(),
+        cells,
+        max_rel_err,
+        simulated_winner,
+        predicted_winner,
+    }
+}
+
+/// The candidate-partition set every conformance grid compares: the
+/// clean hull of optimality (the partitions that are ever optimal,
+/// always including the singleton `{d}`) plus Standard Exchange — the
+/// same cast as the paper's figures and the robustness study.
+pub fn candidate_partitions(
+    params: &mce_model::MachineParams,
+    d: u32,
+    m_max: f64,
+) -> Vec<Partition> {
+    let mut parts: Vec<Partition> = mce_model::optimality_hull(params, d, m_max, 1.0)
+        .into_iter()
+        .map(|f| f.partition)
+        .collect();
+    let se = Partition::all_ones(d);
+    if !parts.contains(&se) {
+        parts.push(se);
+    }
+    parts
+}
+
+/// A hotspot [`NetCondition`]: `level` phase-staggered background
+/// streams across the cube's main diagonals, the ladder shape shared
+/// by [`SimBatch::hotspot_sweep`], the robustness study and the
+/// conformance grids. Streams outlast any cell of a conformance run
+/// (`count` × `period_ns` covers the slowest Standard Exchange cell
+/// with margin).
+pub fn hotspot_condition(d: u32, level: u32) -> NetCondition {
+    let n = 1u32 << d;
+    let mut nc = NetCondition::default();
+    for j in 0..level {
+        let stream = crate::netcond::BackgroundStream {
+            src: NodeId(j % n),
+            dst: NodeId((j % n) ^ (n - 1)),
+            bytes: 400,
+            start_ns: 0,
+            period_ns: 600_000,
+            count: 150,
+        };
+        nc = nc.with_background(stream.staggered(j, level));
+    }
+    nc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netcond::{BackgroundStream, Cable};
+
+    #[test]
+    fn unconditioned_config_summarizes_to_noop() {
+        let cfg = SimConfig::ipsc860(4);
+        assert!(condition_summary(&cfg).is_noop());
+        let noop = cfg.with_netcond(NetCondition::default());
+        assert!(condition_summary(&noop).is_noop());
+    }
+
+    #[test]
+    fn uniform_and_override_speeds_fold_per_dimension() {
+        let nc = NetCondition::uniform_slowdown(2.0).with_override(Cable::new(NodeId(0), 1), 8.0);
+        let cfg = SimConfig::ipsc860(3).with_netcond(nc);
+        let s = condition_summary(&cfg);
+        assert!(!s.is_noop());
+        let f = s.factors();
+        assert_eq!(f[0].mean, 2.0);
+        assert_eq!(f[0].max, 2.0);
+        // Dim 1: two of eight directed links overridden to 8.0.
+        assert_eq!(f[1].max, 8.0);
+        assert!((f[1].mean - (6.0 * 2.0 + 2.0 * 8.0) / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streams_fold_into_touched_dimensions_only() {
+        let stream = BackgroundStream {
+            src: NodeId(0),
+            dst: NodeId(0b101),
+            bytes: 400,
+            start_ns: 0,
+            period_ns: 600_000,
+            count: 100,
+        };
+        let cfg =
+            SimConfig::ipsc860(3).with_netcond(NetCondition::default().with_background(stream));
+        let s = condition_summary(&cfg);
+        let c = s.contention();
+        assert!(c[0].touch > 0.0 && c[2].touch > 0.0);
+        assert_eq!(c[1].touch, 0.0, "dim 1 is not on the route");
+        // One stream touches 1 of 8 directed links per crossed dim.
+        assert!((c[0].touch - 1.0 / 8.0).abs() < 1e-12);
+        // Occupancy: λ + τ·400 + δ·2 = 95 + 157.6 + 20.6 µs.
+        assert!((c[0].busy_us - 273.2).abs() < 1e-9, "{}", c[0].busy_us);
+        assert!((c[0].util - 273.2 / 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saf_streams_use_per_hop_occupancy() {
+        let stream = BackgroundStream {
+            src: NodeId(0),
+            dst: NodeId(0b111),
+            bytes: 100,
+            start_ns: 0,
+            period_ns: 600_000,
+            count: 100,
+        };
+        let circuit =
+            SimConfig::ipsc860(3).with_netcond(NetCondition::default().with_background(stream));
+        let saf = circuit.clone().with_store_and_forward();
+        let c_circuit = condition_summary(&circuit).contention()[0];
+        let c_saf = condition_summary(&saf).contention()[0];
+        // A circuit holds the link for the full 3-hop transmission; a
+        // SAF hop holds it for one hop's worth.
+        assert!(c_saf.busy_us < c_circuit.busy_us);
+    }
+
+    #[test]
+    fn seeded_profile_summary_brackets_the_draws() {
+        let cfg = SimConfig::ipsc860(4).with_netcond(NetCondition::seeded_speeds(1.0, 3.0, 77));
+        let s = condition_summary(&cfg);
+        for f in s.factors() {
+            assert!(f.min >= 1.0 && f.max <= 3.0 && f.min <= f.mean && f.mean <= f.max);
+        }
+    }
+
+    #[test]
+    fn candidate_partitions_cover_figure_cast() {
+        let params = mce_model::MachineParams::ipsc860();
+        let parts = candidate_partitions(&params, 6, 400.0);
+        let names: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+        assert!(names.contains(&"{6}".to_string()));
+        assert!(names.contains(&"{1,1,1,1,1,1}".to_string()));
+        assert!(names.len() >= 3);
+    }
+}

@@ -96,6 +96,7 @@
 
 pub mod batch;
 pub mod config;
+pub mod conformance;
 pub mod engine;
 pub(crate) mod fxhash;
 pub mod link;

@@ -1,0 +1,72 @@
+//! Calibration probe for the conditioned model's contention term —
+//! not a test of record. Prints, for a ladder of hotspot levels and
+//! cube dimensions, the simulator's *added* time per schedule step
+//! over the clean run, next to the summary statistics the model sees.
+//! Run with:
+//!
+//! ```text
+//! cargo test -p mce-simnet --test contention_calibration -- --ignored --nocapture
+//! ```
+
+use mce_core::builder::build_multiphase_programs;
+use mce_core::verify::stamped_memories;
+use mce_simnet::batch::SimArena;
+use mce_simnet::conformance::{condition_summary, hotspot_condition};
+use mce_simnet::SimConfig;
+
+#[test]
+#[ignore = "calibration probe, prints a table"]
+fn print_contention_table() {
+    let mut arena = SimArena::new();
+    println!(
+        "{:<4} {:<3} {:<12} {:<6} {:>9} {:>9} {:>9} {:>7} {:>8} {:>8} {:>8}",
+        "d",
+        "L",
+        "partition",
+        "m",
+        "clean_us",
+        "hot_us",
+        "added",
+        "steps",
+        "add/step",
+        "touch",
+        "util"
+    );
+    for d in [3u32, 4, 5, 6] {
+        for level in [1u32, 2, 4, 8] {
+            for dims in
+                [vec![d], vec![1u32; d as usize], if d >= 4 { vec![2, d - 2] } else { vec![d] }]
+            {
+                for m in [8usize, 64, 256] {
+                    let clean_cfg = SimConfig::ipsc860(d);
+                    let hot_cfg = clean_cfg.clone().with_netcond(hotspot_condition(d, level));
+                    let programs = build_multiphase_programs(d, &dims, m);
+                    let memories = stamped_memories(d, m);
+                    let clean = arena
+                        .run(&clean_cfg, &programs, memories.clone())
+                        .unwrap()
+                        .finish_time
+                        .as_us();
+                    let hot = arena.run(&hot_cfg, &programs, memories).unwrap().finish_time.as_us();
+                    let steps: u32 = dims.iter().map(|&di| (1u32 << di) - 1).sum();
+                    let s = condition_summary(&hot_cfg);
+                    let c = s.contention()[0];
+                    println!(
+                        "{:<4} {:<3} {:<12} {:<6} {:>9.0} {:>9.0} {:>9.0} {:>7} {:>8.1} {:>8.3} {:>8.3}",
+                        d,
+                        level,
+                        format!("{dims:?}"),
+                        m,
+                        clean,
+                        hot,
+                        hot - clean,
+                        steps,
+                        (hot - clean) / steps as f64,
+                        c.touch,
+                        c.util
+                    );
+                }
+            }
+        }
+    }
+}

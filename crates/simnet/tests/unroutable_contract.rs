@@ -1,0 +1,126 @@
+//! The `SimError::Unroutable` contract, table-driven: for every single
+//! cable of every cube d = 3..5 and every multiphase partition, which
+//! programs compile and which fail — before any simulated time
+//! elapses.
+//!
+//! The pinned fact (ROADMAP, netcond module docs): **any** cable fault
+//! makes **every** complete-exchange partition unroutable. Every phase
+//! of every partition contains single-bit XOR steps (step `j` with
+//! `popcount(j) = 1`), a Hamming-distance-1 pair has exactly one
+//! xor-mask decomposition, and a dead cable kills both directions —
+//! so there is always some node pair whose transfer crosses the dead
+//! cable with no alternate order to reroute through. By contrast,
+//! multi-bit transfers (a full-diagonal pairwise exchange, or a
+//! background stream) reroute around any single fault and keep
+//! running.
+
+use mce_core::builder::build_multiphase_programs;
+use mce_core::verify::stamped_memories;
+use mce_hypercube::NodeId;
+use mce_partitions::partitions;
+use mce_simnet::batch::SimArena;
+use mce_simnet::{BackgroundStream, Cable, NetCondition, Op, Program, SimConfig, SimError, Tag};
+
+/// Every cable of a `d`-cube.
+fn all_cables(d: u32) -> Vec<Cable> {
+    (0..1u32 << d)
+        .flat_map(|node| {
+            (0..d)
+                .filter(move |&dim| node & (1 << dim) == 0)
+                .map(move |dim| Cable { node: NodeId(node), dim })
+        })
+        .collect()
+}
+
+/// Every complete-exchange partition fails typed — `Unroutable`, not a
+/// panic, not a hang — under every possible single-cable fault, at
+/// every dimension 3..=5. The full cross product: Σ_d (cables × p(d))
+/// = 36 + 160 + 560 compile-time verdicts.
+#[test]
+fn any_single_fault_kills_every_partition() {
+    let mut arena = SimArena::new();
+    for d in 3..=5u32 {
+        let m = 8usize;
+        for part in partitions(d) {
+            let programs = build_multiphase_programs(d, part.parts(), m);
+            for cable in all_cables(d) {
+                let cfg = SimConfig::ipsc860(d)
+                    .with_netcond(NetCondition::default().with_fault(cable.node, cable.dim));
+                let err = arena
+                    .run(&cfg, &programs, stamped_memories(d, m))
+                    .expect_err(&format!("d={d} {part} must not route around {cable}"));
+                match err {
+                    SimError::Unroutable { src, dst } => {
+                        // The reported pair really is cut: its
+                        // transfer crosses the dead cable's dimension
+                        // and no detour exists within its mask.
+                        let mask = src.0 ^ dst.0;
+                        assert!(
+                            mask & (1 << cable.dim) != 0,
+                            "d={d} {part} {cable}: reported pair {src}->{dst} does not \
+                             cross the dead dimension"
+                        );
+                    }
+                    other => panic!("d={d} {part} {cable}: expected Unroutable, got {other}"),
+                }
+            }
+        }
+    }
+}
+
+/// The contrast rows of the table: the same faults leave multi-bit
+/// transfers routable. A full-diagonal pairwise exchange (mask with
+/// `d` bits) reroutes around any single cable and still moves its
+/// data; so does a background stream.
+#[test]
+fn single_faults_reroute_multibit_transfers() {
+    let mut arena = SimArena::new();
+    for d in 3..=5u32 {
+        let n = 1usize << d;
+        let far = (n - 1) as u32;
+        let bytes = 64usize;
+        let tag = Tag::data(0, 1);
+        let mut programs = vec![Program::empty(); n];
+        programs[0] = Program { ops: vec![Op::send(NodeId(far), 0..bytes, tag)] };
+        programs[far as usize] = Program {
+            ops: vec![Op::post_recv(NodeId(0), tag, 0..bytes), Op::wait_recv(NodeId(0), tag)],
+        };
+        let mut memories = vec![vec![0u8; bytes]; n];
+        memories[0] = vec![7u8; bytes];
+        for cable in all_cables(d) {
+            let nc = NetCondition::default().with_fault(cable.node, cable.dim).with_background(
+                BackgroundStream {
+                    src: NodeId(1),
+                    dst: NodeId(far ^ 1),
+                    bytes: 32,
+                    start_ns: 0,
+                    period_ns: 100_000,
+                    count: 5,
+                },
+            );
+            let cfg = SimConfig::ipsc860(d).with_netcond(nc);
+            let result = arena
+                .run(&cfg, &programs, memories.clone())
+                .unwrap_or_else(|e| panic!("d={d} {cable}: diagonal transfer must reroute: {e}"));
+            assert_eq!(result.memories[far as usize], vec![7u8; bytes], "d={d} {cable}");
+            assert!(result.stats.background_transmissions > 0, "stream must also reroute");
+        }
+    }
+}
+
+/// Nothing about the verdict depends on block size or iteration order:
+/// the check happens at compile time, so the error arrives immediately
+/// even for workloads whose simulation would take seconds.
+#[test]
+fn unroutable_verdict_is_size_independent() {
+    let mut arena = SimArena::new();
+    let d = 4u32;
+    let cable = Cable { node: NodeId(0), dim: 2 };
+    for m in [1usize, 64, 4096] {
+        let programs = build_multiphase_programs(d, &[4], m);
+        let cfg = SimConfig::ipsc860(d)
+            .with_netcond(NetCondition::default().with_fault(cable.node, cable.dim));
+        let err = arena.run(&cfg, &programs, stamped_memories(d, m)).unwrap_err();
+        assert!(matches!(err, SimError::Unroutable { .. }), "m={m}: {err}");
+    }
+}

@@ -136,6 +136,79 @@ fn section_7_4_effective_constants() {
     assert!((p.barrier_time(6) - 900.0).abs() < 1e-12);
 }
 
+/// Beyond the paper — the conditioned-crossover claim pinned by the
+/// robustness study (E15, `repro robustness 6`): under a growing
+/// hotspot ladder at d = 6 the simulated `{6}` takeover moves from
+/// 160 B out to 280-360 B, while near-proportional slowdowns leave it
+/// at 160 B. The netcond-aware analytic model
+/// (`mce_model::conditioned`) must predict that shift — same
+/// direction, within two 40-byte ladder steps of the recorded values —
+/// from the condition summary alone, with no simulation in the loop.
+#[test]
+fn conditioned_crossover_matches_robustness_study() {
+    use multiphase_exchange::model::conditioned_multiphase_time;
+    use multiphase_exchange::partitions::Partition;
+    use multiphase_exchange::simnet::conformance::{
+        condition_summary, hotspot_condition, singleton_takeover,
+    };
+    use multiphase_exchange::simnet::{NetCondition, SimConfig};
+
+    let params = MachineParams::ipsc860();
+    let d = 6u32;
+    // The study's cast and ladder: hull partitions + Standard
+    // Exchange, 40..400 B in 40-byte steps.
+    let parts: Vec<Partition> =
+        [vec![2, 2, 2], vec![3, 3], vec![6], vec![1; 6]].into_iter().map(Partition::new).collect();
+    let sizes: Vec<usize> = (1..=10).map(|k| k * 40).collect();
+    let takeover = |nc: NetCondition| -> Option<usize> {
+        let cond = condition_summary(&SimConfig::ipsc860(d).with_netcond(nc));
+        let winners: Vec<(usize, String)> = sizes
+            .iter()
+            .map(|&m| {
+                let best = parts
+                    .iter()
+                    .min_by(|a, b| {
+                        conditioned_multiphase_time(&params, m as f64, d, a.parts(), &cond)
+                            .total_cmp(&conditioned_multiphase_time(
+                                &params,
+                                m as f64,
+                                d,
+                                b.parts(),
+                                &cond,
+                            ))
+                    })
+                    .unwrap();
+                (m, best.to_string())
+            })
+            .collect();
+        singleton_takeover("{6}", winners.iter().map(|(m, w)| (*m, w.as_str())))
+    };
+
+    // Baseline: the clean crossover at 160 B, exactly as simulated.
+    assert_eq!(takeover(NetCondition::default()), Some(160));
+    // Near-proportional slowdowns leave the crossover in place.
+    assert_eq!(takeover(NetCondition::uniform_slowdown(3.0)), Some(160));
+
+    // The hotspot ladder: recorded simulated takeovers 280 / 280 / 360
+    // (robustness study at d = 6, jitter-averaged). The model must
+    // move the crossover the same way and land within ±2 ladder steps.
+    let recorded = [(2u32, 280usize), (6, 280), (12, 360)];
+    let mut last = 160;
+    for (level, sim_takeover) in recorded {
+        let predicted = takeover(hotspot_condition(d, level))
+            .expect("hotspot must not push {6} out of the ladder entirely");
+        assert!(predicted > 160, "hotspot_{level}: crossover must move out, got {predicted}");
+        assert!(predicted >= last, "hotspot_{level}: shift must grow with traffic");
+        let steps_off = (predicted as i64 - sim_takeover as i64).abs() / 40;
+        assert!(
+            steps_off <= 2,
+            "hotspot_{level}: predicted {predicted} B vs simulated {sim_takeover} B \
+             ({steps_off} ladder steps apart)"
+        );
+        last = predicted;
+    }
+}
+
 /// §8: "In all cases there is good agreement between the predicted and
 /// observed run times" — simulated vs model within 1% without jitter
 /// over every hull partition and dimension.
