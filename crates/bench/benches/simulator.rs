@@ -10,7 +10,16 @@ use std::hint::black_box;
 fn bench_full_exchange_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_exchange");
     group.sample_size(10);
-    for (d, dims) in [(5u32, vec![5u32]), (5, vec![2, 3]), (6, vec![3, 3]), (7, vec![3, 4])] {
+    let mut workloads = vec![(5u32, vec![5u32]), (5, vec![2, 3]), (6, vec![3, 3]), (7, vec![3, 4])];
+    // Large-cube scaling workloads (512/1024 nodes, ~10^5 transmissions
+    // per run): full runs cost minutes, so they are opt-in via
+    // `MCE_BENCH_LARGE=1` — CI's `cargo bench --no-run` step still
+    // compiles them, quick local runs skip them.
+    if std::env::var_os("MCE_BENCH_LARGE").is_some() {
+        workloads.push((9, vec![4, 5]));
+        workloads.push((10, vec![5, 5]));
+    }
+    for (d, dims) in workloads {
         let m = 40usize;
         // Transmissions per run: nodes × Σ 2(2^di - 1) (sync + data).
         let transmissions: u64 =

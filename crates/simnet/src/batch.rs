@@ -674,6 +674,13 @@ mod tests {
         assert!(agg.finish_us.mean <= agg.finish_us.max);
         assert!(agg.finish_us.stddev > 0.0, "jitter replicates must spread");
         assert_eq!(agg.transmissions.stddev, 0.0, "same workload, same count");
+        // Scheduler telemetry rides along: every run has pending
+        // events, and the deterministic workload pins the peak across
+        // seed replicates (jitter shifts times, not event counts).
+        assert!(agg.sched_peak_pending.min >= 1.0, "{:?}", agg.sched_peak_pending);
+        assert_eq!(agg.sched_peak_pending.n, 8);
+        assert_eq!(agg.sched_peak_pending.stddev, 0.0, "same workload, same queue shape");
+        assert!(agg.sched_overflow_spills.n == 8);
         // Failures are counted, not folded.
         let mut batch = SimBatch::new(SimConfig::ipsc860(3));
         batch.seed_sweep(0.05, 1..=2, &programs, &memories);

@@ -120,6 +120,13 @@ pub struct RunAggregate {
     pub forced_drops: MetricSummary,
     /// Background-traffic transmissions (conditioned runs).
     pub background_transmissions: MetricSummary,
+    /// Scheduler queue pressure: peak simultaneously-pending events
+    /// (see [`crate::sched`]); sweeps report it alongside finish times
+    /// so queue load is visible per cell.
+    pub sched_peak_pending: MetricSummary,
+    /// Scheduler far-future overflow spills (events that missed the
+    /// calendar ring's window).
+    pub sched_overflow_spills: MetricSummary,
 }
 
 /// Fold a slice of batch results (as returned by
@@ -144,6 +151,8 @@ pub fn aggregate(results: &[Result<SimResult, SimError>]) -> RunAggregate {
         nic_serialization_wait_us: col(&|r| r.stats.nic_serialization_wait_ns as f64 / 1000.0),
         forced_drops: col(&|r| r.stats.forced_drops as f64),
         background_transmissions: col(&|r| r.stats.background_transmissions as f64),
+        sched_peak_pending: col(&|r| r.stats.sched_peak_pending as f64),
+        sched_overflow_spills: col(&|r| r.stats.sched_overflow_spills as f64),
     }
 }
 

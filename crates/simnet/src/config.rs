@@ -207,6 +207,19 @@ impl SimConfig {
     pub fn shuffle_ns(&self, bytes: usize) -> u64 {
         us_to_ns(self.params.rho) * bytes as u64
     }
+
+    /// Calendar-queue bucket width in `SimTime` ticks (ns), derived
+    /// from the machine's transmission granularity: successive event
+    /// times are spaced by roughly one transmission latency
+    /// `g = max(λ, λ₀) + δ·d`, and up to `2^d` transmissions complete
+    /// per such interval, so the scheduler targets about one distinct
+    /// event time per bucket with `width ≈ g / 2^d` (clamped so
+    /// degenerate parameter sets keep a sane ring).
+    pub fn sched_bucket_width_ns(&self) -> u64 {
+        let g = us_to_ns(self.params.lambda.max(self.params.lambda_zero))
+            + us_to_ns(self.params.delta) * self.dimension.max(1) as u64;
+        (g / self.num_nodes() as u64).clamp(16, 1 << 20)
+    }
 }
 
 #[cfg(test)]

@@ -22,11 +22,14 @@
 //!   fixed-capacity link array (one hop per cube dimension) plus the receiver-side slot
 //!   it will deliver into. The event loop then executes ops by
 //!   reference — no `op.clone()`, no hash lookups.
-//! * **Zero-copy payloads** — payload bytes are copied out of the
-//!   sender's memory into a pooled buffer and *moved* through the
-//!   transmission to delivery (or to the UNFORCED buffer slot), where
-//!   the buffer returns to the pool. The only copies are the two
-//!   unavoidable memory-to-wire and wire-to-memory ones.
+//! * **Zero-copy payloads** — in circuit mode the sender blocks for
+//!   the whole transmission, so payload bytes stay *in the sender's
+//!   memory* until delivery: one copy, straight into the receiver's
+//!   posted range. An inbound delivery that would overwrite the
+//!   in-flight range materializes the payload first (copy-on-write),
+//!   preserving frozen-at-issue semantics exactly. Store-and-forward
+//!   sends (the sender is released after hop 0) and early-arriving
+//!   UNFORCED buffers copy through pooled buffers instead.
 //! * **Wait-queues** — a transmission that fails to start registers
 //!   watchers on the directed links of its segment, on the NIC state
 //!   of the affected endpoints, and (for the concurrency-window rule)
@@ -36,6 +39,12 @@
 //!   reproducing the start order, one-shot blocking flags and wait
 //!   accounting of the previous full-rescan implementation (see the
 //!   determinism-snapshot suite in `mce-core`).
+//! * **Calendar-queue scheduling** — pending events (and NIC-lapse
+//!   wake-ups) live in [`CalendarQueue`]s instead of binary heaps:
+//!   amortized-O(1) push/pop over a ring of time buckets whose width
+//!   derives from the machine's transmission granularity, backed by a
+//!   sorted overflow tier for far-future events, preserving exact
+//!   `(time, seq)` pop order (see the [`crate::sched`] module docs).
 
 use crate::config::{SimConfig, SwitchingMode};
 use crate::fxhash::FxHashMap;
@@ -45,12 +54,12 @@ use crate::netcond::{
     background_tag, ecube_route_is_dead, plan_route, BackgroundStream, FaultSet, NetCondition,
 };
 use crate::program::{Op, Program};
+use crate::sched::CalendarQueue;
 use crate::stats::{SimStats, TraceEvent};
 use crate::time::SimTime;
 use mce_hypercube::routing::DirectedLink;
 use mce_hypercube::NodeId;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -296,7 +305,7 @@ fn build_conditioned(
             }
         };
         for (x, program) in compiled.programs.iter().enumerate() {
-            for op in &program.ops {
+            for op in program.ops(&compiled.ops) {
                 if let CompiledOp::Send { dst, .. } = op {
                     resolve(NodeId(x as u32), *dst)?;
                 }
@@ -314,10 +323,14 @@ fn build_conditioned(
 }
 
 /// A [`Program`] op with every per-event lookup resolved up front.
+/// Memory ranges are stored as `u32` bounds (node memories are far
+/// below 4 GiB) to keep the op at 32 bytes — the compile pass writes
+/// and the event loop reads hundreds of thousands of these per run at
+/// d9–d10, so op size is directly memory traffic.
 #[derive(Debug, Clone)]
 enum CompiledOp {
-    PostRecv { slot: u32, tag: Tag, into: Range<usize> },
-    Send { dst: NodeId, from: Range<usize>, tag: Tag, kind: MsgKind, dst_slot: u32 },
+    PostRecv { slot: u32, start: u32, end: u32, tag: Tag },
+    Send { dst: NodeId, start: u32, end: u32, dst_slot: u32, tag: Tag, kind: MsgKind },
     WaitRecv { slot: u32, src: NodeId, tag: Tag },
     Permute { perm: Arc<Vec<u32>>, block_bytes: usize },
     Barrier,
@@ -325,10 +338,20 @@ enum CompiledOp {
     Mark { label: u32 },
 }
 
-/// One node's compiled program plus its message-slot count.
+/// One node's compiled program: its op range in the flat shared op
+/// table ([`Compiled::ops`]) plus its message-slot count.
+#[derive(Clone, Copy)]
 struct CompiledProgram {
-    ops: Vec<CompiledOp>,
+    ops_start: u32,
+    ops_end: u32,
     num_slots: u32,
+}
+
+impl CompiledProgram {
+    #[inline]
+    fn ops<'a>(&self, flat: &'a [CompiledOp]) -> &'a [CompiledOp] {
+        &flat[self.ops_start as usize..self.ops_end as usize]
+    }
 }
 
 /// Pack a `(src, tag)` message key into one flat word for fast
@@ -338,26 +361,31 @@ fn pack_key(src: NodeId, tag: Tag) -> u128 {
     ((src.0 as u128) << 64) | tag.0 as u128
 }
 
-/// Collect each node's posted `(src, tag)` keys, sorted for binary
-/// search. Duplicate posts are rejected later by the compile pass, so
-/// keys are unique and each slot is single-use.
-fn slot_keys(program: &Program) -> Vec<u128> {
-    let mut keys: Vec<u128> = program
-        .ops
-        .iter()
-        .filter_map(|op| match op {
-            Op::PostRecv { src, tag, .. } => Some(pack_key(*src, *tag)),
-            _ => None,
-        })
-        .collect();
-    keys.sort_unstable();
-    keys.dedup();
-    keys
+/// Map each node's posted `(src, tag)` keys to dense slot ids, in
+/// first-post order. A hash lookup replaces the former sorted-array
+/// binary search: resolving a `Send`'s receiver slot probes *another*
+/// node's table, so each lookup is one likely-cold cache line instead
+/// of `log n` of them — at d9–d10 that is the bulk of the compile
+/// pass. Duplicate posts map to the same slot and are rejected by the
+/// compile walk's posted-bit check.
+fn slot_map(program: &Program) -> FxHashMap<u128, u32> {
+    let mut map: FxHashMap<u128, u32> = Default::default();
+    map.reserve(program.ops.len() / 2);
+    for op in &program.ops {
+        if let Op::PostRecv { src, tag, .. } = op {
+            let next = map.len() as u32;
+            map.entry(pack_key(*src, *tag)).or_insert(next);
+        }
+    }
+    map
 }
 
 /// Everything [`compile`] produces for one run.
 struct Compiled {
     programs: Vec<CompiledProgram>,
+    /// All nodes' compiled ops in one flat allocation, indexed by the
+    /// per-program ranges (one allocation instead of one per node).
+    ops: Vec<CompiledOp>,
     /// Total `Send` ops across all nodes (capacity hint).
     total_sends: usize,
 }
@@ -367,18 +395,23 @@ struct Compiled {
 /// the compile walk and caching shared permutation validations keeps
 /// run startup off the benchmark's critical path.
 fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimError> {
-    let keys: Vec<Vec<u128>> = programs.iter().map(slot_keys).collect();
-    let slot_of = |node: usize, key: u128| -> u32 {
-        match keys[node].binary_search(&key) {
-            Ok(i) => i as u32,
-            Err(_) => NO_SLOT,
-        }
-    };
+    let keys: Vec<FxHashMap<u128, u32>> = programs.iter().map(slot_map).collect();
+    let slot_of =
+        |node: usize, key: u128| -> u32 { keys[node].get(&key).copied().unwrap_or(NO_SLOT) };
+    // A `Send`'s receiver slot lives in the *destination's* table, so
+    // resolving it inline jumps between the nodes' tables in program
+    // order — at d9–d10 that random walk over megabytes of tables is
+    // most of the compile pass. Defer them: record one fixup per send,
+    // counting-sort by destination, resolve with each table cache-hot.
+    // Entries are `(dst, src, op_idx, tag)`.
+    let mut send_fixes: Vec<(u32, u32, u32, Tag)> = Vec::new();
     // Shuffle permutations are shared (`Arc`) across nodes: validate
     // each distinct one once instead of once per node.
     let mut checked_perms: crate::fxhash::FxHashSet<usize> = Default::default();
     let mut total_sends = 0usize;
     let mut compiled = Vec::with_capacity(programs.len());
+    let mut flat_ops: Vec<CompiledOp> =
+        Vec::with_capacity(programs.iter().map(|p| p.ops.len()).sum());
     let mut posted_bits: Vec<u64> = Vec::new();
     for (x, program) in programs.iter().enumerate() {
         let memory_len = memories[x].len();
@@ -386,9 +419,16 @@ fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimEr
             node: NodeId(x as u32),
             reason: format!("op {i}: {msg}"),
         };
+        // Compiled ops store memory ranges as u32 bounds.
+        if memory_len > u32::MAX as usize {
+            return Err(SimError::InvalidProgram {
+                node: NodeId(x as u32),
+                reason: format!("memory of {memory_len} bytes exceeds 4 GiB"),
+            });
+        }
         posted_bits.clear();
         posted_bits.resize(keys[x].len().div_ceil(64), 0);
-        let mut ops = Vec::with_capacity(program.ops.len());
+        let ops_start = flat_ops.len() as u32;
         for (i, op) in program.ops.iter().enumerate() {
             let cop = match op {
                 Op::PostRecv { src, tag, into } => {
@@ -404,7 +444,12 @@ fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimEr
                         return Err(invalid(i, format!("duplicate post for ({src}, {tag})")));
                     }
                     posted_bits[word] |= bit;
-                    CompiledOp::PostRecv { slot, tag: *tag, into: into.clone() }
+                    CompiledOp::PostRecv {
+                        slot,
+                        start: into.start as u32,
+                        end: into.end as u32,
+                        tag: *tag,
+                    }
                 }
                 Op::Send { dst, from, tag, kind } => {
                     if dst.index() == x {
@@ -424,12 +469,14 @@ fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimEr
                         ));
                     }
                     total_sends += 1;
+                    send_fixes.push((dst.0, x as u32, i as u32, *tag));
                     CompiledOp::Send {
                         dst: *dst,
-                        from: from.clone(),
+                        start: from.start as u32,
+                        end: from.end as u32,
+                        dst_slot: NO_SLOT, // resolved by the fixup pass
                         tag: *tag,
                         kind: *kind,
-                        dst_slot: slot_of(dst.index(), pack_key(NodeId(x as u32), *tag)),
                     }
                 }
                 Op::WaitRecv { src, tag } => {
@@ -467,11 +514,41 @@ fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimEr
                 Op::Compute { ns } => CompiledOp::Compute { ns: *ns },
                 Op::Mark { label } => CompiledOp::Mark { label: *label },
             };
-            ops.push(cop);
+            flat_ops.push(cop);
         }
-        compiled.push(CompiledProgram { ops, num_slots: keys[x].len() as u32 });
+        compiled.push(CompiledProgram {
+            ops_start,
+            ops_end: flat_ops.len() as u32,
+            num_slots: keys[x].len() as u32,
+        });
     }
-    Ok(Compiled { programs: compiled, total_sends })
+    // Receiver-slot fixup pass: counting-sort the sends by destination
+    // (O(sends + nodes)), then resolve each group against one hot slot
+    // table.
+    let mut starts = vec![0u32; programs.len() + 1];
+    for &(dst, ..) in &send_fixes {
+        starts[dst as usize + 1] += 1;
+    }
+    for i in 1..starts.len() {
+        starts[i] += starts[i - 1];
+    }
+    let mut ordered = vec![(0u32, 0u32, 0u32, Tag(0)); send_fixes.len()];
+    let mut cursor = starts.clone();
+    for &fix in &send_fixes {
+        let c = &mut cursor[fix.0 as usize];
+        ordered[*c as usize] = fix;
+        *c += 1;
+    }
+    for (dst, src, op_idx, tag) in ordered {
+        let slot = slot_of(dst as usize, pack_key(NodeId(src), tag));
+        if slot != NO_SLOT {
+            let flat_idx = compiled[src as usize].ops_start + op_idx;
+            if let CompiledOp::Send { dst_slot, .. } = &mut flat_ops[flat_idx as usize] {
+                *dst_slot = slot;
+            }
+        }
+    }
+    Ok(Compiled { programs: compiled, ops: flat_ops, total_sends })
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -484,20 +561,30 @@ enum Status {
     Done,
 }
 
-/// Single-use receive cell for one `(src, tag)` key.
-#[derive(Debug, Default)]
+/// Single-use receive cell for one `(src, tag)` key: 12 bytes, packed
+/// for the flat all-nodes slot table (d10 runs hold >10^5 slots, so
+/// cell size is directly per-run allocation and reset traffic). The
+/// rare early-arriving UNFORCED payload lives in a side map keyed by
+/// global slot index, not here.
+#[derive(Debug, Clone, Copy, Default)]
 struct Slot {
-    posted: Option<Range<usize>>,
-    delivered: bool,
-    /// UNFORCED payload that arrived before its receive was posted.
-    buffered: Option<Vec<u8>>,
+    /// Posted receive range (valid when `POSTED` is set).
+    start: u32,
+    end: u32,
+    flags: u8,
 }
+
+/// [`Slot::flags`]: a receive is posted and undelivered.
+const SLOT_POSTED: u8 = 1;
+/// [`Slot::flags`]: the message was delivered.
+const SLOT_DELIVERED: u8 = 1 << 1;
+/// [`Slot::flags`]: an UNFORCED payload is buffered in the side map.
+const SLOT_BUFFERED: u8 = 1 << 2;
 
 #[derive(Debug)]
 struct NodeState {
     pc: usize,
     status: Status,
-    slots: Vec<Slot>,
     /// Active outgoing transmission interval (id, start, end).
     outgoing: Option<(TransmissionId, SimTime, SimTime)>,
     /// Active incoming transmission intervals (id, start, end).
@@ -506,57 +593,78 @@ struct NodeState {
 }
 
 impl NodeState {
-    fn new(num_slots: u32) -> Self {
+    fn new() -> Self {
         NodeState {
             pc: 0,
             status: Status::Ready,
-            slots: (0..num_slots).map(|_| Slot::default()).collect(),
             outgoing: None,
             incoming: Vec::new(),
             finish: SimTime::ZERO,
         }
     }
 
-    /// Re-arm for a new run, keeping the slot and interval allocations.
-    fn reset(&mut self, num_slots: u32) {
+    /// Re-arm for a new run, keeping the interval allocation.
+    fn reset(&mut self) {
         self.pc = 0;
         self.status = Status::Ready;
-        self.slots.clear();
-        self.slots.resize_with(num_slots as usize, Slot::default);
         self.outgoing = None;
         self.incoming.clear();
         self.finish = SimTime::ZERO;
     }
 }
 
+/// One in-flight transmission. Field types are packed (u8 hop index,
+/// flag bytes) to keep the struct at 72 bytes: the slab holds one per
+/// send of the run — >10^5 at d10 — and every event reads or moves
+/// entries, so struct size is slab traffic.
 #[derive(Debug)]
 struct Transmission {
+    /// Owned payload bytes; empty when `inplace` carries the range.
+    payload: Vec<u8>,
+    /// Zero-copy payload: the bytes still live in the *sender's*
+    /// memory at this range (circuit mode only — the sender is blocked
+    /// for the whole transmission, so only inbound deliveries can
+    /// touch its memory, and those materialize the payload first; see
+    /// `materialize_overlap`). Saves the issue-side copy entirely —
+    /// the single wire-to-memory copy happens at delivery.
+    inplace: Option<(u32, u32)>,
     src: NodeId,
     dst: NodeId,
-    tag: Tag,
-    kind: MsgKind,
-    payload: Vec<u8>,
     /// XOR mask of the endpoints; the e-cube route expands from
     /// `(src, mask)` on demand.
     mask: u32,
     dst_slot: u32,
+    tag: Tag,
     /// Circuit mode: total end-to-end duration. Store-and-forward
     /// mode: the duration of ONE hop.
     duration_ns: u64,
-    /// Next hop to acquire (store-and-forward); always 0 in circuit
-    /// mode, where the whole path is acquired at once.
-    hop_idx: usize,
     requested_at: SimTime,
-    blocked_by_link: bool,
-    blocked_by_nic: bool,
     /// Queue sequence of the current pending stint; orders retries the
     /// way the old full-rescan ordered its pending list.
     qseq: u64,
+    kind: MsgKind,
+    /// Next hop to acquire (store-and-forward); always 0 in circuit
+    /// mode, where the whole path is acquired at once. `u8` fits
+    /// `MAX_HOPS`.
+    hop_idx: u8,
+    blocked_by_link: bool,
+    blocked_by_nic: bool,
     /// Whether the transmission is issued/requeued but not started.
     pending: bool,
     /// Background-traffic injection: occupies links like any circuit
     /// but bypasses NIC state, delivery and algorithm statistics.
     background: bool,
+}
+
+impl Transmission {
+    /// Payload size in bytes, wherever the bytes live.
+    #[inline]
+    fn payload_len(&self) -> usize {
+        match self.inplace {
+            Some((s, e)) => (e - s) as usize,
+            None => self.payload.len(),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -648,16 +756,21 @@ struct CachedCompile {
 #[derive(Default)]
 pub struct SimArena {
     nodes: Vec<NodeState>,
+    slots: Vec<Slot>,
+    slot_base: Vec<u32>,
+    buffered: FxHashMap<u32, Vec<u8>>,
+    inplace_out: Vec<Option<TransmissionId>>,
     links: Option<(u32, LinkTable)>,
     transmissions: Vec<Option<Transmission>>,
+    tr_slot_ids: Vec<TransmissionId>,
+    tr_free: Vec<u32>,
+    id_to_slot: Vec<u32>,
     dirty: Vec<(u64, TransmissionId)>,
     link_watch: FxHashMap<DirectedLink, Vec<TransmissionId>>,
     node_watch: Vec<Vec<TransmissionId>>,
-    lapse: BinaryHeap<Reverse<(u64, u64, TransmissionId)>>,
     pool: Vec<Vec<u8>>,
     scratch: Vec<u8>,
-    heap: BinaryHeap<Reverse<(SimTime, u64, EventKey)>>,
-    fifo: std::collections::VecDeque<EventKey>,
+    sched: Scheduler,
     compiled: Vec<CachedCompile>,
 }
 
@@ -771,7 +884,7 @@ impl SimArena {
             rt.links.set_speeds(cfg.dimension, &nc.resolve_speeds(cfg.dimension));
             rt.conditioned = conditioned;
         }
-        let out = rt.run(&compiled.programs);
+        let out = rt.run(compiled);
         rt.reclaim(self);
         out
     }
@@ -795,11 +908,31 @@ fn check_shape(cfg: &SimConfig, num_programs: usize, num_memories: usize) -> Res
 struct Runtime<'c> {
     cfg: &'c SimConfig,
     nodes: Vec<NodeState>,
+    /// Flat receive-slot table over all nodes (one allocation; node
+    /// `x`'s cells start at `slot_base[x]`).
+    slots: Vec<Slot>,
+    slot_base: Vec<u32>,
+    /// Early-arriving UNFORCED payloads, keyed by global slot index.
+    buffered: FxHashMap<u32, Vec<u8>>,
+    /// Per node, the outstanding transmission whose payload is still
+    /// in-place in that node's memory (at most one: a sender blocks on
+    /// its send). Checked by every delivery into the node.
+    inplace_out: Vec<Option<TransmissionId>>,
     memories: Vec<Vec<u8>>,
     links: LinkTable,
-    /// Slab of transmissions, indexed by `tid - 1`; entries are taken
-    /// on completion.
+    /// Slab of *live* transmissions: completed entries are taken and
+    /// their slots recycled through `tr_free`, so the slab stays at
+    /// peak-concurrency size (cache-hot) instead of growing one entry
+    /// per send of the run. Transmission *ids* stay the monotonic
+    /// per-run counter — every ordering key and the jitter stream
+    /// derive from them — and `id_to_slot` maps them to slab slots;
+    /// `tr_slot_ids[slot]` names the id currently occupying a slot, so
+    /// a stale id (a watcher registration outliving its transmission)
+    /// is detected instead of aliasing the slot's new tenant.
     transmissions: Vec<Option<Transmission>>,
+    tr_slot_ids: Vec<TransmissionId>,
+    tr_free: Vec<u32>,
+    id_to_slot: Vec<u32>,
     /// Pending transmissions due a start attempt, kept sorted by
     /// queue sequence (global issue order). Almost always one entry
     /// deep, so a sorted vector beats a tree.
@@ -812,23 +945,29 @@ struct Runtime<'c> {
     link_watch_entries: usize,
     /// Transmissions watching a node's NIC intervals.
     node_watch: Vec<Vec<TransmissionId>>,
-    /// `(time_ns, qseq, tid)` wake-ups for NIC-window conditions that
-    /// lapse by the passage of time alone.
-    lapse: BinaryHeap<Reverse<(u64, u64, TransmissionId)>>,
     /// Reusable payload buffers.
     pool: Vec<Vec<u8>>,
+    /// Pool retention cap: scaled to the cube so a full wave of
+    /// concurrent transmissions recycles without reallocating.
+    pool_cap: usize,
     /// Reusable scratch for block permutations.
     scratch: Vec<u8>,
-    heap: BinaryHeap<Reverse<(SimTime, u64, EventKey)>>,
-    /// Events scheduled for the time currently being processed, in
-    /// push (= sequence) order. Same-time wake-ups dominate the event
-    /// mix and skip the heap entirely.
-    fifo: std::collections::VecDeque<EventKey>,
+    /// The event scheduler (calendar queues + same-time FIFO); one
+    /// struct shared with [`SimArena`] so reclaim cannot drift from
+    /// the run state.
+    sched: Scheduler,
     /// Conditioned-network state (`None` on unconditioned runs).
     conditioned: Option<Conditioned>,
+    /// Machine timing parameters pre-converted to integer nanoseconds
+    /// once per run: the unconditioned pricing path runs per
+    /// transmission and must not pay four float-to-int rounds each
+    /// time. Identical values to the `SimConfig::*_ns` helpers.
+    ns_lambda: u64,
+    ns_lambda0: u64,
+    ns_tau: u64,
+    ns_delta: u64,
     /// The simulated time currently being drained.
     cur_t: SimTime,
-    seq: u64,
     next_tid: TransmissionId,
     next_qseq: u64,
     barrier_entered: u64,
@@ -855,6 +994,81 @@ impl From<Event> for EventKey {
     }
 }
 
+/// The engine's event scheduler: the main [`CalendarQueue`] over
+/// `(time, seq, EventKey)`, the same-time FIFO (events scheduled for
+/// the instant currently being drained skip the queue entirely — they
+/// dominate the event mix), and the NIC-lapse calendar queue of
+/// `(time_ns, qseq, tid)` wake-ups for concurrency-window conditions
+/// that expire by the passage of time alone.
+///
+/// Exactly one of these exists per run *and* per arena: `Runtime`
+/// takes it from the [`SimArena`] and hands it back on reclaim, so the
+/// run state and the recycled allocations are one struct and cannot
+/// drift apart.
+#[derive(Default)]
+struct Scheduler {
+    events: CalendarQueue<EventKey>,
+    fifo: VecDeque<EventKey>,
+    lapse: CalendarQueue<TransmissionId>,
+    /// Sequence stamp of the last queued event; orders same-time
+    /// entries by push order.
+    seq: u64,
+}
+
+impl Scheduler {
+    /// Re-arm for a run: `width` is the calendar bucket width in
+    /// `SimTime` ticks, `bucket_hint` the expected concurrency (ring
+    /// size). Keeps all allocations, zeroes telemetry.
+    fn reset(&mut self, width: u64, bucket_hint: usize) {
+        self.events.reset(width, bucket_hint);
+        // The lapse tier sees only blocked-NIC wake-ups — orders of
+        // magnitude fewer entries — so a small ring suffices.
+        self.lapse.reset(width, 64);
+        self.fifo.clear();
+        self.seq = 0;
+    }
+
+    /// Drop all entries (post-run or post-error), keeping allocations.
+    fn clear(&mut self) {
+        self.events.clear();
+        self.lapse.clear();
+        self.fifo.clear();
+        self.seq = 0;
+    }
+
+    /// Schedule `ev` at `at`, given the instant currently draining.
+    #[inline]
+    fn push(&mut self, at: SimTime, cur_t: SimTime, ev: EventKey) {
+        if at == cur_t {
+            // Same-time events keep sequence order by construction:
+            // everything already queued for this instant was pushed
+            // earlier (smaller sequence), everything pushed now
+            // appends in order.
+            self.fifo.push_back(ev);
+        } else {
+            self.seq += 1;
+            self.events.push(at.as_ns(), self.seq, ev);
+        }
+    }
+
+    /// Next event in exact `(time, seq)` order: queued entries for the
+    /// current instant precede FIFO entries (they carry smaller
+    /// sequence numbers), the FIFO drains next, and only then does
+    /// time advance to the queue's next instant.
+    #[inline]
+    fn pop_next(&mut self, cur_t: &mut SimTime) -> Option<(SimTime, EventKey)> {
+        if let Some((t, _, key)) = self.events.pop_if_time(cur_t.as_ns()) {
+            return Some((SimTime(t), key));
+        }
+        if let Some(key) = self.fifo.pop_front() {
+            return Some((*cur_t, key));
+        }
+        let (t, _, key) = self.events.pop()?;
+        *cur_t = SimTime(t);
+        Some((SimTime(t), key))
+    }
+}
+
 impl<'c> Runtime<'c> {
     /// Assemble a runtime from the arena's recycled allocations; the
     /// arena is drained for the duration of the run and refilled by
@@ -871,44 +1085,68 @@ impl<'c> Runtime<'c> {
     ) -> Self {
         let n = programs.len();
         let mut nodes = std::mem::take(&mut arena.nodes);
-        for (i, p) in programs.iter().enumerate() {
+        for i in 0..n {
             if i < nodes.len() {
-                nodes[i].reset(p.num_slots);
+                nodes[i].reset();
             } else {
-                nodes.push(NodeState::new(p.num_slots));
+                nodes.push(NodeState::new());
             }
         }
         nodes.truncate(n);
+        let mut slot_base = std::mem::take(&mut arena.slot_base);
+        slot_base.clear();
+        let mut total_slots = 0u32;
+        for p in programs {
+            slot_base.push(total_slots);
+            total_slots += p.num_slots;
+        }
+        let mut slots = std::mem::take(&mut arena.slots);
+        slots.clear();
+        slots.resize(total_slots as usize, Slot::default());
+        let mut inplace_out = std::mem::take(&mut arena.inplace_out);
+        inplace_out.clear();
+        inplace_out.resize(n, None);
         let links = match arena.links.take() {
             Some((dim, table)) if dim == cfg.dimension => table,
             _ => LinkTable::for_cube(cfg.dimension),
         };
-        let mut transmissions = std::mem::take(&mut arena.transmissions);
-        transmissions.reserve(total_sends);
+        let mut id_to_slot = std::mem::take(&mut arena.id_to_slot);
+        id_to_slot.reserve(total_sends);
         let mut node_watch = std::mem::take(&mut arena.node_watch);
         node_watch.resize_with(n, Vec::new);
-        let mut heap = std::mem::take(&mut arena.heap);
-        heap.reserve(total_sends + 2 * n);
-        let mut fifo = std::mem::take(&mut arena.fifo);
-        fifo.reserve(64);
+        let mut sched = std::mem::take(&mut arena.sched);
+        // Calendar sizing: bucket width targets one distinct event
+        // time per bucket, ring size the cube's concurrency (up to
+        // `n` transmissions complete per granularity interval, plus
+        // headroom for the in-flight spread).
+        sched.reset(cfg.sched_bucket_width_ns(), (4 * n).clamp(64, 1 << 14));
         Runtime {
             cfg,
             nodes,
+            slots,
+            slot_base,
+            buffered: std::mem::take(&mut arena.buffered),
+            inplace_out,
             memories,
             links,
-            transmissions,
+            transmissions: std::mem::take(&mut arena.transmissions),
+            tr_slot_ids: std::mem::take(&mut arena.tr_slot_ids),
+            tr_free: std::mem::take(&mut arena.tr_free),
+            id_to_slot,
             dirty: std::mem::take(&mut arena.dirty),
             link_watch: std::mem::take(&mut arena.link_watch),
             link_watch_entries: 0,
             node_watch,
-            lapse: std::mem::take(&mut arena.lapse),
             pool: std::mem::take(&mut arena.pool),
+            pool_cap: (2 * n).max(64),
             scratch: std::mem::take(&mut arena.scratch),
-            heap,
-            fifo,
+            sched,
             conditioned: None,
+            ns_lambda: crate::time::us_to_ns(cfg.params.lambda),
+            ns_lambda0: crate::time::us_to_ns(cfg.params.lambda_zero),
+            ns_tau: crate::time::us_to_ns(cfg.params.tau),
+            ns_delta: crate::time::us_to_ns(cfg.params.delta),
             cur_t: SimTime(u64::MAX),
-            seq: 0,
             next_tid: 1,
             next_qseq: 0,
             barrier_entered: 0,
@@ -926,20 +1164,32 @@ impl<'c> Runtime<'c> {
     fn reclaim(self, arena: &mut SimArena) {
         let Runtime {
             nodes,
+            mut slots,
+            mut slot_base,
+            mut buffered,
+            mut inplace_out,
             mut links,
             mut transmissions,
+            mut tr_slot_ids,
+            mut tr_free,
+            mut id_to_slot,
             mut dirty,
             mut link_watch,
             mut node_watch,
-            mut lapse,
             pool,
             scratch,
-            mut heap,
-            mut fifo,
+            mut sched,
             cfg,
             ..
         } = self;
+        slots.clear();
+        slot_base.clear();
+        buffered.clear();
+        inplace_out.clear();
         transmissions.clear();
+        tr_slot_ids.clear();
+        tr_free.clear();
+        id_to_slot.clear();
         dirty.clear();
         for watchers in link_watch.values_mut() {
             watchers.clear();
@@ -947,9 +1197,7 @@ impl<'c> Runtime<'c> {
         for watchers in node_watch.iter_mut() {
             watchers.clear();
         }
-        lapse.clear();
-        heap.clear();
-        fifo.clear();
+        sched.clear();
         if links.busy_count() > 0 {
             links.clear();
         }
@@ -957,55 +1205,84 @@ impl<'c> Runtime<'c> {
             links.clear_speeds();
         }
         arena.nodes = nodes;
+        arena.slots = slots;
+        arena.slot_base = slot_base;
+        arena.buffered = buffered;
+        arena.inplace_out = inplace_out;
         arena.links = Some((cfg.dimension, links));
         arena.transmissions = transmissions;
+        arena.tr_slot_ids = tr_slot_ids;
+        arena.tr_free = tr_free;
+        arena.id_to_slot = id_to_slot;
         arena.dirty = dirty;
         arena.link_watch = link_watch;
         arena.node_watch = node_watch;
-        arena.lapse = lapse;
         arena.pool = pool;
         arena.scratch = scratch;
-        arena.heap = heap;
-        arena.fifo = fifo;
+        arena.sched = sched;
     }
 
     fn push(&mut self, at: SimTime, ev: Event) {
-        if at == self.cur_t {
-            // Same-time events keep sequence order by construction:
-            // everything already in the heap for this instant was
-            // pushed earlier (smaller sequence), everything pushed now
-            // appends in order.
-            self.fifo.push_back(ev.into());
-        } else {
-            self.seq += 1;
-            self.heap.push(Reverse((at, self.seq, ev.into())));
-        }
+        self.sched.push(at, self.cur_t, ev.into());
     }
 
     #[inline]
     fn tr(&self, id: TransmissionId) -> &Transmission {
-        self.transmissions[(id - 1) as usize].as_ref().expect("unknown transmission")
+        let slot = self.id_to_slot[(id - 1) as usize] as usize;
+        debug_assert_eq!(self.tr_slot_ids[slot], id, "stale transmission id");
+        self.transmissions[slot].as_ref().expect("unknown transmission")
     }
 
     #[inline]
     fn tr_mut(&mut self, id: TransmissionId) -> &mut Transmission {
-        self.transmissions[(id - 1) as usize].as_mut().expect("unknown transmission")
+        let slot = self.id_to_slot[(id - 1) as usize] as usize;
+        debug_assert_eq!(self.tr_slot_ids[slot], id, "stale transmission id");
+        self.transmissions[slot].as_mut().expect("unknown transmission")
+    }
+
+    /// The transmission of `id` when it is still live (a watcher
+    /// registration can outlive its transmission; its slot may since
+    /// have been recycled for a different id, or emptied).
+    #[inline]
+    fn tr_live(&self, id: TransmissionId) -> Option<&Transmission> {
+        let slot = *self.id_to_slot.get((id - 1) as usize)? as usize;
+        if self.tr_slot_ids[slot] != id {
+            return None;
+        }
+        self.transmissions[slot].as_ref()
     }
 
     fn take_tr(&mut self, id: TransmissionId) -> Transmission {
-        self.transmissions[(id - 1) as usize].take().expect("unknown transmission")
+        let slot = self.id_to_slot[(id - 1) as usize] as usize;
+        debug_assert_eq!(self.tr_slot_ids[slot], id, "stale transmission id");
+        self.tr_slot_ids[slot] = 0;
+        self.tr_free.push(slot as u32);
+        self.transmissions[slot].take().expect("unknown transmission")
+    }
+
+    /// Check a buffer out of the pool and fill it with a copy of
+    /// `memories[node][range]` — the single pool-checkout-and-copy
+    /// behind every path that materializes payload bytes out of a
+    /// node's memory.
+    fn copy_out_of_memory(&mut self, node: NodeId, range: Range<usize>) -> Vec<u8> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(&self.memories[node.index()][range]);
+        buf
     }
 
     /// Return a payload buffer to the pool.
     fn recycle(&mut self, buf: Vec<u8>) {
-        // A handful of buffers covers every workload: payloads within
-        // one run are near-uniform in size.
-        if self.pool.len() < 64 {
+        // Payloads within one run are near-uniform in size, so pooled
+        // buffers are almost always reusable as-is; the cap tracks the
+        // cube's concurrency (up to ~2·n buffers live at once when a
+        // step's wave of sends overlaps the next).
+        if buf.capacity() > 0 && self.pool.len() < self.pool_cap {
             self.pool.push(buf);
         }
     }
 
-    fn run(&mut self, programs: &[CompiledProgram]) -> Result<SimResult, SimError> {
+    fn run(&mut self, compiled: &Compiled) -> Result<SimResult, SimError> {
         for i in 0..self.nodes.len() {
             self.push(SimTime::ZERO, Event::NodeReady(NodeId(i as u32)));
         }
@@ -1021,25 +1298,9 @@ impl<'c> Runtime<'c> {
                 self.push(SimTime(start_ns), Event::Inject(i));
             }
         }
-        loop {
-            // Heap entries for the current instant precede queued
-            // same-time events (they carry smaller sequence numbers);
-            // the queue only drains once the heap has none left, and
-            // time only advances once the queue is empty.
-            let (t, key) = if matches!(self.heap.peek(), Some(&Reverse((ht, _, _))) if ht == self.cur_t)
-            {
-                let Reverse((t, _, k)) = self.heap.pop().expect("peeked entry");
-                (t, k)
-            } else if let Some(k) = self.fifo.pop_front() {
-                (self.cur_t, k)
-            } else if let Some(Reverse((t, _, k))) = self.heap.pop() {
-                self.cur_t = t;
-                (t, k)
-            } else {
-                break;
-            };
+        while let Some((t, key)) = self.sched.pop_next(&mut self.cur_t) {
             match key {
-                EventKey::NodeReady(n) => self.step_node(NodeId(n), t, programs)?,
+                EventKey::NodeReady(n) => self.step_node(NodeId(n), t, compiled)?,
                 EventKey::TransmissionEnd(id) => self.finish_transmission(id, t)?,
                 EventKey::Inject(i) => self.inject_background(i as usize, t),
             }
@@ -1052,7 +1313,7 @@ impl<'c> Runtime<'c> {
             .filter(|(_, s)| s.status != Status::Done)
             .map(|(i, s)| {
                 let reason = match s.status {
-                    Status::Waiting(_) => match programs[i].ops.get(s.pc) {
+                    Status::Waiting(_) => match compiled.programs[i].ops(&compiled.ops).get(s.pc) {
                         Some(CompiledOp::WaitRecv { src, tag, .. }) => {
                             format!("waiting for ({src}, {tag})")
                         }
@@ -1068,6 +1329,12 @@ impl<'c> Runtime<'c> {
         if !stuck.is_empty() {
             return Err(SimError::Deadlock { stuck, forced_drops: self.stats.forced_drops });
         }
+        // Scheduler telemetry: peak pending of the main event queue,
+        // resize/spill counts summed over both calendar tiers.
+        let (ev, lapse) = (self.sched.events.telemetry(), self.sched.lapse.telemetry());
+        self.stats.sched_peak_pending = ev.peak_pending;
+        self.stats.sched_bucket_resizes = ev.bucket_resizes + lapse.bucket_resizes;
+        self.stats.sched_overflow_spills = ev.overflow_spills + lapse.overflow_spills;
         let finish_time = self.nodes.iter().map(|s| s.finish).max().unwrap_or(SimTime::ZERO);
         Ok(SimResult {
             finish_time,
@@ -1080,12 +1347,7 @@ impl<'c> Runtime<'c> {
 
     /// Execute ops at node `x` starting at time `t` until it blocks,
     /// yields, or finishes.
-    fn step_node(
-        &mut self,
-        x: NodeId,
-        t: SimTime,
-        programs: &[CompiledProgram],
-    ) -> Result<(), SimError> {
+    fn step_node(&mut self, x: NodeId, t: SimTime, compiled: &Compiled) -> Result<(), SimError> {
         let xi = x.index();
         if self.nodes[xi].status == Status::Done {
             return Ok(()); // stale wake-up after completion
@@ -1093,36 +1355,44 @@ impl<'c> Runtime<'c> {
         self.nodes[xi].status = Status::Ready;
         loop {
             let pc = self.nodes[xi].pc;
-            let Some(op) = programs[xi].ops.get(pc) else {
+            let Some(op) = compiled.programs[xi].ops(&compiled.ops).get(pc) else {
                 self.nodes[xi].status = Status::Done;
                 self.nodes[xi].finish = t;
                 return Ok(());
             };
             match op {
-                CompiledOp::PostRecv { slot, tag, into } => {
+                CompiledOp::PostRecv { slot, start, end, tag } => {
                     self.nodes[xi].pc += 1;
                     let slot = *slot as usize;
-                    if let Some(payload) = self.nodes[xi].slots[slot].buffered.take() {
+                    let gi = self.slot_base[xi] as usize + slot;
+                    if self.slots[gi].flags & SLOT_BUFFERED != 0 {
                         // Late post of a buffered UNFORCED message.
-                        self.deliver_into(x, slot, *tag, &payload, into.clone())?;
+                        let (tag, into) = (*tag, *start as usize..*end as usize);
+                        self.slots[gi].flags &= !SLOT_BUFFERED;
+                        let payload = self.buffered.remove(&(gi as u32)).expect("buffered payload");
+                        self.deliver_into(x, slot, tag, &payload, into)?;
                         self.recycle(payload);
                     } else {
-                        self.nodes[xi].slots[slot].posted = Some(into.clone());
+                        let s = &mut self.slots[gi];
+                        s.start = *start;
+                        s.end = *end;
+                        s.flags |= SLOT_POSTED;
                     }
                 }
-                CompiledOp::Send { dst, from, tag, kind, dst_slot } => {
+                CompiledOp::Send { dst, start, end, dst_slot, tag, kind } => {
                     // Self-sends were rejected by the compile pass
                     // (`SimError::SelfSend`), so `dst != x` here.
                     self.nodes[xi].pc += 1;
                     let (dst, from, tag, kind, dst_slot) =
-                        (*dst, from.clone(), *tag, *kind, *dst_slot);
+                        (*dst, *start as usize..*end as usize, *tag, *kind, *dst_slot);
                     let id = self.issue_transmission(x, dst, tag, kind, from, dst_slot, t);
                     self.nodes[xi].status = Status::Sending(id);
                     self.run_pending_scan(t);
                     return Ok(());
                 }
                 CompiledOp::WaitRecv { slot, .. } => {
-                    if self.nodes[xi].slots[*slot as usize].delivered {
+                    let gi = self.slot_base[xi] as usize + *slot as usize;
+                    if self.slots[gi].flags & SLOT_DELIVERED != 0 {
                         self.nodes[xi].pc += 1;
                     } else {
                         self.nodes[xi].status = Status::Waiting(*slot);
@@ -1187,13 +1457,20 @@ impl<'c> Runtime<'c> {
         dst_slot: u32,
         t: SimTime,
     ) -> TransmissionId {
-        let payload = {
-            let mut buf = self.pool.pop().unwrap_or_default();
-            buf.clear();
-            buf.extend_from_slice(&self.memories[src.index()][from]);
-            buf
-        };
-        self.issue_payload(src, dst, tag, kind, payload, dst_slot, t, false)
+        if self.cfg.switching == SwitchingMode::Circuit {
+            // Zero-copy: the sender blocks for the whole circuit, so
+            // the bytes stay in its memory until delivery (or until an
+            // inbound delivery into the range materializes them).
+            let inplace = Some((from.start as u32, from.end as u32));
+            let id =
+                self.issue_payload(src, dst, tag, kind, Vec::new(), inplace, dst_slot, t, false);
+            self.inplace_out[src.index()] = Some(id);
+            return id;
+        }
+        // Store-and-forward frees the sender after hop 0 — its memory
+        // may change while the message is in flight — so copy now.
+        let payload = self.copy_out_of_memory(src, from);
+        self.issue_payload(src, dst, tag, kind, payload, None, dst_slot, t, false)
     }
 
     /// Fire one injection of background stream `si`: a link-occupying
@@ -1215,6 +1492,7 @@ impl<'c> Runtime<'c> {
             background_tag(si),
             MsgKind::Forced,
             payload,
+            None,
             NO_SLOT,
             t,
             true,
@@ -1258,12 +1536,17 @@ impl<'c> Runtime<'c> {
         tag: Tag,
         kind: MsgKind,
         payload: Vec<u8>,
+        inplace: Option<(u32, u32)>,
         dst_slot: u32,
         t: SimTime,
         background: bool,
     ) -> TransmissionId {
         let id = self.next_tid;
         self.next_tid += 1;
+        let nbytes = match inplace {
+            Some((s, e)) => (e - s) as usize,
+            None => payload.len(),
+        };
         let mask = src.0 ^ dst.0;
         let hops = mask.count_ones();
         let circuit = self.cfg.switching == SwitchingMode::Circuit;
@@ -1282,21 +1565,21 @@ impl<'c> Runtime<'c> {
         } else {
             None
         };
-        if kind == MsgKind::Unforced && payload.len() > self.cfg.params.unforced_threshold {
+        if kind == MsgKind::Unforced && nbytes > self.cfg.params.unforced_threshold {
             self.stats.reserve_handshakes += 1;
         }
         let duration_ns = match factors {
-            Some((max_f, sum_f)) => {
-                self.conditioned_priced_ns(payload.len(), kind, max_f, sum_f, id)
-            }
+            Some((max_f, sum_f)) => self.conditioned_priced_ns(nbytes, kind, max_f, sum_f, id),
             None => {
-                let mut dur = if circuit {
-                    self.cfg.transmission_ns(payload.len(), hops)
-                } else {
-                    self.cfg.hop_ns(payload.len())
-                };
-                if kind == MsgKind::Unforced && payload.len() > self.cfg.params.unforced_threshold {
-                    dur += self.cfg.reserve_ack_ns(if circuit { hops } else { 1 });
+                // Integer pricing from the precomputed per-run rates;
+                // bit-identical to `SimConfig::transmission_ns` /
+                // `hop_ns` / `reserve_ack_ns`.
+                let bytes = nbytes as u64;
+                let lam = if bytes == 0 { self.ns_lambda0 } else { self.ns_lambda };
+                let dur_hops = if circuit { hops as u64 } else { 1 };
+                let mut dur = lam + self.ns_tau * bytes + self.ns_delta * dur_hops;
+                if kind == MsgKind::Unforced && nbytes > self.cfg.params.unforced_threshold {
+                    dur += 2 * (self.ns_lambda0 + self.ns_delta * dur_hops);
                 }
                 if self.cfg.jitter_frac > 0.0 {
                     dur = jitter(dur, self.cfg.jitter_frac, self.cfg.seed, id);
@@ -1306,24 +1589,38 @@ impl<'c> Runtime<'c> {
         };
         let qseq = self.next_qseq;
         self.next_qseq += 1;
-        debug_assert_eq!(self.transmissions.len() as u64, id - 1);
-        self.transmissions.push(Some(Transmission {
+        let tr = Transmission {
+            payload,
+            inplace,
             src,
             dst,
-            tag,
-            kind,
-            payload,
             mask,
             dst_slot,
+            tag,
             duration_ns,
-            hop_idx: 0,
             requested_at: t,
+            qseq,
+            kind,
+            hop_idx: 0,
             blocked_by_link: false,
             blocked_by_nic: false,
-            qseq,
             pending: true,
             background,
-        }));
+        };
+        let slot = match self.tr_free.pop() {
+            Some(s) => {
+                self.transmissions[s as usize] = Some(tr);
+                s
+            }
+            None => {
+                self.transmissions.push(Some(tr));
+                self.tr_slot_ids.push(0);
+                (self.transmissions.len() - 1) as u32
+            }
+        };
+        self.tr_slot_ids[slot as usize] = id;
+        debug_assert_eq!(self.id_to_slot.len() as u64, id - 1);
+        self.id_to_slot.push(slot);
         self.dirty_insert((qseq, id));
         id
     }
@@ -1352,7 +1649,7 @@ impl<'c> Runtime<'c> {
             let woken = std::mem::take(watchers);
             self.link_watch_entries -= woken.len();
             for id in woken {
-                if let Some(Some(tr)) = self.transmissions.get((id - 1) as usize) {
+                if let Some(tr) = self.tr_live(id) {
                     if tr.pending {
                         let key = (tr.qseq, id);
                         self.dirty_insert(key);
@@ -1369,7 +1666,7 @@ impl<'c> Runtime<'c> {
         }
         let woken = std::mem::take(&mut self.node_watch[x.index()]);
         for id in woken {
-            if let Some(Some(tr)) = self.transmissions.get((id - 1) as usize) {
+            if let Some(tr) = self.tr_live(id) {
                 if tr.pending {
                     let key = (tr.qseq, id);
                     self.dirty_insert(key);
@@ -1386,12 +1683,12 @@ impl<'c> Runtime<'c> {
     /// next trigger.
     fn run_pending_scan(&mut self, t: SimTime) {
         // Time-lapse wake-ups: NIC-window conditions expired by t.
-        while let Some(&Reverse((at, qseq, id))) = self.lapse.peek() {
+        while let Some((at, qseq, id)) = self.sched.lapse.peek() {
             if at > t.as_ns() {
                 break;
             }
-            self.lapse.pop();
-            if let Some(Some(tr)) = self.transmissions.get((id - 1) as usize) {
+            self.sched.lapse.pop();
+            if let Some(tr) = self.tr_live(id) {
                 if tr.pending && tr.qseq == qseq {
                     self.dirty_insert((qseq, id));
                 }
@@ -1413,8 +1710,8 @@ impl<'c> Runtime<'c> {
             cursor = Some(key);
             let (qseq, id) = key;
             let alive = matches!(
-                self.transmissions.get((id - 1) as usize),
-                Some(Some(tr)) if tr.pending && tr.qseq == qseq
+                self.tr_live(id),
+                Some(tr) if tr.pending && tr.qseq == qseq
             );
             if alive {
                 self.try_start(id, t);
@@ -1430,7 +1727,7 @@ impl<'c> Runtime<'c> {
         let saf = self.cfg.switching == SwitchingMode::StoreAndForward;
         let (src, dst, mask, hop_idx, background) = {
             let tr = self.tr(id);
-            (tr.src, tr.dst, tr.mask, tr.hop_idx, tr.background)
+            (tr.src, tr.dst, tr.mask, tr.hop_idx as usize, tr.background)
         };
         let mut route_buf = fresh_route_buf();
         let route = route_for(self.conditioned.as_ref(), src, mask, &mut route_buf);
@@ -1505,7 +1802,7 @@ impl<'c> Runtime<'c> {
             }
             if next_lapse != u64::MAX {
                 let qseq = self.tr(id).qseq;
-                self.lapse.push(Reverse((next_lapse, qseq, id)));
+                self.sched.lapse.push(next_lapse, qseq, id);
             }
             return false;
         }
@@ -1513,7 +1810,7 @@ impl<'c> Runtime<'c> {
         let (end, bytes, tag) = {
             let tr = self.tr_mut(id);
             tr.pending = false;
-            (t.plus_ns(tr.duration_ns), tr.payload.len(), tr.tag)
+            (t.plus_ns(tr.duration_ns), tr.payload_len(), tr.tag)
         };
         self.links.acquire(segment, id);
         if background {
@@ -1573,10 +1870,10 @@ impl<'c> Runtime<'c> {
                 };
                 let route = route_for(self.conditioned.as_ref(), src, mask, &mut route_buf);
                 let tr = self.tr_mut(id);
-                let hop = route[tr.hop_idx];
+                let hop = route[tr.hop_idx as usize];
                 let was_first = tr.hop_idx == 0;
                 tr.hop_idx += 1;
-                let done = tr.hop_idx == route.len();
+                let done = tr.hop_idx as usize == route.len();
                 (done, was_first, hop, tr.background)
             };
             self.links.release(std::slice::from_ref(&hop), id);
@@ -1599,7 +1896,7 @@ impl<'c> Runtime<'c> {
                     // own link factor (heterogeneous hops differ).
                     let (src, mask, hop_idx, bytes, kind) = {
                         let tr = self.tr(id);
-                        (tr.src, tr.mask, tr.hop_idx, tr.payload.len(), tr.kind)
+                        (tr.src, tr.mask, tr.hop_idx as usize, tr.payload_len(), tr.kind)
                     };
                     let mut route_buf = fresh_route_buf();
                     let route = route_for(self.conditioned.as_ref(), src, mask, &mut route_buf);
@@ -1674,14 +1971,34 @@ impl<'c> Runtime<'c> {
             return Ok(());
         }
 
-        // Deliver the payload (moved, not cloned).
+        // Deliver the payload (moved — or copied straight out of the
+        // sender's memory on the zero-copy path — never cloned twice).
+        if tr.inplace.is_some() {
+            self.inplace_out[tr.src.index()] = None;
+        }
         let di = tr.dst.index();
         let slot = tr.dst_slot;
-        let posted =
-            if slot != NO_SLOT { self.nodes[di].slots[slot as usize].posted.take() } else { None };
+        let posted = if slot != NO_SLOT {
+            let s = &mut self.slots[self.slot_base[di] as usize + slot as usize];
+            if s.flags & SLOT_POSTED != 0 {
+                s.flags &= !SLOT_POSTED;
+                Some(s.start as usize..s.end as usize)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
         if let Some(into) = posted {
-            self.deliver_into(tr.dst, slot as usize, tr.tag, &tr.payload, into)?;
-            self.recycle(tr.payload);
+            match tr.inplace {
+                Some(range) => {
+                    self.deliver_inplace(tr.src, range, tr.dst, slot as usize, tr.tag, into)?;
+                }
+                None => {
+                    self.deliver_into(tr.dst, slot as usize, tr.tag, &tr.payload, into)?;
+                    self.recycle(tr.payload);
+                }
+            }
             if self.nodes[di].status == Status::Waiting(slot) {
                 self.push(t, Event::NodeReady(tr.dst));
             }
@@ -1701,7 +2018,17 @@ impl<'c> Runtime<'c> {
                 }
                 MsgKind::Unforced => {
                     if slot != NO_SLOT {
-                        self.nodes[di].slots[slot as usize].buffered = Some(tr.payload);
+                        // Buffering outlives the sender's blocked
+                        // window: materialize an in-place payload now.
+                        let payload = match tr.inplace {
+                            Some((ps, pe)) => {
+                                self.copy_out_of_memory(tr.src, ps as usize..pe as usize)
+                            }
+                            None => tr.payload,
+                        };
+                        let gi = self.slot_base[di] + slot;
+                        self.slots[gi as usize].flags |= SLOT_BUFFERED;
+                        self.buffered.insert(gi, payload);
                     } else {
                         // The receiver never posts this key; the bytes
                         // are unobservable.
@@ -1717,6 +2044,53 @@ impl<'c> Runtime<'c> {
         }
         // Freed links / NIC units may unblock pending circuits.
         self.run_pending_scan(t);
+        Ok(())
+    }
+
+    /// A delivery is about to write `memories[x][into]`: if `x` has an
+    /// outstanding in-place outgoing payload overlapping that range,
+    /// copy its bytes out *first*, preserving the frozen-at-issue
+    /// payload semantics of the copying engine exactly.
+    fn materialize_overlap(&mut self, x: NodeId, into: &Range<usize>) {
+        let xi = x.index();
+        let Some(oid) = self.inplace_out[xi] else { return };
+        let (ps, pe) = self.tr(oid).inplace.expect("inplace_out names an in-place transmission");
+        if (ps as usize) < into.end && into.start < pe as usize {
+            let buf = self.copy_out_of_memory(x, ps as usize..pe as usize);
+            let tr = self.tr_mut(oid);
+            tr.payload = buf;
+            tr.inplace = None;
+            self.inplace_out[xi] = None;
+        }
+    }
+
+    /// Deliver a zero-copy payload: one copy, straight from the
+    /// sender's memory range into the receiver's posted range.
+    fn deliver_inplace(
+        &mut self,
+        src: NodeId,
+        (ps, pe): (u32, u32),
+        node: NodeId,
+        slot: usize,
+        tag: Tag,
+        into: Range<usize>,
+    ) -> Result<(), SimError> {
+        let sent = (pe - ps) as usize;
+        if into.len() != sent {
+            return Err(SimError::SizeMismatch { node, tag, posted: into.len(), sent });
+        }
+        self.materialize_overlap(node, &into);
+        let (si, di) = (src.index(), node.index());
+        debug_assert_ne!(si, di, "self-sends are rejected at compile time");
+        let (src_mem, dst_mem): (&[u8], &mut [u8]) = if si < di {
+            let (left, right) = self.memories.split_at_mut(di);
+            (&left[si], &mut right[0])
+        } else {
+            let (left, right) = self.memories.split_at_mut(si);
+            (&right[0], &mut left[di])
+        };
+        dst_mem[into].copy_from_slice(&src_mem[ps as usize..pe as usize]);
+        self.slots[self.slot_base[di] as usize + slot].flags |= SLOT_DELIVERED;
         Ok(())
     }
 
@@ -1737,17 +2111,21 @@ impl<'c> Runtime<'c> {
                 sent: payload.len(),
             });
         }
-        self.memories[node.index()][into].copy_from_slice(payload);
-        self.nodes[node.index()].slots[slot].delivered = true;
+        self.materialize_overlap(node, &into);
+        self.memories[node.index()][into.clone()].copy_from_slice(payload);
+        self.slots[self.slot_base[node.index()] as usize + slot].flags |= SLOT_DELIVERED;
         Ok(())
     }
 }
 
 /// Apply a block permutation in place: block `i` moves to `perm[i]`.
 /// `scratch` is a reusable staging buffer (grown on demand) so the hot
-/// path never allocates.
+/// path never allocates. When the permutation covers the whole memory
+/// — every builder in this repository permutes full node memories —
+/// the permuted scratch is *swapped* in wholesale instead of copied
+/// back, halving the memory traffic of the shuffle phases.
 fn apply_block_permutation(
-    memory: &mut [u8],
+    memory: &mut Vec<u8>,
     perm: &[u32],
     block_bytes: usize,
     scratch: &mut Vec<u8>,
@@ -1756,6 +2134,19 @@ fn apply_block_permutation(
         return;
     }
     let total = perm.len() * block_bytes;
+    if total == memory.len() {
+        // Full-memory permute: scatter into scratch, swap buffers.
+        // (After the first call scratch is a previous memory of the
+        // same length, so the resize is a no-op, not a memset.)
+        scratch.resize(total, 0);
+        for (i, &p) in perm.iter().enumerate() {
+            let srcr = i * block_bytes..(i + 1) * block_bytes;
+            let dstr = p as usize * block_bytes..(p as usize + 1) * block_bytes;
+            scratch[dstr].copy_from_slice(&memory[srcr]);
+        }
+        std::mem::swap(memory, scratch);
+        return;
+    }
     if scratch.len() < total {
         scratch.resize(total, 0);
     }

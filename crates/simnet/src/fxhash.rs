@@ -45,6 +45,15 @@ impl Hasher for FxHasher {
     }
 
     #[inline]
+    fn write_u128(&mut self, n: u128) {
+        // The compile pass hashes packed (src, tag) keys as u128;
+        // without this override they fall back to the byte-chunking
+        // `write`, which copies through a stack buffer per word.
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
     fn write_usize(&mut self, n: usize) {
         self.add_to_hash(n as u64);
     }

@@ -34,11 +34,15 @@
 //! every figure sweep and property suite): programs are *compiled*
 //! before the run so each `(src, tag)` message key becomes a dense
 //! per-node slot index and every send carries a precomputed inline
-//! e-cube path; payload buffers are pooled and moved, never cloned;
-//! and blocked transmissions sit on per-link / per-NIC wait-queues so
-//! a released circuit wakes only the transmissions actually blocked on
-//! it. See the `engine` module docs for the full design and the
-//! determinism-snapshot suite in `mce-core` that pins its behaviour.
+//! e-cube path; circuit payloads stay *in the sender's memory* until
+//! delivery (one copy, with copy-on-write materialization if a
+//! delivery lands in the in-flight range); blocked transmissions sit
+//! on per-link / per-NIC wait-queues so a released circuit wakes only
+//! the transmissions actually blocked on it; and pending events live
+//! in an amortized-O(1) calendar queue ([`sched`]) instead of a
+//! binary heap. See the `engine` and [`sched`] module docs for the
+//! full design and the determinism-snapshot suite in `mce-core` that
+//! pins its behaviour.
 //!
 //! The network need not be perfect: a [`NetCondition`] attached to
 //! [`SimConfig::netcond`] degrades it declaratively — per-link
@@ -103,6 +107,7 @@ pub mod link;
 pub mod message;
 pub mod netcond;
 pub mod program;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
@@ -112,5 +117,6 @@ pub use engine::{SimError, SimResult, Simulator};
 pub use message::{MsgKind, Tag};
 pub use netcond::{BackgroundStream, Cable, NetCondition, SpeedProfile};
 pub use program::{Op, Program};
+pub use sched::{CalendarQueue, SchedTelemetry};
 pub use stats::{SimStats, TraceEvent};
 pub use time::SimTime;

@@ -1,0 +1,583 @@
+//! Calendar-queue event scheduling.
+//!
+//! The engine's pending-event set used to live in two `BinaryHeap`s
+//! (the main event queue and the NIC-lapse wake-up queue). A binary
+//! heap costs O(log n) per push and pop and sifts 32-byte entries
+//! through cache-unfriendly strides, which becomes the dominant
+//! non-linear cost once the cube reaches d9–d10 (512–1024 nodes with
+//! thousands of pending transmissions). Event timestamps in this
+//! simulator are *dense*, *nearly monotone* and *bounded* — every
+//! event is scheduled at most one transmission duration past the
+//! current instant — which is exactly the regime where a
+//! calendar/ladder queue replaces the heap with amortized-O(1)
+//! operations.
+//!
+//! [`CalendarQueue`] is a deterministic two-tier structure:
+//!
+//! * **Near-future ring** — a window of `nb` time buckets of
+//!   `width` ticks each, starting at `ring_start`. Bucket `i` covers
+//!   `[ring_start + i·width, ring_start + (i+1)·width)`. Each bucket
+//!   keeps its entries **sorted** by the full `(time, seq, item)`
+//!   tuple; pushes append when they arrive in order (the common case —
+//!   event times grow with simulated time) and binary-insert
+//!   otherwise. A cursor walks the ring forward, so a pop is "take the
+//!   next entry of the current bucket".
+//! * **Sorted overflow tier** — events beyond the ring window land in
+//!   an overflow vector, kept sorted descending *lazily* (appends mark
+//!   it dirty; one `sort_unstable` pays for the whole batch). When the
+//!   ring drains, the window is re-anchored at the earliest overflow
+//!   entry and the in-window suffix migrates into the buckets — each
+//!   event passes through the overflow tier at most once per window
+//!   rebase, and near-future events (the vast majority) never touch
+//!   it.
+//!
+//! **Determinism.** Pops return the minimum entry by the full
+//! `(time, seq, item)` lexicographic order — bit-identical to a
+//! `BinaryHeap<Reverse<(time, seq, item)>>` fed the same pushes, for
+//! *any* interleaving of pushes and pops, including out-of-order
+//! pushes earlier than entries already popped (the cursor backtracks
+//! into the — necessarily empty — earlier bucket). The differential
+//! property test in `crates/simnet/tests/scheduler_differential.rs`
+//! pins this equivalence against a reference heap.
+//!
+//! **Sizing.** `width` comes from the machine's transmission
+//! granularity (see `SimConfig::sched_bucket_width_ns`): event times
+//! are spaced by roughly one transmission duration and up to `2^d`
+//! transmissions complete concurrently, so the width targets about one
+//! distinct event time per bucket. The ring grows (doubling, counted
+//! in [`SchedTelemetry::bucket_resizes`]) when a window rebase finds
+//! more pending events than buckets.
+//!
+//! Allocations (bucket vectors, overflow, migration scratch) are
+//! retained across [`CalendarQueue::reset`], so arena-driven batch
+//! runs reuse them run after run.
+
+/// One scheduled entry: `(time, seq, item)`, ordered lexicographically.
+type Entry<T> = (u64, u64, T);
+
+/// Scheduler telemetry of one run (see `SimStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedTelemetry {
+    /// Largest number of simultaneously pending entries.
+    pub peak_pending: u64,
+    /// Ring growths (bucket-count doublings) during the run.
+    pub bucket_resizes: u64,
+    /// Entries that landed in the far-future overflow tier.
+    pub overflow_spills: u64,
+}
+
+/// One time bucket: entries sorted ascending by `(time, seq, item)`,
+/// with `pos` marking the popped prefix.
+#[derive(Debug, Clone)]
+struct Bucket<T> {
+    entries: Vec<Entry<T>>,
+    pos: usize,
+}
+
+impl<T> Default for Bucket<T> {
+    fn default() -> Self {
+        Bucket { entries: Vec::new(), pos: 0 }
+    }
+}
+
+/// Hard ceiling on the ring size; beyond this the overflow tier
+/// absorbs the spread (2^16 buckets ≈ 2 MiB of headers).
+const MAX_BUCKETS: usize = 1 << 16;
+
+/// Ring size used when a queue is grown from its `Default` (empty)
+/// state without an explicit hint.
+const DEFAULT_BUCKETS: usize = 64;
+
+/// A deterministic two-tier calendar queue over `(time, seq, item)`
+/// entries; see the module docs for the design and determinism
+/// contract.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<T> {
+    buckets: Vec<Bucket<T>>,
+    /// Logical ring size (`<= buckets.len()`; extra buckets from a
+    /// larger earlier run keep their allocations but are not scanned).
+    nb: usize,
+    /// Bucket width in time ticks (nanoseconds), `>= 1`.
+    width: u64,
+    /// Time at which bucket 0's window starts (multiple of `width`).
+    ring_start: u64,
+    /// Ring cursor: buckets before it are drained (and cleared).
+    cur: usize,
+    /// Total entries across ring + overflow.
+    len: usize,
+    /// Far-future tier; sorted descending when `overflow_sorted`.
+    overflow: Vec<Entry<T>>,
+    overflow_sorted: bool,
+    /// Reused staging buffer for backward rebases.
+    scratch: Vec<Entry<T>>,
+    peak: usize,
+    resizes: u64,
+    spills: u64,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        CalendarQueue::new(1, 0)
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Queue with the given bucket width (ticks, clamped to `>= 1`)
+    /// and initial ring size (rounded up to a power of two; `0` defers
+    /// allocation to first use).
+    pub fn new(width: u64, bucket_hint: usize) -> Self {
+        let mut q = CalendarQueue {
+            buckets: Vec::new(),
+            nb: 0,
+            width: width.max(1),
+            ring_start: 0,
+            cur: 0,
+            len: 0,
+            overflow: Vec::new(),
+            overflow_sorted: true,
+            scratch: Vec::new(),
+            peak: 0,
+            resizes: 0,
+            spills: 0,
+        };
+        if bucket_hint > 0 {
+            q.grow_ring(bucket_hint.next_power_of_two().min(MAX_BUCKETS));
+        }
+        q
+    }
+
+    /// Re-arm for a new run: drop all entries and zero the telemetry,
+    /// keeping every allocation. The ring never shrinks below its
+    /// high-water size, so arena reuse across heterogeneous runs keeps
+    /// the largest footprint warm.
+    pub fn reset(&mut self, width: u64, bucket_hint: usize) {
+        self.clear();
+        self.width = width.max(1);
+        let want = bucket_hint.next_power_of_two().min(MAX_BUCKETS);
+        if want > self.nb {
+            self.grow_ring(want);
+        }
+        self.peak = 0;
+        self.resizes = 0;
+        self.spills = 0;
+    }
+
+    /// Drop all entries, keeping allocations and telemetry.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.entries.clear();
+            b.pos = 0;
+        }
+        self.overflow.clear();
+        self.overflow_sorted = true;
+        self.ring_start = 0;
+        self.cur = 0;
+        self.len = 0;
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// This run's telemetry so far.
+    pub fn telemetry(&self) -> SchedTelemetry {
+        SchedTelemetry {
+            peak_pending: self.peak as u64,
+            bucket_resizes: self.resizes,
+            overflow_spills: self.spills,
+        }
+    }
+
+    /// Grow the logical ring to `want` buckets (allocating if needed).
+    fn grow_ring(&mut self, want: usize) {
+        if self.buckets.len() < want {
+            self.buckets.resize_with(want, Bucket::default);
+        }
+        self.nb = self.nb.max(want);
+    }
+
+    /// Ring bucket holding `time`, or `None` for the overflow tier.
+    /// Callers guarantee `time >= self.ring_start`.
+    #[inline]
+    fn bucket_index(&self, time: u64) -> Option<usize> {
+        debug_assert!(time >= self.ring_start);
+        let idx = (time - self.ring_start) / self.width;
+        if idx < self.nb as u64 {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Copy + Ord> CalendarQueue<T> {
+    /// Keep `b` sorted: append when the entry arrives in order (the
+    /// common case), binary-insert into the live suffix otherwise.
+    /// Entries before `b.pos` are already popped; an insertion below
+    /// them lands at `pos` — it is the minimum of what *remains*,
+    /// which is all a priority queue promises.
+    #[inline]
+    fn bucket_insert(b: &mut Bucket<T>, e: Entry<T>) {
+        match b.entries.last() {
+            Some(last) if *last > e => {
+                let at = b.pos + b.entries[b.pos..].partition_point(|x| *x <= e);
+                b.entries.insert(at, e);
+            }
+            _ => b.entries.push(e),
+        }
+    }
+
+    /// Append to the overflow tier, tracking its lazy descending sort.
+    #[inline]
+    fn overflow_push(&mut self, e: Entry<T>) {
+        self.spills += 1;
+        if let Some(last) = self.overflow.last() {
+            if *last < e {
+                self.overflow_sorted = false;
+            }
+        }
+        self.overflow.push(e);
+    }
+
+    /// Schedule `item` at `(time, seq)`.
+    pub fn push(&mut self, time: u64, seq: u64, item: T) {
+        self.len += 1;
+        if self.len > self.peak {
+            self.peak = self.len;
+        }
+        if self.len == 1 {
+            // Queue was empty: re-anchor the window at this event so a
+            // sparse tail (or a far-future first event) costs nothing.
+            if self.nb == 0 {
+                self.grow_ring(DEFAULT_BUCKETS);
+            }
+            self.ring_start = time - time % self.width;
+            self.cur = 0;
+        } else if time < self.ring_start {
+            self.rebase_backward(time);
+        }
+        let e = (time, seq, item);
+        match self.bucket_index(time) {
+            Some(idx) => {
+                if idx < self.cur {
+                    // Out-of-order push behind the cursor: that bucket
+                    // was drained (hence empty); back the cursor up.
+                    self.cur = idx;
+                }
+                Self::bucket_insert(&mut self.buckets[idx], e);
+            }
+            None => self.overflow_push(e),
+        }
+    }
+
+    /// An out-of-order push landed before the window: re-anchor the
+    /// window at it and redistribute the ring (entries past the new
+    /// window spill to overflow). Never hit by the engine — simulated
+    /// time only moves forward — but required for drop-in
+    /// `BinaryHeap` semantics.
+    fn rebase_backward(&mut self, min_time: u64) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for b in &mut self.buckets[..self.nb] {
+            scratch.extend_from_slice(&b.entries[b.pos..]);
+            b.entries.clear();
+            b.pos = 0;
+        }
+        self.ring_start = min_time - min_time % self.width;
+        self.cur = 0;
+        for e in scratch.drain(..) {
+            match self.bucket_index(e.0) {
+                Some(idx) => Self::bucket_insert(&mut self.buckets[idx], e),
+                None => {
+                    // Re-spills of already-counted entries: keep the
+                    // spill count monotone anyway, it is telemetry.
+                    self.overflow_push(e);
+                }
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    /// The ring is fully drained but entries remain: re-anchor the
+    /// window at the earliest overflow entry, growing the ring first
+    /// when the backlog outnumbers the buckets, and migrate the
+    /// in-window suffix out of the overflow tier.
+    fn refill_from_overflow(&mut self) {
+        debug_assert!(!self.overflow.is_empty());
+        if !self.overflow_sorted {
+            self.overflow.sort_unstable_by(|a, b| b.cmp(a));
+            self.overflow_sorted = true;
+        }
+        if self.len > self.nb * 2 && self.nb < MAX_BUCKETS {
+            self.grow_ring((self.nb * 2).clamp(DEFAULT_BUCKETS, MAX_BUCKETS));
+            self.resizes += 1;
+        }
+        let min_time = self.overflow.last().expect("nonempty overflow").0;
+        self.ring_start = min_time - min_time % self.width;
+        self.cur = 0;
+        while let Some(&e) = self.overflow.last() {
+            match self.bucket_index(e.0) {
+                Some(idx) => {
+                    self.overflow.pop();
+                    // Ascending off the back of the descending sort:
+                    // always the append fast path.
+                    Self::bucket_insert(&mut self.buckets[idx], e);
+                }
+                None => break,
+            }
+        }
+        if self.overflow.is_empty() {
+            self.overflow_sorted = true;
+        }
+    }
+
+    /// Advance the cursor to the next live entry. Returns `false` only
+    /// when the queue is empty; otherwise `buckets[cur].entries[pos]`
+    /// is the minimum pending entry.
+    #[inline]
+    fn settle(&mut self) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        loop {
+            while self.cur < self.nb {
+                let b = &mut self.buckets[self.cur];
+                if b.pos < b.entries.len() {
+                    return true;
+                }
+                if !b.entries.is_empty() {
+                    b.entries.clear();
+                    b.pos = 0;
+                }
+                self.cur += 1;
+            }
+            self.refill_from_overflow();
+        }
+    }
+
+    /// Remove and return the minimum pending entry only when it is
+    /// scheduled exactly at `time` — the event loop's "drain the
+    /// current instant first" probe, fused so the cursor settles once.
+    pub fn pop_if_time(&mut self, time: u64) -> Option<Entry<T>> {
+        if !self.settle() {
+            return None;
+        }
+        let b = &mut self.buckets[self.cur];
+        if b.entries[b.pos].0 != time {
+            return None;
+        }
+        let e = b.entries[b.pos];
+        b.pos += 1;
+        if b.pos == b.entries.len() {
+            b.entries.clear();
+            b.pos = 0;
+        }
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// The minimum pending entry, without removing it.
+    pub fn peek(&mut self) -> Option<Entry<T>> {
+        if !self.settle() {
+            return None;
+        }
+        let b = &self.buckets[self.cur];
+        Some(b.entries[b.pos])
+    }
+
+    /// Remove and return the minimum pending entry.
+    pub fn pop(&mut self) -> Option<Entry<T>> {
+        if !self.settle() {
+            return None;
+        }
+        let b = &mut self.buckets[self.cur];
+        let e = b.entries[b.pos];
+        b.pos += 1;
+        if b.pos == b.entries.len() {
+            b.entries.clear();
+            b.pos = 0;
+        }
+        self.len -= 1;
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic splitmix64 stream for in-module tests.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn drain<T: Copy + Ord>(q: &mut CalendarQueue<T>) -> Vec<Entry<T>> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn scheduler_pops_in_time_seq_order() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(100, 8);
+        let mut rng = Rng(7);
+        let mut expect = Vec::new();
+        for seq in 0..5_000u64 {
+            let t = rng.next() % 1_000_000; // spans ring + overflow
+            q.push(t, seq, (seq % 17) as u32);
+            expect.push((t, seq, (seq % 17) as u32));
+        }
+        expect.sort_unstable();
+        assert_eq!(q.len(), 5_000);
+        assert_eq!(drain(&mut q), expect);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scheduler_orders_duplicate_times_by_seq_and_item() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(10, 4);
+        q.push(500, 3, 9);
+        q.push(500, 1, 7);
+        q.push(500, 2, 1);
+        q.push(500, 1, 2); // duplicate (time, seq): item breaks the tie
+        assert_eq!(drain(&mut q), vec![(500, 1, 2), (500, 1, 7), (500, 2, 1), (500, 3, 9)]);
+    }
+
+    #[test]
+    fn scheduler_peek_matches_pop() {
+        let mut q: CalendarQueue<u8> = CalendarQueue::new(50, 4);
+        let mut rng = Rng(99);
+        for seq in 0..300u64 {
+            q.push(rng.next() % 10_000, seq, (seq % 3) as u8);
+        }
+        while !q.is_empty() {
+            let peeked = q.peek();
+            assert_eq!(peeked, q.pop());
+        }
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn scheduler_interleaves_pushes_and_pops() {
+        // Mirror the engine's pattern: pop an event, push a handful of
+        // near-future events relative to it.
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(1_000, 8);
+        let mut seq = 0u64;
+        let mut rng = Rng(3);
+        for n in 0..64u64 {
+            q.push(n * 10, seq, n as u32);
+            seq += 1;
+        }
+        let mut last = (0u64, 0u64);
+        let mut popped = 0usize;
+        while let Some((t, s, _)) = q.pop() {
+            assert!((t, s) >= last, "pop went backwards: {:?} after {:?}", (t, s), last);
+            last = (t, s);
+            popped += 1;
+            if popped < 5_000 {
+                for _ in 0..(1 + rng.next() % 2) {
+                    let dur = 1 + rng.next() % 500_000; // spills sometimes
+                    q.push(t + dur, seq, (seq % 1024) as u32);
+                    seq += 1;
+                }
+            }
+        }
+        assert!(popped >= 5_000, "generator starved early: {popped}");
+        let tel = q.telemetry();
+        assert!(tel.peak_pending > 0);
+        assert!(tel.overflow_spills > 0, "test meant to exercise the overflow tier");
+    }
+
+    #[test]
+    fn scheduler_backtracks_for_out_of_order_pushes() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(100, 8);
+        for seq in 0..20u64 {
+            q.push(seq * 100, seq, 0);
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        // Earlier than everything popped — and earlier than the window.
+        q.push(5, 100, 1);
+        assert_eq!(q.pop(), Some((5, 100, 1)), "late push must still pop first");
+        // Earlier than the remaining entries but inside the window.
+        q.push(950, 101, 2);
+        assert_eq!(q.pop(), Some((950, 101, 2)));
+        assert_eq!(q.pop(), Some((1000, 10, 0)));
+    }
+
+    #[test]
+    fn scheduler_ring_grows_under_backlog() {
+        // Tiny ring + entries spread far past it: the first refill
+        // finds more pending than buckets and doubles the ring.
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(1, 2);
+        for seq in 0..1_000u64 {
+            q.push(10_000 + seq * 7, seq, 0);
+        }
+        let mut prev = None;
+        while let Some(e) = q.pop() {
+            if let Some(p) = prev {
+                assert!(p <= e);
+            }
+            prev = Some(e);
+        }
+        let tel = q.telemetry();
+        assert!(tel.bucket_resizes > 0, "backlog should have grown the ring: {tel:?}");
+        assert!(tel.overflow_spills > 0);
+        assert_eq!(tel.peak_pending, 1_000);
+    }
+
+    #[test]
+    fn scheduler_reset_reuses_allocations_and_zeroes_telemetry() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(10, 4);
+        for seq in 0..500u64 {
+            q.push(seq * 1_000, seq, 0);
+        }
+        drain(&mut q);
+        assert!(q.telemetry().peak_pending == 500);
+        q.reset(20, 4);
+        assert_eq!(q.telemetry(), SchedTelemetry::default());
+        assert!(q.is_empty());
+        for seq in 0..10u64 {
+            q.push(seq, seq, 1);
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(drain(&mut q).len(), 10);
+    }
+
+    #[test]
+    fn scheduler_default_is_usable() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::default();
+        q.push(42, 0, 7);
+        q.push(7, 1, 8);
+        assert_eq!(q.pop(), Some((7, 1, 8)));
+        assert_eq!(q.pop(), Some((42, 0, 7)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scheduler_handles_huge_times() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(1 << 40, 4);
+        q.push(u64::MAX - 1, 0, 0);
+        q.push(1, 1, 1);
+        q.push(u64::MAX, 2, 2);
+        assert_eq!(q.pop(), Some((1, 1, 1)));
+        assert_eq!(q.pop(), Some((u64::MAX - 1, 0, 0)));
+        assert_eq!(q.pop(), Some((u64::MAX, 2, 2)));
+    }
+}

@@ -84,6 +84,15 @@ pub struct SimStats {
     /// Payload bytes moved by background traffic (never delivered to
     /// node memories).
     pub background_bytes: u64,
+    /// Scheduler telemetry: largest number of simultaneously pending
+    /// events in the main calendar queue (see [`crate::sched`]).
+    pub sched_peak_pending: u64,
+    /// Scheduler telemetry: calendar-ring growths (bucket-count
+    /// doublings), summed over the event and lapse queues.
+    pub sched_bucket_resizes: u64,
+    /// Scheduler telemetry: events that landed in the far-future
+    /// overflow tier, summed over the event and lapse queues.
+    pub sched_overflow_spills: u64,
     /// Per-label mark times: label -> latest time any node recorded it.
     pub marks: BTreeMap<u32, SimTime>,
 }

@@ -1,0 +1,128 @@
+//! Differential pin of the calendar-queue scheduler against a
+//! reference `BinaryHeap`: identical random event streams — random
+//! times including duplicates, duplicate `(time, seq)` keys,
+//! interleaved pushes and pops, pathological bucket widths — must pop
+//! in exactly the same order from both structures. This is the
+//! scheduler's standalone correctness pin; the engine-level
+//! determinism snapshots in `mce-core` depend on it holding for every
+//! interleaving.
+
+use mce_simnet::sched::CalendarQueue;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type Entry = (u64, u64, u32);
+
+/// Drive both queues through one op stream, checking every pop.
+///
+/// `ops` is interpreted per element as `(time_seed, kind)`:
+/// `kind % 4 == 0` pops one entry from both, anything else pushes at a
+/// time derived from `time_seed` (clustered to force same-bucket and
+/// same-time collisions, with occasional far-future spikes to force
+/// overflow spills).
+fn run_differential(ops: &[(u64, u8)], width: u64, hint: usize) {
+    let mut cal: CalendarQueue<u32> = CalendarQueue::new(width, hint);
+    let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for &(time_seed, kind) in ops {
+        if kind % 4 == 0 {
+            let expect = heap.pop().map(|Reverse(e)| e);
+            assert_eq!(cal.peek(), expect, "peek diverged from reference heap");
+            assert_eq!(cal.pop(), expect, "pop diverged from reference heap");
+        } else {
+            // Cluster most times into a small range (duplicates, dense
+            // buckets); every 7th push jumps far ahead (overflow tier).
+            let time = if time_seed % 7 == 0 { time_seed * 1_001 } else { time_seed % 512 };
+            // Every third push reuses the previous sequence number so
+            // duplicate (time, seq) keys occur and the payload breaks
+            // the tie, exactly as the heap's full-tuple Ord would.
+            if kind % 3 != 0 {
+                seq += 1;
+            }
+            let item = (time_seed % 11) as u32;
+            cal.push(time, seq, item);
+            heap.push(Reverse((time, seq, item)));
+        }
+        assert_eq!(cal.len(), heap.len());
+    }
+    loop {
+        let expect = heap.pop().map(|Reverse(e)| e);
+        let got = cal.pop();
+        assert_eq!(got, expect, "drain diverged from reference heap");
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn scheduler_matches_binary_heap_reference(
+        ops in proptest::collection::vec((0u64..100_000, 0u8..8), 1..400),
+        width in 1u64..4_000,
+        hint in 0usize..64,
+    ) {
+        run_differential(&ops, width, hint);
+    }
+
+    /// Engine-shaped stream: monotone pops, each followed by a few
+    /// near-future pushes (the dense, nearly-sorted regime the ring is
+    /// sized for).
+    #[test]
+    fn scheduler_matches_heap_on_monotone_streams(
+        durs in proptest::collection::vec(1u64..300_000, 1..300),
+        width in 16u64..100_000,
+    ) {
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new(width, 16);
+        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        cal.push(0, 0, 0);
+        heap.push(Reverse((0, 0, 0)));
+        let mut seq = 0u64;
+        let mut i = 0usize;
+        loop {
+            let expect = heap.pop().map(|Reverse(e)| e);
+            let got = cal.pop();
+            assert_eq!(got, expect);
+            let Some((t, _, _)) = got else { break };
+            // Schedule a couple of follow-up events, engine style.
+            while i < durs.len() && i % 3 != 2 {
+                seq += 1;
+                cal.push(t + durs[i], seq, (i % 5) as u32);
+                heap.push(Reverse((t + durs[i], seq, (i % 5) as u32)));
+                i += 1;
+            }
+            if i < durs.len() {
+                i += 1; // consume the "stop" draw
+            }
+        }
+        assert!(cal.is_empty());
+    }
+}
+
+/// The reuse cycle the arena drives: reset between runs must behave
+/// like a fresh queue for any stream.
+#[test]
+fn scheduler_reset_matches_fresh_queue() {
+    let ops: Vec<(u64, u8)> =
+        (0..200u64).map(|i| (i.wrapping_mul(0x9E37_79B9) % 65_536, (i % 5) as u8)).collect();
+    let mut reused: CalendarQueue<u32> = CalendarQueue::new(64, 8);
+    for round in 0..3 {
+        reused.reset(97, 4);
+        let mut fresh: CalendarQueue<u32> = CalendarQueue::new(97, 4);
+        let mut seq = 0u64;
+        for &(t, kind) in &ops {
+            if kind % 4 == 0 {
+                assert_eq!(reused.pop(), fresh.pop(), "round {round}");
+            } else {
+                seq += 1;
+                reused.push(t, seq, kind as u32);
+                fresh.push(t, seq, kind as u32);
+            }
+        }
+        while let Some(e) = fresh.pop() {
+            assert_eq!(reused.pop(), Some(e), "round {round}");
+        }
+        assert!(reused.is_empty());
+    }
+}
