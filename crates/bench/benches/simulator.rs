@@ -41,6 +41,48 @@ fn bench_full_exchange_sim(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sharded vs sequential engine on the same workloads (see
+/// `mce_simnet::shard`). The d7 pair runs everywhere as a sanity
+/// check; the d11/d12 acceptance workloads (2048/4096 nodes) are
+/// opt-in via `MCE_BENCH_LARGE=1`. For the recorded A/B medians use
+/// the dedicated `shard_ab` bin (`cargo run --release -p mce-bench
+/// --bin shard_ab`), which interleaves the two engines round-robin so
+/// container wall-clock drift cancels.
+fn bench_sharded_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_engine");
+    group.sample_size(10);
+    let mut workloads = vec![(7u32, vec![3u32, 4])];
+    if std::env::var_os("MCE_BENCH_LARGE").is_some() {
+        workloads.push((11, vec![5, 6]));
+        workloads.push((12, vec![6, 6]));
+    }
+    for (d, dims) in workloads {
+        let m = 40usize;
+        let transmissions: u64 =
+            (1u64 << d) * dims.iter().map(|&di| 2 * ((1u64 << di) - 1)).sum::<u64>();
+        group.throughput(Throughput::Elements(transmissions));
+        let label = format!("d{d}_{dims:?}");
+        for shards in [1u32, 64] {
+            group.bench_function(BenchmarkId::new(format!("shards{shards}"), &label), |b| {
+                b.iter_batched(
+                    || {
+                        let programs = build_multiphase_programs(d, &dims, m);
+                        let memories = stamped_memories(d, m);
+                        Simulator::new(
+                            SimConfig::ipsc860(d).with_shards(shards),
+                            programs,
+                            memories,
+                        )
+                    },
+                    |mut sim| black_box(sim.run().unwrap().finish_time),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_program_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_programs");
     for d in [5u32, 7, 9] {
@@ -51,5 +93,5 @@ fn bench_program_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_exchange_sim, bench_program_build);
+criterion_group!(benches, bench_full_exchange_sim, bench_sharded_engine, bench_program_build);
 criterion_main!(benches);

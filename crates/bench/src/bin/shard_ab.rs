@@ -1,0 +1,204 @@
+//! `shard_ab` — interleaved A/B comparison of the sequential engine
+//! against the sharded driver (`mce_simnet::shard`) on multiphase
+//! complete-exchange workloads.
+//!
+//! The shared benchmarking container's wall clock drifts by tens of
+//! percent between sessions, so back-to-back criterion runs of the two
+//! engines are not comparable. This harness removes the drift the same
+//! way the calendar-queue pass did: each round runs **one** sequential
+//! and **one** sharded execution of every workload, alternating A/B/…
+//! within the round, and the scoreboard is the per-engine median over
+//! all rounds. Results print as JSON fragments ready for
+//! `BENCH_engine.json`.
+//!
+//! Both sides run the sweep way — a persistent [`SimArena`] per
+//! engine per workload driving [`SimArena::run_shared`], so compiles
+//! are cached and allocations recycle across rounds, exactly as
+//! `SimBatch` drives the engine. One untimed warm-up run per side
+//! fills the caches before round 0.
+//!
+//! Shard counts are per workload: the d5–d7 rows run `shards: 1`
+//! (pinning that the sharding gate costs nothing on the sequential
+//! path), the d11/d12 acceptance rows request 64 shards — each phase
+//! shards on the address bits its sends leave free, clamping to what
+//! the phase has (d11's second phase runs 32 shards of 64 nodes).
+//!
+//! ```text
+//! shard_ab [rounds]                # default 5 rounds
+//! MCE_BENCH_LARGE=1 shard_ab       # adds the d11/d12 acceptance pair
+//! ```
+
+use mce_core::builder::build_multiphase_programs;
+use mce_core::verify::stamped_memories;
+use mce_simnet::{Program, SimArena, SimConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sync + data transmissions of one multiphase run: nodes × Σ 2(2^di − 1).
+fn transmissions(d: u32, dims: &[u32]) -> u64 {
+    (1u64 << d) * dims.iter().map(|&di| 2 * ((1u64 << di) - 1)).sum::<u64>()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+struct Workload {
+    d: u32,
+    dims: Vec<u32>,
+    /// Shard count for the sharded side of this row.
+    shards: u32,
+    /// Runs per timed sample. The d5–d7 rows finish in well under a
+    /// millisecond, where single-run samples are dominated by container
+    /// scheduling noise; batching them stabilizes the medians the
+    /// `shards: 1` no-regression check reads.
+    iters: usize,
+    programs: Arc<Vec<Program>>,
+    memories: Vec<Vec<u8>>,
+}
+
+/// One engine side of a workload: its config and its persistent arena
+/// (compile cache + recycled allocations, as a sweep would hold).
+struct Side {
+    cfg: SimConfig,
+    arena: SimArena,
+}
+
+impl Side {
+    /// One timed sample: `w.iters` back-to-back runs, returning the
+    /// mean seconds per run (memory clones stay outside the timer).
+    fn run_once(&mut self, w: &Workload) -> f64 {
+        let clones: Vec<_> = (0..w.iters).map(|_| w.memories.clone()).collect();
+        let t0 = Instant::now();
+        for memories in clones {
+            let r = self.arena.run_shared(&self.cfg, &w.programs, memories).unwrap();
+            black_box(r.finish_time);
+        }
+        t0.elapsed().as_secs_f64() / w.iters as f64
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rounds: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let mut specs = vec![
+        (5u32, vec![5u32], 1u32, 24usize),
+        (5, vec![2, 3], 1, 24),
+        (6, vec![3, 3], 1, 16),
+        (7, vec![3, 4], 1, 8),
+    ];
+    if std::env::var_os("MCE_BENCH_LARGE").is_some() {
+        specs.push((11, vec![5, 6], 64, 1));
+        specs.push((12, vec![6, 6], 64, 1));
+    }
+
+    let m = 40usize;
+    let built: Vec<Workload> = specs
+        .into_iter()
+        .map(|(d, dims, shards, iters)| Workload {
+            d,
+            shards,
+            iters,
+            programs: Arc::new(build_multiphase_programs(d, &dims, m)),
+            memories: stamped_memories(d, m),
+            dims,
+        })
+        .collect();
+
+    let mut sides: Vec<(Side, Side)> = built
+        .iter()
+        .map(|w| {
+            (
+                Side { cfg: SimConfig::ipsc860(w.d), arena: SimArena::new() },
+                // The workloads are FORCED-protocol exchanges, so the
+                // sharded side declares it and skips the fallback
+                // snapshot; a false declaration would abort the bench
+                // with a typed error rather than skew it.
+                Side {
+                    cfg: SimConfig::ipsc860(w.d).with_shards(w.shards).with_declared_sync(),
+                    arena: SimArena::new(),
+                },
+            )
+        })
+        .collect();
+
+    // Untimed warm-up: fill each side's compile cache and arena pools.
+    // Two passes — the large rows keep improving for a run or two as
+    // the pools and the allocator reach steady state.
+    for _ in 0..2 {
+        for (w, (seq, shr)) in built.iter().zip(sides.iter_mut()) {
+            seq.run_once(w);
+            shr.run_once(w);
+        }
+    }
+
+    let mut seq_times: Vec<Vec<f64>> = vec![Vec::new(); built.len()];
+    let mut shr_times: Vec<Vec<f64>> = vec![Vec::new(); built.len()];
+    for round in 0..rounds {
+        for (i, w) in built.iter().enumerate() {
+            let (seq, shr) = &mut sides[i];
+            // Alternate which engine goes first each round so neither
+            // systematically benefits from a warm cache.
+            let (ts, th) = if round % 2 == 0 {
+                let ts = seq.run_once(w);
+                let th = shr.run_once(w);
+                (ts, th)
+            } else {
+                let th = shr.run_once(w);
+                let ts = seq.run_once(w);
+                (ts, th)
+            };
+            seq_times[i].push(ts);
+            shr_times[i].push(th);
+            eprintln!(
+                "round {round} d{}_{:?}: seq {:.1} ms, shards{} {:.1} ms ({:.2}x)",
+                w.d,
+                w.dims,
+                ts * 1e3,
+                w.shards,
+                th * 1e3,
+                ts / th
+            );
+        }
+    }
+
+    println!("{{");
+    println!("  \"shards\": {{");
+    for (i, w) in built.iter().enumerate() {
+        let comma = if i + 1 == built.len() { "" } else { "," };
+        println!("    \"d{}_{:?}\": {}{comma}", w.d, w.dims, w.shards);
+    }
+    println!("  }},");
+    for (section, times) in [("sequential", &mut seq_times), ("sharded", &mut shr_times)] {
+        println!("  \"results_{section}\": {{");
+        for (i, w) in built.iter().enumerate() {
+            let med = median(&mut times[i]);
+            let eps = transmissions(w.d, &w.dims) as f64 / med;
+            let comma = if i + 1 == built.len() { "" } else { "," };
+            println!(
+                "    \"d{}_{:?}\": {{ \"median_ms\": {:.4}, \"elements_per_sec\": {:.0} }}{comma}",
+                w.d,
+                w.dims,
+                med * 1e3,
+                eps
+            );
+        }
+        println!("  }},");
+    }
+    println!("  \"speedup\": {{");
+    for (i, w) in built.iter().enumerate() {
+        let ratio = median(&mut seq_times[i].clone()) / median(&mut shr_times[i].clone());
+        let comma = if i + 1 == built.len() { "" } else { "," };
+        println!("    \"d{}_{:?}\": {ratio:.2}{comma}", w.d, w.dims);
+    }
+    println!("  }}");
+    println!("}}");
+}

@@ -319,6 +319,29 @@ fn batch_results_are_bit_identical_to_one_shot_runs() {
     }
 }
 
+/// Sharded-engine determinism regression: every pinned workload rerun
+/// with subcube sharding enabled (see `mce_simnet::shard`) must
+/// reproduce its sequential snapshot bit for bit. Workload 0 actually
+/// exercises shard windows (low-dimension multiphase phases); workload
+/// 1 is all cross-shard traffic (global phases); workloads 2-4 are
+/// ineligible (store-and-forward, jitter, conditioned network) and pin
+/// the sequential gate.
+#[test]
+fn sharded_engine_reproduces_all_snapshots() {
+    for workload in 0..5 {
+        let reference = snapshot(&one_shot(workload));
+        for shards in [2u32, 4] {
+            let (cfg, programs, memories) = workload_spec(workload);
+            let mut sim = Simulator::new(cfg.with_shards(shards), programs, memories);
+            assert_eq!(
+                snapshot(&sim.run().unwrap()),
+                reference,
+                "workload {workload} diverged with shards = {shards}"
+            );
+        }
+    }
+}
+
 /// Regenerator: `cargo test -p mce-core --test determinism_snapshot
 /// -- --ignored --nocapture` prints the snapshot literals to paste
 /// above when the engine's semantics change *intentionally*.

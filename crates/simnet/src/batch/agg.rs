@@ -127,6 +127,14 @@ pub struct RunAggregate {
     /// Scheduler far-future overflow spills (events that missed the
     /// calendar ring's window).
     pub sched_overflow_spills: MetricSummary,
+    /// Sharded-driver phases that ran windowed (see [`crate::shard`]);
+    /// all-zero for sequential (`shards: 1`) or ineligible runs.
+    pub shard_windows: MetricSummary,
+    /// Sharded-driver phases forced to run globally serialized by
+    /// cross-shard traffic (window-barrier stalls).
+    pub shard_barrier_stalls: MetricSummary,
+    /// Cross-shard sends seen in those globally serialized phases.
+    pub shard_cross_events: MetricSummary,
 }
 
 /// Fold a slice of batch results (as returned by
@@ -153,6 +161,9 @@ pub fn aggregate(results: &[Result<SimResult, SimError>]) -> RunAggregate {
         background_transmissions: col(&|r| r.stats.background_transmissions as f64),
         sched_peak_pending: col(&|r| r.stats.sched_peak_pending as f64),
         sched_overflow_spills: col(&|r| r.stats.sched_overflow_spills as f64),
+        shard_windows: col(&|r| r.stats.shard_windows as f64),
+        shard_barrier_stalls: col(&|r| r.stats.shard_barrier_stalls as f64),
+        shard_cross_events: col(&|r| r.stats.shard_cross_events as f64),
     }
 }
 
@@ -169,6 +180,39 @@ pub fn aggregate_range(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::SimStats;
+    use crate::time::SimTime;
+
+    /// Shard telemetry flows through [`aggregate`] like any other
+    /// metric: summarized over the successful replicates only, in
+    /// result order.
+    #[test]
+    fn aggregate_summarizes_shard_telemetry() {
+        let mk = |windows: u64, stalls: u64, cross: u64| {
+            Ok(SimResult {
+                finish_time: SimTime::from_us(1_000.0),
+                node_finish: Vec::new(),
+                memories: Vec::new(),
+                trace: Vec::new(),
+                stats: SimStats {
+                    shard_windows: windows,
+                    shard_barrier_stalls: stalls,
+                    shard_cross_events: cross,
+                    ..SimStats::default()
+                },
+            })
+        };
+        let results = vec![mk(2, 1, 64), mk(4, 3, 192), Err(SimError::AlreadyRan)];
+        let agg = aggregate(&results);
+        assert_eq!((agg.runs, agg.failures), (3, 1));
+        assert_eq!(agg.shard_windows.n, 2);
+        assert_eq!(
+            (agg.shard_windows.mean, agg.shard_windows.min, agg.shard_windows.max),
+            (3.0, 2.0, 4.0)
+        );
+        assert_eq!(agg.shard_barrier_stalls.mean, 2.0);
+        assert_eq!((agg.shard_cross_events.min, agg.shard_cross_events.max), (64.0, 192.0));
+    }
 
     #[test]
     fn summary_of_known_samples() {

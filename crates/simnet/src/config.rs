@@ -50,6 +50,21 @@ pub struct SimConfig {
     /// no-op condition — leaves runs bit-identical to the base
     /// simulator.
     pub netcond: Option<NetCondition>,
+    /// Number of subcube shards the engine may advance concurrently
+    /// (see [`crate::shard`]): a power of two `2^k ≤ 2^d`, partitioning
+    /// nodes by their top `k` address bits. `1` (the default) is the
+    /// plain sequential engine; any value keeps results bit-identical
+    /// to it — sharding is an execution strategy, not a model change.
+    pub shards: u32,
+    /// Declares that the workload keeps every node's NIC usage inside
+    /// the concurrency window — true for FORCED-protocol exchanges
+    /// (pairwise-synchronized sends, as `mce-core`'s builder emits by
+    /// default), whose handshakes align transmission starts. The
+    /// sharded driver then skips the pristine-input snapshot it
+    /// otherwise keeps for the sequential fallback; a *false*
+    /// declaration surfaces as [`crate::SimError::SyncDeclarationViolated`]
+    /// instead of silently wrong results. Ignored on sequential runs.
+    pub declared_sync: bool,
 }
 
 impl SimConfig {
@@ -64,6 +79,8 @@ impl SimConfig {
             seed: 0x5eed_1991,
             switching: SwitchingMode::Circuit,
             netcond: None,
+            shards: 1,
+            declared_sync: false,
         }
     }
 
@@ -77,6 +94,8 @@ impl SimConfig {
             seed: 0x5eed_1991,
             switching: SwitchingMode::Circuit,
             netcond: None,
+            shards: 1,
+            declared_sync: false,
         }
     }
 
@@ -100,6 +119,25 @@ impl SimConfig {
     /// cables, background traffic).
     pub fn with_netcond(mut self, netcond: NetCondition) -> Self {
         self.netcond = Some(netcond);
+        self
+    }
+
+    /// Partition the run into `shards` subcube shards (see
+    /// [`crate::shard`]). Must be a power of two no larger than the
+    /// node count; results are bit-identical for every legal value.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Declare the workload pairwise-synchronized (FORCED protocol):
+    /// the sharded driver skips its fallback snapshot of the inputs,
+    /// and a NIC concurrency-window violation inside a shard window
+    /// becomes [`crate::SimError::SyncDeclarationViolated`] instead of
+    /// a transparent sequential rerun. Results of successful runs are
+    /// unchanged — bit-identical to the sequential engine.
+    pub fn with_declared_sync(mut self) -> Self {
+        self.declared_sync = true;
         self
     }
 
@@ -145,6 +183,16 @@ impl SimConfig {
         }
         if let Some(nc) = &self.netcond {
             nc.validate(self.dimension).map_err(|e| format!("netcond: {e}"))?;
+        }
+        if self.shards == 0 || !self.shards.is_power_of_two() {
+            return Err(format!("shards = {} is not a power of two \u{2265} 1", self.shards));
+        }
+        if self.shards as usize > self.num_nodes() {
+            return Err(format!(
+                "shards = {} exceeds the cube's {} nodes",
+                self.shards,
+                self.num_nodes()
+            ));
         }
         Ok(())
     }
@@ -321,6 +369,19 @@ mod tests {
         assert!(c.validate().unwrap_err().contains("netcond"));
         c.netcond = Some(NetCondition::default().with_fault(mce_hypercube::NodeId(0), 7));
         assert!(c.validate().unwrap_err().contains("cable"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_shard_counts() {
+        for bad in [0u32, 3, 6, 12] {
+            let c = SimConfig::ipsc860(4).with_shards(bad);
+            assert!(c.validate().unwrap_err().contains("power of two"), "{bad}");
+        }
+        // More shards than nodes is rejected; up to one-per-node is ok.
+        assert!(SimConfig::ipsc860(2).with_shards(8).validate().unwrap_err().contains("nodes"));
+        for ok in [1u32, 2, 4] {
+            assert!(SimConfig::ipsc860(2).with_shards(ok).validate().is_ok(), "{ok}");
+        }
     }
 
     #[test]

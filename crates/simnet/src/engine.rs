@@ -55,6 +55,7 @@ use crate::netcond::{
 };
 use crate::program::{Op, Program};
 use crate::sched::CalendarQueue;
+use crate::shard::{PhaseMode, ShardPlan};
 use crate::stats::{SimStats, TraceEvent};
 use crate::time::SimTime;
 use mce_hypercube::routing::DirectedLink;
@@ -126,6 +127,15 @@ pub enum SimError {
         /// Unreachable node.
         dst: NodeId,
     },
+    /// The config carried [`crate::SimConfig::declared_sync`] but a
+    /// shard window hit a NIC concurrency-window violation — the
+    /// workload is not the FORCED-protocol exchange it was declared to
+    /// be. Without the declaration the run would have transparently
+    /// fallen back to the sequential engine; with it, the driver skips
+    /// the input snapshot that fallback needs, so the violation is
+    /// surfaced instead of risking silent divergence. Rerun without
+    /// `with_declared_sync`.
+    SyncDeclarationViolated,
 }
 
 impl SimError {
@@ -174,6 +184,12 @@ impl std::fmt::Display for SimError {
             SimError::Unroutable { src, dst } => write!(
                 f,
                 "unroutable: no fault-avoiding xor-mask decomposition routes {src} to {dst}"
+            ),
+            SimError::SyncDeclarationViolated => write!(
+                f,
+                "declared_sync violated: a shard window hit a NIC concurrency-window \
+                 conflict, so the workload is not pairwise-synchronized; rerun without \
+                 with_declared_sync"
             ),
         }
     }
@@ -339,12 +355,15 @@ enum CompiledOp {
 }
 
 /// One node's compiled program: its op range in the flat shared op
-/// table ([`Compiled::ops`]) plus its message-slot count.
+/// table ([`Compiled::ops`]), its message-slot count, and its segment
+/// range in the flat segment table ([`Compiled::segs`]).
 #[derive(Clone, Copy)]
 struct CompiledProgram {
     ops_start: u32,
     ops_end: u32,
     num_slots: u32,
+    segs_start: u32,
+    segs_end: u32,
 }
 
 impl CompiledProgram {
@@ -388,6 +407,12 @@ struct Compiled {
     ops: Vec<CompiledOp>,
     /// Total `Send` ops across all nodes (capacity hint).
     total_sends: usize,
+    /// All nodes' barrier-delimited op segments in one flat
+    /// allocation, indexed by the per-program ranges: `(first_pc,
+    /// union of send masks src^dst in the segment)`. The sharded
+    /// driver folds these per phase to pick a shard axis that no send
+    /// crosses, instead of re-walking every op at every barrier.
+    segs: Vec<(u32, u32)>,
 }
 
 /// Compile and validate in one pass over the ops. The checks (and
@@ -412,6 +437,7 @@ fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimEr
     let mut compiled = Vec::with_capacity(programs.len());
     let mut flat_ops: Vec<CompiledOp> =
         Vec::with_capacity(programs.iter().map(|p| p.ops.len()).sum());
+    let mut flat_segs: Vec<(u32, u32)> = Vec::new();
     let mut posted_bits: Vec<u64> = Vec::new();
     for (x, program) in programs.iter().enumerate() {
         let memory_len = memories[x].len();
@@ -429,7 +455,17 @@ fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimEr
         posted_bits.clear();
         posted_bits.resize(keys[x].len().div_ceil(64), 0);
         let ops_start = flat_ops.len() as u32;
+        let segs_start = flat_segs.len() as u32;
+        let (mut seg_pc, mut seg_mask) = (0u32, 0u32);
         for (i, op) in program.ops.iter().enumerate() {
+            match op {
+                Op::Send { dst, .. } => seg_mask |= x as u32 ^ dst.0,
+                Op::Barrier => {
+                    flat_segs.push((seg_pc, seg_mask));
+                    (seg_pc, seg_mask) = (i as u32 + 1, 0);
+                }
+                _ => {}
+            }
             let cop = match op {
                 Op::PostRecv { src, tag, into } => {
                     if into.end > memory_len {
@@ -516,10 +552,13 @@ fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimEr
             };
             flat_ops.push(cop);
         }
+        flat_segs.push((seg_pc, seg_mask));
         compiled.push(CompiledProgram {
             ops_start,
             ops_end: flat_ops.len() as u32,
             num_slots: keys[x].len() as u32,
+            segs_start,
+            segs_end: flat_segs.len() as u32,
         });
     }
     // Receiver-slot fixup pass: counting-sort the sends by destination
@@ -548,7 +587,7 @@ fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimEr
             }
         }
     }
-    Ok(Compiled { programs: compiled, ops: flat_ops, total_sends })
+    Ok(Compiled { programs: compiled, ops: flat_ops, total_sends, segs: flat_segs })
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -581,7 +620,7 @@ const SLOT_DELIVERED: u8 = 1 << 1;
 /// [`Slot::flags`]: an UNFORCED payload is buffered in the side map.
 const SLOT_BUFFERED: u8 = 1 << 2;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct NodeState {
     pc: usize,
     status: Status,
@@ -611,6 +650,18 @@ impl NodeState {
         self.incoming.clear();
         self.finish = SimTime::ZERO;
     }
+}
+
+/// Copy one node's state across the shard-window boundary, reusing
+/// the destination's interval allocation (a derived `clone` would
+/// allocate a fresh `incoming` per node per window).
+fn copy_quiescent(dst: &mut NodeState, src: &NodeState) {
+    dst.pc = src.pc;
+    dst.status = src.status;
+    dst.outgoing = src.outgoing;
+    dst.incoming.clear();
+    dst.incoming.extend_from_slice(&src.incoming);
+    dst.finish = src.finish;
 }
 
 /// One in-flight transmission. Field types are packed (u8 hop index,
@@ -772,6 +823,21 @@ pub struct SimArena {
     scratch: Vec<u8>,
     sched: Scheduler,
     compiled: Vec<CachedCompile>,
+    /// Per-shard sub-arenas recycling the window runtimes of the
+    /// sharded driver (see [`crate::shard`]); empty until a
+    /// `shards > 1` run happens on this arena.
+    shard_arenas: Vec<SimArena>,
+    /// Pooled full-size memory shell for shard windows (only used
+    /// inside `shard_arenas` entries): one empty `Vec<u8>` per node,
+    /// with the shard's own memories swapped in and out per window.
+    shell: Vec<Vec<u8>>,
+    /// Pooled node list of the shard's current window (only used
+    /// inside `shard_arenas` entries).
+    window_nodes: Vec<u32>,
+    /// Pooled flat copy of the run's initial memories, kept by the
+    /// sharded driver so a window violation can rerun the original
+    /// inputs sequentially without allocating the backup per run.
+    pristine: Vec<u8>,
 }
 
 impl SimArena {
@@ -862,9 +928,48 @@ impl SimArena {
         &mut self,
         cfg: &SimConfig,
         compiled: &Compiled,
-        memories: Vec<Vec<u8>>,
+        mut memories: Vec<Vec<u8>>,
         trace: bool,
     ) -> Result<SimResult, SimError> {
+        if crate::shard::eligible(cfg, trace) {
+            // The sharded attempt consumes the memories; keep a
+            // pristine copy so a window violation can fall back to the
+            // sequential engine on the original inputs (see
+            // [`crate::shard`]). Flat and pooled: one backing buffer
+            // reused across runs instead of a fresh clone per node.
+            // A `declared_sync` config waives the snapshot — the
+            // declaration promises no NIC-window violation, and a
+            // broken promise surfaces as a typed error below.
+            let mut pristine = std::mem::take(&mut self.pristine);
+            pristine.clear();
+            if !cfg.declared_sync {
+                for m in &memories {
+                    pristine.extend_from_slice(m);
+                }
+            }
+            match self.run_sharded(cfg, compiled, memories) {
+                ShardedRun::Finished(out) => {
+                    self.pristine = pristine;
+                    return out;
+                }
+                ShardedRun::SequentialFallback(_) if cfg.declared_sync => {
+                    self.pristine = pristine;
+                    return Err(SimError::SyncDeclarationViolated);
+                }
+                ShardedRun::SequentialFallback(mut mutated) => {
+                    // Node memory lengths never change during a run,
+                    // so the flat backup restores in place.
+                    let mut off = 0;
+                    for m in &mut mutated {
+                        let len = m.len();
+                        m.copy_from_slice(&pristine[off..off + len]);
+                        off += len;
+                    }
+                    self.pristine = pristine;
+                    memories = mutated;
+                }
+            }
+        }
         // Resolve network conditions (fault-avoiding routes, injection
         // schedule) before any simulated time elapses; Unroutable
         // surfaces here.
@@ -879,6 +984,7 @@ impl SimArena {
             memories,
             trace,
             self,
+            None,
         );
         if let Some(nc) = &cfg.netcond {
             rt.links.set_speeds(cfg.dimension, &nc.resolve_speeds(cfg.dimension));
@@ -888,6 +994,237 @@ impl SimArena {
         rt.reclaim(self);
         out
     }
+
+    /// Attempt the run on the sharded driver (see [`crate::shard`] for
+    /// the execution model and the determinism argument). Returns
+    /// [`ShardedRun::SequentialFallback`] when a shard window pushed a
+    /// NIC-lapse wake-up — the one situation whose bit-identity to the
+    /// sequential engine is not proven — so the caller reruns the
+    /// original inputs on the sequential path.
+    fn run_sharded(
+        &mut self,
+        cfg: &SimConfig,
+        compiled: &Compiled,
+        memories: Vec<Vec<u8>>,
+    ) -> ShardedRun {
+        let mut rt = Runtime::from_arena(
+            cfg,
+            &compiled.programs,
+            compiled.total_sends,
+            memories,
+            false,
+            self,
+            None,
+        );
+        rt.barrier_hold = true;
+        let end = Self::drive_mixed(&mut rt, compiled, &mut self.shard_arenas);
+        let out = match end {
+            Ok(MixedEnd::Complete) => ShardedRun::Finished(rt.finish(compiled)),
+            Ok(MixedEnd::Fallback) => {
+                ShardedRun::SequentialFallback(std::mem::take(&mut rt.memories))
+            }
+            Err(e) => ShardedRun::Finished(Err(e)),
+        };
+        rt.reclaim(self);
+        out
+    }
+
+    /// The sharded driver's main loop: run barrier-delimited phases,
+    /// choosing per phase between concurrent shard windows and the
+    /// globally serialized engine. An associated fn (not a method) so
+    /// the master runtime and the shard arenas can be borrowed side by
+    /// side.
+    fn drive_mixed(
+        rt: &mut Runtime<'_>,
+        compiled: &Compiled,
+        arenas: &mut Vec<SimArena>,
+    ) -> Result<MixedEnd, SimError> {
+        rt.seed();
+        loop {
+            rt.drain(compiled)?;
+            let Some(mut release) = rt.held_release.take() else {
+                // Queue drained with no held barrier: the run
+                // completed (or deadlocked) — `finish` sorts it out.
+                return Ok(MixedEnd::Complete);
+            };
+            loop {
+                match rt.phase_mode(compiled) {
+                    PhaseMode::Global { cross_sends } => {
+                        rt.stats.shard_barrier_stalls += 1;
+                        rt.stats.shard_cross_events += cross_sends;
+                        rt.seed_release(release);
+                        break; // outer loop drains this phase globally
+                    }
+                    PhaseMode::Windowed(plan) => {
+                        rt.stats.shard_windows += 1;
+                        match Self::run_window(rt, compiled, release, plan, arenas)? {
+                            WindowEnd::Violation => return Ok(MixedEnd::Fallback),
+                            WindowEnd::Complete => return Ok(MixedEnd::Complete),
+                            WindowEnd::Released(next) => release = next,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute one windowed phase: split the master runtime into
+    /// per-shard window runtimes, drain them concurrently, and merge
+    /// the results back in shard-index order (every merge step is
+    /// deterministic, and the shards' state is disjoint by the window
+    /// invariant).
+    fn run_window(
+        rt: &mut Runtime<'_>,
+        compiled: &Compiled,
+        release: SimTime,
+        plan: ShardPlan,
+        arenas: &mut Vec<SimArena>,
+    ) -> Result<WindowEnd, SimError> {
+        let count = plan.count as usize;
+        let d = rt.cfg.dimension;
+        let n = rt.nodes.len();
+        while arenas.len() < count {
+            arenas.push(SimArena::new());
+        }
+        // The system is quiescent at a barrier boundary: no pending
+        // retries, no live circuits, no in-place payloads.
+        debug_assert!(rt.dirty.is_empty());
+        debug_assert_eq!(rt.links.busy_count(), 0);
+        debug_assert!(rt.inplace_out.iter().all(Option::is_none));
+        let mut shard_rts: Vec<(Runtime<'_>, Vec<u32>)> = Vec::with_capacity(count);
+        for (s, arena) in arenas.iter_mut().enumerate().take(count) {
+            let mut list = std::mem::take(&mut arena.window_nodes);
+            plan.nodes_of(d, s as u32, &mut list);
+            let mut mems = std::mem::take(&mut arena.shell);
+            mems.resize(n, Vec::new());
+            for &x in &list {
+                std::mem::swap(&mut mems[x as usize], &mut rt.memories[x as usize]);
+            }
+            let mut srt = Runtime::from_arena(
+                rt.cfg,
+                &compiled.programs,
+                compiled.total_sends,
+                mems,
+                false,
+                arena,
+                Some(&list),
+            );
+            // A shard never releases a barrier on its own: its nodes
+            // pile up in `barrier_entered` and the queue drains empty,
+            // ending the window.
+            srt.barrier_target = u64::MAX;
+            for &x in &list {
+                let xi = x as usize;
+                copy_quiescent(&mut srt.nodes[xi], &rt.nodes[xi]);
+                let ns = compiled.programs[xi].num_slots as usize;
+                let (gb, lb) = (rt.slot_base[xi] as usize, srt.slot_base[xi] as usize);
+                srt.slots[lb..lb + ns].copy_from_slice(&rt.slots[gb..gb + ns]);
+            }
+            // Seed in node order — the projection of the sequential
+            // barrier release onto this shard.
+            for &x in &list {
+                srt.push(release, Event::NodeReady(NodeId(x)));
+            }
+            shard_rts.push((srt, list));
+        }
+        let results = rayon::parallel_map(shard_rts, |(mut srt, list)| {
+            let res = srt.drain(compiled);
+            (srt, list, res)
+        });
+        let mut entered = 0u64;
+        let mut last_entry = SimTime::ZERO;
+        let mut violated = false;
+        let mut first_err: Option<SimError> = None;
+        for (s, (mut srt, list, res)) in results.into_iter().enumerate() {
+            for &x in &list {
+                let xi = x as usize;
+                std::mem::swap(&mut rt.memories[xi], &mut srt.memories[xi]);
+                copy_quiescent(&mut rt.nodes[xi], &srt.nodes[xi]);
+                let ns = compiled.programs[xi].num_slots as usize;
+                let (gb, lb) = (rt.slot_base[xi] as usize, srt.slot_base[xi] as usize);
+                rt.slots[gb..gb + ns].copy_from_slice(&srt.slots[lb..lb + ns]);
+            }
+            // Cross-boundary UNFORCED buffering: carry early arrivals
+            // into the master map, translating the shard's packed slot
+            // indices back to global ones (shards own disjoint slots).
+            // The next phase then runs globally.
+            for (k, v) in srt.buffered.drain() {
+                let owner = list
+                    .iter()
+                    .map(|&x| x as usize)
+                    .find(|&xi| {
+                        let lb = srt.slot_base[xi];
+                        let ns = compiled.programs[xi].num_slots;
+                        (lb..lb + ns).contains(&k)
+                    })
+                    .expect("buffered key outside shard slots");
+                let gk = rt.slot_base[owner] + (k - srt.slot_base[owner]);
+                rt.buffered.insert(gk, v);
+            }
+            rt.stats.absorb(&srt.stats);
+            entered += srt.barrier_entered;
+            if srt.last_barrier_entry > last_entry {
+                last_entry = srt.last_barrier_entry;
+            }
+            violated |= srt.lapse_pushes > 0;
+            let peak = srt.sched.events.telemetry().peak_pending;
+            if peak > rt.stats.shard_peak_pending {
+                rt.stats.shard_peak_pending = peak;
+            }
+            if first_err.is_none() {
+                if let Err(e) = res {
+                    first_err = Some(e);
+                }
+            }
+            let shell = std::mem::take(&mut srt.memories);
+            srt.reclaim_window(&mut arenas[s]);
+            arenas[s].shell = shell;
+            arenas[s].window_nodes = list;
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if violated {
+            return Ok(WindowEnd::Violation);
+        }
+        if entered == n as u64 {
+            rt.stats.barriers += 1;
+            return Ok(WindowEnd::Released(last_entry.plus_ns(rt.cfg.barrier_ns())));
+        }
+        // Not every node reached a barrier: either the whole run is
+        // done, or it deadlocked — `finish` tells them apart.
+        Ok(WindowEnd::Complete)
+    }
+}
+
+/// Outcome of [`SimArena::run_sharded`].
+// One value exists per run and it is consumed immediately, so the
+// variant size skew costs nothing; boxing would only add a hop.
+#[allow(clippy::large_enum_variant)]
+enum ShardedRun {
+    Finished(Result<SimResult, SimError>),
+    /// A window pushed a NIC-lapse wake-up: rerun sequentially. The
+    /// mutated memory vectors ride along so the caller can restore
+    /// their contents from the pristine backup in place.
+    SequentialFallback(Vec<Vec<u8>>),
+}
+
+/// Outcome of the mixed driver's main loop.
+enum MixedEnd {
+    Complete,
+    Fallback,
+}
+
+/// Outcome of one shard window.
+enum WindowEnd {
+    /// All nodes entered their next barrier; it releases at the time
+    /// carried here.
+    Released(SimTime),
+    /// The run ended inside the window (every node done, or stuck).
+    Complete,
+    /// A shard pushed a NIC-lapse wake-up: discard the sharded
+    /// attempt.
+    Violation,
 }
 
 /// Shared config/shape validation for every arena-driven run.
@@ -971,6 +1308,27 @@ struct Runtime<'c> {
     next_tid: TransmissionId,
     next_qseq: u64,
     barrier_entered: u64,
+    /// Barrier-entry count that releases the barrier: the node count
+    /// on sequential runs, `u64::MAX` inside a shard window (a shard
+    /// never releases a barrier on its own — the sharded driver
+    /// coordinates the release across shards; see [`crate::shard`]).
+    barrier_target: u64,
+    /// When set, a completed barrier records its release time in
+    /// `held_release` instead of waking the nodes: the sharded driver
+    /// runs one barrier-delimited phase at a time and decides each
+    /// phase's execution mode at the boundary.
+    barrier_hold: bool,
+    /// Release time of the barrier that completed under
+    /// `barrier_hold` (last entry time + barrier cost).
+    held_release: Option<SimTime>,
+    /// Time of the most recent barrier entry; the sharded driver
+    /// takes the max across shards to time the release.
+    last_barrier_entry: SimTime,
+    /// NIC-lapse wake-ups pushed by this runtime. A shard window that
+    /// pushed any is not provably bit-identical to the sequential
+    /// engine (see [`crate::shard`]), so the driver discards the whole
+    /// sharded attempt and reruns the inputs sequentially.
+    lapse_pushes: u64,
     stats: SimStats,
     trace: Vec<TraceEvent>,
     trace_enabled: bool,
@@ -1082,30 +1440,68 @@ impl<'c> Runtime<'c> {
         memories: Vec<Vec<u8>>,
         trace_enabled: bool,
         arena: &mut SimArena,
+        shard: Option<&[u32]>,
     ) -> Self {
         let n = programs.len();
         let mut nodes = std::mem::take(&mut arena.nodes);
-        for i in 0..n {
-            if i < nodes.len() {
-                nodes[i].reset();
-            } else {
-                nodes.push(NodeState::new());
+        if shard.is_some() {
+            // Shard-window runtime: the driver overwrites the shard's
+            // own nodes from the master right after construction and
+            // never touches foreign entries, so stale state from the
+            // previous window is fine — skip the per-node reset.
+            nodes.resize_with(n, NodeState::new);
+        } else {
+            for i in 0..n {
+                if i < nodes.len() {
+                    nodes[i].reset();
+                } else {
+                    nodes.push(NodeState::new());
+                }
+            }
+            nodes.truncate(n);
+        }
+        let mut slot_base = std::mem::take(&mut arena.slot_base);
+        let mut slots = std::mem::take(&mut arena.slots);
+        match shard {
+            Some(list) => {
+                // Packed shard-local slot table: only the shard's own
+                // nodes get (local) base offsets, so the hot slot
+                // state is contiguous and sized to the subcube — for
+                // interleaved-coset shards as much as contiguous ones.
+                // Stale foreign entries in `slot_base` are never read.
+                slot_base.resize(n, 0);
+                let mut local = 0u32;
+                for &x in list {
+                    slot_base[x as usize] = local;
+                    local += programs[x as usize].num_slots;
+                }
+                // The split pass overwrites every cell from the
+                // master, so only right-size — don't zero. Across
+                // windows of equal size this keeps the allocation
+                // untouched.
+                if slots.len() != local as usize {
+                    slots.clear();
+                    slots.resize(local as usize, Slot::default());
+                }
+            }
+            None => {
+                slot_base.clear();
+                let mut total_slots = 0u32;
+                for p in programs {
+                    slot_base.push(total_slots);
+                    total_slots += p.num_slots;
+                }
+                slots.clear();
+                slots.resize(total_slots as usize, Slot::default());
             }
         }
-        nodes.truncate(n);
-        let mut slot_base = std::mem::take(&mut arena.slot_base);
-        slot_base.clear();
-        let mut total_slots = 0u32;
-        for p in programs {
-            slot_base.push(total_slots);
-            total_slots += p.num_slots;
-        }
-        let mut slots = std::mem::take(&mut arena.slots);
-        slots.clear();
-        slots.resize(total_slots as usize, Slot::default());
         let mut inplace_out = std::mem::take(&mut arena.inplace_out);
         inplace_out.clear();
         inplace_out.resize(n, None);
+        // Full-cube link table, recycled through the arena (shard
+        // runtimes too: a shard may sit on any coset of the cube, and
+        // its nodes touch only their own rows, so the uniform layout
+        // costs nothing and the allocation survives across windows).
         let links = match arena.links.take() {
             Some((dim, table)) if dim == cfg.dimension => table,
             _ => LinkTable::for_cube(cfg.dimension),
@@ -1118,8 +1514,10 @@ impl<'c> Runtime<'c> {
         // Calendar sizing: bucket width targets one distinct event
         // time per bucket, ring size the cube's concurrency (up to
         // `n` transmissions complete per granularity interval, plus
-        // headroom for the in-flight spread).
-        sched.reset(cfg.sched_bucket_width_ns(), (4 * n).clamp(64, 1 << 14));
+        // headroom for the in-flight spread). Shard windows scale the
+        // ring to the subcube they own.
+        let concurrency = shard.map_or(n, <[u32]>::len);
+        sched.reset(cfg.sched_bucket_width_ns(), (4 * concurrency).clamp(64, 1 << 14));
         Runtime {
             cfg,
             nodes,
@@ -1150,6 +1548,11 @@ impl<'c> Runtime<'c> {
             next_tid: 1,
             next_qseq: 0,
             barrier_entered: 0,
+            barrier_target: n as u64,
+            barrier_hold: false,
+            held_release: None,
+            last_barrier_entry: SimTime::ZERO,
+            lapse_pushes: 0,
             stats: SimStats::default(),
             trace: Vec::new(),
             trace_enabled,
@@ -1162,6 +1565,18 @@ impl<'c> Runtime<'c> {
     /// leak into the next run). Payload pool and scratch survive
     /// as-is: their contents are overwritten before use.
     fn reclaim(self, arena: &mut SimArena) {
+        self.reclaim_impl(arena, false)
+    }
+
+    /// [`Runtime::reclaim`] for shard-window runtimes: additionally
+    /// keeps the slot table and base offsets *as-is*, so the next
+    /// window of the same shape skips re-zeroing them (the split pass
+    /// overwrites every cell from the master anyway).
+    fn reclaim_window(self, arena: &mut SimArena) {
+        self.reclaim_impl(arena, true)
+    }
+
+    fn reclaim_impl(self, arena: &mut SimArena, keep_slot_tables: bool) {
         let Runtime {
             nodes,
             mut slots,
@@ -1182,8 +1597,10 @@ impl<'c> Runtime<'c> {
             cfg,
             ..
         } = self;
-        slots.clear();
-        slot_base.clear();
+        if !keep_slot_tables {
+            slots.clear();
+            slot_base.clear();
+        }
         buffered.clear();
         inplace_out.clear();
         transmissions.clear();
@@ -1283,6 +1700,14 @@ impl<'c> Runtime<'c> {
     }
 
     fn run(&mut self, compiled: &Compiled) -> Result<SimResult, SimError> {
+        self.seed();
+        self.drain(compiled)?;
+        self.finish(compiled)
+    }
+
+    /// Queue the run's initial events: every node ready at time zero,
+    /// plus the first injection of each background stream.
+    fn seed(&mut self) {
         for i in 0..self.nodes.len() {
             self.push(SimTime::ZERO, Event::NodeReady(NodeId(i as u32)));
         }
@@ -1298,6 +1723,12 @@ impl<'c> Runtime<'c> {
                 self.push(SimTime(start_ns), Event::Inject(i));
             }
         }
+    }
+
+    /// Dispatch events in `(time, seq)` order until the queue is
+    /// empty — which means the run completed, deadlocked, or (under
+    /// `barrier_hold`) reached a phase boundary.
+    fn drain(&mut self, compiled: &Compiled) -> Result<(), SimError> {
         while let Some((t, key)) = self.sched.pop_next(&mut self.cur_t) {
             match key {
                 EventKey::NodeReady(n) => self.step_node(NodeId(n), t, compiled)?,
@@ -1305,6 +1736,12 @@ impl<'c> Runtime<'c> {
                 EventKey::Inject(i) => self.inject_background(i as usize, t),
             }
         }
+        Ok(())
+    }
+
+    /// Post-drain wrap-up: deadlock detection, scheduler telemetry,
+    /// result assembly.
+    fn finish(&mut self, compiled: &Compiled) -> Result<SimResult, SimError> {
         // All events drained: every node must be Done.
         let stuck: Vec<(NodeId, String)> = self
             .nodes
@@ -1343,6 +1780,72 @@ impl<'c> Runtime<'c> {
             stats: std::mem::take(&mut self.stats),
             trace: std::mem::take(&mut self.trace),
         })
+    }
+
+    /// Push the barrier-release wakes for every node — what the
+    /// sequential barrier handler does when it completes, deferred to
+    /// the sharded driver under `barrier_hold`.
+    fn seed_release(&mut self, release: SimTime) {
+        for i in 0..self.nodes.len() {
+            self.push(release, Event::NodeReady(NodeId(i as u32)));
+        }
+    }
+
+    /// Classify the phase that starts at the barrier just held: fold
+    /// the precomputed send-mask unions of every node's current
+    /// segment (e-cube routes never leave the mask `src ^ dst`, so any
+    /// address bits outside the union are a valid shard axis) and pick
+    /// the widest [`ShardPlan`] avoiding them. A phase whose sends
+    /// cover every bit — or an UNFORCED payload buffered across the
+    /// phase boundary — runs on the globally serialized path instead.
+    fn phase_mode(&self, compiled: &Compiled) -> PhaseMode {
+        let mut used = 0u32;
+        for (i, st) in self.nodes.iter().enumerate() {
+            if st.status == Status::Done {
+                continue;
+            }
+            let p = &compiled.programs[i];
+            let segs = &compiled.segs[p.segs_start as usize..p.segs_end as usize];
+            // Last segment starting at or before the node's pc (at a
+            // held barrier the pc sits exactly on a segment start).
+            let k = segs.partition_point(|&(start, _)| start as usize <= st.pc);
+            if k > 0 {
+                used |= segs[k - 1].1;
+            }
+        }
+        let plan = if self.buffered.is_empty() {
+            ShardPlan::avoiding(self.cfg.dimension, self.cfg.shards, used)
+        } else {
+            None
+        };
+        match plan {
+            Some(plan) => PhaseMode::Windowed(plan),
+            None => PhaseMode::Global { cross_sends: self.cross_sends(compiled) },
+        }
+    }
+
+    /// Cross-shard sends of the phase ahead under the *configured*
+    /// top-bit layout — telemetry for phases forced onto the global
+    /// path (the per-op walk only runs on that already-serialized
+    /// path).
+    fn cross_sends(&self, compiled: &Compiled) -> u64 {
+        let plan = ShardPlan::new(self.cfg.dimension, self.cfg.shards);
+        let mut cross = 0u64;
+        for (i, st) in self.nodes.iter().enumerate() {
+            if st.status == Status::Done {
+                continue;
+            }
+            let ops = compiled.programs[i].ops(&compiled.ops);
+            let home = plan.shard_of(i as u32);
+            for op in &ops[st.pc..] {
+                match op {
+                    CompiledOp::Barrier => break,
+                    CompiledOp::Send { dst, .. } if plan.shard_of(dst.0) != home => cross += 1,
+                    _ => {}
+                }
+            }
+        }
+        cross
     }
 
     /// Execute ops at node `x` starting at time `t` until it blocks,
@@ -1417,15 +1920,24 @@ impl<'c> Runtime<'c> {
                     self.nodes[xi].pc += 1;
                     self.nodes[xi].status = Status::InBarrier;
                     self.barrier_entered += 1;
-                    if self.barrier_entered == self.nodes.len() as u64 {
+                    self.last_barrier_entry = t;
+                    if self.barrier_entered == self.barrier_target {
                         self.barrier_entered = 0;
                         self.stats.barriers += 1;
                         let release = t.plus_ns(self.cfg.barrier_ns());
                         if self.trace_enabled {
                             self.trace.push(TraceEvent::BarrierRelease { at: release });
                         }
-                        for i in 0..self.nodes.len() {
-                            self.push(release, Event::NodeReady(NodeId(i as u32)));
+                        if self.barrier_hold {
+                            // Sharded driver: stop at the phase
+                            // boundary instead of waking the nodes; the
+                            // event queue drains empty and the driver
+                            // decides how the next phase executes.
+                            self.held_release = Some(release);
+                        } else {
+                            for i in 0..self.nodes.len() {
+                                self.push(release, Event::NodeReady(NodeId(i as u32)));
+                            }
                         }
                     }
                     return Ok(());
@@ -1802,6 +2314,7 @@ impl<'c> Runtime<'c> {
             }
             if next_lapse != u64::MAX {
                 let qseq = self.tr(id).qseq;
+                self.lapse_pushes += 1;
                 self.sched.lapse.push(next_lapse, qseq, id);
             }
             return false;

@@ -108,6 +108,7 @@ pub mod message;
 pub mod netcond;
 pub mod program;
 pub mod sched;
+pub mod shard;
 pub mod stats;
 pub mod time;
 

@@ -28,10 +28,14 @@ const FREE: TransmissionId = 0;
 #[derive(Debug)]
 pub struct LinkTable {
     /// Holder of each directed link (`FREE` = unheld), indexed by
-    /// `from * stride + dimension`.
+    /// `(from - from_base) * stride + dimension`.
     busy: Vec<TransmissionId>,
     /// Dimensions per node in the index space.
     stride: usize,
+    /// First node id covered by this table (`0` for a whole-cube
+    /// table; a shard-local table covers `[from_base, from_base +
+    /// len)` — see [`LinkTable::for_range`]).
+    from_base: u32,
     /// Number of currently busy directed links.
     busy_links: usize,
     /// Per-link slowdown factors, same indexing as `busy`; empty for
@@ -49,20 +53,35 @@ impl LinkTable {
     /// Fresh, all-free table for an unknown cube size. Uses a stride
     /// wide enough for any supported dimension.
     pub fn new() -> Self {
-        LinkTable { busy: Vec::new(), stride: 32, busy_links: 0, speeds: Vec::new() }
+        LinkTable { busy: Vec::new(), stride: 32, from_base: 0, busy_links: 0, speeds: Vec::new() }
     }
 
     /// Fresh table sized for a `d`-dimensional cube (tighter stride
     /// and a pre-sized backing array).
     pub fn for_cube(d: u32) -> Self {
+        Self::for_range(d, 0, 1usize << d)
+    }
+
+    /// Fresh table covering only the `len` nodes starting at `base`
+    /// within a `d`-dimensional cube. Shard-local tables use this so
+    /// each shard's occupancy state is contiguous and sized to the
+    /// subcube it owns; callers must only present links whose `from`
+    /// lies in the covered range.
+    pub fn for_range(d: u32, base: u32, len: usize) -> Self {
         let stride = (d as usize).max(1);
-        let slots = (1usize << d) * stride;
-        LinkTable { busy: vec![FREE; slots], stride, busy_links: 0, speeds: Vec::new() }
+        LinkTable {
+            busy: vec![FREE; len * stride],
+            stride,
+            from_base: base,
+            busy_links: 0,
+            speeds: Vec::new(),
+        }
     }
 
     #[inline]
     fn index(&self, l: &DirectedLink) -> usize {
-        l.from.0 as usize * self.stride + l.dimension() as usize
+        debug_assert!(l.from.0 >= self.from_base, "link {l} below this table's node range");
+        (l.from.0 - self.from_base) as usize * self.stride + l.dimension() as usize
     }
 
     #[inline]
@@ -140,6 +159,10 @@ impl LinkTable {
     /// [`crate::netcond::NetCondition::resolve_speeds`]) and is
     /// re-strided into this table's index space.
     pub fn set_speeds(&mut self, d: u32, factors: &[f64]) {
+        // Conditioned runs never shard (the engine falls back to the
+        // sequential path), so speed tables only ever land on
+        // whole-cube tables.
+        debug_assert_eq!(self.from_base, 0, "speed tables require a whole-cube link table");
         let n = 1usize << d;
         let dims = d as usize;
         debug_assert_eq!(factors.len(), n * dims);
@@ -238,6 +261,23 @@ mod tests {
         }
         assert_eq!(grown.busy_count(), sized.busy_count());
         assert_eq!(grown.blockers(&links_of(2, 23)), sized.blockers(&links_of(2, 23)));
+    }
+
+    #[test]
+    fn range_table_matches_whole_cube_within_its_range() {
+        // A shard-local table over the upper half of a d5 cube must
+        // behave exactly like the whole-cube table for in-range paths.
+        let mut whole = LinkTable::for_cube(5);
+        let mut part = LinkTable::for_range(5, 16, 16);
+        let p = links_of(16, 31); // e-cube path stays within 16..=31
+        whole.acquire(&p, 1);
+        part.acquire(&p, 1);
+        assert_eq!(whole.busy_count(), part.busy_count());
+        assert_eq!(part.blockers(&links_of(16, 31)), whole.blockers(&links_of(16, 31)));
+        part.release(&p, 1);
+        whole.release(&p, 1);
+        assert!(part.all_free(&p));
+        assert_eq!(part.busy_count(), 0);
     }
 
     #[test]

@@ -40,13 +40,19 @@
 //! property test in `crates/simnet/tests/scheduler_differential.rs`
 //! pins this equivalence against a reference heap.
 //!
-//! **Sizing.** `width` comes from the machine's transmission
+//! **Sizing.** `width` starts from the machine's transmission
 //! granularity (see `SimConfig::sched_bucket_width_ns`): event times
 //! are spaced by roughly one transmission duration and up to `2^d`
 //! transmissions complete concurrently, so the width targets about one
-//! distinct event time per bucket. The ring grows (doubling, counted
-//! in [`SchedTelemetry::bucket_resizes`]) when a window rebase finds
-//! more pending events than buckets.
+//! distinct event time per bucket. That static estimate is only a
+//! seed — each window rebase re-derives the width from the *observed*
+//! spacing of the backlog it is about to distribute (the ring is
+//! empty at that moment, so retuning is free and cannot affect pop
+//! order), keeping workloads whose real event spacing diverges from
+//! the configured estimate (conditioned slowdowns, sparse barrier
+//! tails) at about one entry per bucket. The ring grows (doubling,
+//! counted in [`SchedTelemetry::bucket_resizes`]) when a window
+//! rebase finds more pending events than buckets.
 //!
 //! Allocations (bucket vectors, overflow, migration scratch) are
 //! retained across [`CalendarQueue::reset`], so arena-driven batch
@@ -87,6 +93,16 @@ const MAX_BUCKETS: usize = 1 << 16;
 /// Ring size used when a queue is grown from its `Default` (empty)
 /// state without an explicit hint.
 const DEFAULT_BUCKETS: usize = 64;
+
+/// Backlog size below which a window rebase keeps its current width —
+/// too few samples to estimate the event spacing, and small backlogs
+/// drain fine under any width.
+const WIDTH_RETUNE_MIN_BACKLOG: usize = 64;
+
+/// Bounds on the adaptively retuned bucket width (ticks), mirroring
+/// the clamp of `SimConfig::sched_bucket_width_ns`.
+const WIDTH_RETUNE_MIN: u64 = 16;
+const WIDTH_RETUNE_MAX: u64 = 1 << 20;
 
 /// A deterministic two-tier calendar queue over `(time, seq, item)`
 /// entries; see the module docs for the design and determinism
@@ -183,6 +199,13 @@ impl<T> CalendarQueue<T> {
     /// Whether no entries are pending.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Current bucket width in ticks: the configured width until the
+    /// first adaptive retune (each window rebase re-derives it from
+    /// the backlog's observed event spacing).
+    pub fn bucket_width(&self) -> u64 {
+        self.width
     }
 
     /// This run's telemetry so far.
@@ -317,6 +340,17 @@ impl<T: Copy + Ord> CalendarQueue<T> {
         if self.len > self.nb * 2 && self.nb < MAX_BUCKETS {
             self.grow_ring((self.nb * 2).clamp(DEFAULT_BUCKETS, MAX_BUCKETS));
             self.resizes += 1;
+        }
+        // The ring is empty here, so retuning the width is free and
+        // cannot affect pop order (pops compare full `(time, seq,
+        // item)` tuples regardless of bucketing). Target about one
+        // entry per bucket using the backlog's observed spacing; the
+        // overflow tier is sorted descending, so front/back are the
+        // extremes.
+        if self.overflow.len() >= WIDTH_RETUNE_MIN_BACKLOG {
+            let span = self.overflow[0].0 - self.overflow[self.overflow.len() - 1].0;
+            self.width =
+                (span / self.overflow.len() as u64).clamp(WIDTH_RETUNE_MIN, WIDTH_RETUNE_MAX);
         }
         let min_time = self.overflow.last().expect("nonempty overflow").0;
         self.ring_start = min_time - min_time % self.width;
@@ -540,6 +574,38 @@ mod tests {
         assert!(tel.bucket_resizes > 0, "backlog should have grown the ring: {tel:?}");
         assert!(tel.overflow_spills > 0);
         assert_eq!(tel.peak_pending, 1_000);
+    }
+
+    #[test]
+    fn scheduler_adapts_bucket_width_on_rebase() {
+        // Configured width wildly wrong for the actual spacing: the
+        // static estimate says 16 ticks, but events arrive ~1M ticks
+        // apart. The first window rebase re-derives the width from the
+        // backlog, so subsequent windows hold ~one entry per bucket
+        // instead of forcing a refill per pop.
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(16, 4);
+        let mut expect = Vec::new();
+        for seq in 0..200u64 {
+            q.push(seq * 1_000_000, seq, 0);
+            expect.push((seq * 1_000_000, seq, 0));
+        }
+        assert_eq!(q.bucket_width(), 16, "width must not move before a rebase");
+        assert_eq!(drain(&mut q), expect, "retuning must not change pop order");
+        assert!(
+            q.bucket_width() > 16,
+            "rebase should have widened the buckets toward the ~1M observed spacing: {}",
+            q.bucket_width()
+        );
+        // A sub-threshold backlog keeps whatever width is in force.
+        let w = q.bucket_width();
+        for seq in 0..(WIDTH_RETUNE_MIN_BACKLOG as u64 - 1) {
+            q.push(seq * 3, seq, 0);
+        }
+        drain(&mut q);
+        assert_eq!(q.bucket_width(), w);
+        // Reset re-seeds the width from the caller's static estimate.
+        q.reset(37, 4);
+        assert_eq!(q.bucket_width(), 37);
     }
 
     #[test]

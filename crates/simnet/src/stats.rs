@@ -93,11 +93,51 @@ pub struct SimStats {
     /// Scheduler telemetry: events that landed in the far-future
     /// overflow tier, summed over the event and lapse queues.
     pub sched_overflow_spills: u64,
+    /// Shard telemetry (see [`crate::shard`]): phase windows the
+    /// sharded driver executed with shards advancing independently.
+    /// Zero on sequential (`shards: 1`) runs.
+    pub shard_windows: u64,
+    /// Shard telemetry: phases that had to run globally serialized
+    /// because a shard's upcoming span contained cross-shard traffic
+    /// (window-barrier stalls).
+    pub shard_barrier_stalls: u64,
+    /// Shard telemetry: cross-shard sends encountered in globally
+    /// serialized phases (the traffic that prevented parallelism).
+    pub shard_cross_events: u64,
+    /// Shard telemetry: largest per-shard pending-event peak observed
+    /// across all windows.
+    pub shard_peak_pending: u64,
     /// Per-label mark times: label -> latest time any node recorded it.
     pub marks: BTreeMap<u32, SimTime>,
 }
 
 impl SimStats {
+    /// Fold one shard window's statistics into the run total: event
+    /// counters and waits add, mark labels keep the latest time. The
+    /// scheduler/shard telemetry fields are *not* merged here — shard
+    /// windows never set them; the driver folds its own telemetry once
+    /// at the end of the run.
+    pub(crate) fn absorb(&mut self, other: &SimStats) {
+        self.transmissions += other.transmissions;
+        self.bytes_moved += other.bytes_moved;
+        self.link_crossings += other.link_crossings;
+        self.edge_contention_events += other.edge_contention_events;
+        self.edge_contention_wait_ns += other.edge_contention_wait_ns;
+        self.nic_serialization_events += other.nic_serialization_events;
+        self.nic_serialization_wait_ns += other.nic_serialization_wait_ns;
+        self.forced_drops += other.forced_drops;
+        self.reserve_handshakes += other.reserve_handshakes;
+        self.barriers += other.barriers;
+        self.background_transmissions += other.background_transmissions;
+        self.background_bytes += other.background_bytes;
+        for (&label, &t) in &other.marks {
+            let entry = self.marks.entry(label).or_insert(t);
+            if *entry < t {
+                *entry = t;
+            }
+        }
+    }
+
     /// Mean hops per transmission.
     pub fn mean_path_length(&self) -> f64 {
         if self.transmissions == 0 {

@@ -1,0 +1,310 @@
+//! Differential pin of the sharded engine against the sequential one:
+//! for every workload the sharded driver must be **bit-identical** —
+//! same finish times, same node memories, same statistics (modulo the
+//! documented scheduler/shard telemetry, which describes the queues
+//! actually used).
+//!
+//! Three layers:
+//!
+//! 1. a property sweep over random cubes, phase partitions, block
+//!    sizes and shard counts, crossed with every engine flavour —
+//!    synchronized circuit exchanges (real windows), unsynchronized
+//!    ones (NIC lapses → run-level sequential fallback), jittered,
+//!    store-and-forward and conditioned runs (ineligible → sequential
+//!    gate);
+//! 2. a deterministic multi-window workload asserting the driver
+//!    actually runs phases windowed (telemetry non-zero), so the
+//!    property sweep can't silently degrade into always-sequential;
+//! 3. a deterministic NIC-contention workload asserting the lapse
+//!    fallback engages (telemetry zero *despite* shards > 1) and still
+//!    reproduces the sequential run exactly.
+
+use mce_core::builder::{build_multiphase_programs, build_with_options, BuildOptions};
+use mce_core::verify::stamped_memories;
+use mce_simnet::{NetCondition, Program, SimConfig, SimStats, Simulator};
+
+/// FNV-1a over all node memories — a compact identity witness so a
+/// divergence fails with a digest, not a megabyte dump.
+fn memory_digest(memories: &[Vec<u8>]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for mem in memories {
+        for &b in mem {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Zero the fields that legitimately differ between the sequential and
+/// sharded paths: scheduler telemetry describes whichever queues ran
+/// (per-shard queues are smaller), shard telemetry only the sharded
+/// driver sets. Everything else must match bit for bit.
+fn comparable(stats: &SimStats) -> SimStats {
+    let mut s = stats.clone();
+    s.sched_peak_pending = 0;
+    s.sched_bucket_resizes = 0;
+    s.sched_overflow_spills = 0;
+    s.shard_windows = 0;
+    s.shard_barrier_stalls = 0;
+    s.shard_cross_events = 0;
+    s.shard_peak_pending = 0;
+    s
+}
+
+fn run(cfg: SimConfig, programs: &[Program], memories: &[Vec<u8>]) -> mce_simnet::SimResult {
+    Simulator::new(cfg, programs.to_vec(), memories.to_vec()).run().expect("run failed")
+}
+
+/// Run `cfg` sequentially and with `shards` shards; assert identity.
+/// Returns the sharded run's stats for telemetry assertions.
+fn assert_sharded_identical(
+    cfg: &SimConfig,
+    shards: u32,
+    programs: &[Program],
+    memories: &[Vec<u8>],
+    label: &str,
+) -> SimStats {
+    let seq = run(cfg.clone(), programs, memories);
+    let shr = run(cfg.clone().with_shards(shards), programs, memories);
+    assert_eq!(seq.finish_time, shr.finish_time, "{label}: finish time diverged");
+    assert_eq!(seq.node_finish, shr.node_finish, "{label}: node finish times diverged");
+    assert_eq!(
+        memory_digest(&seq.memories),
+        memory_digest(&shr.memories),
+        "{label}: memory digest diverged"
+    );
+    assert_eq!(seq.memories, shr.memories, "{label}: memories diverged");
+    assert_eq!(comparable(&seq.stats), comparable(&shr.stats), "{label}: stats diverged");
+    shr.stats
+}
+
+/// Split dimension `d` into a phase partition steered by `seed`.
+fn partition_of(d: u32, seed: u64) -> Vec<u32> {
+    let mut dims = Vec::new();
+    let mut left = d;
+    let mut s = seed | 1;
+    while left > 0 {
+        s = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        let take = 1 + (s % left as u64) as u32;
+        dims.push(take.min(3).min(left));
+        left -= dims.last().copied().unwrap();
+    }
+    dims
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The engine flavours the sweep crosses the shard counts with.
+    /// Ineligible flavours (jitter, store-and-forward, conditioned)
+    /// pin the sequential gate; `CircuitNoSync` produces NIC lapses
+    /// inside otherwise-windowable phases, pinning the fallback.
+    #[derive(Debug, Clone, Copy)]
+    enum Flavour {
+        CircuitSynced,
+        CircuitNoSync,
+        StoreAndForward,
+        Jittered,
+        Conditioned,
+    }
+
+    /// Weighted draw: synchronized circuit runs (the flavour that
+    /// actually shards) get ~half the cases, the gate/fallback
+    /// flavours share the rest.
+    fn flavour_of(draw: u8) -> Flavour {
+        match draw % 7 {
+            0..=2 => Flavour::CircuitSynced,
+            3 => Flavour::CircuitNoSync,
+            4 => Flavour::StoreAndForward,
+            5 => Flavour::Jittered,
+            _ => Flavour::Conditioned,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn sharded_runs_are_bit_identical_to_sequential(
+            d in 3u32..=5,
+            dims_seed in 0u64..u64::MAX,
+            m in 1usize..=12,
+            shard_pow in 1u32..=3,
+            flavour_draw in 0u8..=255,
+        ) {
+            let flavour = flavour_of(flavour_draw);
+            let dims = partition_of(d, dims_seed);
+            let shards = (1u32 << shard_pow).min(1 << d);
+            let programs = match flavour {
+                Flavour::CircuitNoSync => build_with_options(
+                    d,
+                    &dims,
+                    m,
+                    BuildOptions { pairwise_sync: false, barrier_per_phase: true, marks: true },
+                ),
+                _ => build_multiphase_programs(d, &dims, m),
+            };
+            let memories = stamped_memories(d, m);
+            let cfg = match flavour {
+                Flavour::CircuitSynced | Flavour::CircuitNoSync => SimConfig::ipsc860(d),
+                Flavour::StoreAndForward => SimConfig::ipsc860(d).with_store_and_forward(),
+                Flavour::Jittered => SimConfig::ipsc860(d).with_jitter(0.05, dims_seed | 1),
+                Flavour::Conditioned => SimConfig::ipsc860(d)
+                    .with_netcond(NetCondition::uniform_slowdown(2.0)),
+            };
+            assert_sharded_identical(
+                &cfg,
+                shards,
+                &programs,
+                &memories,
+                &format!("d{d} dims{dims:?} m{m} shards{shards} {flavour:?}"),
+            );
+        }
+    }
+}
+
+/// The property sweep would still pass if the driver quietly ran
+/// everything sequentially — so pin that *every* phase of a multiphase
+/// exchange really executes as a shard window (the driver picks a
+/// shard axis per phase from the address bits the phase's sends leave
+/// free), and that a phase routing every dimension really stalls onto
+/// the global path.
+#[test]
+fn sharded_windows_actually_execute() {
+    let d = 6;
+    let dims = [1, 2, 3]; // top-down: phase dims {5}, {3,4}, {0,1,2}
+    let programs = build_multiphase_programs(d, &dims, 6);
+    let memories = stamped_memories(d, 6);
+    let cfg = SimConfig::ipsc860(d);
+    // Every phase leaves >= 3 address bits unsent, so all three phases
+    // window at any shard count — 16 exercises the per-phase clamp
+    // down to the bits a phase actually has free.
+    for shards in [2u32, 4, 8, 16] {
+        let stats = assert_sharded_identical(
+            &cfg,
+            shards,
+            &programs,
+            &memories,
+            &format!("d{d} dims{dims:?} shards{shards}"),
+        );
+        assert_eq!(
+            stats.shard_windows, 3,
+            "shards={shards}: every phase has a free axis and must window"
+        );
+        assert_eq!(
+            (stats.shard_barrier_stalls, stats.shard_cross_events),
+            (0, 0),
+            "shards={shards}: no phase should stall"
+        );
+        assert!(stats.shard_peak_pending > 0, "shards={shards}: windows ran, peak must be set");
+    }
+    // A single-phase exchange over every dimension leaves no free
+    // axis: the phase must stall globally and report its cross-shard
+    // sends (counted under the configured top-bit layout).
+    let programs = build_multiphase_programs(4, &[4], 6);
+    let memories = stamped_memories(4, 6);
+    let stats =
+        assert_sharded_identical(&SimConfig::ipsc860(4), 4, &programs, &memories, "d4 all-dims");
+    assert_eq!(stats.shard_windows, 0, "an all-dimension phase has no shard axis");
+    assert!(stats.shard_barrier_stalls >= 1, "the all-dimension phase must stall globally");
+    assert!(stats.shard_cross_events > 0, "stalled phases must report their cross-shard sends");
+}
+
+/// Unsynchronized exchanges violate the NIC concurrency window, so a
+/// window's shard pushes lapse wake-ups — the one case whose pop order
+/// the per-shard queues can't reproduce. The driver must detect it,
+/// discard the sharded attempt and rerun sequentially: telemetry all
+/// zero *despite* `shards > 1`, results exactly sequential.
+#[test]
+fn shard_lapse_fallback_reruns_sequentially() {
+    use mce_hypercube::NodeId;
+    use mce_simnet::{Op, Tag};
+    // d2 cube, shards = 2: pairs (0,1) and (2,3) are each intra-shard,
+    // so the phase after the barrier scans as Windowed. Within each
+    // pair both nodes send without pairwise sync and the second sender
+    // computes 50 µs first — its transmit start lands mid-receive,
+    // outside the NIC concurrency window, so the transmission blocks
+    // and pushes a lapse wake-up inside the window.
+    let bytes = 500usize;
+    let pair = |other: u32, stagger: bool| {
+        let mut ops = vec![Op::post_recv(NodeId(other), Tag::data(0, 1), 0..bytes), Op::Barrier];
+        if stagger {
+            ops.push(Op::Compute { ns: 50_000 });
+        }
+        ops.push(Op::send(NodeId(other), 0..bytes, Tag::data(0, 1)));
+        ops.push(Op::wait_recv(NodeId(other), Tag::data(0, 1)));
+        Program { ops }
+    };
+    let programs = vec![pair(1, false), pair(0, true), pair(3, false), pair(2, true)];
+    let memories: Vec<Vec<u8>> = (0..4u8).map(|i| vec![0x10 + i; bytes]).collect();
+    let cfg = SimConfig::ipsc860(2);
+    let seq = run(cfg.clone(), &programs, &memories);
+    assert!(
+        seq.stats.nic_serialization_events > 0,
+        "scenario must actually provoke NIC serialization, else it pins nothing"
+    );
+    let stats = assert_sharded_identical(&cfg, 2, &programs, &memories, "staggered nosync shards2");
+    assert_eq!(
+        (stats.shard_windows, stats.shard_barrier_stalls, stats.shard_cross_events),
+        (0, 0, 0),
+        "lapse fallback must discard the sharded attempt entirely"
+    );
+}
+
+/// `declared_sync` waives the fallback snapshot. On a genuinely
+/// pairwise-synchronized workload it must change nothing observable:
+/// windows run, results stay bit-identical to the sequential engine.
+#[test]
+fn declared_sync_runs_are_bit_identical() {
+    let d = 6;
+    let dims = [2, 2, 2];
+    let programs = build_multiphase_programs(d, &dims, 8);
+    let memories = stamped_memories(d, 8);
+    let cfg = SimConfig::ipsc860(d).with_declared_sync();
+    let stats = assert_sharded_identical(&cfg, 8, &programs, &memories, "declared d6 dims[2,2,2]");
+    assert_eq!(stats.shard_windows, 3, "declared runs must still window every phase");
+}
+
+/// A broken declaration must surface as a typed error, never as
+/// silently divergent results: the staggered no-sync workload from
+/// [`shard_lapse_fallback_reruns_sequentially`] pushes a NIC-lapse
+/// wake-up inside a window, and with `declared_sync` there is no
+/// pristine snapshot to fall back to.
+#[test]
+fn declared_sync_violation_is_a_typed_error() {
+    use mce_hypercube::NodeId;
+    use mce_simnet::{Op, SimError, Tag};
+    let bytes = 500usize;
+    let pair = |other: u32, stagger: bool| {
+        let mut ops = vec![Op::post_recv(NodeId(other), Tag::data(0, 1), 0..bytes), Op::Barrier];
+        if stagger {
+            ops.push(Op::Compute { ns: 50_000 });
+        }
+        ops.push(Op::send(NodeId(other), 0..bytes, Tag::data(0, 1)));
+        ops.push(Op::wait_recv(NodeId(other), Tag::data(0, 1)));
+        Program { ops }
+    };
+    let programs = vec![pair(1, false), pair(0, true), pair(3, false), pair(2, true)];
+    let memories: Vec<Vec<u8>> = (0..4u8).map(|i| vec![0x10 + i; bytes]).collect();
+    let cfg = SimConfig::ipsc860(2).with_shards(2).with_declared_sync();
+    let err = Simulator::new(cfg, programs, memories).run().unwrap_err();
+    assert_eq!(err, SimError::SyncDeclarationViolated);
+}
+
+/// `shards: 1` must be the plain sequential engine, telemetry
+/// included — byte-for-byte the pre-sharding path.
+#[test]
+fn single_shard_config_is_the_sequential_engine() {
+    let programs = build_multiphase_programs(5, &[2, 3], 10);
+    let memories = stamped_memories(5, 10);
+    let a = run(SimConfig::ipsc860(5), &programs, &memories);
+    let b = run(SimConfig::ipsc860(5).with_shards(1), &programs, &memories);
+    assert_eq!(a.finish_time, b.finish_time);
+    assert_eq!(a.node_finish, b.node_finish);
+    assert_eq!(a.memories, b.memories);
+    assert_eq!(a.stats, b.stats, "shards: 1 must not even differ in telemetry");
+}
