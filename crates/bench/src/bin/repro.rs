@@ -15,6 +15,7 @@
 //! repro permutation          # arbitrary-permutation rounds  (E13)
 //! repro ncube2               # projected Ncube-2 hulls       (E14)
 //! repro robustness [d] [--quick]  # degraded-network study   (E15)
+//! repro interference [d] [--quick] # shared-cube co-tenancy   (E16)
 //! ```
 //!
 //! Figure artifacts (CSV + JSON) land in `target/repro/`.
@@ -24,6 +25,7 @@
 //! simulation arenas, bit-identical to the equivalent one-shot runs.
 
 use mce_bench::figures::{paper_expectations, regenerate_figure, Figure};
+use mce_bench::interference::{interference_study, InterferenceOptions};
 use mce_bench::report::{ascii_plot, write_csv, write_json, Curve};
 use mce_bench::robustness::{robustness_study, RobustnessOptions};
 use mce_bench::{ablation, extensions, output_dir, tables};
@@ -45,6 +47,7 @@ fn main() {
             cmd_permutation();
             cmd_ncube2();
             cmd_robustness(6, false);
+            cmd_interference(6, false);
             for fig in [4u32, 5, 6] {
                 cmd_figure(fig, false);
             }
@@ -77,6 +80,16 @@ fn main() {
                 .map(|s| s.parse().expect("dimension"))
                 .unwrap_or(if quick { 4 } else { 6 });
             cmd_robustness(d, quick);
+        }
+        "interference" => {
+            let quick = args.iter().any(|a| a == "--quick");
+            let d: u32 = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .map(|s| s.parse().expect("dimension"))
+                .unwrap_or(if quick { 4 } else { 6 });
+            cmd_interference(d, quick);
         }
         other => {
             eprintln!("unknown subcommand {other:?}; see `repro` source header for usage");
@@ -410,6 +423,99 @@ fn cmd_robustness(d: u32, quick: bool) {
         &rows,
     );
     println!("artifacts: target/repro/robustness.csv, target/repro/robustness.json");
+}
+
+/// E16.
+fn cmd_interference(d: u32, quick: bool) {
+    banner(&format!(
+        "E16: shared-cube interference, multi-tenant jobs (d = {d}{})",
+        if quick { ", quick" } else { "" }
+    ));
+    let opts = if quick { InterferenceOptions::quick(d) } else { InterferenceOptions::full(d) };
+    let started = std::time::Instant::now();
+    let report = interference_study(&opts);
+    assert!(!report.rows.is_empty(), "interference study produced no rows");
+    assert!(report.rows.iter().all(|r| r.verified), "all tenants must move data correctly");
+    println!(
+        "simulated {} (regime, partition, size) cells in {:?}",
+        report.rows.len(),
+        started.elapsed()
+    );
+    println!(
+        "study partitions: {:?}   co-tenant: {} @ {} B",
+        report.partitions, report.cotenant_partition, report.cotenant_block
+    );
+    println!(
+        "\n{:<20} {:<36} {:>12} {:>7} {:>9} {:>8} {:>9}",
+        "regime",
+        "winner ladder (size: partition)",
+        "{d} takeover",
+        "shift",
+        "slowdown",
+        "jain",
+        "retx"
+    );
+    for s in &report.regimes {
+        let ladder: Vec<String> =
+            s.best_by_size.iter().map(|(m, p, _)| format!("{m}:{p}")).collect();
+        println!(
+            "{:<20} {:<36} {:>12} {:>7} {:>9.3} {:>8.3} {:>9}",
+            s.regime,
+            ladder.join(" "),
+            s.singleton_crossover_bytes
+                .map(|m| format!("{m} B"))
+                .unwrap_or_else(|| ">range".into()),
+            s.crossover_shift_steps.map(|n| format!("{n:+}")).unwrap_or_else(|| "-".into()),
+            s.mean_slowdown_max,
+            s.mean_jain,
+            s.retransmissions,
+        );
+    }
+    println!("\n-> a blocking co-tenant pushes the {{d}} takeover several ladder steps");
+    println!("   later: its camped circuits stall the singleton's d-hop paths hardest,");
+    println!("   widening the multiphase window. Reactive link policies restore the");
+    println!("   solo crossover — backed-off sources release cables between attempts —");
+    println!("   trading silent wait-queue camping for visible, bounded retransmission");
+    println!("   and per-job fairness that is now measurable (slowdown, Jain above).");
+    let dir = output_dir();
+    write_json(&dir.join("interference.json"), &report);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.regime.clone(),
+                r.partition.clone(),
+                r.phases.to_string(),
+                r.block_size.to_string(),
+                format!("{:.1}", r.study_makespan_us),
+                r.cotenant_makespan_us.map(|v| format!("{v:.1}")).unwrap_or_default(),
+                format!("{:.4}", r.slowdown_max),
+                format!("{:.4}", r.jain_fairness),
+                r.retransmissions.to_string(),
+                r.flow_drops.to_string(),
+                r.verified.to_string(),
+            ]
+        })
+        .collect();
+    write_csv(
+        &dir.join("interference.csv"),
+        &[
+            "regime",
+            "partition",
+            "phases",
+            "block_bytes",
+            "study_makespan_us",
+            "cotenant_makespan_us",
+            "slowdown_max",
+            "jain_fairness",
+            "retransmissions",
+            "flow_drops",
+            "verified",
+        ],
+        &rows,
+    );
+    println!("artifacts: target/repro/interference.csv, target/repro/interference.json");
 }
 
 /// E4-E6.

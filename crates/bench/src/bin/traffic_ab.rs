@@ -1,0 +1,173 @@
+//! `traffic_ab` — interleaved A/B comparison of the legacy
+//! single-tenant configuration against the same workload expressed
+//! through the multi-tenant job layer (`mce_simnet::traffic`).
+//!
+//! The job layer's no-op pin says a single job with flow control
+//! disabled is **bit-identical** to the legacy engine; this harness
+//! pins the companion claim that it is also **free**: the per-context
+//! job lookups, flow-control branches and per-job statistics on the
+//! hot path must cost within noise of the pre-traffic engine. Same
+//! methodology as `shard_ab`: each round runs one legacy and one
+//! jobs-API execution of every workload, alternating which goes first,
+//! persistent [`SimArena`] per side, medians over all rounds, JSON
+//! fragments ready for the `traffic` section of `BENCH_engine.json`.
+//!
+//! ```text
+//! traffic_ab [rounds]              # default 5 rounds
+//! ```
+
+use mce_core::builder::build_multiphase_programs;
+use mce_core::verify::stamped_memories;
+use mce_simnet::{JobSpec, Program, SimArena, SimConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sync + data transmissions of one multiphase run: nodes × Σ 2(2^di − 1).
+fn transmissions(d: u32, dims: &[u32]) -> u64 {
+    (1u64 << d) * dims.iter().map(|&di| 2 * ((1u64 << di) - 1)).sum::<u64>()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+struct Workload {
+    d: u32,
+    dims: Vec<u32>,
+    /// Runs per timed sample; the sub-millisecond rows batch several
+    /// runs so container scheduling noise doesn't dominate the medians
+    /// the ≤5% no-regression check reads.
+    iters: usize,
+    programs: Arc<Vec<Program>>,
+    memories: Vec<Vec<u8>>,
+}
+
+/// One API side of a workload: its config and its persistent arena.
+struct Side {
+    cfg: SimConfig,
+    arena: SimArena,
+}
+
+impl Side {
+    /// One timed sample: `w.iters` back-to-back runs, returning the
+    /// mean seconds per run (memory clones stay outside the timer).
+    fn run_once(&mut self, w: &Workload) -> f64 {
+        let clones: Vec<_> = (0..w.iters).map(|_| w.memories.clone()).collect();
+        let t0 = Instant::now();
+        for memories in clones {
+            let r = self.arena.run_shared(&self.cfg, &w.programs, memories).unwrap();
+            black_box(r.finish_time);
+        }
+        t0.elapsed().as_secs_f64() / w.iters as f64
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rounds: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let specs = vec![
+        (5u32, vec![5u32], 24usize),
+        (5, vec![2, 3], 24),
+        (6, vec![3, 3], 16),
+        (7, vec![3, 4], 8),
+    ];
+
+    let m = 40usize;
+    let built: Vec<Workload> = specs
+        .into_iter()
+        .map(|(d, dims, iters)| Workload {
+            d,
+            iters,
+            programs: Arc::new(build_multiphase_programs(d, &dims, m)),
+            memories: stamped_memories(d, m),
+            dims,
+        })
+        .collect();
+
+    let mut sides: Vec<(Side, Side)> = built
+        .iter()
+        .map(|w| {
+            (
+                Side { cfg: SimConfig::ipsc860(w.d), arena: SimArena::new() },
+                // One default job, flow control off: the identity case
+                // the no-op pin covers. A single job needs no context
+                // composition — the legacy programs/memories are its own.
+                Side {
+                    cfg: SimConfig::ipsc860(w.d).with_jobs(vec![JobSpec::default()]),
+                    arena: SimArena::new(),
+                },
+            )
+        })
+        .collect();
+
+    // Untimed warm-up: fill each side's compile cache and arena pools.
+    for _ in 0..2 {
+        for (w, (legacy, jobs)) in built.iter().zip(sides.iter_mut()) {
+            legacy.run_once(w);
+            jobs.run_once(w);
+        }
+    }
+
+    let mut legacy_times: Vec<Vec<f64>> = vec![Vec::new(); built.len()];
+    let mut jobs_times: Vec<Vec<f64>> = vec![Vec::new(); built.len()];
+    for round in 0..rounds {
+        for (i, w) in built.iter().enumerate() {
+            let (legacy, jobs) = &mut sides[i];
+            // Alternate which side goes first each round so neither
+            // systematically benefits from a warm cache.
+            let (tl, tj) = if round % 2 == 0 {
+                let tl = legacy.run_once(w);
+                let tj = jobs.run_once(w);
+                (tl, tj)
+            } else {
+                let tj = jobs.run_once(w);
+                let tl = legacy.run_once(w);
+                (tl, tj)
+            };
+            legacy_times[i].push(tl);
+            jobs_times[i].push(tj);
+            eprintln!(
+                "round {round} d{}_{:?}: legacy {:.3} ms, jobs {:.3} ms ({:+.1}%)",
+                w.d,
+                w.dims,
+                tl * 1e3,
+                tj * 1e3,
+                (tj / tl - 1.0) * 100.0
+            );
+        }
+    }
+
+    println!("{{");
+    for (section, times) in [("legacy", &mut legacy_times), ("jobs_api", &mut jobs_times)] {
+        println!("  \"results_{section}\": {{");
+        for (i, w) in built.iter().enumerate() {
+            let med = median(&mut times[i]);
+            let eps = transmissions(w.d, &w.dims) as f64 / med;
+            let comma = if i + 1 == built.len() { "" } else { "," };
+            println!(
+                "    \"d{}_{:?}\": {{ \"median_ms\": {:.4}, \"elements_per_sec\": {:.0} }}{comma}",
+                w.d,
+                w.dims,
+                med * 1e3,
+                eps
+            );
+        }
+        println!("  }},");
+    }
+    println!("  \"jobs_over_legacy\": {{");
+    for (i, w) in built.iter().enumerate() {
+        let ratio = median(&mut jobs_times[i].clone()) / median(&mut legacy_times[i].clone());
+        let comma = if i + 1 == built.len() { "" } else { "," };
+        println!("    \"d{}_{:?}\": {ratio:.3}{comma}", w.d, w.dims);
+    }
+    println!("  }}");
+    println!("}}");
+}

@@ -1,0 +1,419 @@
+//! E16 — the shared-cube interference study.
+//!
+//! The paper's crossover analysis (Figures 4-6) assumes the exchange
+//! owns the whole cube. Real machines are space-shared: another job's
+//! circuits contend for the same cables. This study re-runs the d = 6
+//! partition-vs-block-size comparison with a **co-tenant** — a second
+//! complete exchange (singleton plan `{d}`, the most link-hungry
+//! shape) time-sharing every physical node through the multi-tenant
+//! job layer of `mce_simnet::traffic` — and asks two questions:
+//!
+//! 1. *Where does the single-job crossover move?* Per regime, the
+//!    study job's winner ladder and its `{d}` takeover are recomputed
+//!    from the **job makespan** (not the global finish), so the
+//!    co-tenant's tail never pollutes the study job's curve.
+//! 2. *Which flow-control policy restores it?* The blocking co-tenant
+//!    (NX/2-style reliable circuit establishment) is compared against
+//!    reactive ones — drop-tail and NACK link policies with AIMD
+//!    go-back-n sources — which back off under contention instead of
+//!    camping on the wait queues.
+//!
+//! Fairness is reported per cell from the per-job statistics:
+//! max/min slowdown (`makespan_j / min_k makespan_k`) and the Jain
+//! index over per-job throughput. Every cell also verifies both
+//! tenants' exchanges end-to-end — contention and retransmission must
+//! never corrupt data movement.
+//!
+//! Measured at d = 6 (full grid): a blocking `{6}` co-tenant pushes
+//! the study job's `{6}` takeover from 160 B out to 360 B (+5 ladder
+//! steps; +4 staggered). Blocking contention punishes the singleton
+//! hardest — its d-hop circuits need every cable at once, so a camped
+//! co-tenant circuit stalls it for a whole transmission, while the
+//! multiphase plans' short circuits slip through — which *widens* the
+//! multiphase window exactly where the paper's trade says it should
+//! close. Both reactive policies restore the solo 160 B crossover:
+//! backed-off sources release the cables between attempts instead of
+//! camping on the wait queues, at the price of visible retransmission
+//! traffic (tens of thousands of drops across the grid) and a higher
+//! mean worst-slowdown (~1.8 vs ~1.6 blocking).
+
+use crate::figures::figure_partitions;
+use mce_core::builder::build_multiphase_programs;
+use mce_core::verify::{stamped_memories, verify_complete_exchange};
+use mce_model::MachineParams;
+use mce_partitions::Partition;
+use mce_simnet::batch::{run_cells, Memories, RunSpec};
+use mce_simnet::conformance;
+use mce_simnet::traffic::{compose_memories, compose_programs};
+use mce_simnet::{CwndAlg, FlowCtl, JobSpec, LinkPolicy, NetCondition, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Study options. `quick` keeps the CI smoke run in the seconds
+/// range; `full` matches the figure grids.
+#[derive(Debug, Clone)]
+pub struct InterferenceOptions {
+    /// Cube dimension.
+    pub d: u32,
+    /// Study-job block sizes (bytes) to sweep.
+    pub sizes: Vec<usize>,
+    /// Co-tenant block size, bytes (fixed across the sweep).
+    pub cotenant_block: usize,
+    /// Start offset of the staggered regime, ns.
+    pub stagger_ns: u64,
+}
+
+impl InterferenceOptions {
+    /// Small grid for smoke tests and CI (`repro interference --quick`).
+    pub fn quick(d: u32) -> InterferenceOptions {
+        InterferenceOptions {
+            d,
+            sizes: vec![16, 64, 160, 320],
+            cotenant_block: 200,
+            stagger_ns: 500_000,
+        }
+    }
+
+    /// The full ladder.
+    pub fn full(d: u32) -> InterferenceOptions {
+        InterferenceOptions {
+            d,
+            sizes: (1..=10).map(|k| k * 40).collect(),
+            cotenant_block: 200,
+            stagger_ns: 500_000,
+        }
+    }
+}
+
+/// One co-tenancy regime: whether a co-tenant shares the cube, when
+/// it starts, and how its sources react to contention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Regime {
+    /// Regime label (`solo`, `blocking`, `reactive_droptail`, ...).
+    pub label: String,
+    /// Whether the co-tenant job is present at all.
+    pub cotenant: bool,
+    /// Co-tenant start offset, ns.
+    pub stagger_ns: u64,
+    /// Link policy in force (applies to flow-controlled jobs only).
+    pub policy: Option<LinkPolicy>,
+    /// Flow control of the co-tenant's sources (`None` = blocking).
+    pub flow: Option<FlowCtl>,
+}
+
+/// The regimes of one study, in report order: the solo baseline, two
+/// blocking co-tenancy shapes (same-start and staggered), and the
+/// reactive policies answering "does backing off restore the curve?".
+fn regimes(opts: &InterferenceOptions) -> Vec<Regime> {
+    let reactive_flow = FlowCtl {
+        rto_ns: 200_000,
+        // Effectively unbounded: the study wants the backoff dynamics,
+        // not typed starvation aborts — but still a *bounded* budget,
+        // so a pathological regime fails typed instead of hanging.
+        max_retries: 100_000,
+        cwnd: CwndAlg::Aimd { window_max: 8 },
+    };
+    vec![
+        Regime { label: "solo".into(), cotenant: false, stagger_ns: 0, policy: None, flow: None },
+        Regime {
+            label: "blocking".into(),
+            cotenant: true,
+            stagger_ns: 0,
+            policy: None,
+            flow: None,
+        },
+        Regime {
+            label: "blocking_staggered".into(),
+            cotenant: true,
+            stagger_ns: opts.stagger_ns,
+            policy: None,
+            flow: None,
+        },
+        Regime {
+            label: "reactive_droptail".into(),
+            cotenant: true,
+            stagger_ns: 0,
+            policy: Some(LinkPolicy::DropTail { queue_limit: 0 }),
+            flow: Some(reactive_flow),
+        },
+        Regime {
+            label: "reactive_nack".into(),
+            cotenant: true,
+            stagger_ns: 0,
+            policy: Some(LinkPolicy::Nack { queue_limit: 0 }),
+            flow: Some(reactive_flow),
+        },
+    ]
+}
+
+/// One (regime, partition, block-size) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterferenceRow {
+    /// Regime label.
+    pub regime: String,
+    /// Study-job partition in paper notation.
+    pub partition: String,
+    /// Number of phases of that partition.
+    pub phases: usize,
+    /// Study-job block size, bytes.
+    pub block_size: usize,
+    /// Study job's makespan, µs (its own finish minus its start).
+    pub study_makespan_us: f64,
+    /// Co-tenant's makespan, µs (`None` in the solo regime).
+    pub cotenant_makespan_us: Option<f64>,
+    /// Worst per-job slowdown of the run (`1.0` when solo).
+    pub slowdown_max: f64,
+    /// Jain fairness index over per-job throughput.
+    pub jain_fairness: f64,
+    /// Flow-control retransmissions across the run.
+    pub retransmissions: u64,
+    /// Transmissions dropped/refused by the link policy.
+    pub flow_drops: u64,
+    /// Whether every tenant's exchange verified end-to-end.
+    pub verified: bool,
+}
+
+/// Per-regime winners and fairness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegimeSummary {
+    /// Regime label.
+    pub regime: String,
+    /// `(block_size, winning partition, its phase count)` per size,
+    /// by the study job's makespan.
+    pub best_by_size: Vec<(usize, String, usize)>,
+    /// Smallest block size from which `{d}` stays the study job's
+    /// winner (`None` = never within the sweep).
+    pub singleton_crossover_bytes: Option<usize>,
+    /// How many ladder steps the takeover moved vs the solo regime
+    /// (positive = later/larger blocks; `None` when either side never
+    /// crosses).
+    pub crossover_shift_steps: Option<i64>,
+    /// Mean worst-slowdown over the regime's cells.
+    pub mean_slowdown_max: f64,
+    /// Mean Jain fairness over the regime's cells.
+    pub mean_jain: f64,
+    /// Total retransmissions over the regime's cells.
+    pub retransmissions: u64,
+}
+
+/// The full study artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterferenceReport {
+    /// Cube dimension.
+    pub dimension: u32,
+    /// Co-tenant workload shape (always the singleton plan).
+    pub cotenant_partition: String,
+    /// Co-tenant block size, bytes.
+    pub cotenant_block: usize,
+    /// Study-job partitions compared (hull + Standard Exchange).
+    pub partitions: Vec<String>,
+    /// Every cell.
+    pub rows: Vec<InterferenceRow>,
+    /// Per-regime winner tables and fairness.
+    pub regimes: Vec<RegimeSummary>,
+}
+
+/// Run the study: one streaming fan-out over every
+/// (regime × partition × size) cell, each cell a deterministic
+/// multi-tenant run through the job layer.
+pub fn interference_study(opts: &InterferenceOptions) -> InterferenceReport {
+    let params = MachineParams::ipsc860();
+    let d = opts.d;
+    let n = 1usize << d;
+    let m_max = opts.sizes.iter().copied().max().unwrap_or(40);
+    let parts: Vec<Partition> = figure_partitions(&params, d, m_max as f64);
+    let regimes = regimes(opts);
+
+    struct Cell {
+        regime: usize,
+        part: usize,
+        m: usize,
+    }
+    let cells: Vec<Cell> = (0..regimes.len())
+        .flat_map(|regime| {
+            (0..parts.len())
+                .flat_map(move |part| opts.sizes.iter().map(move |&m| Cell { regime, part, m }))
+        })
+        .collect();
+
+    let cotenant_block = opts.cotenant_block;
+    let build = |cell: &Cell| -> RunSpec {
+        let regime = &regimes[cell.regime];
+        let study = build_multiphase_programs(d, parts[cell.part].parts(), cell.m);
+        let study_mem = stamped_memories(d, cell.m);
+        let mut job_specs = vec![JobSpec::default().shaped(parts[cell.part].parts(), cell.m)];
+        let (programs, memories) = if regime.cotenant {
+            let mut tenant_spec = JobSpec::at(regime.stagger_ns).shaped(&[d], cotenant_block);
+            if let Some(flow) = regime.flow {
+                tenant_spec = tenant_spec.with_flow(flow);
+            }
+            job_specs.push(tenant_spec);
+            let tenant = build_multiphase_programs(d, &[d], cotenant_block);
+            let tenant_mem = stamped_memories(d, cotenant_block);
+            (compose_programs(d, &[study, tenant]), compose_memories(d, &[study_mem, tenant_mem]))
+        } else {
+            (study, study_mem)
+        };
+        let mut cfg = SimConfig::ipsc860(d).with_jobs(job_specs);
+        if let Some(policy) = regime.policy {
+            cfg = cfg.with_netcond(NetCondition::default().with_link_policy(policy));
+        }
+        RunSpec {
+            cfg,
+            programs: Arc::new(programs),
+            memories: Memories::Owned(memories),
+            trace: false,
+        }
+    };
+    let finish =
+        |cell: Cell, result: Result<mce_simnet::engine::SimResult, mce_simnet::SimError>| {
+            let regime = &regimes[cell.regime];
+            let r = result.unwrap_or_else(|e| {
+                panic!(
+                    "interference cell ({}, {}, {}) failed: {e}",
+                    regime.label, parts[cell.part], cell.m
+                )
+            });
+            let jobs = &r.stats.jobs;
+            let slowdowns = r.stats.job_slowdowns();
+            let mut verified = verify_complete_exchange(d, cell.m, &r.memories[..n]).is_empty();
+            if regime.cotenant {
+                verified &=
+                    verify_complete_exchange(d, cotenant_block, &r.memories[n..2 * n]).is_empty();
+            }
+            InterferenceRow {
+                regime: regime.label.clone(),
+                partition: parts[cell.part].to_string(),
+                phases: parts[cell.part].parts().len(),
+                block_size: cell.m,
+                study_makespan_us: jobs[0].makespan_ns() as f64 / 1000.0,
+                cotenant_makespan_us: jobs.get(1).map(|j| j.makespan_ns() as f64 / 1000.0),
+                slowdown_max: slowdowns.iter().cloned().fold(1.0, f64::max),
+                jain_fairness: r.stats.jain_fairness(),
+                retransmissions: r.stats.retransmissions,
+                flow_drops: r.stats.flow_drops,
+                verified,
+            }
+        };
+    let rows = run_cells(cells, build, finish);
+
+    // Per-regime winner ladders over the study job's makespan.
+    let singleton = format!("{{{d}}}");
+    let mut summaries: Vec<RegimeSummary> = Vec::new();
+    let mut solo_crossover_step: Option<usize> = None;
+    for regime in &regimes {
+        let regime_rows: Vec<&InterferenceRow> =
+            rows.iter().filter(|r| r.regime == regime.label).collect();
+        let mut best_by_size: Vec<(usize, String, usize)> = Vec::new();
+        for &m in &opts.sizes {
+            let best = regime_rows
+                .iter()
+                .filter(|r| r.block_size == m)
+                .min_by(|a, b| a.study_makespan_us.partial_cmp(&b.study_makespan_us).unwrap())
+                .expect("every size has cells");
+            best_by_size.push((m, best.partition.clone(), best.phases));
+        }
+        let crossover = conformance::singleton_takeover(
+            &singleton,
+            best_by_size.iter().map(|(m, w, _)| (*m, w.as_str())),
+        );
+        let step = crossover.and_then(|m| opts.sizes.iter().position(|&s| s == m));
+        if regime.label == "solo" {
+            solo_crossover_step = step;
+        }
+        let crossover_shift_steps = match (solo_crossover_step, step) {
+            (Some(solo), Some(here)) => Some(here as i64 - solo as i64),
+            _ => None,
+        };
+        let cells_n = regime_rows.len().max(1) as f64;
+        summaries.push(RegimeSummary {
+            regime: regime.label.clone(),
+            singleton_crossover_bytes: crossover,
+            crossover_shift_steps,
+            mean_slowdown_max: regime_rows.iter().map(|r| r.slowdown_max).sum::<f64>() / cells_n,
+            mean_jain: regime_rows.iter().map(|r| r.jain_fairness).sum::<f64>() / cells_n,
+            retransmissions: regime_rows.iter().map(|r| r.retransmissions).sum(),
+            best_by_size,
+        });
+    }
+
+    InterferenceReport {
+        dimension: d,
+        cotenant_partition: singleton,
+        cotenant_block: opts.cotenant_block,
+        partitions: parts.iter().map(|p| p.to_string()).collect(),
+        rows,
+        regimes: summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_produces_consistent_rows() {
+        let opts = InterferenceOptions {
+            d: 4,
+            sizes: vec![16, 160],
+            cotenant_block: 120,
+            stagger_ns: 300_000,
+        };
+        let report = interference_study(&opts);
+        assert_eq!(report.regimes.len(), 5);
+        assert_eq!(
+            report.rows.len(),
+            report.partitions.len() * opts.sizes.len() * report.regimes.len()
+        );
+        // Data movement survives every regime, for both tenants.
+        assert!(report.rows.iter().all(|r| r.verified), "corrupted cell");
+        // Solo cells carry no co-tenant and trivial fairness.
+        for row in report.rows.iter().filter(|r| r.regime == "solo") {
+            assert!(row.cotenant_makespan_us.is_none());
+            assert_eq!((row.slowdown_max, row.jain_fairness), (1.0, 1.0));
+            assert_eq!(row.retransmissions, 0);
+        }
+        // Co-tenant regimes never beat solo on the same cell, and the
+        // same-start blocking regime actually contends.
+        let solo = |p: &str, m: usize| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.regime == "solo" && r.partition == p && r.block_size == m)
+                .unwrap()
+                .study_makespan_us
+        };
+        let mut blocking_slowed = false;
+        for row in report.rows.iter().filter(|r| r.regime != "solo") {
+            let base = solo(&row.partition, row.block_size);
+            assert!(
+                row.study_makespan_us >= base * 0.999,
+                "co-tenancy implausibly sped up {row:?} vs {base}"
+            );
+            if row.regime == "blocking" && row.study_makespan_us > base * 1.05 {
+                blocking_slowed = true;
+            }
+        }
+        assert!(blocking_slowed, "a same-start co-tenant must visibly contend somewhere");
+        // Reactive regimes actually exercised the reactive machinery.
+        let reactive_retx: u64 = report
+            .rows
+            .iter()
+            .filter(|r| r.regime.starts_with("reactive"))
+            .map(|r| r.retransmissions)
+            .sum();
+        assert!(reactive_retx > 0, "reactive policies must retransmit under contention");
+        // Blocking regimes never do.
+        assert!(report
+            .rows
+            .iter()
+            .filter(|r| !r.regime.starts_with("reactive"))
+            .all(|r| r.retransmissions == 0));
+        // Summaries agree with the rows they fold.
+        for s in &report.regimes {
+            assert_eq!(s.best_by_size.len(), opts.sizes.len());
+            assert!(s.mean_slowdown_max >= 1.0);
+            assert!(s.mean_jain > 0.0 && s.mean_jain <= 1.0);
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | E9 | schedule contention audit | `repro schedule-audit` |
 //! | E10 | §7.1-7.3 ablations | `repro ablation` |
 //! | E15 | degraded-network robustness | `repro robustness` |
+//! | E16 | shared-cube interference | `repro interference` |
 //!
 //! Each figure run writes CSV and JSON under `target/repro/` and
 //! prints a paper-vs-model-vs-simulation comparison.
@@ -21,6 +22,7 @@
 pub mod ablation;
 pub mod extensions;
 pub mod figures;
+pub mod interference;
 pub mod report;
 pub mod robustness;
 pub mod tables;

@@ -12,7 +12,11 @@ use mce_core::perm_router::{
 use mce_core::verify::stamped_memories;
 use mce_hypercube::NodeId;
 use mce_simnet::batch::{SimArena, SimBatch};
-use mce_simnet::{BackgroundStream, NetCondition, Program, SimConfig, SimResult, Simulator};
+use mce_simnet::traffic::{compose_memories, compose_programs};
+use mce_simnet::{
+    BackgroundStream, CwndAlg, FlowCtl, JobSpec, LinkPolicy, NetCondition, Program, SimConfig,
+    SimResult, Simulator,
+};
 use std::sync::Arc;
 
 /// FNV-1a over all node memories (length-prefixed per node).
@@ -48,6 +52,8 @@ struct Snapshot {
     reserve_handshakes: u64,
     barriers: u64,
     background_transmissions: u64,
+    retransmissions: u64,
+    flow_drops: u64,
     memory_digest: u64,
 }
 
@@ -65,6 +71,8 @@ fn snapshot(result: &SimResult) -> Snapshot {
         reserve_handshakes: result.stats.reserve_handshakes,
         barriers: result.stats.barriers,
         background_transmissions: result.stats.background_transmissions,
+        retransmissions: result.stats.retransmissions,
+        flow_drops: result.stats.flow_drops,
         memory_digest: memory_digest(&result.memories),
     }
 }
@@ -135,12 +143,34 @@ fn workload_spec(workload: usize) -> (SimConfig, Vec<Program>, Vec<Vec<u8>>) {
                 permutation_memories(d, &perm, m),
             )
         }
+        // Co-tenant traffic (see `mce_simnet::traffic`): two complete
+        // exchanges share a d4 cube — job 0 blocking (policy-exempt),
+        // job 1 staggered 200 µs behind it with go-back-n flow control
+        // over a lossy link, so retransmission backoff, AIMD window
+        // moves and the per-attempt loss coins are all pinned.
+        5 => {
+            let (d, m) = (4u32, 16usize);
+            let job0 = build_multiphase_programs(d, &[2, 2], m);
+            let job1 = build_multiphase_programs(d, &[4], m);
+            let flow =
+                FlowCtl { rto_ns: 50_000, max_retries: 200, cwnd: CwndAlg::Aimd { window_max: 8 } };
+            let netcond = NetCondition::default()
+                .with_link_policy(LinkPolicy::Lossy { loss_per_myriad: 500, seed: 0x5EED });
+            (
+                SimConfig::ipsc860(d).with_netcond(netcond).with_jobs(vec![
+                    JobSpec::default().shaped(&[2, 2], m),
+                    JobSpec::at(200_000).with_flow(flow).shaped(&[4], m),
+                ]),
+                compose_programs(d, &[job0, job1]),
+                compose_memories(d, &[stamped_memories(d, m), stamped_memories(d, m)]),
+            )
+        }
         other => panic!("no workload {other}"),
     }
 }
 
 fn workload_specs() -> Vec<(SimConfig, Vec<Program>, Vec<Vec<u8>>)> {
-    (0..5).map(workload_spec).collect()
+    (0..6).map(workload_spec).collect()
 }
 
 fn one_shot(workload: usize) -> SimResult {
@@ -169,6 +199,10 @@ fn run_conditioned_storm() -> SimResult {
     one_shot(4)
 }
 
+fn run_co_tenant_lossy() -> SimResult {
+    one_shot(5)
+}
+
 #[test]
 fn multiphase_d6_33_matches_snapshot() {
     assert_eq!(
@@ -186,6 +220,8 @@ fn multiphase_d6_33_matches_snapshot() {
             reserve_handshakes: 0,
             barriers: 2,
             background_transmissions: 0,
+            retransmissions: 0,
+            flow_drops: 0,
             memory_digest: 8019284349596013101,
         }
     );
@@ -208,6 +244,8 @@ fn bit_reversal_unscheduled_matches_snapshot() {
             reserve_handshakes: 0,
             barriers: 1,
             background_transmissions: 0,
+            retransmissions: 0,
+            flow_drops: 0,
             memory_digest: 15827179416263861220,
         }
     );
@@ -230,6 +268,8 @@ fn store_and_forward_matches_snapshot() {
             reserve_handshakes: 0,
             barriers: 2,
             background_transmissions: 0,
+            retransmissions: 0,
+            flow_drops: 0,
             memory_digest: 14841274650017736110,
         }
     );
@@ -252,6 +292,8 @@ fn jittered_nosync_matches_snapshot() {
             reserve_handshakes: 0,
             barriers: 1,
             background_transmissions: 0,
+            retransmissions: 0,
+            flow_drops: 0,
             memory_digest: 6797024586998232006,
         }
     );
@@ -280,9 +322,55 @@ fn conditioned_storm_matches_snapshot() {
             reserve_handshakes: 0,
             barriers: 1,
             background_transmissions: 25,
+            retransmissions: 0,
+            flow_drops: 0,
             memory_digest: 15827179416263861220,
         }
     );
+}
+
+/// The co-tenant traffic snapshot: two complete exchanges sharing a
+/// d4 cube, job 1 staggered and flow-controlled over a lossy link.
+/// Pins the whole reactive path — per-attempt loss coins, AIMD
+/// backoff, retransmission ordering, per-job accounting — and checks
+/// both tenants still deliver a correct complete exchange.
+#[test]
+fn co_tenant_lossy_matches_snapshot() {
+    let result = run_co_tenant_lossy();
+    assert_eq!(
+        snapshot(&result),
+        Snapshot {
+            finish_ns: 7309525,
+            transmissions: 694,
+            bytes_moved: 10112,
+            link_crossings: 1329,
+            edge_contention_events: 139,
+            edge_contention_wait_ns: 17740155,
+            nic_serialization_events: 153,
+            nic_serialization_wait_ns: 7507225,
+            forced_drops: 0,
+            reserve_handshakes: 0,
+            barriers: 3,
+            background_transmissions: 0,
+            retransmissions: 22,
+            flow_drops: 22,
+            memory_digest: 18421834905888481381,
+        }
+    );
+    // Per-job split: the blocking tenant is policy-exempt; the lossy
+    // link's drops all land on (and are recovered by) the reactive one.
+    let [j0, j1] = &result.stats.jobs[..] else { panic!("two jobs") };
+    assert_eq!((j0.retransmissions, j0.drops, j0.finish_ns), (0, 0, 3904496));
+    assert_eq!((j1.retransmissions, j1.drops, j1.finish_ns), (22, 22, 7309525));
+    assert_eq!(j1.start_ns, 200_000);
+    // Loss never corrupts data: each tenant's 16-node slice is a
+    // correct complete exchange on its own.
+    let (d, m, n) = (4u32, 16usize, 16usize);
+    for job in 0..2 {
+        let slice = result.memories[job * n..(job + 1) * n].to_vec();
+        let mismatches = mce_core::verify::verify_complete_exchange(d, m, &slice);
+        assert!(mismatches.is_empty(), "job {job} exchange corrupted: {mismatches:?}");
+    }
 }
 
 /// Batch determinism regression: `SimBatch` results must be
@@ -291,7 +379,7 @@ fn conditioned_storm_matches_snapshot() {
 /// between runs.
 #[test]
 fn batch_results_are_bit_identical_to_one_shot_runs() {
-    let one_shot_snaps: Vec<Snapshot> = (0..5).map(|i| snapshot(&one_shot(i))).collect();
+    let one_shot_snaps: Vec<Snapshot> = (0..6).map(|i| snapshot(&one_shot(i))).collect();
 
     // Parallel batch path (per-worker arenas).
     let mut batch = SimBatch::new(SimConfig::ipsc860(6));
@@ -324,11 +412,11 @@ fn batch_results_are_bit_identical_to_one_shot_runs() {
 /// reproduce its sequential snapshot bit for bit. Workload 0 actually
 /// exercises shard windows (low-dimension multiphase phases); workload
 /// 1 is all cross-shard traffic (global phases); workloads 2-4 are
-/// ineligible (store-and-forward, jitter, conditioned network) and pin
-/// the sequential gate.
+/// ineligible (store-and-forward, jitter, conditioned network,
+/// multi-tenant jobs) and pin the sequential gate.
 #[test]
 fn sharded_engine_reproduces_all_snapshots() {
-    for workload in 0..5 {
+    for workload in 0..6 {
         let reference = snapshot(&one_shot(workload));
         for shards in [2u32, 4] {
             let (cfg, programs, memories) = workload_spec(workload);
@@ -354,7 +442,11 @@ fn print_snapshots() {
         ("store_and_forward", run_store_and_forward()),
         ("jittered_nosync", run_jittered_nosync()),
         ("conditioned_storm", run_conditioned_storm()),
+        ("co_tenant_lossy", run_co_tenant_lossy()),
     ] {
         println!("{name}: {:#?}", snapshot(&result));
+        if !result.stats.jobs.is_empty() {
+            println!("{name} jobs: {:#?}", result.stats.jobs);
+        }
     }
 }

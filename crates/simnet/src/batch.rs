@@ -54,8 +54,9 @@
 use crate::config::{SimConfig, SwitchingMode};
 pub use crate::engine::SimArena;
 use crate::engine::{SimError, SimResult};
-use crate::netcond::{BackgroundStream, Cable, NetCondition, SpeedProfile};
+use crate::netcond::{BackgroundStream, Cable, LinkPolicy, NetCondition, SpeedProfile};
 use crate::program::Program;
+use crate::traffic::JobSpec;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -336,6 +337,75 @@ impl SimBatch {
             let cfg = self.conditioned_config(|nc| {
                 nc.background = (0..level).map(|j| stream.staggered(j, level)).collect();
             });
+            self.push_with_config(cfg, Arc::clone(programs), memories);
+        }
+        start..self.runs.len()
+    }
+
+    /// Queue one co-tenant run per start stagger: run `i` keeps the
+    /// given job shapes but spaces their start offsets `0, s_i, 2·s_i,
+    /// ...` apart. The composed programs are stagger-independent (the
+    /// offsets live in the config), so one `Arc`-shared set serves the
+    /// whole sweep and hits the arena's compile cache. Returns the
+    /// result index range.
+    pub fn stagger_sweep(
+        &mut self,
+        jobs: &[JobSpec],
+        staggers_ns: impl IntoIterator<Item = u64>,
+        programs: &Arc<Vec<Program>>,
+        memories: &Arc<Vec<Vec<u8>>>,
+    ) -> Range<usize> {
+        let start = self.runs.len();
+        for s in staggers_ns {
+            let mut cfg = self.base.clone();
+            cfg.jobs = jobs
+                .iter()
+                .enumerate()
+                .map(|(j, spec)| JobSpec { start_ns: j as u64 * s, ..spec.clone() })
+                .collect();
+            self.push_with_config(cfg, Arc::clone(programs), memories);
+        }
+        start..self.runs.len()
+    }
+
+    /// Queue one run per co-tenancy mix (each mix a full job-spec list
+    /// — different partitions, block sizes, flow policies), with
+    /// `build` producing that mix's composed context programs and
+    /// memories (see [`crate::traffic::compose_programs`]). Returns the
+    /// result index range.
+    pub fn tenancy_ladder(
+        &mut self,
+        mixes: Vec<Vec<JobSpec>>,
+        mut build: impl FnMut(&[JobSpec]) -> (Vec<Program>, Vec<Vec<u8>>),
+    ) -> Range<usize> {
+        let start = self.runs.len();
+        for mix in mixes {
+            let (programs, memories) = build(&mix);
+            let mut cfg = self.base.clone();
+            cfg.jobs = mix;
+            self.push_with_config(cfg, Arc::new(programs), memories);
+        }
+        start..self.runs.len()
+    }
+
+    /// Queue the same co-tenant workload once per link policy (`None`
+    /// is the blocking-sources baseline), so a sweep answers "which
+    /// flow-control regime restores fairness?" in one batch. Returns
+    /// the result index range.
+    pub fn policy_sweep(
+        &mut self,
+        policies: impl IntoIterator<Item = Option<LinkPolicy>>,
+        jobs: &[JobSpec],
+        programs: &Arc<Vec<Program>>,
+        memories: &Arc<Vec<Vec<u8>>>,
+    ) -> Range<usize> {
+        let start = self.runs.len();
+        for policy in policies {
+            let mut cfg = match policy {
+                Some(p) => self.conditioned_config(|nc| nc.link_policy = Some(p)),
+                None => self.base.clone(),
+            };
+            cfg.jobs = jobs.to_vec();
             self.push_with_config(cfg, Arc::clone(programs), memories);
         }
         start..self.runs.len()

@@ -135,6 +135,23 @@ pub struct RunAggregate {
     pub shard_barrier_stalls: MetricSummary,
     /// Cross-shard sends seen in those globally serialized phases.
     pub shard_cross_events: MetricSummary,
+    /// Flow-control retransmissions (see [`crate::traffic`]); all-zero
+    /// without a link policy.
+    pub retransmissions: MetricSummary,
+    /// Transmissions dropped/refused by the link policy.
+    pub flow_drops: MetricSummary,
+    /// Per-run worst job slowdown (`max_j makespan_j / min_k
+    /// makespan_k`; see [`crate::stats::SimStats::job_slowdowns`]),
+    /// folded over multi-tenant runs only — single-tenant runs carry no
+    /// job stats and are excluded from the sample.
+    pub job_slowdown_max: MetricSummary,
+    /// Per-run best job slowdown (`1.0` unless every job's makespan is
+    /// zero); multi-tenant runs only.
+    pub job_slowdown_min: MetricSummary,
+    /// Jain fairness index over per-job throughput (see
+    /// [`crate::stats::SimStats::jain_fairness`]); multi-tenant runs
+    /// only.
+    pub jain_fairness: MetricSummary,
 }
 
 /// Fold a slice of batch results (as returned by
@@ -145,6 +162,18 @@ pub fn aggregate(results: &[Result<SimResult, SimError>]) -> RunAggregate {
         let mut acc = MetricAccumulator::default();
         for r in &ok {
             acc.push(f(r));
+        }
+        acc.finish()
+    };
+    // Job-level metrics sample only the multi-tenant runs: a `None`
+    // from the projection keeps single-tenant runs out of the fold
+    // instead of polluting the fairness summaries with trivial 1.0s.
+    let job_col = |f: &dyn Fn(&SimResult) -> Option<f64>| -> MetricSummary {
+        let mut acc = MetricAccumulator::default();
+        for r in &ok {
+            if let Some(x) = f(r) {
+                acc.push(x);
+            }
         }
         acc.finish()
     };
@@ -164,6 +193,17 @@ pub fn aggregate(results: &[Result<SimResult, SimError>]) -> RunAggregate {
         shard_windows: col(&|r| r.stats.shard_windows as f64),
         shard_barrier_stalls: col(&|r| r.stats.shard_barrier_stalls as f64),
         shard_cross_events: col(&|r| r.stats.shard_cross_events as f64),
+        retransmissions: col(&|r| r.stats.retransmissions as f64),
+        flow_drops: col(&|r| r.stats.flow_drops as f64),
+        job_slowdown_max: job_col(&|r| r.stats.job_slowdowns().into_iter().reduce(f64::max)),
+        job_slowdown_min: job_col(&|r| r.stats.job_slowdowns().into_iter().reduce(f64::min)),
+        jain_fairness: job_col(&|r| {
+            if r.stats.jobs.is_empty() {
+                None
+            } else {
+                Some(r.stats.jain_fairness())
+            }
+        }),
     }
 }
 
@@ -212,6 +252,42 @@ mod tests {
         );
         assert_eq!(agg.shard_barrier_stalls.mean, 2.0);
         assert_eq!((agg.shard_cross_events.min, agg.shard_cross_events.max), (64.0, 192.0));
+    }
+
+    /// Fairness summaries sample only the multi-tenant runs: the
+    /// single-tenant replicate contributes nothing to them while still
+    /// counting toward the plain metrics.
+    #[test]
+    fn aggregate_summarizes_job_fairness_over_tenant_runs_only() {
+        use crate::stats::JobStats;
+        let job = |job, finish_ns, bytes| JobStats {
+            job,
+            finish_ns,
+            bytes_moved: bytes,
+            ..JobStats::default()
+        };
+        let mk = |jobs: Vec<JobStats>, retransmissions: u64| {
+            Ok(SimResult {
+                finish_time: SimTime::from_us(500.0),
+                node_finish: Vec::new(),
+                memories: Vec::new(),
+                trace: Vec::new(),
+                stats: SimStats { jobs, retransmissions, ..SimStats::default() },
+            })
+        };
+        let results = vec![
+            mk(Vec::new(), 0),                                       // single-tenant
+            mk(vec![job(0, 1_000, 4_000), job(1, 2_000, 4_000)], 3), // 2x spread
+            mk(vec![job(0, 1_000, 4_000), job(1, 4_000, 4_000)], 9), // 4x spread
+        ];
+        let agg = aggregate(&results);
+        assert_eq!(agg.finish_us.n, 3, "plain metrics fold every run");
+        assert_eq!(agg.job_slowdown_max.n, 2, "fairness folds tenant runs only");
+        assert_eq!((agg.job_slowdown_max.min, agg.job_slowdown_max.max), (2.0, 4.0));
+        assert_eq!(agg.job_slowdown_min.mean, 1.0);
+        assert_eq!(agg.jain_fairness.n, 2);
+        assert!(agg.jain_fairness.max < 1.0, "unequal service is unfair");
+        assert_eq!((agg.retransmissions.mean, agg.retransmissions.n), (4.0, 3));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::netcond::NetCondition;
 use crate::time::us_to_ns;
+use crate::traffic::JobSpec;
 use mce_model::MachineParams;
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +66,16 @@ pub struct SimConfig {
     /// declaration surfaces as [`crate::SimError::SyncDeclarationViolated`]
     /// instead of silently wrong results. Ignored on sequential runs.
     pub declared_sync: bool,
+    /// Concurrent tenant jobs sharing the cube (see
+    /// [`crate::traffic`]). Empty (the default) is the single-tenant
+    /// engine: the program list has one program per node. With `J`
+    /// jobs the program list holds `J·2^d` contexts — job `j`'s node
+    /// `x` at index `j·2^d + x`, as [`crate::traffic::compose_programs`]
+    /// lays them out — and each job runs from its
+    /// [`JobSpec::start_ns`] under its optional flow-control policy.
+    /// A single job with zero start offset and no flow control is
+    /// bit-identical to the empty list.
+    pub jobs: Vec<JobSpec>,
 }
 
 impl SimConfig {
@@ -81,6 +92,7 @@ impl SimConfig {
             netcond: None,
             shards: 1,
             declared_sync: false,
+            jobs: Vec::new(),
         }
     }
 
@@ -96,6 +108,7 @@ impl SimConfig {
             netcond: None,
             shards: 1,
             declared_sync: false,
+            jobs: Vec::new(),
         }
     }
 
@@ -141,10 +154,32 @@ impl SimConfig {
         self
     }
 
+    /// Attach a tenant-job list (see [`crate::traffic`]): the run
+    /// executes one `2^d`-program set per job, composed into a flat
+    /// context list by [`crate::traffic::compose_programs`].
+    pub fn with_jobs(mut self, jobs: Vec<JobSpec>) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// Number of nodes `2^d`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
         1usize << self.dimension
+    }
+
+    /// Number of tenant jobs this config runs (1 for the empty list —
+    /// the single-tenant engine).
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len().max(1)
+    }
+
+    /// Number of program contexts the engine executes:
+    /// `num_jobs · 2^d`.
+    #[inline]
+    pub fn total_contexts(&self) -> usize {
+        self.num_jobs() << self.dimension
     }
 
     /// Static validity check, run by the engine before any simulated
@@ -193,6 +228,11 @@ impl SimConfig {
                 self.shards,
                 self.num_nodes()
             ));
+        }
+        for (j, job) in self.jobs.iter().enumerate() {
+            if let Some(flow) = &job.flow {
+                flow.validate().map_err(|e| format!("job {j}: {e}"))?;
+            }
         }
         Ok(())
     }

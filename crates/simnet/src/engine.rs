@@ -47,17 +47,19 @@
 //!   `(time, seq)` pop order (see the [`crate::sched`] module docs).
 
 use crate::config::{SimConfig, SwitchingMode};
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::link::{LinkTable, TransmissionId};
 use crate::message::{MsgKind, Tag};
 use crate::netcond::{
-    background_tag, ecube_route_is_dead, plan_route, BackgroundStream, FaultSet, NetCondition,
+    background_tag, ecube_route_is_dead, lossy_coin, plan_route, BackgroundStream, FaultSet,
+    LinkPolicy, NetCondition,
 };
 use crate::program::{Op, Program};
 use crate::sched::CalendarQueue;
 use crate::shard::{PhaseMode, ShardPlan};
-use crate::stats::{SimStats, TraceEvent};
+use crate::stats::{JobStats, SimStats, TraceEvent};
 use crate::time::SimTime;
+use crate::traffic::{CongAlg, CwndState, FlowCtl};
 use mce_hypercube::routing::DirectedLink;
 use mce_hypercube::NodeId;
 use std::collections::VecDeque;
@@ -127,6 +129,22 @@ pub enum SimError {
         /// Unreachable node.
         dst: NodeId,
     },
+    /// A flow-controlled source (see [`crate::traffic`]) exhausted its
+    /// retry budget: the link policy kept dropping or refusing its
+    /// transmission [`crate::traffic::FlowCtl::max_retries`] + 1
+    /// times. The typed alternative to an unbounded retransmission
+    /// loop — a starved reactive job surfaces here instead of
+    /// spinning forever.
+    RetriesExhausted {
+        /// Index of the starved job in [`crate::SimConfig::jobs`].
+        job: u32,
+        /// The transmitting context (job · 2^d + node).
+        src: NodeId,
+        /// The intended receiver context.
+        dst: NodeId,
+        /// Attempts made (max_retries + 1).
+        retries: u32,
+    },
     /// The config carried [`crate::SimConfig::declared_sync`] but a
     /// shard window hit a NIC concurrency-window violation — the
     /// workload is not the FORCED-protocol exchange it was declared to
@@ -184,6 +202,11 @@ impl std::fmt::Display for SimError {
             SimError::Unroutable { src, dst } => write!(
                 f,
                 "unroutable: no fault-avoiding xor-mask decomposition routes {src} to {dst}"
+            ),
+            SimError::RetriesExhausted { job, src, dst, retries } => write!(
+                f,
+                "retries exhausted: job {job} context {src} gave up sending to {dst} \
+                 after {retries} dropped attempts"
             ),
             SimError::SyncDeclarationViolated => write!(
                 f,
@@ -284,11 +307,18 @@ fn route_for<'b>(
 /// time elapses; `None` on unconditioned runs.
 struct Conditioned {
     /// Fault-avoiding dimension orders for every `(src, mask)` whose
-    /// e-cube route crosses a dead cable.
+    /// e-cube route crosses a dead cable. Keyed by *physical* source
+    /// node: multi-job contexts of one node share routes.
     reroutes: FxHashMap<(u32, u32), Vec<u8>>,
+    /// Under [`NetCondition::skip_dead_pairs`]: every `(phys src,
+    /// mask)` with *no* fault-avoiding route. Sends to these pairs are
+    /// skipped (and counted per job) instead of failing the run;
+    /// empty otherwise.
+    dead_pairs: FxHashSet<(u32, u32)>,
     /// Background streams (copied out of the config).
     streams: Vec<BackgroundStream>,
-    /// Injections left per stream.
+    /// Injections left per stream (zeroed for streams whose pair is
+    /// dead under `skip_dead_pairs`).
     remaining: Vec<u32>,
 }
 
@@ -302,12 +332,18 @@ fn build_conditioned(
     nc: &NetCondition,
 ) -> Result<Conditioned, SimError> {
     let mut reroutes: FxHashMap<(u32, u32), Vec<u8>> = Default::default();
+    let mut dead_pairs: FxHashSet<(u32, u32)> = Default::default();
+    // Multi-job contexts fold onto physical nodes: routes, faults and
+    // dead pairs are all per-`(phys src, mask)`.
+    let node_mask = cfg.num_nodes() as u32 - 1;
+    let skip = nc.skip_dead_pairs;
     let faults = FaultSet::new(cfg.dimension, &nc.faults);
     if faults.any() {
         let mut resolve = |src: NodeId, dst: NodeId| -> Result<(), SimError> {
             let mask = src.0 ^ dst.0;
             if mask == 0
                 || reroutes.contains_key(&(src.0, mask))
+                || dead_pairs.contains(&(src.0, mask))
                 || !ecube_route_is_dead(src, mask, &faults)
             {
                 return Ok(());
@@ -317,13 +353,17 @@ fn build_conditioned(
                     reroutes.insert((src.0, mask), dims);
                     Ok(())
                 }
+                None if skip => {
+                    dead_pairs.insert((src.0, mask));
+                    Ok(())
+                }
                 None => Err(SimError::Unroutable { src, dst }),
             }
         };
         for (x, program) in compiled.programs.iter().enumerate() {
             for op in program.ops(&compiled.ops) {
                 if let CompiledOp::Send { dst, .. } = op {
-                    resolve(NodeId(x as u32), *dst)?;
+                    resolve(NodeId(x as u32 & node_mask), NodeId(dst.0 & node_mask))?;
                 }
             }
         }
@@ -331,11 +371,13 @@ fn build_conditioned(
             resolve(stream.src, stream.dst)?;
         }
     }
-    Ok(Conditioned {
-        reroutes,
-        streams: nc.background.clone(),
-        remaining: nc.background.iter().map(|s| s.count).collect(),
-    })
+    // A dead background stream injects nothing instead of erroring.
+    let remaining = nc
+        .background
+        .iter()
+        .map(|s| if dead_pairs.contains(&(s.src.0, s.src.0 ^ s.dst.0)) { 0 } else { s.count })
+        .collect();
+    Ok(Conditioned { reroutes, dead_pairs, streams: nc.background.clone(), remaining })
 }
 
 /// A [`Program`] op with every per-event lookup resolved up front.
@@ -724,6 +766,9 @@ enum Event {
     TransmissionEnd(TransmissionId),
     /// Fire one injection of background stream `i`.
     Inject(u32),
+    /// Re-issue a dropped flow-controlled transmission after its
+    /// backoff (see [`crate::traffic`]).
+    Retransmit(TransmissionId),
 }
 
 /// The simulator. Construct with programs and initial memories, then
@@ -737,14 +782,17 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Create a simulator for `cfg.num_nodes()` nodes.
+    /// Create a simulator for `cfg.total_contexts()` node contexts
+    /// (equal to `cfg.num_nodes()` on single-tenant configs; a
+    /// multi-job config takes one program/memory per job per node,
+    /// composed by [`crate::traffic::compose_programs`]).
     ///
     /// # Panics
     ///
     /// Panics if `programs` or `memories` have the wrong length.
     pub fn new(cfg: SimConfig, programs: Vec<Program>, memories: Vec<Vec<u8>>) -> Self {
-        assert_eq!(programs.len(), cfg.num_nodes(), "one program per node required");
-        assert_eq!(memories.len(), cfg.num_nodes(), "one memory per node required");
+        assert_eq!(programs.len(), cfg.total_contexts(), "one program per node context required");
+        assert_eq!(memories.len(), cfg.total_contexts(), "one memory per node context required");
         Simulator { cfg, programs, memories, trace_enabled: false, ran: false }
     }
 
@@ -931,6 +979,27 @@ impl SimArena {
         mut memories: Vec<Vec<u8>>,
         trace: bool,
     ) -> Result<SimResult, SimError> {
+        if cfg.num_jobs() > 1 {
+            // Jobs share links, never messages: a send whose xor-mask
+            // leaves the physical-node bits would alias another job's
+            // context. Rejected up front, like self-sends.
+            let node_mask = cfg.num_nodes() as u32 - 1;
+            for (x, p) in compiled.programs.iter().enumerate() {
+                for op in p.ops(&compiled.ops) {
+                    if let CompiledOp::Send { dst, .. } = op {
+                        if (x as u32 ^ dst.0) > node_mask {
+                            return Err(SimError::InvalidProgram {
+                                node: NodeId(x as u32),
+                                reason: format!(
+                                    "cross-job send to context {dst}: jobs share the cube's \
+                                     links, not messages"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
         if crate::shard::eligible(cfg, trace) {
             // The sharded attempt consumes the memories; keep a
             // pristine copy so a window violation can fall back to the
@@ -1162,7 +1231,7 @@ impl SimArena {
                 rt.buffered.insert(gk, v);
             }
             rt.stats.absorb(&srt.stats);
-            entered += srt.barrier_entered;
+            entered += srt.barrier_entered[0];
             if srt.last_barrier_entry > last_entry {
                 last_entry = srt.last_barrier_entry;
             }
@@ -1230,12 +1299,14 @@ enum WindowEnd {
 /// Shared config/shape validation for every arena-driven run.
 fn check_shape(cfg: &SimConfig, num_programs: usize, num_memories: usize) -> Result<(), SimError> {
     cfg.validate().map_err(|reason| SimError::InvalidConfig { reason })?;
-    let n = cfg.num_nodes();
+    let n = cfg.total_contexts();
     if num_programs != n || num_memories != n {
         return Err(SimError::InvalidConfig {
             reason: format!(
-                "cube of {n} nodes needs one program and one memory per node \
-                 (got {num_programs} programs, {num_memories} memories)"
+                "cube of {} nodes x {} job(s) needs one program and one memory per node \
+                 context ({n} total; got {num_programs} programs, {num_memories} memories)",
+                cfg.num_nodes(),
+                cfg.num_jobs(),
             ),
         });
     }
@@ -1307,12 +1378,37 @@ struct Runtime<'c> {
     cur_t: SimTime,
     next_tid: TransmissionId,
     next_qseq: u64,
-    barrier_entered: u64,
-    /// Barrier-entry count that releases the barrier: the node count
-    /// on sequential runs, `u64::MAX` inside a shard window (a shard
-    /// never releases a barrier on its own — the sharded driver
-    /// coordinates the release across shards; see [`crate::shard`]).
+    /// Physical-node mask: context `c` of a multi-job run acts for
+    /// node `c & node_mask` (always `num_nodes - 1`; on single-tenant
+    /// runs contexts *are* nodes and the mask is the identity).
+    node_mask: u32,
+    /// Tenant jobs sharing the cube (1 on single-tenant runs).
+    num_jobs: usize,
+    /// Per-job barrier-entry counters (barriers are job-local: jobs
+    /// never synchronize with each other).
+    barrier_entered: Vec<u64>,
+    /// Barrier-entry count that releases a job's barrier: the per-job
+    /// node count on sequential runs, `u64::MAX` inside a shard window
+    /// (a shard never releases a barrier on its own — the sharded
+    /// driver coordinates the release across shards; see
+    /// [`crate::shard`]).
     barrier_target: u64,
+    /// The run's link policy (copied out of the netcond); `None` =
+    /// reliable links, and the flow-control fields below stay empty.
+    link_policy: Option<LinkPolicy>,
+    /// Per-job flow control; empty unless a link policy *and* at least
+    /// one flow-controlled job are configured (the reactive machinery
+    /// costs the legacy path nothing).
+    flow: Vec<Option<FlowCtl>>,
+    /// Per-context congestion-window state (parallel to `nodes`;
+    /// empty when `flow` is).
+    flow_cwnd: Vec<CwndState>,
+    /// Per-context consecutive-drop counters (empty when `flow` is).
+    flow_retries: Vec<u32>,
+    /// First typed error raised outside an event handler's return path
+    /// (a retry budget exhausted inside the pending scan); checked
+    /// after every drained event.
+    fatal: Option<SimError>,
     /// When set, a completed barrier records its release time in
     /// `held_release` instead of waking the nodes: the sharded driver
     /// runs one barrier-delimited phase at a time and decides each
@@ -1340,6 +1436,7 @@ enum EventKey {
     NodeReady(u32),
     TransmissionEnd(u64),
     Inject(u32),
+    Retransmit(u64),
 }
 
 impl From<Event> for EventKey {
@@ -1348,6 +1445,7 @@ impl From<Event> for EventKey {
             Event::NodeReady(n) => EventKey::NodeReady(n.0),
             Event::TransmissionEnd(t) => EventKey::TransmissionEnd(t),
             Event::Inject(i) => EventKey::Inject(i),
+            Event::Retransmit(t) => EventKey::Retransmit(t),
         }
     }
 }
@@ -1508,8 +1606,41 @@ impl<'c> Runtime<'c> {
         };
         let mut id_to_slot = std::mem::take(&mut arena.id_to_slot);
         id_to_slot.reserve(total_sends);
+        // NIC wait-watchers live at *physical* nodes: a multi-job
+        // context blocked on a node's NIC state must wake when any
+        // co-tenant context of that node changes it.
+        let phys_n = cfg.num_nodes();
+        let num_jobs = cfg.num_jobs();
         let mut node_watch = std::mem::take(&mut arena.node_watch);
-        node_watch.resize_with(n, Vec::new);
+        node_watch.resize_with(phys_n, Vec::new);
+        let link_policy = cfg.netcond.as_ref().and_then(|nc| nc.link_policy);
+        let (flow, flow_cwnd, flow_retries) =
+            if link_policy.is_some() && cfg.jobs.iter().any(|j| j.flow.is_some()) {
+                let flow: Vec<Option<FlowCtl>> = cfg.jobs.iter().map(|j| j.flow).collect();
+                let mut cwnd = Vec::with_capacity(n);
+                for j in &cfg.jobs {
+                    let state = j.flow.unwrap_or_default().cwnd.instantiate();
+                    for _ in 0..phys_n {
+                        cwnd.push(state);
+                    }
+                }
+                (flow, cwnd, vec![0u32; n])
+            } else {
+                (Vec::new(), Vec::new(), Vec::new())
+            };
+        let mut stats = SimStats::default();
+        if shard.is_none() && !cfg.jobs.is_empty() {
+            stats.jobs = cfg
+                .jobs
+                .iter()
+                .enumerate()
+                .map(|(j, spec)| JobStats {
+                    job: j as u32,
+                    start_ns: spec.start_ns,
+                    ..JobStats::default()
+                })
+                .collect();
+        }
         let mut sched = std::mem::take(&mut arena.sched);
         // Calendar sizing: bucket width targets one distinct event
         // time per bucket, ring size the cube's concurrency (up to
@@ -1547,16 +1678,42 @@ impl<'c> Runtime<'c> {
             cur_t: SimTime(u64::MAX),
             next_tid: 1,
             next_qseq: 0,
-            barrier_entered: 0,
-            barrier_target: n as u64,
+            node_mask: phys_n as u32 - 1,
+            num_jobs,
+            barrier_entered: vec![0; num_jobs],
+            barrier_target: phys_n as u64,
             barrier_hold: false,
             held_release: None,
             last_barrier_entry: SimTime::ZERO,
             lapse_pushes: 0,
-            stats: SimStats::default(),
+            link_policy,
+            flow,
+            flow_cwnd,
+            flow_retries,
+            fatal: None,
+            stats,
             trace: Vec::new(),
             trace_enabled,
         }
+    }
+
+    /// The physical cube node a context acts for.
+    #[inline]
+    fn phys(&self, x: NodeId) -> NodeId {
+        NodeId(x.0 & self.node_mask)
+    }
+
+    /// The tenant job a context belongs to.
+    #[inline]
+    fn job_of(&self, x: NodeId) -> usize {
+        (x.0 >> self.cfg.dimension) as usize
+    }
+
+    /// This context's flow control, when the run's reactive machinery
+    /// is active and the context's job opted in.
+    #[inline]
+    fn flow_of(&self, x: NodeId) -> Option<&FlowCtl> {
+        self.flow.get(self.job_of(x)).and_then(Option::as_ref)
     }
 
     /// Return every recycled allocation to the arena, cleared of
@@ -1705,18 +1862,26 @@ impl<'c> Runtime<'c> {
         self.finish(compiled)
     }
 
-    /// Queue the run's initial events: every node ready at time zero,
-    /// plus the first injection of each background stream.
+    /// Queue the run's initial events: every node context ready at its
+    /// job's start offset (time zero on single-tenant runs), plus the
+    /// first injection of each live background stream.
     fn seed(&mut self) {
+        let staggered = !self.cfg.jobs.is_empty();
+        let per_job = (self.node_mask + 1) as usize;
         for i in 0..self.nodes.len() {
-            self.push(SimTime::ZERO, Event::NodeReady(NodeId(i as u32)));
+            let at = if staggered {
+                SimTime(self.cfg.jobs[i / per_job].start_ns)
+            } else {
+                SimTime::ZERO
+            };
+            self.push(at, Event::NodeReady(NodeId(i as u32)));
         }
         if let Some(cond) = &self.conditioned {
             let first: Vec<(u32, u64)> = cond
                 .streams
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| s.count > 0)
+                .filter(|&(i, _)| cond.remaining[i] > 0)
                 .map(|(i, s)| (i as u32, s.start_ns))
                 .collect();
             for (i, start_ns) in first {
@@ -1734,6 +1899,12 @@ impl<'c> Runtime<'c> {
                 EventKey::NodeReady(n) => self.step_node(NodeId(n), t, compiled)?,
                 EventKey::TransmissionEnd(id) => self.finish_transmission(id, t)?,
                 EventKey::Inject(i) => self.inject_background(i as usize, t),
+                EventKey::Retransmit(id) => self.fire_retransmit(id, t),
+            }
+            // Errors raised inside the pending scan (a flow-controlled
+            // source out of retries) surface between events.
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
             }
         }
         Ok(())
@@ -1773,6 +1944,17 @@ impl<'c> Runtime<'c> {
         self.stats.sched_bucket_resizes = ev.bucket_resizes + lapse.bucket_resizes;
         self.stats.sched_overflow_spills = ev.overflow_spills + lapse.overflow_spills;
         let finish_time = self.nodes.iter().map(|s| s.finish).max().unwrap_or(SimTime::ZERO);
+        // Per-job finish: the job's last context to complete.
+        if !self.stats.jobs.is_empty() {
+            let per_job = (self.node_mask + 1) as usize;
+            for (j, js) in self.stats.jobs.iter_mut().enumerate() {
+                js.finish_ns = self.nodes[j * per_job..(j + 1) * per_job]
+                    .iter()
+                    .map(|s| s.finish.as_ns())
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
         Ok(SimResult {
             finish_time,
             node_finish: self.nodes.iter().map(|s| s.finish).collect(),
@@ -1885,15 +2067,32 @@ impl<'c> Runtime<'c> {
                 CompiledOp::Send { dst, start, end, dst_slot, tag, kind } => {
                     // Self-sends were rejected by the compile pass
                     // (`SimError::SelfSend`), so `dst != x` here.
-                    self.nodes[xi].pc += 1;
                     let (dst, from, tag, kind, dst_slot) =
                         (*dst, *start as usize..*end as usize, *tag, *kind, *dst_slot);
+                    if self.pair_is_dead(x, dst) {
+                        // Partial-fault semantics: the pair's subcube
+                        // offers no route — skip the send (the matching
+                        // WaitRecv at the receiver skips too).
+                        self.nodes[xi].pc += 1;
+                        let job = self.job_of(x);
+                        if let Some(js) = self.stats.jobs.get_mut(job) {
+                            js.dead_pairs_skipped += 1;
+                        }
+                        continue;
+                    }
+                    self.nodes[xi].pc += 1;
                     let id = self.issue_transmission(x, dst, tag, kind, from, dst_slot, t);
                     self.nodes[xi].status = Status::Sending(id);
                     self.run_pending_scan(t);
                     return Ok(());
                 }
-                CompiledOp::WaitRecv { slot, .. } => {
+                CompiledOp::WaitRecv { slot, src, .. } => {
+                    if self.pair_is_dead(*src, x) {
+                        // The sender skipped this pair; don't block on
+                        // a message that will never arrive.
+                        self.nodes[xi].pc += 1;
+                        continue;
+                    }
                     let gi = self.slot_base[xi] as usize + *slot as usize;
                     if self.slots[gi].flags & SLOT_DELIVERED != 0 {
                         self.nodes[xi].pc += 1;
@@ -1919,10 +2118,13 @@ impl<'c> Runtime<'c> {
                 CompiledOp::Barrier => {
                     self.nodes[xi].pc += 1;
                     self.nodes[xi].status = Status::InBarrier;
-                    self.barrier_entered += 1;
+                    // Barriers are job-local: only the entering job's
+                    // contexts count toward (and wake from) it.
+                    let job = self.job_of(x);
+                    self.barrier_entered[job] += 1;
                     self.last_barrier_entry = t;
-                    if self.barrier_entered == self.barrier_target {
-                        self.barrier_entered = 0;
+                    if self.barrier_entered[job] == self.barrier_target {
+                        self.barrier_entered[job] = 0;
                         self.stats.barriers += 1;
                         let release = t.plus_ns(self.cfg.barrier_ns());
                         if self.trace_enabled {
@@ -1935,7 +2137,8 @@ impl<'c> Runtime<'c> {
                             // decides how the next phase executes.
                             self.held_release = Some(release);
                         } else {
-                            for i in 0..self.nodes.len() {
+                            let per_job = (self.node_mask + 1) as usize;
+                            for i in job * per_job..(job + 1) * per_job {
                                 self.push(release, Event::NodeReady(NodeId(i as u32)));
                             }
                         }
@@ -1956,6 +2159,83 @@ impl<'c> Runtime<'c> {
                 }
             }
         }
+    }
+
+    /// Whether `(src, dst)` is a dead pair under
+    /// [`NetCondition::skip_dead_pairs`] (always false otherwise).
+    #[inline]
+    fn pair_is_dead(&self, src: NodeId, dst: NodeId) -> bool {
+        match &self.conditioned {
+            Some(c) if !c.dead_pairs.is_empty() => {
+                c.dead_pairs.contains(&(src.0 & self.node_mask, (src.0 ^ dst.0) & self.node_mask))
+            }
+            _ => false,
+        }
+    }
+
+    /// A flow-controlled transmission was dropped (lossy link) or
+    /// refused (drop-tail / NACK at circuit establishment): shrink the
+    /// source's window, charge its retry budget, and schedule the
+    /// go-back-n retransmission — or raise the typed
+    /// [`SimError::RetriesExhausted`] when the budget is gone. `nack`
+    /// selects the short fixed NACK delay over the cwnd-scaled
+    /// backoff.
+    fn drop_transmission(&mut self, id: TransmissionId, t: SimTime, nack: bool) {
+        let (src, dst) = {
+            let tr = self.tr(id);
+            (tr.src, tr.dst)
+        };
+        let job = self.job_of(src);
+        let ctx = src.index();
+        self.stats.flow_drops += 1;
+        if let Some(js) = self.stats.jobs.get_mut(job) {
+            js.drops += 1;
+        }
+        self.flow_cwnd[ctx].on_drop();
+        self.flow_retries[ctx] += 1;
+        // Off the pending list until the retransmission fires.
+        self.tr_mut(id).pending = false;
+        let fc = self.flow[job].expect("drop on a non-flow-controlled job");
+        if self.flow_retries[ctx] > fc.max_retries {
+            if self.fatal.is_none() {
+                self.fatal = Some(SimError::RetriesExhausted {
+                    job: job as u32,
+                    src,
+                    dst,
+                    retries: self.flow_retries[ctx],
+                });
+            }
+            return;
+        }
+        let delay = if nack { (fc.rto_ns / 8).max(1) } else { fc.backoff_ns(&self.flow_cwnd[ctx]) };
+        self.push(t.plus_ns(delay), Event::Retransmit(id));
+    }
+
+    /// Re-issue a dropped transmission: back onto the pending list
+    /// under a fresh queue sequence, exactly as if it had just been
+    /// issued (the payload — in-place or owned — never moved).
+    fn fire_retransmit(&mut self, id: TransmissionId, t: SimTime) {
+        let src = match self.tr_live(id) {
+            Some(tr) => tr.src,
+            None => return,
+        };
+        let job = self.job_of(src);
+        self.stats.retransmissions += 1;
+        if let Some(js) = self.stats.jobs.get_mut(job) {
+            js.retransmissions += 1;
+        }
+        let qseq = self.next_qseq;
+        self.next_qseq += 1;
+        {
+            let tr = self.tr_mut(id);
+            tr.requested_at = t;
+            tr.blocked_by_link = false;
+            tr.blocked_by_nic = false;
+            tr.qseq = qseq;
+            tr.pending = true;
+        }
+        self.dirty_insert((qseq, id));
+        self.run_pending_scan(t);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -2059,6 +2339,9 @@ impl<'c> Runtime<'c> {
             Some((s, e)) => (e - s) as usize,
             None => payload.len(),
         };
+        // Same-job contexts differ only in physical-node bits, so the
+        // xor-mask is the physical route mask; routes and links live on
+        // the physical cube.
         let mask = src.0 ^ dst.0;
         let hops = mask.count_ones();
         let circuit = self.cfg.switching == SwitchingMode::Circuit;
@@ -2067,7 +2350,7 @@ impl<'c> Runtime<'c> {
         // prices hop 0; later hops are re-priced as they queue.
         let factors = if self.links.has_speeds() {
             let mut buf = fresh_route_buf();
-            let route = route_for(self.conditioned.as_ref(), src, mask, &mut buf);
+            let route = route_for(self.conditioned.as_ref(), self.phys(src), mask, &mut buf);
             Some(if circuit {
                 self.links.segment_factors(route)
             } else {
@@ -2242,12 +2525,36 @@ impl<'c> Runtime<'c> {
             (tr.src, tr.dst, tr.mask, tr.hop_idx as usize, tr.background)
         };
         let mut route_buf = fresh_route_buf();
-        let route = route_for(self.conditioned.as_ref(), src, mask, &mut route_buf);
+        let route = route_for(self.conditioned.as_ref(), self.phys(src), mask, &mut route_buf);
         let segment = if saf { &route[hop_idx..hop_idx + 1] } else { route };
         let links_free = self.links.all_free(segment);
         let first_hop = hop_idx == 0;
         let last_hop = !saf || hop_idx + 1 == route.len();
         if !links_free {
+            // Reactive sources under a drop-tail/NACK policy: when the
+            // blocking link's wait queue is already at the limit, the
+            // switch refuses the circuit instead of queueing it.
+            if !background && !saf {
+                let limit = match self.link_policy {
+                    Some(LinkPolicy::DropTail { queue_limit }) => Some((queue_limit, false)),
+                    Some(LinkPolicy::Nack { queue_limit }) => Some((queue_limit, true)),
+                    _ => None,
+                };
+                if let Some((queue_limit, nack)) = limit {
+                    if self.flow_of(src).is_some() {
+                        let queued = segment
+                            .iter()
+                            .filter(|l| !self.links.all_free(std::slice::from_ref(l)))
+                            .map(|l| self.link_watch.get(l).map_or(0, Vec::len))
+                            .max()
+                            .unwrap_or(0);
+                        if queued as u32 >= queue_limit {
+                            self.drop_transmission(id, t, nack);
+                            return false;
+                        }
+                    }
+                }
+            }
             let tr = self.tr_mut(id);
             if !tr.blocked_by_link {
                 tr.blocked_by_link = true;
@@ -2263,20 +2570,27 @@ impl<'c> Runtime<'c> {
         // NIC concurrency window (Section 7.2): outgoing at `src` may
         // not overlap an incoming unless their starts are within the
         // window; symmetrically for the receiver's active outgoing.
+        // The NIC is physical-node hardware, so on multi-job runs the
+        // intervals of every co-tenant context of the node count.
         // Background traffic models pass-through circuits from other
-        // jobs: it occupies links only and bypasses the NIC rule.
+        // partitions: it occupies links only and bypasses the NIC rule.
         let window = self.cfg.concurrency_window_ns;
+        let per_job = (self.node_mask + 1) as usize;
+        let (phys_src, phys_dst) =
+            ((src.0 & self.node_mask) as usize, (dst.0 & self.node_mask) as usize);
         let nic_conflict = !background && {
             let incoming_conflict = first_hop
-                && self.nodes[src.index()]
-                    .incoming
-                    .iter()
-                    .any(|&(_, start, end)| end > t && t.since(start) > window);
+                && (0..self.num_jobs).any(|j| {
+                    self.nodes[j * per_job + phys_src]
+                        .incoming
+                        .iter()
+                        .any(|&(_, start, end)| end > t && t.since(start) > window)
+                });
             let outgoing_conflict = last_hop
-                && match self.nodes[dst.index()].outgoing {
+                && (0..self.num_jobs).any(|j| match self.nodes[j * per_job + phys_dst].outgoing {
                     Some((_, start, end)) => end > t && t.since(start) > window,
                     None => false,
-                };
+                });
             incoming_conflict || outgoing_conflict
         };
         if nic_conflict {
@@ -2293,22 +2607,26 @@ impl<'c> Runtime<'c> {
             self.watch_segment(id, segment);
             let mut next_lapse = u64::MAX;
             if first_hop {
-                if !self.node_watch[src.index()].contains(&id) {
-                    self.node_watch[src.index()].push(id);
+                if !self.node_watch[phys_src].contains(&id) {
+                    self.node_watch[phys_src].push(id);
                 }
-                for &(_, start, end) in &self.nodes[src.index()].incoming {
-                    if end > t && t.since(start) > window {
-                        next_lapse = next_lapse.min(end.as_ns());
+                for j in 0..self.num_jobs {
+                    for &(_, start, end) in &self.nodes[j * per_job + phys_src].incoming {
+                        if end > t && t.since(start) > window {
+                            next_lapse = next_lapse.min(end.as_ns());
+                        }
                     }
                 }
             }
             if last_hop {
-                if !self.node_watch[dst.index()].contains(&id) {
-                    self.node_watch[dst.index()].push(id);
+                if !self.node_watch[phys_dst].contains(&id) {
+                    self.node_watch[phys_dst].push(id);
                 }
-                if let Some((_, start, end)) = self.nodes[dst.index()].outgoing {
-                    if end > t && t.since(start) > window {
-                        next_lapse = next_lapse.min(end.as_ns());
+                for j in 0..self.num_jobs {
+                    if let Some((_, start, end)) = self.nodes[j * per_job + phys_dst].outgoing {
+                        if end > t && t.since(start) > window {
+                            next_lapse = next_lapse.min(end.as_ns());
+                        }
                     }
                 }
             }
@@ -2335,20 +2653,34 @@ impl<'c> Runtime<'c> {
             self.stats.link_crossings += segment.len() as u64;
             if first_hop {
                 self.nodes[src.index()].outgoing = Some((id, t, end));
-                self.wake_node_watchers(src);
+                self.wake_node_watchers(self.phys(src));
                 self.stats.transmissions += 1;
                 self.stats.bytes_moved += bytes as u64;
             }
             if last_hop {
                 self.nodes[dst.index()].incoming.push((id, t, end));
-                self.wake_node_watchers(dst);
+                self.wake_node_watchers(self.phys(dst));
             }
             let tr = self.tr(id);
             let wait = t.since(tr.requested_at);
-            if tr.blocked_by_link {
+            let (by_link, by_nic) = (tr.blocked_by_link, tr.blocked_by_nic);
+            if by_link {
                 self.stats.edge_contention_wait_ns += wait;
-            } else if tr.blocked_by_nic {
+            } else if by_nic {
                 self.stats.nic_serialization_wait_ns += wait;
+            }
+            if !self.stats.jobs.is_empty() {
+                let job = self.job_of(src);
+                let js = &mut self.stats.jobs[job];
+                if first_hop {
+                    js.transmissions += 1;
+                    js.bytes_moved += bytes as u64;
+                }
+                if by_link {
+                    js.edge_contention_wait_ns += wait;
+                } else if by_nic {
+                    js.nic_wait_ns += wait;
+                }
             }
         }
         // An acquire can flip a watcher's blocking cause; give link
@@ -2379,7 +2711,7 @@ impl<'c> Runtime<'c> {
                 let mut route_buf = fresh_route_buf();
                 let (src, mask) = {
                     let tr = self.tr(id);
-                    (tr.src, tr.mask)
+                    (self.phys(tr.src), tr.mask)
                 };
                 let route = route_for(self.conditioned.as_ref(), src, mask, &mut route_buf);
                 let tr = self.tr_mut(id);
@@ -2396,7 +2728,7 @@ impl<'c> Runtime<'c> {
                 // stored at the first intermediate node.
                 let src = self.tr(id).src;
                 self.nodes[src.index()].outgoing = None;
-                self.wake_node_watchers(src);
+                self.wake_node_watchers(self.phys(src));
                 self.push(t, Event::NodeReady(src));
             }
             if !done {
@@ -2409,7 +2741,7 @@ impl<'c> Runtime<'c> {
                     // own link factor (heterogeneous hops differ).
                     let (src, mask, hop_idx, bytes, kind) = {
                         let tr = self.tr(id);
-                        (tr.src, tr.mask, tr.hop_idx as usize, tr.payload_len(), tr.kind)
+                        (self.phys(tr.src), tr.mask, tr.hop_idx as usize, tr.payload_len(), tr.kind)
                     };
                     let mut route_buf = fresh_route_buf();
                     let route = route_for(self.conditioned.as_ref(), src, mask, &mut route_buf);
@@ -2434,23 +2766,77 @@ impl<'c> Runtime<'c> {
             if !tr.background {
                 let dst = tr.dst;
                 self.nodes[dst.index()].incoming.retain(|&(iid, _, _)| iid != id);
-                self.wake_node_watchers(dst);
+                self.wake_node_watchers(self.phys(dst));
             }
             return self.deliver_and_wake(tr, t, false);
         }
+        // Lossy-link policy: a flow-controlled circuit may complete its
+        // full (priced) duration and still lose the payload. Decide
+        // BEFORE taking the transmission out of the slab — a lost one
+        // stays live (its in-place payload included) for the
+        // retransmission.
+        let lost = {
+            let tr = self.tr(id);
+            !tr.background
+                && match self.link_policy {
+                    Some(LinkPolicy::Lossy { loss_per_myriad, seed }) => {
+                        // Retransmissions reuse the slab id, so mix the
+                        // source's attempt count into the coin key —
+                        // each retry draws a fresh coin instead of
+                        // replaying the loss forever.
+                        self.flow_of(tr.src).is_some()
+                            && lossy_coin(
+                                seed,
+                                id.wrapping_add(
+                                    (self.flow_retries[tr.src.index()] as u64)
+                                        .wrapping_mul(crate::fxhash::SPLITMIX64_GOLDEN),
+                                ),
+                                loss_per_myriad,
+                            )
+                    }
+                    _ => false,
+                }
+        };
+        if lost {
+            let (src, dst, mask) = {
+                let tr = self.tr(id);
+                (tr.src, tr.dst, tr.mask)
+            };
+            let mut route_buf = fresh_route_buf();
+            let route = route_for(self.conditioned.as_ref(), self.phys(src), mask, &mut route_buf);
+            self.links.release(route, id);
+            self.wake_link_watchers(route);
+            let src_state = &mut self.nodes[src.index()];
+            debug_assert!(matches!(src_state.outgoing, Some((oid, _, _)) if oid == id));
+            src_state.outgoing = None;
+            self.wake_node_watchers(self.phys(src));
+            self.nodes[dst.index()].incoming.retain(|&(iid, _, _)| iid != id);
+            self.wake_node_watchers(self.phys(dst));
+            self.drop_transmission(id, t, false);
+            self.run_pending_scan(t);
+            return Ok(());
+        }
         let tr = self.take_tr(id);
         let mut route_buf = fresh_route_buf();
-        let route = route_for(self.conditioned.as_ref(), tr.src, tr.mask, &mut route_buf);
+        let route =
+            route_for(self.conditioned.as_ref(), self.phys(tr.src), tr.mask, &mut route_buf);
         self.links.release(route, id);
         self.wake_link_watchers(route);
         if !tr.background {
             let src_state = &mut self.nodes[tr.src.index()];
             debug_assert!(matches!(src_state.outgoing, Some((oid, _, _)) if oid == id));
             src_state.outgoing = None;
-            self.wake_node_watchers(tr.src);
+            self.wake_node_watchers(self.phys(tr.src));
             let dst_state = &mut self.nodes[tr.dst.index()];
             dst_state.incoming.retain(|&(iid, _, _)| iid != id);
-            self.wake_node_watchers(tr.dst);
+            self.wake_node_watchers(self.phys(tr.dst));
+            // Acknowledge the completed circuit to the source's
+            // congestion window and re-arm its retry budget.
+            if !self.flow.is_empty() && self.flow_of(tr.src).is_some() {
+                let ctx = tr.src.index();
+                self.flow_cwnd[ctx].on_ack();
+                self.flow_retries[ctx] = 0;
+            }
         }
 
         let wake_sender = !tr.background;

@@ -111,13 +111,15 @@ pub mod sched;
 pub mod shard;
 pub mod stats;
 pub mod time;
+pub mod traffic;
 
 pub use batch::{SimArena, SimBatch};
 pub use config::SimConfig;
 pub use engine::{SimError, SimResult, Simulator};
 pub use message::{MsgKind, Tag};
-pub use netcond::{BackgroundStream, Cable, NetCondition, SpeedProfile};
+pub use netcond::{BackgroundStream, Cable, LinkPolicy, NetCondition, SpeedProfile};
 pub use program::{Op, Program};
 pub use sched::{CalendarQueue, SchedTelemetry};
-pub use stats::{SimStats, TraceEvent};
+pub use stats::{JobStats, SimStats, TraceEvent};
 pub use time::SimTime;
+pub use traffic::{CongAlg, CwndAlg, FlowCtl, JobSpec};

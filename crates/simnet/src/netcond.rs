@@ -175,6 +175,49 @@ impl BackgroundStream {
     }
 }
 
+/// How links treat transmissions of *flow-controlled* jobs (see
+/// [`crate::traffic`]). Jobs without a
+/// [`FlowCtl`](crate::traffic::FlowCtl) model the NX/2 kernel's
+/// reliable blocking circuit establishment and are never dropped, so a
+/// policy on its own cannot perturb a legacy run — the no-op pin.
+///
+/// All three policies signal the source's congestion window
+/// (`on_drop`) and trigger a go-back-n retransmission; they differ in
+/// *where* the drop is detected and *how fast* the source learns:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkPolicy {
+    /// Drop at circuit establishment when the blocking link's wait
+    /// queue already holds `queue_limit` transmissions: the switch
+    /// refuses the circuit instead of queueing it, and the source
+    /// retries after its cwnd-scaled backoff (`rto · w_max / cwnd`).
+    DropTail {
+        /// Waiters a busy link tolerates before refusing circuits.
+        queue_limit: u32,
+    },
+    /// Deterministic payload corruption: each completed circuit is
+    /// lost with probability `loss_per_myriad / 10_000`, decided by a
+    /// splitmix64 coin keyed by `(seed, transmission id)`. The loss is
+    /// discovered only at the end of the (fully priced) transmission —
+    /// the expensive failure mode — and retransmitted after the
+    /// cwnd-scaled backoff.
+    Lossy {
+        /// Loss probability in units of 1/10_000.
+        loss_per_myriad: u32,
+        /// Seed of the deterministic coin.
+        seed: u64,
+    },
+    /// Drop-tail detection with an explicit negative acknowledgment:
+    /// the refused source learns immediately and retries after a short
+    /// fixed delay (`rto / 8`) instead of the cwnd-scaled backoff. The
+    /// congestion window still shrinks on every NACK, so sustained
+    /// overload keeps shaping the *window*, just not the latency of
+    /// the retry itself.
+    Nack {
+        /// Waiters a busy link tolerates before NACKing circuits.
+        queue_limit: u32,
+    },
+}
+
 /// Tag bit marking background-stream transmissions in traces; disjoint
 /// from `Tag::sync` (bit 63) and from any small-phase data tag.
 pub const BACKGROUND_TAG_BIT: u64 = 1 << 62;
@@ -197,6 +240,20 @@ pub struct NetCondition {
     pub faults: Vec<Cable>,
     /// Background-traffic streams.
     pub background: Vec<BackgroundStream>,
+    /// Link treatment of flow-controlled jobs' transmissions (drops
+    /// and retransmission triggers); `None` = reliable links. Affects
+    /// only jobs carrying a [`FlowCtl`](crate::traffic::FlowCtl).
+    pub link_policy: Option<LinkPolicy>,
+    /// Partial-fault semantics for multi-pair schedules: instead of
+    /// rejecting the whole run as [`crate::SimError::Unroutable`] when
+    /// a compiled send's subcube offers no fault-avoiding route, skip
+    /// that (src, dst) pair — the send is not issued, the matching
+    /// `WaitRecv` does not block, and the skips are counted per job in
+    /// [`crate::stats::JobStats::dead_pairs_skipped`]. The receiver's
+    /// buffer simply keeps its prior bytes (a data hole), so
+    /// verification against a complete exchange is expected to report
+    /// the missing pairs.
+    pub skip_dead_pairs: bool,
 }
 
 impl NetCondition {
@@ -229,13 +286,28 @@ impl NetCondition {
         self
     }
 
+    /// Attach a link policy for flow-controlled jobs.
+    pub fn with_link_policy(mut self, policy: LinkPolicy) -> NetCondition {
+        self.link_policy = Some(policy);
+        self
+    }
+
+    /// Switch to partial-fault semantics: unroutable pairs are skipped
+    /// and reported per job instead of failing the run.
+    pub fn with_skip_dead_pairs(mut self) -> NetCondition {
+        self.skip_dead_pairs = true;
+        self
+    }
+
     /// Whether this condition cannot affect any run: unit factors, no
-    /// faults, no background traffic.
+    /// faults, no background traffic, no link policy, strict routing.
     pub fn is_noop(&self) -> bool {
         self.speed.is_unit()
             && self.overrides.iter().all(|o| o.factor == 1.0)
             && self.faults.is_empty()
             && self.background.is_empty()
+            && self.link_policy.is_none()
+            && !self.skip_dead_pairs
     }
 
     /// Static validity for a `d`-dimensional cube: factors finite and
@@ -294,6 +366,13 @@ impl NetCondition {
                 return Err(format!("background stream {i} repeats with zero period"));
             }
         }
+        if let Some(LinkPolicy::Lossy { loss_per_myriad, .. }) = self.link_policy {
+            if loss_per_myriad > 10_000 {
+                return Err(format!(
+                    "lossy link policy loss_per_myriad {loss_per_myriad} exceeds 10000"
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -318,6 +397,15 @@ impl NetCondition {
         }
         v
     }
+}
+
+/// Deterministic [`LinkPolicy::Lossy`] coin: whether transmission
+/// `id` under `seed` is lost, at probability `loss_per_myriad / 10⁴`.
+/// Pure function of its arguments; the engine mixes the source's
+/// retry count into `id`, so each retransmission attempt (which
+/// reuses its slab id) still draws a fresh coin.
+pub fn lossy_coin(seed: u64, id: u64, loss_per_myriad: u32) -> bool {
+    loss_per_myriad > 0 && unit_draw(seed, id) * 10_000.0 < loss_per_myriad as f64
 }
 
 /// Splitmix64-derived uniform draw in `[0, 1]`.
@@ -465,6 +553,26 @@ mod tests {
                 count: 1,
             })
             .is_noop());
+        assert!(!NetCondition::default()
+            .with_link_policy(LinkPolicy::DropTail { queue_limit: 4 })
+            .is_noop());
+        assert!(!NetCondition::default().with_skip_dead_pairs().is_noop());
+    }
+
+    #[test]
+    fn lossy_coin_is_deterministic_and_respects_bounds() {
+        assert!(!lossy_coin(7, 1, 0), "zero loss never drops");
+        assert!(lossy_coin(7, 1, 10_000), "certain loss always drops");
+        for id in 0..64u64 {
+            assert_eq!(lossy_coin(9, id, 2_500), lossy_coin(9, id, 2_500));
+        }
+        // Roughly a quarter of ids drop at 2500/10000.
+        let drops = (0..10_000u64).filter(|&id| lossy_coin(0xC0DE, id, 2_500)).count();
+        assert!((2_000..3_000).contains(&drops), "{drops}");
+        // A bad rate is rejected by validation.
+        let nc = NetCondition::default()
+            .with_link_policy(LinkPolicy::Lossy { loss_per_myriad: 10_001, seed: 1 });
+        assert!(nc.validate(3).unwrap_err().contains("loss_per_myriad"));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::ops::Range;
 use std::sync::Arc;
 
 /// One node operation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// Post a receive: a message from `src` with tag `tag` will be
     /// deposited into `into` (byte range of node memory). Free at run
@@ -65,7 +65,7 @@ impl Op {
 }
 
 /// A node's complete program.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     /// Operations, executed strictly in order.
     pub ops: Vec<Op>,

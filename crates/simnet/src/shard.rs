@@ -238,11 +238,16 @@ pub(crate) enum PhaseMode {
 /// jitter (transmission ids are per-shard) and an unconditioned
 /// network (no background injections, no global speed table); traced
 /// runs stay sequential so trace order needs no merge step.
+/// Multi-tenant runs ([`SimConfig::jobs`] non-empty) also stay
+/// sequential: shard windows run per-subcube slices whose
+/// [`crate::stats::JobStats`] cannot be merged across windows, and
+/// staggered job starts break the quiescent-barrier argument.
 pub(crate) fn eligible(cfg: &SimConfig, trace: bool) -> bool {
     cfg.shards > 1
         && cfg.switching == SwitchingMode::Circuit
         && cfg.jitter_frac == 0.0
         && cfg.netcond.is_none()
+        && cfg.jobs.is_empty()
         && !trace
 }
 
@@ -345,6 +350,10 @@ mod tests {
         assert!(!eligible(&SimConfig::ipsc860(4), false), "shards: 1");
         assert!(!eligible(&base.clone().with_store_and_forward(), false));
         assert!(!eligible(&base.clone().with_jitter(0.1, 7), false));
+        assert!(
+            !eligible(&base.clone().with_jobs(vec![crate::traffic::JobSpec::default()]), false),
+            "multi-tenant runs stay sequential"
+        );
         let mut conditioned = base;
         conditioned.netcond = Some(NetCondition::default());
         assert!(!eligible(&conditioned, false));

@@ -107,8 +107,56 @@ pub struct SimStats {
     /// Shard telemetry: largest per-shard pending-event peak observed
     /// across all windows.
     pub shard_peak_pending: u64,
+    /// Flow-control retransmissions issued (dropped or refused
+    /// transmissions re-entered go-back-n style; see
+    /// [`crate::traffic`]). Zero without a link policy.
+    pub retransmissions: u64,
+    /// Flow-control drops: transmissions refused at circuit
+    /// establishment (drop-tail / NACK) or lost on a lossy link.
+    pub flow_drops: u64,
+    /// Per-tenant-job statistics; empty on single-tenant runs (a
+    /// config with [`crate::SimConfig::jobs`] empty), so legacy
+    /// results are structurally unchanged.
+    pub jobs: Vec<JobStats>,
     /// Per-label mark times: label -> latest time any node recorded it.
     pub marks: BTreeMap<u32, SimTime>,
+}
+
+/// Statistics of one tenant job of a multi-job run (see
+/// [`crate::traffic`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Job index (position in [`crate::SimConfig::jobs`]).
+    pub job: u32,
+    /// Configured start offset, ns.
+    pub start_ns: u64,
+    /// Simulated time at which the job's last node finished, ns.
+    pub finish_ns: u64,
+    /// Transmissions started by this job's nodes.
+    pub transmissions: u64,
+    /// Payload bytes moved by this job.
+    pub bytes_moved: u64,
+    /// Time this job's transmissions spent stalled on busy links, ns.
+    pub edge_contention_wait_ns: u64,
+    /// Time this job's transmissions spent stalled on the NIC
+    /// serialization rule, ns.
+    pub nic_wait_ns: u64,
+    /// Go-back-n retransmissions issued by this job's sources.
+    pub retransmissions: u64,
+    /// Transmissions of this job dropped/refused by the link policy.
+    pub drops: u64,
+    /// Sends (and their matching waits) skipped because the pair's
+    /// subcube offered no fault-avoiding route, under
+    /// [`crate::NetCondition::skip_dead_pairs`].
+    pub dead_pairs_skipped: u64,
+}
+
+impl JobStats {
+    /// Wall-clock span of the job: finish minus start offset (zero
+    /// until the job finishes).
+    pub fn makespan_ns(&self) -> u64 {
+        self.finish_ns.saturating_sub(self.start_ns)
+    }
 }
 
 impl SimStats {
@@ -130,6 +178,8 @@ impl SimStats {
         self.barriers += other.barriers;
         self.background_transmissions += other.background_transmissions;
         self.background_bytes += other.background_bytes;
+        self.retransmissions += other.retransmissions;
+        self.flow_drops += other.flow_drops;
         for (&label, &t) in &other.marks {
             let entry = self.marks.entry(label).or_insert(t);
             if *entry < t {
@@ -146,6 +196,41 @@ impl SimStats {
             self.link_crossings as f64 / self.transmissions as f64
         }
     }
+
+    /// Per-job slowdown relative to the fastest job of *this* run:
+    /// `makespan_j / min_k makespan_k` (so the least-delayed job reads
+    /// `1.0` and the most-starved one reads the intra-run spread).
+    /// Empty for single-tenant runs and when every makespan is zero.
+    pub fn job_slowdowns(&self) -> Vec<f64> {
+        let min = self.jobs.iter().map(JobStats::makespan_ns).filter(|&m| m > 0).min();
+        match min {
+            None => Vec::new(),
+            Some(min) => self.jobs.iter().map(|j| j.makespan_ns() as f64 / min as f64).collect(),
+        }
+    }
+
+    /// Jain fairness index over per-job throughput
+    /// (`bytes_moved / makespan`): `(Σx)² / (n·Σx²)`, `1.0` when every
+    /// job gets equal service, `1/n` when one job starves the rest.
+    /// `1.0` for single-tenant runs (fairness is trivially perfect).
+    pub fn jain_fairness(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| j.makespan_ns() > 0)
+            .map(|j| j.bytes_moved as f64 / j.makespan_ns() as f64)
+            .collect();
+        if rates.len() < 2 {
+            return 1.0;
+        }
+        let sum: f64 = rates.iter().sum();
+        let sum_sq: f64 = rates.iter().map(|x| x * x).sum();
+        if sum_sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (rates.len() as f64 * sum_sq)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +244,32 @@ mod tests {
         s.transmissions = 4;
         s.link_crossings = 10;
         assert!((s.mean_path_length() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_fairness_metrics() {
+        let job = |job, start_ns, finish_ns, bytes_moved| JobStats {
+            job,
+            start_ns,
+            finish_ns,
+            bytes_moved,
+            ..JobStats::default()
+        };
+        // Single-tenant: empty slowdowns, trivially fair.
+        let mut s = SimStats::default();
+        assert!(s.job_slowdowns().is_empty());
+        assert_eq!(s.jain_fairness(), 1.0);
+        // Equal service: slowdowns all 1, Jain index 1.
+        s.jobs = vec![job(0, 0, 1_000, 4_000), job(1, 0, 1_000, 4_000)];
+        assert_eq!(s.job_slowdowns(), vec![1.0, 1.0]);
+        assert!((s.jain_fairness() - 1.0).abs() < 1e-12);
+        // One job starved 3x: slowdown reads the spread, Jain drops.
+        s.jobs = vec![job(0, 0, 1_000, 4_000), job(1, 0, 3_000, 4_000)];
+        assert_eq!(s.job_slowdowns(), vec![1.0, 3.0]);
+        let jain = s.jain_fairness();
+        assert!(jain < 0.81 && jain > 0.5, "{jain}");
+        // Start offsets subtract from the makespan.
+        s.jobs = vec![job(0, 0, 2_000, 100), job(1, 1_500, 3_500, 100)];
+        assert_eq!(s.job_slowdowns(), vec![1.0, 1.0]);
     }
 }
