@@ -16,6 +16,10 @@
 //! repro ncube2               # projected Ncube-2 hulls       (E14)
 //! repro robustness [d] [--quick]  # degraded-network study   (E15)
 //! repro interference [d] [--quick] # shared-cube co-tenancy   (E16)
+//! repro trace [scenario] [d] # structured trace capture: Perfetto
+//!                            # JSON + HTML timeline + inspector
+//!                            # summary; scenario in {hotspot,
+//!                            # interference, sharded, all}
 //! ```
 //!
 //! Figure artifacts (CSV + JSON) land in `target/repro/`.
@@ -90,6 +94,11 @@ fn main() {
                 .map(|s| s.parse().expect("dimension"))
                 .unwrap_or(if quick { 4 } else { 6 });
             cmd_interference(d, quick);
+        }
+        "trace" => {
+            let scenario = args.get(1).map(String::as_str).unwrap_or("all");
+            let d: Option<u32> = args.get(2).map(|s| s.parse().expect("dimension"));
+            cmd_trace(scenario, d);
         }
         other => {
             eprintln!("unknown subcommand {other:?}; see `repro` source header for usage");
@@ -516,6 +525,30 @@ fn cmd_interference(d: u32, quick: bool) {
         &rows,
     );
     println!("artifacts: target/repro/interference.csv, target/repro/interference.json");
+}
+
+/// Structured trace capture (see `mce_bench::trace`).
+fn cmd_trace(scenario: &str, d: Option<u32>) {
+    let scenarios: Vec<&str> =
+        if scenario == "all" { mce_bench::trace::SCENARIOS.to_vec() } else { vec![scenario] };
+    for name in scenarios {
+        let d = d.unwrap_or_else(|| mce_bench::trace::default_dimension(name));
+        banner(&format!("trace capture: {name} (d = {d})"));
+        let started = std::time::Instant::now();
+        let cap = mce_bench::trace::capture(name, d);
+        println!(
+            "captured {} events in {:?} (finish {:.1} us, dropped {}, shard windows {})",
+            cap.events,
+            started.elapsed(),
+            cap.finish_us,
+            cap.events_dropped,
+            cap.shard_windows
+        );
+        for file in &cap.files {
+            println!("  -> {}", file.display());
+        }
+        println!("open the .perfetto.json in ui.perfetto.dev, the .html anywhere");
+    }
 }
 
 /// E4-E6.

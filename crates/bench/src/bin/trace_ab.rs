@@ -1,0 +1,177 @@
+//! `trace_ab` — interleaved A/B comparison of the engine with the
+//! structured trace sink disabled against the same workloads with it
+//! enabled (`mce_simnet::trace`).
+//!
+//! The tracing doctrine says a disabled sink is **one pointer test
+//! per emission site**: the trace-off engine must run within noise of
+//! the pre-trace engine (the ≤5% no-regression gate in
+//! `BENCH_engine.json`). The trace-on side is *informational* — it
+//! measures the cost of actually capturing events (ring pushes plus
+//! the sequential-path pin for sharded configs), which an interactive
+//! inspection run pays on purpose. Same methodology as `traffic_ab` /
+//! `shard_ab`: alternating execution order per round, persistent
+//! [`SimArena`] per side, medians over all rounds, JSON fragments
+//! ready for the `trace` section of `BENCH_engine.json`.
+//!
+//! ```text
+//! trace_ab [rounds]              # default 5 rounds
+//! ```
+
+use mce_core::builder::build_multiphase_programs;
+use mce_core::verify::stamped_memories;
+use mce_simnet::{Program, SimArena, SimConfig, TraceConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sync + data transmissions of one multiphase run: nodes × Σ 2(2^di − 1).
+fn transmissions(d: u32, dims: &[u32]) -> u64 {
+    (1u64 << d) * dims.iter().map(|&di| 2 * ((1u64 << di) - 1)).sum::<u64>()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+struct Workload {
+    d: u32,
+    dims: Vec<u32>,
+    /// Runs per timed sample; the sub-millisecond rows batch several
+    /// runs so container scheduling noise doesn't dominate the medians
+    /// the ≤5% no-regression check reads.
+    iters: usize,
+    programs: Arc<Vec<Program>>,
+    memories: Vec<Vec<u8>>,
+}
+
+/// One side of a workload: its persistent arena plus whether it runs
+/// with the trace sink attached.
+struct Side {
+    cfg: SimConfig,
+    arena: SimArena,
+    trace: Option<TraceConfig>,
+}
+
+impl Side {
+    /// One timed sample: `w.iters` back-to-back runs, returning the
+    /// mean seconds per run (memory clones stay outside the timer).
+    fn run_once(&mut self, w: &Workload) -> f64 {
+        let clones: Vec<_> = (0..w.iters).map(|_| w.memories.clone()).collect();
+        let t0 = Instant::now();
+        for memories in clones {
+            let r = self
+                .arena
+                .run_shared_traced(&self.cfg, &w.programs, memories, self.trace.as_ref())
+                .unwrap();
+            black_box(r.finish_time);
+        }
+        t0.elapsed().as_secs_f64() / w.iters as f64
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rounds: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let specs = vec![
+        (5u32, vec![5u32], 24usize),
+        (5, vec![2, 3], 24),
+        (6, vec![3, 3], 16),
+        (7, vec![3, 4], 8),
+    ];
+
+    let m = 40usize;
+    let built: Vec<Workload> = specs
+        .into_iter()
+        .map(|(d, dims, iters)| Workload {
+            d,
+            iters,
+            programs: Arc::new(build_multiphase_programs(d, &dims, m)),
+            memories: stamped_memories(d, m),
+            dims,
+        })
+        .collect();
+
+    let mut sides: Vec<(Side, Side)> = built
+        .iter()
+        .map(|w| {
+            (
+                Side { cfg: SimConfig::ipsc860(w.d), arena: SimArena::new(), trace: None },
+                Side {
+                    cfg: SimConfig::ipsc860(w.d),
+                    arena: SimArena::new(),
+                    trace: Some(TraceConfig::default()),
+                },
+            )
+        })
+        .collect();
+
+    // Untimed warm-up: fill each side's compile cache and arena pools.
+    for _ in 0..2 {
+        for (w, (off, on)) in built.iter().zip(sides.iter_mut()) {
+            off.run_once(w);
+            on.run_once(w);
+        }
+    }
+
+    let mut off_times: Vec<Vec<f64>> = vec![Vec::new(); built.len()];
+    let mut on_times: Vec<Vec<f64>> = vec![Vec::new(); built.len()];
+    for round in 0..rounds {
+        for (i, w) in built.iter().enumerate() {
+            let (off, on) = &mut sides[i];
+            // Alternate which side goes first each round so neither
+            // systematically benefits from a warm cache.
+            let (toff, ton) = if round % 2 == 0 {
+                let toff = off.run_once(w);
+                let ton = on.run_once(w);
+                (toff, ton)
+            } else {
+                let ton = on.run_once(w);
+                let toff = off.run_once(w);
+                (toff, ton)
+            };
+            off_times[i].push(toff);
+            on_times[i].push(ton);
+            eprintln!(
+                "round {round} d{}_{:?}: trace-off {:.3} ms, trace-on {:.3} ms ({:+.1}%)",
+                w.d,
+                w.dims,
+                toff * 1e3,
+                ton * 1e3,
+                (ton / toff - 1.0) * 100.0
+            );
+        }
+    }
+
+    println!("{{");
+    for (section, times) in [("trace_off", &mut off_times), ("trace_on", &mut on_times)] {
+        println!("  \"results_{section}\": {{");
+        for (i, w) in built.iter().enumerate() {
+            let med = median(&mut times[i]);
+            let eps = transmissions(w.d, &w.dims) as f64 / med;
+            let comma = if i + 1 == built.len() { "" } else { "," };
+            println!(
+                "    \"d{}_{:?}\": {{ \"median_ms\": {:.4}, \"elements_per_sec\": {:.0} }}{comma}",
+                w.d,
+                w.dims,
+                med * 1e3,
+                eps
+            );
+        }
+        println!("  }},");
+    }
+    println!("  \"trace_on_over_off\": {{");
+    for (i, w) in built.iter().enumerate() {
+        let ratio = median(&mut on_times[i].clone()) / median(&mut off_times[i].clone());
+        let comma = if i + 1 == built.len() { "" } else { "," };
+        println!("    \"d{}_{:?}\": {ratio:.3}{comma}", w.d, w.dims);
+    }
+    println!("  }}");
+    println!("}}");
+}

@@ -79,7 +79,7 @@ pub fn regenerate_figure(number: u32, d: u32, m_max: usize, step: usize, jitter:
                 cfg,
                 programs: Arc::new(build_multiphase_programs(d, part.parts(), *m)),
                 memories: Memories::Owned(stamped_memories(d, *m)),
-                trace: false,
+                trace: None,
             }
         },
         |(part, m), result| {

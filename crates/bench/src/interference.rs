@@ -262,7 +262,7 @@ pub fn interference_study(opts: &InterferenceOptions) -> InterferenceReport {
             cfg,
             programs: Arc::new(programs),
             memories: Memories::Owned(memories),
-            trace: false,
+            trace: None,
         }
     };
     let finish =

@@ -15,6 +15,7 @@
 //! | E10 | §7.1-7.3 ablations | `repro ablation` |
 //! | E15 | degraded-network robustness | `repro robustness` |
 //! | E16 | shared-cube interference | `repro interference` |
+//! | — | structured trace capture (Perfetto + HTML) | `repro trace` |
 //!
 //! Each figure run writes CSV and JSON under `target/repro/` and
 //! prints a paper-vs-model-vs-simulation comparison.
@@ -26,6 +27,7 @@ pub mod interference;
 pub mod report;
 pub mod robustness;
 pub mod tables;
+pub mod trace;
 
 /// Output directory for regenerated artifacts.
 pub fn output_dir() -> std::path::PathBuf {

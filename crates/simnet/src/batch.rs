@@ -56,6 +56,7 @@ pub use crate::engine::SimArena;
 use crate::engine::{SimError, SimResult};
 use crate::netcond::{BackgroundStream, Cable, LinkPolicy, NetCondition, SpeedProfile};
 use crate::program::Program;
+use crate::trace::TraceConfig;
 use crate::traffic::JobSpec;
 use std::ops::Range;
 use std::sync::Arc;
@@ -108,8 +109,9 @@ pub struct RunSpec {
     pub programs: Arc<Vec<Program>>,
     /// Initial node memories.
     pub memories: Memories,
-    /// Record transmission start/end trace events.
-    pub trace: bool,
+    /// Structured trace capture for this run (`None` = off); captured
+    /// events come back in [`SimResult::trace`]. See [`crate::trace`].
+    pub trace: Option<TraceConfig>,
 }
 
 impl SimArena {
@@ -121,9 +123,9 @@ impl SimArena {
             // later run can ever present the same set again: compile
             // uncached instead of pinning a dead entry (run_cells
             // grids and block ladders build unique programs per cell).
-            return self.run_traced(&cfg, &programs, memories.materialize(), trace);
+            return self.run_traced(&cfg, &programs, memories.materialize(), trace.as_ref());
         }
-        self.run_shared_traced(&cfg, &programs, memories.materialize(), trace)
+        self.run_shared_traced(&cfg, &programs, memories.materialize(), trace.as_ref())
     }
 }
 
@@ -205,7 +207,21 @@ impl SimBatch {
         programs: Arc<Vec<Program>>,
         memories: impl Into<Memories>,
     ) -> usize {
-        self.push(RunSpec { cfg, programs, memories: memories.into(), trace: false })
+        self.push(RunSpec { cfg, programs, memories: memories.into(), trace: None })
+    }
+
+    /// Queue one run under an explicit config with structured trace
+    /// capture enabled — the per-cell opt-in for sweeps that want the
+    /// event view of selected cells without tracing the whole batch.
+    /// Returns the result index.
+    pub fn push_traced(
+        &mut self,
+        cfg: SimConfig,
+        programs: Arc<Vec<Program>>,
+        memories: impl Into<Memories>,
+        trace: TraceConfig,
+    ) -> usize {
+        self.push(RunSpec { cfg, programs, memories: memories.into(), trace: Some(trace) })
     }
 
     /// Queue one jitter replicate per seed: the base config with
@@ -628,7 +644,7 @@ mod tests {
                     cfg: SimConfig::ipsc860(d),
                     programs,
                     memories: Memories::Shared(memories),
-                    trace: false,
+                    trace: None,
                 }
             },
             |d, result| (d, result.unwrap().finish_time.as_us()),

@@ -140,6 +140,11 @@ pub struct RunAggregate {
     pub retransmissions: MetricSummary,
     /// Transmissions dropped/refused by the link policy.
     pub flow_drops: MetricSummary,
+    /// Trace events evicted from the bounded capture ring (see
+    /// [`crate::trace`]); all-zero for untraced cells, and a nonzero
+    /// mean flags sweeps whose trace capacity is too small for the
+    /// workload.
+    pub trace_events_dropped: MetricSummary,
     /// Per-run worst job slowdown (`max_j makespan_j / min_k
     /// makespan_k`; see [`crate::stats::SimStats::job_slowdowns`]),
     /// folded over multi-tenant runs only — single-tenant runs carry no
@@ -195,6 +200,7 @@ pub fn aggregate(results: &[Result<SimResult, SimError>]) -> RunAggregate {
         shard_cross_events: col(&|r| r.stats.shard_cross_events as f64),
         retransmissions: col(&|r| r.stats.retransmissions as f64),
         flow_drops: col(&|r| r.stats.flow_drops as f64),
+        trace_events_dropped: col(&|r| r.stats.trace_events_dropped as f64),
         job_slowdown_max: job_col(&|r| r.stats.job_slowdowns().into_iter().reduce(f64::max)),
         job_slowdown_min: job_col(&|r| r.stats.job_slowdowns().into_iter().reduce(f64::min)),
         jain_fairness: job_col(&|r| {

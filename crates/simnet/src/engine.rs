@@ -57,8 +57,9 @@ use crate::netcond::{
 use crate::program::{Op, Program};
 use crate::sched::CalendarQueue;
 use crate::shard::{PhaseMode, ShardPlan};
-use crate::stats::{JobStats, SimStats, TraceEvent};
+use crate::stats::{JobStats, SimStats};
 use crate::time::SimTime;
+use crate::trace::{FlowKind, TraceConfig, TraceEvent, TraceSink, WaitCause};
 use crate::traffic::{CongAlg, CwndState, FlowCtl};
 use mce_hypercube::routing::DirectedLink;
 use mce_hypercube::NodeId;
@@ -231,7 +232,10 @@ pub struct SimResult {
     pub memories: Vec<Vec<u8>>,
     /// Aggregate statistics.
     pub stats: SimStats,
-    /// Trace events (empty unless tracing was enabled).
+    /// Structured trace events (empty unless tracing was enabled; see
+    /// [`crate::trace`]). When the bounded ring overflowed, the oldest
+    /// events are missing and
+    /// [`SimStats::trace_events_dropped`] counts them.
     pub trace: Vec<TraceEvent>,
 }
 
@@ -777,7 +781,7 @@ pub struct Simulator {
     cfg: SimConfig,
     programs: Vec<Program>,
     memories: Vec<Vec<u8>>,
-    trace_enabled: bool,
+    trace: Option<TraceConfig>,
     ran: bool,
 }
 
@@ -793,12 +797,19 @@ impl Simulator {
     pub fn new(cfg: SimConfig, programs: Vec<Program>, memories: Vec<Vec<u8>>) -> Self {
         assert_eq!(programs.len(), cfg.total_contexts(), "one program per node context required");
         assert_eq!(memories.len(), cfg.total_contexts(), "one memory per node context required");
-        Simulator { cfg, programs, memories, trace_enabled: false, ran: false }
+        Simulator { cfg, programs, memories, trace: None, ran: false }
     }
 
-    /// Enable event tracing (records every transmission start/end).
+    /// Enable structured event tracing with the default ring capacity
+    /// (see [`crate::trace`]).
     pub fn with_trace(mut self) -> Self {
-        self.trace_enabled = true;
+        self.trace = Some(TraceConfig::default());
+        self
+    }
+
+    /// Enable structured event tracing with an explicit config.
+    pub fn with_trace_config(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -822,7 +833,7 @@ impl Simulator {
             &self.cfg,
             &self.programs,
             std::mem::take(&mut self.memories),
-            self.trace_enabled,
+            self.trace.as_ref(),
         )
     }
 }
@@ -904,16 +915,16 @@ impl SimArena {
         programs: &[Program],
         memories: Vec<Vec<u8>>,
     ) -> Result<SimResult, SimError> {
-        self.run_traced(cfg, programs, memories, false)
+        self.run_traced(cfg, programs, memories, None)
     }
 
-    /// [`SimArena::run`] with event tracing on or off.
+    /// [`SimArena::run`] with structured event tracing (`None` = off).
     pub fn run_traced(
         &mut self,
         cfg: &SimConfig,
         programs: &[Program],
         memories: Vec<Vec<u8>>,
-        trace: bool,
+        trace: Option<&TraceConfig>,
     ) -> Result<SimResult, SimError> {
         check_shape(cfg, programs.len(), memories.len())?;
         let compiled = compile(programs, &memories)?;
@@ -929,16 +940,17 @@ impl SimArena {
         programs: &Arc<Vec<Program>>,
         memories: Vec<Vec<u8>>,
     ) -> Result<SimResult, SimError> {
-        self.run_shared_traced(cfg, programs, memories, false)
+        self.run_shared_traced(cfg, programs, memories, None)
     }
 
-    /// [`SimArena::run_shared`] with event tracing on or off.
+    /// [`SimArena::run_shared`] with structured event tracing (`None`
+    /// = off).
     pub fn run_shared_traced(
         &mut self,
         cfg: &SimConfig,
         programs: &Arc<Vec<Program>>,
         memories: Vec<Vec<u8>>,
-        trace: bool,
+        trace: Option<&TraceConfig>,
     ) -> Result<SimResult, SimError> {
         check_shape(cfg, programs.len(), memories.len())?;
         let compiled = self.compiled_for(programs, &memories)?;
@@ -977,7 +989,7 @@ impl SimArena {
         cfg: &SimConfig,
         compiled: &Compiled,
         mut memories: Vec<Vec<u8>>,
-        trace: bool,
+        trace: Option<&TraceConfig>,
     ) -> Result<SimResult, SimError> {
         if cfg.num_jobs() > 1 {
             // Jobs share links, never messages: a send whose xor-mask
@@ -1000,7 +1012,7 @@ impl SimArena {
                 }
             }
         }
-        if crate::shard::eligible(cfg, trace) {
+        if crate::shard::eligible(cfg, trace.is_some()) {
             // The sharded attempt consumes the memories; keep a
             // pristine copy so a window violation can fall back to the
             // sequential engine on the original inputs (see
@@ -1081,7 +1093,7 @@ impl SimArena {
             &compiled.programs,
             compiled.total_sends,
             memories,
-            false,
+            None,
             self,
             None,
         );
@@ -1174,7 +1186,7 @@ impl SimArena {
                 &compiled.programs,
                 compiled.total_sends,
                 mems,
-                false,
+                None,
                 arena,
                 Some(&list),
             );
@@ -1426,8 +1438,10 @@ struct Runtime<'c> {
     /// sharded attempt and reruns the inputs sequentially.
     lapse_pushes: u64,
     stats: SimStats,
-    trace: Vec<TraceEvent>,
-    trace_enabled: bool,
+    /// Structured trace sink; `None` (the default) keeps the traced
+    /// paths down to one pointer test per emission site, so a
+    /// trace-off run is bit-identical to a build without the sink.
+    sink: Option<Box<TraceSink>>,
 }
 
 /// Orderable event payload for the heap (derives Ord).
@@ -1536,7 +1550,7 @@ impl<'c> Runtime<'c> {
         programs: &[CompiledProgram],
         total_sends: usize,
         memories: Vec<Vec<u8>>,
-        trace_enabled: bool,
+        trace: Option<&TraceConfig>,
         arena: &mut SimArena,
         shard: Option<&[u32]>,
     ) -> Self {
@@ -1692,8 +1706,7 @@ impl<'c> Runtime<'c> {
             flow_retries,
             fatal: None,
             stats,
-            trace: Vec::new(),
-            trace_enabled,
+            sink: trace.map(|tc| Box::new(TraceSink::new(tc, n))),
         }
     }
 
@@ -1955,12 +1968,19 @@ impl<'c> Runtime<'c> {
                     .unwrap_or(0);
             }
         }
+        let trace = match self.sink.as_mut() {
+            Some(sink) => {
+                self.stats.trace_events_dropped = sink.ring.dropped();
+                sink.ring.drain()
+            }
+            None => Vec::new(),
+        };
         Ok(SimResult {
             finish_time,
             node_finish: self.nodes.iter().map(|s| s.finish).collect(),
             memories: std::mem::take(&mut self.memories),
             stats: std::mem::take(&mut self.stats),
-            trace: std::mem::take(&mut self.trace),
+            trace,
         })
     }
 
@@ -2123,12 +2143,15 @@ impl<'c> Runtime<'c> {
                     let job = self.job_of(x);
                     self.barrier_entered[job] += 1;
                     self.last_barrier_entry = t;
+                    if let Some(sink) = self.sink.as_mut() {
+                        sink.barrier_entry[xi] = t;
+                    }
                     if self.barrier_entered[job] == self.barrier_target {
                         self.barrier_entered[job] = 0;
                         self.stats.barriers += 1;
                         let release = t.plus_ns(self.cfg.barrier_ns());
-                        if self.trace_enabled {
-                            self.trace.push(TraceEvent::BarrierRelease { at: release });
+                        if self.sink.is_some() {
+                            self.emit_barrier(job, t, release);
                         }
                         if self.barrier_hold {
                             // Sharded driver: stop at the phase
@@ -2173,6 +2196,24 @@ impl<'c> Runtime<'c> {
         }
     }
 
+    /// Trace hook (cold): emit the job-level barrier span plus one
+    /// barrier-wait span per context of the job, from each context's
+    /// recorded entry time to the release.
+    fn emit_barrier(&mut self, job: usize, last_entry: SimTime, release: SimTime) {
+        let per_job = (self.node_mask + 1) as usize;
+        let Some(sink) = self.sink.as_mut() else { return };
+        sink.emit(TraceEvent::Barrier { job: job as u32, start: last_entry, end: release });
+        for i in job * per_job..(job + 1) * per_job {
+            let start = sink.barrier_entry[i];
+            sink.emit(TraceEvent::Wait {
+                node: NodeId(i as u32),
+                cause: WaitCause::Barrier,
+                start,
+                end: release,
+            });
+        }
+    }
+
     /// A flow-controlled transmission was dropped (lossy link) or
     /// refused (drop-tail / NACK at circuit establishment): shrink the
     /// source's window, charge its retry budget, and schedule the
@@ -2191,7 +2232,20 @@ impl<'c> Runtime<'c> {
         if let Some(js) = self.stats.jobs.get_mut(job) {
             js.drops += 1;
         }
+        let cwnd_before = self.flow_cwnd[ctx].cwnd();
         self.flow_cwnd[ctx].on_drop();
+        let cwnd_after = self.flow_cwnd[ctx].cwnd();
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(TraceEvent::Flow { job: job as u32, node: src, kind: FlowKind::Drop, at: t });
+            if cwnd_after != cwnd_before {
+                sink.emit(TraceEvent::Flow {
+                    job: job as u32,
+                    node: src,
+                    kind: FlowKind::Cwnd { window: cwnd_after },
+                    at: t,
+                });
+            }
+        }
         self.flow_retries[ctx] += 1;
         // Off the pending list until the retransmission fires.
         self.tr_mut(id).pending = false;
@@ -2208,7 +2262,16 @@ impl<'c> Runtime<'c> {
             return;
         }
         let delay = if nack { (fc.rto_ns / 8).max(1) } else { fc.backoff_ns(&self.flow_cwnd[ctx]) };
-        self.push(t.plus_ns(delay), Event::Retransmit(id));
+        let until = t.plus_ns(delay);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(TraceEvent::Flow {
+                job: job as u32,
+                node: src,
+                kind: FlowKind::Backoff { until },
+                at: t,
+            });
+        }
+        self.push(until, Event::Retransmit(id));
     }
 
     /// Re-issue a dropped transmission: back onto the pending list
@@ -2223,6 +2286,14 @@ impl<'c> Runtime<'c> {
         self.stats.retransmissions += 1;
         if let Some(js) = self.stats.jobs.get_mut(job) {
             js.retransmissions += 1;
+        }
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(TraceEvent::Flow {
+                job: job as u32,
+                node: src,
+                kind: FlowKind::Retransmit,
+                at: t,
+            });
         }
         let qseq = self.next_qseq;
         self.next_qseq += 1;
@@ -2686,8 +2757,38 @@ impl<'c> Runtime<'c> {
         // An acquire can flip a watcher's blocking cause; give link
         // watchers their in-order look at the new state.
         self.wake_link_watchers(segment);
-        if first_hop && self.trace_enabled {
-            self.trace.push(TraceEvent::TransmissionStart { src, dst, tag, bytes, at: t });
+        if self.sink.is_some() {
+            let (requested_at, by_link, by_nic) = {
+                let tr = self.tr(id);
+                (tr.requested_at, tr.blocked_by_link, tr.blocked_by_nic)
+            };
+            let Some(sink) = self.sink.as_mut() else { unreachable!() };
+            // The full hold extent is known at establishment, so every
+            // span is emitted complete — no start/end pairing.
+            for link in segment {
+                sink.emit(TraceEvent::LinkHold {
+                    from: link.from,
+                    to: link.to,
+                    start: t,
+                    end,
+                    tag,
+                    bytes,
+                    background,
+                });
+            }
+            if !background {
+                if first_hop {
+                    sink.emit(TraceEvent::NicSend { node: src, start: t, end, tag, bytes });
+                }
+                if last_hop {
+                    sink.emit(TraceEvent::NicRecv { node: dst, start: t, end, tag });
+                }
+                let wait = t.since(requested_at);
+                if wait > 0 && (by_link || by_nic) {
+                    let cause = if by_link { WaitCause::Contention } else { WaitCause::NicLapse };
+                    sink.emit(TraceEvent::Wait { node: src, cause, start: requested_at, end: t });
+                }
+            }
         }
         self.push(end, Event::TransmissionEnd(id));
         true
@@ -2834,8 +2935,21 @@ impl<'c> Runtime<'c> {
             // congestion window and re-arm its retry budget.
             if !self.flow.is_empty() && self.flow_of(tr.src).is_some() {
                 let ctx = tr.src.index();
+                let cwnd_before = self.flow_cwnd[ctx].cwnd();
                 self.flow_cwnd[ctx].on_ack();
+                let cwnd_after = self.flow_cwnd[ctx].cwnd();
                 self.flow_retries[ctx] = 0;
+                if cwnd_after != cwnd_before {
+                    let job = self.job_of(tr.src) as u32;
+                    if let Some(sink) = self.sink.as_mut() {
+                        sink.emit(TraceEvent::Flow {
+                            job,
+                            node: tr.src,
+                            kind: FlowKind::Cwnd { window: cwnd_after },
+                            at: t,
+                        });
+                    }
+                }
             }
         }
 
@@ -2852,15 +2966,6 @@ impl<'c> Runtime<'c> {
         t: SimTime,
         wake_sender: bool,
     ) -> Result<(), SimError> {
-        if self.trace_enabled {
-            self.trace.push(TraceEvent::TransmissionEnd {
-                src: tr.src,
-                dst: tr.dst,
-                tag: tr.tag,
-                at: t,
-            });
-        }
-
         if tr.background {
             // Background payloads are never delivered: the bytes model
             // traffic from outside the partition. Freed links may
@@ -2905,8 +3010,8 @@ impl<'c> Runtime<'c> {
             match tr.kind {
                 MsgKind::Forced => {
                     self.stats.forced_drops += 1;
-                    if self.trace_enabled {
-                        self.trace.push(TraceEvent::ForcedDropped {
+                    if let Some(sink) = self.sink.as_mut() {
+                        sink.emit(TraceEvent::ForcedDrop {
                             src: tr.src,
                             dst: tr.dst,
                             tag: tr.tag,

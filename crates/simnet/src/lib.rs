@@ -111,6 +111,7 @@ pub mod sched;
 pub mod shard;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod traffic;
 
 pub use batch::{SimArena, SimBatch};
@@ -120,6 +121,7 @@ pub use message::{MsgKind, Tag};
 pub use netcond::{BackgroundStream, Cable, LinkPolicy, NetCondition, SpeedProfile};
 pub use program::{Op, Program};
 pub use sched::{CalendarQueue, SchedTelemetry};
-pub use stats::{JobStats, SimStats, TraceEvent};
+pub use stats::{JobStats, SimStats};
 pub use time::SimTime;
+pub use trace::{FlowKind, TraceConfig, TraceEvent, TraceRing, WaitCause};
 pub use traffic::{CongAlg, CwndAlg, FlowCtl, JobSpec};

@@ -1,57 +1,9 @@
-//! Run statistics and tracing.
+//! Run statistics. (The structured trace event model lives in
+//! [`crate::trace`].)
 
-use crate::message::Tag;
 use crate::time::SimTime;
-use mce_hypercube::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-
-/// One traced event (optional, enabled by the engine's trace flag).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum TraceEvent {
-    /// A transmission started (circuit established).
-    TransmissionStart {
-        /// Sending node.
-        src: NodeId,
-        /// Receiving node.
-        dst: NodeId,
-        /// Message tag.
-        tag: Tag,
-        /// Payload size in bytes.
-        bytes: usize,
-        /// Start time.
-        at: SimTime,
-    },
-    /// A transmission completed and its payload was delivered.
-    TransmissionEnd {
-        /// Sending node.
-        src: NodeId,
-        /// Receiving node.
-        dst: NodeId,
-        /// Message tag.
-        tag: Tag,
-        /// Completion time.
-        at: SimTime,
-    },
-    /// A FORCED message arrived with no posted receive and was
-    /// discarded ("fatal" per Section 7.3 — the run will deadlock if
-    /// someone waits for it).
-    ForcedDropped {
-        /// Sending node.
-        src: NodeId,
-        /// Receiving node that discarded the message.
-        dst: NodeId,
-        /// Message tag.
-        tag: Tag,
-        /// Drop time.
-        at: SimTime,
-    },
-    /// All nodes passed a barrier.
-    BarrierRelease {
-        /// Release time (all nodes resume here).
-        at: SimTime,
-    },
-}
 
 /// Aggregate statistics of one run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -114,6 +66,11 @@ pub struct SimStats {
     /// Flow-control drops: transmissions refused at circuit
     /// establishment (drop-tail / NACK) or lost on a lossy link.
     pub flow_drops: u64,
+    /// Trace events evicted from the bounded ring (see
+    /// [`crate::trace`]); zero when tracing is off or the ring never
+    /// filled. Like the scheduler telemetry, this describes the
+    /// capture, not the simulation, so it is not folded by `absorb`.
+    pub trace_events_dropped: u64,
     /// Per-tenant-job statistics; empty on single-tenant runs (a
     /// config with [`crate::SimConfig::jobs`] empty), so legacy
     /// results are structurally unchanged.

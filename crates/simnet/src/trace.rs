@@ -1,0 +1,957 @@
+//! Structured, opt-in trace subsystem.
+//!
+//! The engine knows every circuit establishment, contention wait, NIC
+//! serialization stall, retransmission backoff and barrier — but its
+//! default output is aggregate [`SimStats`](crate::SimStats). This
+//! module captures the per-event view as **track events**: every event
+//! carries its full extent (start *and* end) at emission time, so
+//! there is no start/end pairing to reconstruct:
+//!
+//! * [`TraceEvent::LinkHold`] — one span per directed link a circuit
+//!   (or background stream) holds, for exactly the hold interval;
+//! * [`TraceEvent::NicSend`] / [`TraceEvent::NicRecv`] — per-NIC
+//!   serialization spans mirroring the engine's outgoing/incoming
+//!   intervals (Section 7.2's concurrency rule);
+//! * [`TraceEvent::Wait`] — per-node blocked spans, tagged with the
+//!   cause (edge contention, NIC lapse, or barrier);
+//! * [`TraceEvent::Barrier`] — the per-job barrier span (entry of the
+//!   last straggler to release);
+//! * [`TraceEvent::Flow`] — flow-control instants per job: drop,
+//!   backoff, retransmit, congestion-window change;
+//! * [`TraceEvent::ForcedDrop`] — a FORCED message discarded for want
+//!   of a posted receive;
+//! * [`TraceEvent::ShardWindow`] — reserved for shard window spans.
+//!   Tracing forces the sequential engine path (see [`crate::shard`]),
+//!   so current runs never emit it; the variant pins the track model
+//!   for a future shard-merged sink.
+//!
+//! Events land in a bounded [`TraceRing`] (configurable capacity,
+//! oldest-first eviction, overflow counted in
+//! [`SimStats::trace_events_dropped`](crate::SimStats::trace_events_dropped)).
+//! Tracing is **zero-perturbation**: with the sink disabled the engine
+//! is bit-identical to an untraced build (pinned by the determinism
+//! snapshots), and with it enabled the simulated behaviour —
+//! stats and memories — is bit-identical to a trace-off run of the
+//! same config.
+//!
+//! Two exporters turn a captured trace into offline artifacts:
+//! [`export_perfetto_json`] writes Chrome/Perfetto trace-event JSON
+//! (one track per link/NIC/node/job; loadable in `ui.perfetto.dev`
+//! without network access), and [`export_html`] writes a fully
+//! self-contained single-file HTML timeline (inline SVG lanes, native
+//! hover tooltips, no scripts or external resources). The inspector
+//! functions ([`link_utilization`], [`top_stalls`], [`critical_path`])
+//! derive summary views: a per-dimension link-utilization timeline,
+//! the top-k longest stalls, and a greedy critical-path chain of
+//! blocking spans.
+
+use crate::message::Tag;
+use crate::time::SimTime;
+use mce_hypercube::NodeId;
+use std::collections::VecDeque;
+
+/// Configuration of the trace sink: currently just the ring capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Maximum events retained; older events are evicted first and
+    /// counted in [`SimStats::trace_events_dropped`](crate::SimStats::trace_events_dropped).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    /// One-mebi-event ring — comfortably more than any study scenario
+    /// in this repository emits, so default captures are lossless.
+    fn default() -> Self {
+        TraceConfig { capacity: 1 << 20 }
+    }
+}
+
+impl TraceConfig {
+    /// A config with an explicit ring capacity (min 1).
+    pub fn with_capacity(capacity: usize) -> TraceConfig {
+        TraceConfig { capacity: capacity.max(1) }
+    }
+}
+
+/// Why a node was blocked (the [`TraceEvent::Wait`] cause).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WaitCause {
+    /// Waiting for a busy directed link (edge contention).
+    Contention,
+    /// Serialized by the NIC concurrency rule (Section 7.2).
+    NicLapse,
+    /// Waiting in a barrier for the other nodes of the job.
+    Barrier,
+}
+
+impl WaitCause {
+    /// Short human label, used by both exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            WaitCause::Contention => "contention wait",
+            WaitCause::NicLapse => "nic lapse",
+            WaitCause::Barrier => "barrier wait",
+        }
+    }
+}
+
+/// A flow-control instant's kind (the [`TraceEvent::Flow`] payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// A transmission was refused or lost.
+    Drop,
+    /// The source backed off; the retransmission fires at `until`.
+    Backoff {
+        /// When the scheduled retransmission fires.
+        until: SimTime,
+    },
+    /// A retransmission re-entered the issue queue.
+    Retransmit,
+    /// The source's congestion window changed.
+    Cwnd {
+        /// The new window value.
+        window: u32,
+    },
+}
+
+impl FlowKind {
+    /// Short human label, used by both exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowKind::Drop => "drop",
+            FlowKind::Backoff { .. } => "backoff",
+            FlowKind::Retransmit => "retransmit",
+            FlowKind::Cwnd { .. } => "cwnd",
+        }
+    }
+}
+
+/// One structured trace event. Spans carry both endpoints; instants
+/// carry one timestamp. Node ids are engine *context* ids (equal to
+/// physical node ids on single-job runs); link endpoints are always
+/// physical nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A transmission held the directed link `from -> to` for
+    /// `[start, end]` (one event per link of the circuit's path, or
+    /// per hop under store-and-forward).
+    LinkHold {
+        /// Link tail (physical node).
+        from: NodeId,
+        /// Link head (physical node).
+        to: NodeId,
+        /// Hold start.
+        start: SimTime,
+        /// Hold end (link release).
+        end: SimTime,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Whether this is background traffic (see [`crate::netcond`]).
+        background: bool,
+    },
+    /// A node's NIC was busy sending for `[start, end]`.
+    NicSend {
+        /// Sending context.
+        node: NodeId,
+        /// Send start.
+        start: SimTime,
+        /// Send end.
+        end: SimTime,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A node's NIC was busy receiving for `[start, end]`.
+    NicRecv {
+        /// Receiving context.
+        node: NodeId,
+        /// Receive start.
+        start: SimTime,
+        /// Receive end.
+        end: SimTime,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// A node was blocked for `[start, end]`.
+    Wait {
+        /// The blocked context.
+        node: NodeId,
+        /// Why it was blocked.
+        cause: WaitCause,
+        /// When it first wanted to proceed.
+        start: SimTime,
+        /// When it was released.
+        end: SimTime,
+    },
+    /// One job's barrier: last entry at `start`, release at `end`.
+    Barrier {
+        /// Job index (0 on single-job runs).
+        job: u32,
+        /// Entry time of the last straggler.
+        start: SimTime,
+        /// Release time.
+        end: SimTime,
+    },
+    /// A flow-control instant (see [`FlowKind`]).
+    Flow {
+        /// The job whose source reacted.
+        job: u32,
+        /// The source context.
+        node: NodeId,
+        /// What happened.
+        kind: FlowKind,
+        /// When.
+        at: SimTime,
+    },
+    /// A FORCED message arrived with no posted receive and was
+    /// discarded.
+    ForcedDrop {
+        /// Sending context.
+        src: NodeId,
+        /// Receiving context that discarded the message.
+        dst: NodeId,
+        /// Message tag.
+        tag: Tag,
+        /// Drop time.
+        at: SimTime,
+    },
+    /// Reserved: one shard's phase window (never emitted today —
+    /// tracing pins the sequential path; see the module docs).
+    ShardWindow {
+        /// Shard index.
+        shard: u32,
+        /// Window start.
+        start: SimTime,
+        /// Window end.
+        end: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The event's `[start, end]` interval in ns, or `None` for
+    /// instants.
+    pub fn span_ns(&self) -> Option<(u64, u64)> {
+        match *self {
+            TraceEvent::LinkHold { start, end, .. }
+            | TraceEvent::NicSend { start, end, .. }
+            | TraceEvent::NicRecv { start, end, .. }
+            | TraceEvent::Wait { start, end, .. }
+            | TraceEvent::Barrier { start, end, .. }
+            | TraceEvent::ShardWindow { start, end, .. } => Some((start.as_ns(), end.as_ns())),
+            TraceEvent::Flow { .. } | TraceEvent::ForcedDrop { .. } => None,
+        }
+    }
+
+    /// The event's timestamp in ns: span start, or the instant time.
+    pub fn at_ns(&self) -> u64 {
+        match *self {
+            TraceEvent::Flow { at, .. } | TraceEvent::ForcedDrop { at, .. } => at.as_ns(),
+            _ => self.span_ns().expect("span").0,
+        }
+    }
+}
+
+/// Bounded event ring: oldest-first eviction, evictions counted.
+#[derive(Debug, Default)]
+pub struct TraceRing {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing { buf: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Move the retained events out, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+/// The engine-side sink: the ring plus per-context scratch used to
+/// reconstruct barrier-wait spans (entry time per context, emitted at
+/// release). Built once per traced run by the engine.
+#[derive(Debug)]
+pub struct TraceSink {
+    /// The event ring.
+    pub ring: TraceRing,
+    /// Barrier entry time per context (valid while the context sits in
+    /// a barrier).
+    pub(crate) barrier_entry: Vec<SimTime>,
+}
+
+impl TraceSink {
+    /// A sink for `contexts` simulation contexts.
+    pub fn new(cfg: &TraceConfig, contexts: usize) -> TraceSink {
+        TraceSink {
+            ring: TraceRing::new(cfg.capacity),
+            barrier_entry: vec![SimTime::ZERO; contexts],
+        }
+    }
+
+    /// Append one event.
+    #[inline]
+    pub fn emit(&mut self, ev: TraceEvent) {
+        self.ring.push(ev);
+    }
+}
+
+/// Dimension of the directed link `from -> to` (they differ in exactly
+/// one bit).
+fn link_dim(from: NodeId, to: NodeId) -> u32 {
+    (from.0 ^ to.0).trailing_zeros()
+}
+
+/// A display track: the `(process, thread)` lane an event renders on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Track {
+    Link { from: u32, to: u32 },
+    NicSend { node: u32 },
+    NicRecv { node: u32 },
+    Node { node: u32 },
+    Job { job: u32 },
+    Shard { shard: u32 },
+}
+
+impl Track {
+    fn of(ev: &TraceEvent) -> Track {
+        match *ev {
+            TraceEvent::LinkHold { from, to, .. } => Track::Link { from: from.0, to: to.0 },
+            TraceEvent::NicSend { node, .. } => Track::NicSend { node: node.0 },
+            TraceEvent::NicRecv { node, .. } => Track::NicRecv { node: node.0 },
+            TraceEvent::Wait { node, .. } => Track::Node { node: node.0 },
+            TraceEvent::ForcedDrop { dst, .. } => Track::Node { node: dst.0 },
+            TraceEvent::Barrier { job, .. } | TraceEvent::Flow { job, .. } => Track::Job { job },
+            TraceEvent::ShardWindow { shard, .. } => Track::Shard { shard },
+        }
+    }
+
+    /// Perfetto process id grouping tracks of one kind.
+    fn pid(&self) -> u32 {
+        match self {
+            Track::Link { .. } => 1,
+            Track::NicSend { .. } | Track::NicRecv { .. } => 2,
+            Track::Node { .. } => 3,
+            Track::Job { .. } => 4,
+            Track::Shard { .. } => 5,
+        }
+    }
+
+    fn process_name(pid: u32) -> &'static str {
+        match pid {
+            1 => "links",
+            2 => "nics",
+            3 => "nodes",
+            4 => "jobs",
+            _ => "shards",
+        }
+    }
+
+    /// Human lane label (link lanes always contain the word "link").
+    fn name(&self) -> String {
+        match *self {
+            Track::Link { from, to } => {
+                format!("link {from}->{to} (dim {})", link_dim(NodeId(from), NodeId(to)))
+            }
+            Track::NicSend { node } => format!("nic {node} send"),
+            Track::NicRecv { node } => format!("nic {node} recv"),
+            Track::Node { node } => format!("node {node}"),
+            Track::Job { job } => format!("job {job}"),
+            Track::Shard { shard } => format!("shard {shard}"),
+        }
+    }
+}
+
+/// Event display name shared by both exporters.
+fn event_name(ev: &TraceEvent) -> String {
+    match ev {
+        TraceEvent::LinkHold { tag, background, .. } => {
+            if *background {
+                format!("bg hold {tag:?}")
+            } else {
+                format!("hold {tag:?}")
+            }
+        }
+        TraceEvent::NicSend { tag, .. } => format!("send {tag:?}"),
+        TraceEvent::NicRecv { tag, .. } => format!("recv {tag:?}"),
+        TraceEvent::Wait { cause, .. } => cause.label().to_string(),
+        TraceEvent::Barrier { .. } => "barrier".to_string(),
+        TraceEvent::Flow { kind, .. } => match kind {
+            FlowKind::Backoff { until } => format!("backoff until {until}"),
+            FlowKind::Cwnd { window } => format!("cwnd={window}"),
+            other => other.label().to_string(),
+        },
+        TraceEvent::ForcedDrop { src, tag, .. } => format!("forced drop {tag:?} from n{}", src.0),
+        TraceEvent::ShardWindow { .. } => "window".to_string(),
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sorted distinct tracks of a trace, with a dense per-process thread
+/// id for each (Perfetto tid / HTML lane index).
+fn assign_tracks(events: &[TraceEvent]) -> Vec<Track> {
+    let mut tracks: Vec<Track> = events.iter().map(Track::of).collect();
+    tracks.sort();
+    tracks.dedup();
+    tracks
+}
+
+/// Export a trace as Chrome/Perfetto trace-event JSON (the
+/// `traceEvents` array format). Tracks become `(pid, tid)` lanes with
+/// `process_name`/`thread_name` metadata; spans are `"X"` complete
+/// events and instants are `"i"` events, timestamps in microseconds.
+/// The output loads offline in `ui.perfetto.dev` or `chrome://tracing`.
+pub fn export_perfetto_json(events: &[TraceEvent]) -> String {
+    let tracks = assign_tracks(events);
+    // Dense tid per pid, in sorted-track order (deterministic).
+    let mut tids: Vec<u32> = Vec::with_capacity(tracks.len());
+    {
+        let mut next: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        for t in &tracks {
+            let n = next.entry(t.pid()).or_insert(0);
+            tids.push(*n);
+            *n += 1;
+        }
+    }
+    let tid_of = |track: &Track| -> (u32, u32) {
+        let i = tracks.binary_search(track).expect("track assigned");
+        (track.pid(), tids[i])
+    };
+    let us = |t: SimTime| format!("{:.3}", t.as_ns() as f64 / 1000.0);
+    let dur_us = |a: SimTime, b: SimTime| format!("{:.3}", b.since(a) as f64 / 1000.0);
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, item: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&item);
+    };
+    // Metadata: one process_name per pid, one thread_name per track.
+    let mut seen_pid: Vec<u32> = Vec::new();
+    for (i, t) in tracks.iter().enumerate() {
+        let pid = t.pid();
+        if !seen_pid.contains(&pid) {
+            seen_pid.push(pid);
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    Track::process_name(pid)
+                ),
+            );
+        }
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                tids[i],
+                json_escape(&t.name())
+            ),
+        );
+    }
+    for ev in events {
+        let (pid, tid) = tid_of(&Track::of(ev));
+        let name = json_escape(&event_name(ev));
+        match ev.span_ns() {
+            Some(_) => {
+                let (start, end) = match *ev {
+                    TraceEvent::LinkHold { start, end, .. }
+                    | TraceEvent::NicSend { start, end, .. }
+                    | TraceEvent::NicRecv { start, end, .. }
+                    | TraceEvent::Wait { start, end, .. }
+                    | TraceEvent::Barrier { start, end, .. }
+                    | TraceEvent::ShardWindow { start, end, .. } => (start, end),
+                    _ => unreachable!(),
+                };
+                let args = match ev {
+                    TraceEvent::LinkHold { bytes, background, .. } => {
+                        format!("{{\"bytes\":{bytes},\"background\":{background}}}")
+                    }
+                    TraceEvent::NicSend { bytes, .. } => format!("{{\"bytes\":{bytes}}}"),
+                    _ => "{}".to_string(),
+                };
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                         \"pid\":{pid},\"tid\":{tid},\"args\":{args}}}",
+                        us(start),
+                        dur_us(start, end)
+                    ),
+                );
+            }
+            None => {
+                let at = SimTime(ev.at_ns());
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\
+                         \"tid\":{tid},\"s\":\"t\",\"args\":{{}}}}",
+                        us(at)
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Fill colour of one event's rendered rect.
+fn event_color(ev: &TraceEvent) -> &'static str {
+    match ev {
+        TraceEvent::LinkHold { background: true, .. } => "#b0a07a",
+        TraceEvent::LinkHold { .. } => "#4c86c6",
+        TraceEvent::NicSend { .. } => "#58a06c",
+        TraceEvent::NicRecv { .. } => "#7cc08e",
+        TraceEvent::Wait { cause: WaitCause::Contention, .. } => "#c65b4c",
+        TraceEvent::Wait { cause: WaitCause::NicLapse, .. } => "#d6914a",
+        TraceEvent::Wait { cause: WaitCause::Barrier, .. } => "#9a6fc0",
+        TraceEvent::Barrier { .. } => "#6f4fa0",
+        TraceEvent::Flow { .. } => "#c64c86",
+        TraceEvent::ForcedDrop { .. } => "#a02020",
+        TraceEvent::ShardWindow { .. } => "#808080",
+    }
+}
+
+/// Export a trace as a fully self-contained single-file HTML timeline:
+/// one inline-SVG lane per track, span rects with native `<title>`
+/// hover detail, instant ticks, and no scripts, styles from the net,
+/// or external resources — it opens offline in any browser.
+pub fn export_html(events: &[TraceEvent], title: &str) -> String {
+    let tracks = assign_tracks(events);
+    let (t0, t1) = events.iter().fold((u64::MAX, 0u64), |(lo, hi), ev| {
+        let (a, b) = ev.span_ns().unwrap_or_else(|| (ev.at_ns(), ev.at_ns()));
+        (lo.min(a), hi.max(b))
+    });
+    let (t0, t1) = if events.is_empty() { (0, 1) } else { (t0, t1.max(t0 + 1)) };
+    let label_w = 170.0f64;
+    let plot_w = 960.0f64;
+    let lane_h = 16.0f64;
+    let top = 24.0f64;
+    let height = top + lane_h * tracks.len() as f64 + 24.0;
+    let x_of = |ns: u64| label_w + (ns - t0) as f64 / (t1 - t0) as f64 * plot_w;
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         font-family=\"monospace\" font-size=\"10\">\n",
+        label_w + plot_w + 10.0,
+        height
+    ));
+    // Lane backgrounds + labels.
+    for (i, t) in tracks.iter().enumerate() {
+        let y = top + i as f64 * lane_h;
+        let shade = if i % 2 == 0 { "#f4f4f4" } else { "#ebebeb" };
+        svg.push_str(&format!(
+            "<rect x=\"{label_w}\" y=\"{y:.1}\" width=\"{plot_w}\" height=\"{lane_h}\" \
+             fill=\"{shade}\"/>\n"
+        ));
+        svg.push_str(&format!(
+            "<text x=\"4\" y=\"{:.1}\">{}</text>\n",
+            y + lane_h - 4.0,
+            html_escape(&t.name())
+        ));
+    }
+    // Time axis endpoints (µs).
+    svg.push_str(&format!("<text x=\"{label_w}\" y=\"14\">{:.1} us</text>\n", t0 as f64 / 1000.0));
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"14\" text-anchor=\"end\">{:.1} us</text>\n",
+        label_w + plot_w,
+        t1 as f64 / 1000.0
+    ));
+    // Events.
+    for ev in events {
+        let track = Track::of(ev);
+        let lane = tracks.binary_search(&track).expect("track assigned");
+        let y = top + lane as f64 * lane_h + 1.5;
+        let h = lane_h - 3.0;
+        let (a, b) = ev.span_ns().unwrap_or_else(|| (ev.at_ns(), ev.at_ns()));
+        let x = x_of(a);
+        let w = (x_of(b) - x).max(1.2);
+        let tip = format!(
+            "{} [{:.3}..{:.3} us] on {}",
+            event_name(ev),
+            a as f64 / 1000.0,
+            b as f64 / 1000.0,
+            track.name()
+        );
+        svg.push_str(&format!(
+            "<rect x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" height=\"{h}\" \
+             fill=\"{}\"><title>{}</title></rect>\n",
+            event_color(ev),
+            html_escape(&tip)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>{t}</title></head>\n<body style=\"font-family:monospace\">\n\
+         <h2>{t}</h2>\n<p>{n} events · {k} tracks · window {lo:.1}..{hi:.1} us</p>\n{svg}\
+         </body></html>\n",
+        t = html_escape(title),
+        n = events.len(),
+        k = tracks.len(),
+        lo = t0 as f64 / 1000.0,
+        hi = t1 as f64 / 1000.0,
+        svg = svg
+    )
+}
+
+/// Escape a string for embedding in HTML text content.
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// One bucket of the per-dimension link-utilization timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationBucket {
+    /// Bucket start, ns.
+    pub start_ns: u64,
+    /// Bucket end, ns.
+    pub end_ns: u64,
+    /// Mean busy fraction of each dimension's directed links within
+    /// this bucket (`busy_frac[dim]`, in `[0, 1]`).
+    pub busy_frac: Vec<f64>,
+}
+
+/// Derive the per-dimension link-utilization timeline of a trace:
+/// the hold time of every [`TraceEvent::LinkHold`] is spread over
+/// `buckets` equal time slices and normalized by each dimension's
+/// directed-link capacity (`2^d` links per dimension).
+pub fn link_utilization(events: &[TraceEvent], d: u32, buckets: usize) -> Vec<UtilizationBucket> {
+    let buckets = buckets.max(1);
+    let holds: Vec<(u64, u64, u32)> = events
+        .iter()
+        .filter_map(|ev| match *ev {
+            TraceEvent::LinkHold { from, to, start, end, .. } => {
+                Some((start.as_ns(), end.as_ns(), link_dim(from, to)))
+            }
+            _ => None,
+        })
+        .collect();
+    if holds.is_empty() {
+        return Vec::new();
+    }
+    let t0 = holds.iter().map(|h| h.0).min().unwrap();
+    let t1 = holds.iter().map(|h| h.1).max().unwrap().max(t0 + 1);
+    let dims = d.max(1) as usize;
+    let links_per_dim = 1u64 << d;
+    let bucket_ns = (t1 - t0).div_ceil(buckets as u64).max(1);
+    let mut busy = vec![vec![0u64; dims]; buckets];
+    for (a, b, dim) in holds {
+        let mut cur = a;
+        while cur < b {
+            let bi = (((cur - t0) / bucket_ns) as usize).min(buckets - 1);
+            let bucket_end = t0 + (bi as u64 + 1) * bucket_ns;
+            let slice = b.min(bucket_end) - cur;
+            busy[bi][dim as usize] += slice;
+            cur += slice.max(1);
+        }
+    }
+    (0..buckets)
+        .map(|bi| UtilizationBucket {
+            start_ns: t0 + bi as u64 * bucket_ns,
+            end_ns: (t0 + (bi as u64 + 1) * bucket_ns).min(t1),
+            busy_frac: (0..dims)
+                .map(|dim| busy[bi][dim] as f64 / (links_per_dim * bucket_ns) as f64)
+                .collect(),
+        })
+        .collect()
+}
+
+/// One stall of the [`top_stalls`] report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stall {
+    /// The blocked context.
+    pub node: NodeId,
+    /// Why it was blocked.
+    pub cause: WaitCause,
+    /// Stall start, ns.
+    pub start_ns: u64,
+    /// Stall end, ns.
+    pub end_ns: u64,
+}
+
+impl Stall {
+    /// Stall length, ns.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// The `k` longest [`TraceEvent::Wait`] spans, longest first (ties
+/// broken by earlier start, then lower node id — deterministic).
+pub fn top_stalls(events: &[TraceEvent], k: usize) -> Vec<Stall> {
+    let mut stalls: Vec<Stall> = events
+        .iter()
+        .filter_map(|ev| match *ev {
+            TraceEvent::Wait { node, cause, start, end } => {
+                Some(Stall { node, cause, start_ns: start.as_ns(), end_ns: end.as_ns() })
+            }
+            _ => None,
+        })
+        .collect();
+    stalls.sort_by(|a, b| {
+        b.duration_ns()
+            .cmp(&a.duration_ns())
+            .then(a.start_ns.cmp(&b.start_ns))
+            .then(a.node.0.cmp(&b.node.0))
+    });
+    stalls.truncate(k);
+    stalls
+}
+
+/// One link of the [`critical_path`] chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalSpan {
+    /// What the span was (event display name + track).
+    pub label: String,
+    /// Span start, ns.
+    pub start_ns: u64,
+    /// Span end, ns.
+    pub end_ns: u64,
+}
+
+/// A greedy critical-path heuristic: starting from the span that ends
+/// last, repeatedly chain to the span with the latest end not after
+/// the current span's start. The result (earliest first) is a chain of
+/// non-overlapping blocking spans that "explains" the tail of the run.
+pub fn critical_path(events: &[TraceEvent]) -> Vec<CriticalSpan> {
+    let mut spans: Vec<CriticalSpan> = events
+        .iter()
+        .filter_map(|ev| {
+            ev.span_ns().map(|(a, b)| CriticalSpan {
+                label: format!("{} on {}", event_name(ev), Track::of(ev).name()),
+                start_ns: a,
+                end_ns: b,
+            })
+        })
+        .collect();
+    // Sort by end (then start, then label) so "latest end ≤ cutoff" is
+    // a deterministic scan from the back.
+    spans.sort_by(|a, b| {
+        a.end_ns.cmp(&b.end_ns).then(a.start_ns.cmp(&b.start_ns)).then(a.label.cmp(&b.label))
+    });
+    let mut chain: Vec<CriticalSpan> = Vec::new();
+    let Some(last) = spans.last().cloned() else {
+        return chain;
+    };
+    let mut cutoff = last.start_ns;
+    chain.push(last);
+    while cutoff > 0 {
+        // `start < cutoff` guarantees strict progress (terminates).
+        let Some(s) = spans.iter().rev().find(|s| s.end_ns <= cutoff && s.start_ns < cutoff) else {
+            break;
+        };
+        cutoff = s.start_ns;
+        chain.push(s.clone());
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hold(from: u32, to: u32, a: u64, b: u64) -> TraceEvent {
+        TraceEvent::LinkHold {
+            from: NodeId(from),
+            to: NodeId(to),
+            start: SimTime(a),
+            end: SimTime(b),
+            tag: Tag::data(0, 1),
+            bytes: 64,
+            background: false,
+        }
+    }
+
+    fn wait(node: u32, cause: WaitCause, a: u64, b: u64) -> TraceEvent {
+        TraceEvent::Wait { node: NodeId(node), cause, start: SimTime(a), end: SimTime(b) }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut ring = TraceRing::new(4);
+        for i in 0..6u64 {
+            ring.push(hold(0, 1, i, i + 1));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 2);
+        let events = ring.drain();
+        assert_eq!(events.len(), 4);
+        // Oldest two (starts 0 and 1) were evicted.
+        assert_eq!(events[0].at_ns(), 2);
+        assert_eq!(events[3].at_ns(), 5);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_capacity_is_never_zero() {
+        let mut ring = TraceRing::new(0);
+        ring.push(hold(0, 1, 0, 1));
+        ring.push(hold(0, 1, 1, 2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn perfetto_export_has_link_tracks_and_events() {
+        let events = vec![
+            hold(0, 1, 1_000, 3_000),
+            hold(1, 3, 2_000, 4_000),
+            wait(2, WaitCause::Contention, 0, 2_000),
+            TraceEvent::Flow { job: 0, node: NodeId(2), kind: FlowKind::Drop, at: SimTime(2_500) },
+        ];
+        let json = export_perfetto_json(&events);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("link 0->1 (dim 0)"), "{json}");
+        assert!(json.contains("link 1->3 (dim 1)"), "{json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"process_name\""));
+        // Balanced braces — cheap well-formedness check without a
+        // JSON parser (no string value here contains braces).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn html_export_is_self_contained() {
+        let events = vec![hold(0, 2, 0, 5_000), wait(0, WaitCause::Barrier, 0, 4_000)];
+        let html = export_html(&events, "test trace");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("</svg>"));
+        assert!(html.contains("test trace"));
+        assert!(html.contains("<title>"), "hover tooltips");
+        assert!(!html.contains("http://") || html.contains("xmlns"), "no network deps");
+        assert!(!html.contains("<script"));
+    }
+
+    #[test]
+    fn utilization_buckets_normalize_by_dimension_capacity() {
+        // d=1: 2 directed links per dimension. One link busy for the
+        // whole window -> 0.5 utilization in every bucket.
+        let events = vec![hold(0, 1, 0, 4_000)];
+        let buckets = link_utilization(&events, 1, 4);
+        assert_eq!(buckets.len(), 4);
+        for b in &buckets {
+            assert_eq!(b.busy_frac.len(), 1);
+            assert!((b.busy_frac[0] - 0.5).abs() < 1e-9, "{:?}", b);
+        }
+        // Empty trace -> empty timeline.
+        assert!(link_utilization(&[], 3, 8).is_empty());
+    }
+
+    #[test]
+    fn utilization_splits_holds_across_buckets() {
+        // Busy only in the first half of the window.
+        let events = vec![hold(0, 1, 0, 2_000), hold(2, 3, 0, 4_000)];
+        let buckets = link_utilization(&events, 1, 2);
+        assert_eq!(buckets.len(), 2);
+        assert!(buckets[0].busy_frac[0] > buckets[1].busy_frac[0]);
+    }
+
+    #[test]
+    fn top_stalls_sorts_longest_first() {
+        let events = vec![
+            wait(0, WaitCause::Contention, 0, 1_000),
+            wait(1, WaitCause::Barrier, 0, 5_000),
+            wait(2, WaitCause::NicLapse, 100, 3_000),
+        ];
+        let stalls = top_stalls(&events, 2);
+        assert_eq!(stalls.len(), 2);
+        assert_eq!(stalls[0].node, NodeId(1));
+        assert_eq!(stalls[0].duration_ns(), 5_000);
+        assert_eq!(stalls[1].node, NodeId(2));
+        assert!(top_stalls(&events, 10).len() == 3);
+    }
+
+    #[test]
+    fn critical_path_chains_backward_from_the_last_span() {
+        let events = vec![
+            hold(0, 1, 0, 2_000),
+            hold(1, 3, 2_000, 5_000),
+            hold(0, 2, 0, 1_000), // not on the chain (superseded by 0->1)
+            wait(3, WaitCause::Contention, 5_000, 9_000),
+        ];
+        let chain = critical_path(&events);
+        assert!(!chain.is_empty());
+        // Last element is the latest-ending span.
+        assert_eq!(chain.last().unwrap().end_ns, 9_000);
+        // Chain is ordered and non-overlapping.
+        for w in chain.windows(2) {
+            assert!(w[0].end_ns <= w[1].start_ns, "{chain:?}");
+        }
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[0].end_ns, 2_000);
+    }
+
+    #[test]
+    fn trace_config_default_capacity_is_generous() {
+        assert_eq!(TraceConfig::default().capacity, 1 << 20);
+        assert_eq!(TraceConfig::with_capacity(0).capacity, 1);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(html_escape("a<b&c>"), "a&lt;b&amp;c&gt;");
+    }
+}

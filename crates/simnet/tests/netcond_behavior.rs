@@ -236,12 +236,16 @@ fn background_injections_follow_the_schedule() {
     let (programs, mems) = one_way(2, 1, 8);
     let cfg = SimConfig::ipsc860(2).with_netcond(NetCondition::default().with_background(stream));
     let r = Simulator::new(cfg, programs, mems).with_trace().run().unwrap();
+    // The stream 2 -> 3 is one hop, so each injection is exactly one
+    // background link-hold and hold starts map 1:1 to injections.
     let starts: Vec<u64> = r
         .trace
         .iter()
         .filter_map(|e| match e {
-            TraceEvent::TransmissionStart { tag, at, .. } if *tag == background_tag(0) => {
-                Some(at.as_ns())
+            TraceEvent::LinkHold { tag, start, background: true, .. }
+                if *tag == background_tag(0) =>
+            {
+                Some(start.as_ns())
             }
             _ => None,
         })
@@ -250,26 +254,19 @@ fn background_injections_follow_the_schedule() {
     assert_eq!(r.stats.background_transmissions, 4);
 }
 
-/// Reconstruct per-directed-link occupancy intervals from a trace
-/// (fault-free conditioned runs route e-cube) and assert no two
-/// transmissions ever hold one directed link at once.
+/// Collect per-directed-link occupancy intervals from a trace (the
+/// structured event model records one [`TraceEvent::LinkHold`] per
+/// directed link per hold, so no path reconstruction is needed) and
+/// assert no two transmissions ever hold one directed link at once.
 fn assert_no_link_overlap(trace: &[TraceEvent]) {
     use std::collections::HashMap;
-    let mut open: HashMap<(NodeId, NodeId, Tag), Vec<u64>> = HashMap::new();
     let mut intervals: HashMap<DirectedLink, Vec<(u64, u64)>> = HashMap::new();
     for e in trace {
-        match e {
-            TraceEvent::TransmissionStart { src, dst, tag, at, .. } => {
-                open.entry((*src, *dst, *tag)).or_default().push(at.as_ns());
-            }
-            TraceEvent::TransmissionEnd { src, dst, tag, at } => {
-                let starts = open.get_mut(&(*src, *dst, *tag)).expect("end without start");
-                let start = starts.remove(0); // FIFO per key: circuits of one key can't overlap themselves
-                for link in mce_hypercube::routing::ecube_path(*src, *dst).links() {
-                    intervals.entry(link).or_default().push((start, at.as_ns()));
-                }
-            }
-            _ => {}
+        if let TraceEvent::LinkHold { from, to, start, end, .. } = e {
+            intervals
+                .entry(DirectedLink { from: *from, to: *to })
+                .or_default()
+                .push((start.as_ns(), end.as_ns()));
         }
     }
     for (link, mut ivs) in intervals {
