@@ -1,0 +1,64 @@
+//! `plan_ab` — interleaved A/B comparison of warm `mce_plan` engine
+//! queries against per-query `conditioned_best_partition` enumeration.
+//!
+//! Same drift-proof methodology as `shard_ab`: each round times one
+//! pass of the full query stream per side, alternating which side goes
+//! first, and the scoreboard is the per-side median. Results print as
+//! a JSON fragment ready for `BENCH_engine.json` under `"plan_ab"`.
+//!
+//! ```text
+//! plan_ab [rounds]          # default 5 rounds, d in {6, 8, 10}
+//! plan_ab --quick           # the CI smoke shape (d = 6, 2 rounds)
+//! ```
+
+use mce_bench::plan_study::{plan_study, PlanStudyOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut opts = if quick { PlanStudyOptions::quick() } else { PlanStudyOptions::full() };
+    if let Some(rounds) = args.iter().find_map(|s| s.parse::<usize>().ok()) {
+        opts.rounds = rounds;
+    }
+
+    let report = plan_study(&opts);
+    for row in &report.rows {
+        eprintln!(
+            "d{}: {} conditions x {} sizes; uncached {:.0} q/s, warm {:.0} q/s ({:.0}x), \
+             shuffled {:.0} q/s ({:.0}x), cold build {:.2} ms for {} hulls",
+            row.d,
+            row.conditions,
+            row.queries / row.conditions,
+            row.uncached_qps,
+            row.warm_qps,
+            row.speedup,
+            row.warm_shuffled_qps,
+            row.shuffled_speedup,
+            row.cold_build_ms,
+            row.hulls_built
+        );
+    }
+
+    println!("{{");
+    println!("  \"rounds\": {},", report.rounds);
+    println!("  \"results\": {{");
+    for (i, row) in report.rows.iter().enumerate() {
+        let comma = if i + 1 == report.rows.len() { "" } else { "," };
+        println!(
+            "    \"d{}\": {{ \"queries\": {}, \"uncached_qps\": {:.0}, \"warm_qps\": {:.0}, \
+             \"speedup\": {:.1}, \"warm_shuffled_qps\": {:.0}, \"shuffled_speedup\": {:.1}, \
+             \"cold_build_ms\": {:.3}, \"hulls_built\": {} }}{comma}",
+            row.d,
+            row.queries,
+            row.uncached_qps,
+            row.warm_qps,
+            row.speedup,
+            row.warm_shuffled_qps,
+            row.shuffled_speedup,
+            row.cold_build_ms,
+            row.hulls_built
+        );
+    }
+    println!("  }}");
+    println!("}}");
+}

@@ -20,6 +20,8 @@
 //!                            # JSON + HTML timeline + inspector
 //!                            # summary; scenario in {hotspot,
 //!                            # interference, sharded, all}
+//! repro plan [--quick]       # planner-as-a-service A/B: warm cached
+//!                            # hull queries vs per-query enumeration
 //! ```
 //!
 //! Figure artifacts (CSV + JSON) land in `target/repro/`.
@@ -30,6 +32,7 @@
 
 use mce_bench::figures::{paper_expectations, regenerate_figure, Figure};
 use mce_bench::interference::{interference_study, InterferenceOptions};
+use mce_bench::plan_study::{plan_study, PlanStudyOptions};
 use mce_bench::report::{ascii_plot, write_csv, write_json, Curve};
 use mce_bench::robustness::{robustness_study, RobustnessOptions};
 use mce_bench::{ablation, extensions, output_dir, tables};
@@ -97,8 +100,19 @@ fn main() {
         }
         "trace" => {
             let scenario = args.get(1).map(String::as_str).unwrap_or("all");
+            if scenario != "all" && !mce_bench::trace::SCENARIOS.contains(&scenario) {
+                eprintln!(
+                    "unknown trace scenario {scenario:?}; valid scenarios: {}, all",
+                    mce_bench::trace::SCENARIOS.join(", ")
+                );
+                std::process::exit(2);
+            }
             let d: Option<u32> = args.get(2).map(|s| s.parse().expect("dimension"));
             cmd_trace(scenario, d);
+        }
+        "plan" => {
+            let quick = args.iter().any(|a| a == "--quick");
+            cmd_plan(quick);
         }
         other => {
             eprintln!("unknown subcommand {other:?}; see `repro` source header for usage");
@@ -549,6 +563,58 @@ fn cmd_trace(scenario: &str, d: Option<u32>) {
         }
         println!("open the .perfetto.json in ui.perfetto.dev, the .html anywhere");
     }
+}
+
+/// Planner-as-a-service A/B (see `mce_bench::plan_study`).
+fn cmd_plan(quick: bool) {
+    banner(&format!("plan: cached-hull planner A/B{}", if quick { " (quick)" } else { "" }));
+    let opts = if quick { PlanStudyOptions::quick() } else { PlanStudyOptions::full() };
+    let started = std::time::Instant::now();
+    let report = plan_study(&opts);
+    assert!(!report.rows.is_empty(), "plan study produced no rows");
+    println!("ran {} rounds per side in {:?}", report.rounds, started.elapsed());
+    println!(
+        "\n{:>3} {:>8} {:>14} {:>12} {:>9} {:>13} {:>9} {:>14} {:>6}",
+        "d",
+        "queries",
+        "uncached q/s",
+        "warm q/s",
+        "speedup",
+        "shuffled q/s",
+        "speedup",
+        "cold build ms",
+        "hulls"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>3} {:>8} {:>14.0} {:>12.0} {:>8.0}x {:>13.0} {:>8.0}x {:>14.3} {:>6}",
+            row.d,
+            row.queries,
+            row.uncached_qps,
+            row.warm_qps,
+            row.speedup,
+            row.warm_shuffled_qps,
+            row.shuffled_speedup,
+            row.cold_build_ms,
+            row.hulls_built
+        );
+    }
+    println!("\nsample answers at 40 B (warm engine):");
+    for s in report.samples.iter().filter(|s| s.d == report.rows.last().unwrap().d) {
+        println!(
+            "  d={} {:<16} -> {:<14} {:<24} {:>10.1} us",
+            s.d,
+            s.condition,
+            s.partition,
+            format!("({})", s.algorithm),
+            s.predicted_us
+        );
+    }
+    println!("\n-> a warm query is a fingerprint + binary search over cached hull faces;");
+    println!("   the uncached side re-enumerates p(d) partitions through the conditioned");
+    println!("   model every time. Winners are checked identical before timing.");
+    write_json(&output_dir().join("plan.json"), &report);
+    println!("artifacts: target/repro/plan.json");
 }
 
 /// E4-E6.

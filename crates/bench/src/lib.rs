@@ -16,6 +16,7 @@
 //! | E15 | degraded-network robustness | `repro robustness` |
 //! | E16 | shared-cube interference | `repro interference` |
 //! | — | structured trace capture (Perfetto + HTML) | `repro trace` |
+//! | — | planner-as-a-service A/B (cached hulls) | `repro plan` |
 //!
 //! Each figure run writes CSV and JSON under `target/repro/` and
 //! prints a paper-vs-model-vs-simulation comparison.
@@ -24,6 +25,7 @@ pub mod ablation;
 pub mod extensions;
 pub mod figures;
 pub mod interference;
+pub mod plan_study;
 pub mod report;
 pub mod robustness;
 pub mod tables;

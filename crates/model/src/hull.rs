@@ -133,6 +133,168 @@ pub fn optimality_hull_by(
     faces
 }
 
+/// Index of the face containing block size `m`, by binary search over
+/// the face intervals (`from` inclusive, `to` exclusive). `None` only
+/// for an empty slice; `m` below the first face clamps to face 0 and
+/// `m` at or above the last face's `to` clamps to the last face, so a
+/// well-formed hull (first `from = 0`, last `to = ∞`) answers every
+/// finite `m`. This is the warm-cache query path of the planner: one
+/// `O(log faces)` lookup, no model evaluation.
+pub fn face_index(faces: &[HullFace], m: f64) -> Option<usize> {
+    if faces.is_empty() {
+        return None;
+    }
+    let i = faces.partition_point(|f| f.to <= m);
+    Some(i.min(faces.len() - 1))
+}
+
+/// The face containing block size `m`; see [`face_index`].
+pub fn face_at(faces: &[HullFace], m: f64) -> Option<&HullFace> {
+    face_index(faces, m).map(|i| &faces[i])
+}
+
+/// One face of an *affine* hull: the optimal partition on a block-size
+/// interval together with the affine coefficients of its prediction,
+/// `t(m) = t0 + slope·m`, and its index in enumeration order (for
+/// boundary tie-breaks). Produced by [`optimality_hull_affine_by`];
+/// serializes like [`HullFace`] (`to = ∞` as JSON `null`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffineHullFace {
+    /// The optimal partition on this interval.
+    pub partition: Partition,
+    /// The partition's index in `partitions(d)` enumeration order;
+    /// ties at face boundaries resolve toward the lower index, exactly
+    /// as [`best_partition_by`]'s fold does.
+    pub enum_index: usize,
+    /// Inclusive lower end of the block-size interval (bytes).
+    pub from: f64,
+    /// Exclusive upper end (bytes); `f64::INFINITY` for the last face.
+    #[serde(with = "infinite_as_null")]
+    pub to: f64,
+    /// Predicted time of this face's partition at `m = 0`, µs.
+    pub t0: f64,
+    /// Predicted time growth, µs per byte.
+    pub slope: f64,
+}
+
+impl AffineHullFace {
+    /// The face's prediction at block size `m`: `t0 + slope·m`. Two
+    /// float ops — this is what makes a warm planner query free of
+    /// model evaluation; it reproduces the model to within float
+    /// re-association of the affine form (≤ 1 ulp-scale, not bit-equal;
+    /// the planner's exact mode re-evaluates the model instead).
+    pub fn time_at(&self, m: f64) -> f64 {
+        self.t0 + self.slope * m
+    }
+
+    /// Drop the affine coefficients, keeping the interval.
+    pub fn to_face(&self) -> HullFace {
+        HullFace { partition: self.partition.clone(), from: self.from, to: self.to }
+    }
+}
+
+/// [`face_index`] over affine faces.
+pub fn affine_face_index(faces: &[AffineHullFace], m: f64) -> Option<usize> {
+    if faces.is_empty() {
+        return None;
+    }
+    let i = faces.partition_point(|f| f.to <= m);
+    Some(i.min(faces.len() - 1))
+}
+
+/// Compute the *exact* hull of optimality as a lower envelope of
+/// lines, with no block-size scan. Every pricing in this crate is
+/// affine in `m`, so each partition is one line `t0 + slope·m`
+/// (sampled at `m = 0` and `m = 1`); the candidate breakpoints are the
+/// pairwise line crossings at positive `m`, and probing the interior
+/// of each inter-crossing interval (where no two lines tie) recovers
+/// the envelope's winner per interval. Unlike [`optimality_hull_by`]
+/// the breakpoints are exact intersections, not `step`-resolution
+/// approximations, and the faces carry their affine coefficients —
+/// this is the planner's hull precompute (`mce_plan`).
+///
+/// Ties inside an interval (coincident lines) resolve toward the
+/// earlier partition in enumeration order, matching
+/// [`best_partition_by`]. The winner *at* a breakpoint belongs to the
+/// face starting there (callers needing exact tie semantics at a
+/// boundary re-evaluate the two adjacent faces; the planner does).
+pub fn optimality_hull_affine_by(
+    d: u32,
+    price: impl Fn(f64, &Partition) -> f64 + Sync,
+) -> Vec<AffineHullFace> {
+    let candidates = partitions(d);
+    let eval = |part: Partition| {
+        let t0 = price(0.0, &part);
+        let slope = price(1.0, &part) - t0;
+        (part, t0, slope)
+    };
+    let lines: Vec<(Partition, f64, f64)> = if candidates.len() >= 1024 {
+        candidates.into_par_iter().map(eval).collect()
+    } else {
+        candidates.into_iter().map(eval).collect()
+    };
+    // Candidate breakpoints: every pairwise crossing at m > 0. p(d)
+    // grows slowly (p(20) = 627), so the quadratic pass is cheap next
+    // to the 2·p(d) model evaluations above.
+    let mut cuts: Vec<f64> = Vec::new();
+    for i in 0..lines.len() {
+        for j in (i + 1)..lines.len() {
+            let (_, a0, a_s) = lines[i];
+            let (_, b0, b_s) = lines[j];
+            if a_s != b_s {
+                let x = (b0 - a0) / (a_s - b_s);
+                if x.is_finite() && x > 0.0 {
+                    cuts.push(x);
+                }
+            }
+        }
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup();
+    let winner_at = |m: f64| -> usize {
+        let mut best = 0usize;
+        let mut best_t = lines[0].1 + lines[0].2 * m;
+        for (i, (_, t0, s)) in lines.iter().enumerate().skip(1) {
+            let t = t0 + s * m;
+            if t < best_t {
+                best = i;
+                best_t = t;
+            }
+        }
+        best
+    };
+    let mut faces: Vec<AffineHullFace> = Vec::new();
+    let mut from = 0.0f64;
+    for k in 0..=cuts.len() {
+        // Probe strictly inside (from, to): no line crossing lives
+        // there, so one winner rules the whole interval.
+        let (probe, to) = if k < cuts.len() {
+            (0.5 * (from + cuts[k]), cuts[k])
+        } else if cuts.is_empty() {
+            (1.0, f64::INFINITY)
+        } else {
+            (cuts[k - 1] + 1.0, f64::INFINITY)
+        };
+        let w = winner_at(probe);
+        match faces.last_mut() {
+            Some(f) if f.enum_index == w => f.to = to,
+            _ => {
+                let (part, t0, slope) = &lines[w];
+                faces.push(AffineHullFace {
+                    partition: part.clone(),
+                    enum_index: w,
+                    from,
+                    to,
+                    t0: *t0,
+                    slope: *slope,
+                });
+            }
+        }
+        from = to;
+    }
+    faces
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +389,114 @@ mod tests {
         for d in 2..=8u32 {
             let (part, _) = best_partition(&p, 10_000.0, d);
             assert!(part.is_optimal_circuit_switched(), "d={d}: {part}");
+        }
+    }
+
+    #[test]
+    fn affine_hull_matches_scanned_hull() {
+        // Same face sequence as the step-resolution scan, with each
+        // breakpoint inside the scan's ±step bracket of it.
+        let p = MachineParams::ipsc860();
+        for d in 5..=7u32 {
+            let scanned = optimality_hull(&p, d, 400.0, 1.0);
+            let affine =
+                optimality_hull_affine_by(d, |m, part| multiphase_time(&p, m, d, part.parts()));
+            assert_eq!(
+                affine.iter().map(|f| &f.partition).collect::<Vec<_>>(),
+                scanned.iter().map(|f| &f.partition).collect::<Vec<_>>(),
+                "d={d}"
+            );
+            for (a, s) in affine.iter().zip(&scanned) {
+                if s.to.is_finite() {
+                    assert!(
+                        (a.to - s.to).abs() <= 1.0,
+                        "d={d}: exact {} vs scanned {}",
+                        a.to,
+                        s.to
+                    );
+                } else {
+                    assert_eq!(a.to, f64::INFINITY);
+                }
+            }
+            assert_eq!(affine[0].from, 0.0);
+            for w in affine.windows(2) {
+                assert_eq!(w[0].to, w[1].from);
+            }
+        }
+    }
+
+    #[test]
+    fn affine_faces_carry_their_own_prediction() {
+        let p = MachineParams::ipsc860();
+        let d = 6u32;
+        let affine =
+            optimality_hull_affine_by(d, |m, part| multiphase_time(&p, m, d, part.parts()));
+        for face in &affine {
+            let probe =
+                if face.to.is_finite() { 0.5 * (face.from + face.to) } else { face.from + 50.0 };
+            let direct = multiphase_time(&p, probe, d, face.partition.parts());
+            assert!(
+                (face.time_at(probe) - direct).abs() < 1e-9 * direct.max(1.0),
+                "affine {} vs direct {direct}",
+                face.time_at(probe)
+            );
+            // And the face's partition really is the winner there.
+            let (best, _) = best_partition(&p, probe, d);
+            assert_eq!(best, face.partition);
+        }
+    }
+
+    #[test]
+    fn face_lookup_clamps_and_finds() {
+        let p = MachineParams::ipsc860();
+        let hull = optimality_hull(&p, 6, 300.0, 1.0);
+        assert_eq!(face_index(&[], 10.0), None);
+        assert_eq!(face_index(&hull, -5.0), Some(0));
+        assert_eq!(face_index(&hull, 0.0), Some(0));
+        assert_eq!(face_index(&hull, 1e12), Some(hull.len() - 1));
+        for (i, f) in hull.iter().enumerate() {
+            // `from` is inclusive; just under `to` still belongs here.
+            assert_eq!(face_index(&hull, f.from), Some(i));
+            let inside = if f.to.is_finite() { 0.5 * (f.from + f.to) } else { f.from + 1.0 };
+            assert_eq!(face_at(&hull, inside).unwrap().partition, f.partition);
+            if f.to.is_finite() {
+                // A breakpoint belongs to the face starting there.
+                assert_eq!(face_index(&hull, f.to), Some(i + 1));
+            }
+        }
+        let affine =
+            optimality_hull_affine_by(6, |m, part| multiphase_time(&p, m, 6, part.parts()));
+        for (i, f) in affine.iter().enumerate() {
+            let inside = if f.to.is_finite() { 0.5 * (f.from + f.to) } else { f.from + 1.0 };
+            assert_eq!(affine_face_index(&affine, inside), Some(i));
+        }
+    }
+
+    #[test]
+    fn affine_hull_prices_conditioned_models_too() {
+        // The planner builds conditioned hulls through the same entry
+        // point: check the envelope against the conditioned scan on a
+        // contended cube.
+        use crate::conditioned::{
+            conditioned_multiphase_time, conditioned_optimality_hull, ConditionSummary,
+        };
+        let p = MachineParams::ipsc860();
+        let d = 6u32;
+        let mut cond = ConditionSummary::noop(d);
+        for _ in 0..6 {
+            cond.add_stream(0x3F, 314.0, 600.0);
+        }
+        let scanned = conditioned_optimality_hull(&p, d, 400.0, 1.0, &cond);
+        let affine = optimality_hull_affine_by(d, |m, part| {
+            conditioned_multiphase_time(&p, m, d, part.parts(), &cond)
+        });
+        // The scan stops at 400 B; the exact envelope may keep
+        // splitting beyond it. Compare the prefix the scan covers.
+        for (s, a) in scanned.iter().zip(&affine) {
+            assert_eq!(s.partition, a.partition);
+            if s.to.is_finite() {
+                assert!((s.to - a.to).abs() <= 1.0, "{} vs {}", s.to, a.to);
+            }
         }
     }
 }

@@ -46,10 +46,14 @@ pub use conditioned::{
     conditioned_multiphase_saf_time, conditioned_multiphase_time, conditioned_optimal_cs_time,
     conditioned_optimality_hull, conditioned_partial_exchange_saf_time,
     conditioned_partial_exchange_time, conditioned_standard_exchange_time,
-    conditioned_standard_wins, ConditionSummary, DimContention, DimFactor,
+    conditioned_standard_wins, ConditionFingerprint, ConditionSummary, DimContention, DimFactor,
+    FINGERPRINT_MANTISSA_BITS,
 };
 pub use crossover::{crossover_block_size, standard_wins};
-pub use hull::{best_partition, best_partition_by, optimality_hull, optimality_hull_by, HullFace};
+pub use hull::{
+    affine_face_index, best_partition, best_partition_by, face_at, face_index, optimality_hull,
+    optimality_hull_affine_by, optimality_hull_by, AffineHullFace, HullFace,
+};
 pub use multiphase::multiphase_time;
 pub use optimal::optimal_cs_time;
 pub use params::MachineParams;

@@ -1,0 +1,70 @@
+//! Simulator-backed fallback for out-of-envelope conditions.
+//!
+//! The conditioned model's contention term is a dilute-traffic
+//! estimate: dense anti-phased hotspot ladders can phase-lock
+//! multi-hop circuits out of the network entirely, a cliff the
+//! accuracy envelope in `crates/model/README.md` explicitly excludes.
+//! When a query's condition looks like that regime, the engine prices
+//! the candidate partitions by *running* them — a one-block-size
+//! conformance grid through `SimBatch` — and answers from measurement.
+
+use mce_core::builder::build_multiphase_programs;
+use mce_core::verify::stamped_memories;
+use mce_model::ConditionSummary;
+use mce_partitions::Partition;
+use mce_simnet::conformance::{candidate_partitions, run_scenario, ScenarioError};
+use mce_simnet::SimConfig;
+
+/// Whether a condition sits outside the model's accuracy envelope:
+/// some dimension's *saturated hit rate* — the fraction of that
+/// dimension's links a background stream touches, times its duty
+/// cycle saturated at 2× utilization (the same saturation the
+/// conditioned model's private `tuning::UTIL_SATURATION` applies) —
+/// reaches `threshold`. Dense anti-phased ladders (many streams, high
+/// duty) cross it; the dilute scenarios the conformance harness
+/// certifies stay well under.
+pub fn out_of_envelope(cond: &ConditionSummary, threshold: f64) -> bool {
+    cond.contention().iter().any(|c| c.touch * (2.0 * c.util).min(1.0) >= threshold)
+}
+
+/// Simulate one query's candidate set at block size `m` and return the
+/// measured winner `(partition, simulated µs)`.
+///
+/// Candidates are the same cast every conformance grid compares: the
+/// clean hull's partitions plus Standard Exchange. Errors are the
+/// typed [`ScenarioError`] (e.g. an unroutable pair under a faulted
+/// condition) — the caller degrades to the analytic hull answer.
+pub fn simulate_answer(cfg: &SimConfig, m: usize) -> Result<(Partition, f64), ScenarioError> {
+    let m_max = (4 * m).max(512) as f64;
+    let candidates = candidate_partitions(&cfg.params, cfg.dimension, m_max);
+    let outcome = run_scenario("plan/fallback", cfg, &candidates, &[m], |d, dims, bytes| {
+        (build_multiphase_programs(d, dims, bytes), stamped_memories(d, bytes))
+    })?;
+    let w = outcome.simulated_winner[0];
+    Ok((candidates[w].clone(), outcome.cells[w].simulated_us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_simnet::conformance::{condition_summary, hotspot_condition};
+
+    #[test]
+    fn dense_ladders_are_out_dilute_are_in() {
+        let d = 3u32;
+        let dense = SimConfig::ipsc860(d).with_netcond(hotspot_condition(d, 8));
+        assert!(out_of_envelope(&condition_summary(&dense), 0.5));
+        let dilute = SimConfig::ipsc860(d).with_netcond(hotspot_condition(d, 2));
+        assert!(!out_of_envelope(&condition_summary(&dilute), 0.5));
+        assert!(!out_of_envelope(&ConditionSummary::noop(d), 0.5));
+    }
+
+    #[test]
+    fn simulated_winner_comes_from_the_candidate_cast() {
+        let d = 3u32;
+        let cfg = SimConfig::ipsc860(d).with_netcond(hotspot_condition(d, 8));
+        let (part, t) = simulate_answer(&cfg, 64).expect("routable scenario");
+        assert_eq!(part.total(), d);
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! The cached value: one condition's exact hull of optimality with
+//! affine per-face predictions.
+
+use mce_model::{
+    affine_face_index, conditioned_multiphase_saf_time, conditioned_multiphase_time,
+    optimality_hull_affine_by, AffineHullFace, ConditionSummary, MachineParams,
+};
+use mce_partitions::Partition;
+use mce_simnet::config::SwitchingMode;
+use serde::{Deserialize, Serialize};
+
+/// Relative half-width of the boundary band around each face edge.
+///
+/// Inside the band the top candidates are within `~1e-6` relative of
+/// each other — six orders of magnitude above float noise but close
+/// enough that an affine recombination could order-flip against the
+/// model's own evaluation order — so the engine re-runs the exact
+/// enumeration fold there instead of trusting the face label. The band
+/// has measure `~1e-6` of the query space; warm-path throughput is
+/// unaffected.
+pub const BOUNDARY_REL_EPS: f64 = 1e-6;
+
+/// One condition's precomputed decision table: the exact hull of
+/// optimality (faces with affine coefficients) for a `(machine, d,
+/// switching, condition)` tuple. Serializable, so hulls can be
+/// persisted and shipped ("stored for repeated future use", §6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanHull {
+    /// Cube dimension the hull plans for.
+    pub d: u32,
+    /// `true` when priced under store-and-forward switching.
+    pub saf: bool,
+    /// The faces, tiling `[0, ∞)`.
+    pub faces: Vec<AffineHullFace>,
+}
+
+/// Price one partition exactly as the conformance harness does
+/// (`predicted_us_with` dispatches on the same switching mode to the
+/// same two entry points) — the one pricing function shared by hull
+/// builds, exact-mode predictions and boundary re-enumeration, so
+/// every path is bit-consistent with the model.
+pub fn price(
+    machine: &MachineParams,
+    switching: SwitchingMode,
+    d: u32,
+    cond: &ConditionSummary,
+    m: f64,
+    part: &Partition,
+) -> f64 {
+    match switching {
+        SwitchingMode::Circuit => conditioned_multiphase_time(machine, m, d, part.parts(), cond),
+        SwitchingMode::StoreAndForward => {
+            conditioned_multiphase_saf_time(machine, m, d, part.parts(), cond)
+        }
+    }
+}
+
+impl PlanHull {
+    /// Build the exact hull for one condition: `2·p(d)` model
+    /// evaluations plus the lower-envelope sweep — the *only* place
+    /// the warm path's model cost is ever paid, once per cache key.
+    pub fn build(
+        machine: &MachineParams,
+        switching: SwitchingMode,
+        d: u32,
+        cond: &ConditionSummary,
+    ) -> PlanHull {
+        let faces =
+            optimality_hull_affine_by(d, |m, part| price(machine, switching, d, cond, m, part));
+        PlanHull { d, saf: switching == SwitchingMode::StoreAndForward, faces }
+    }
+
+    /// The face containing block size `m` (clamped; hulls tile
+    /// `[0, ∞)` so every finite `m` lands somewhere).
+    pub fn face(&self, m: f64) -> &AffineHullFace {
+        let i = affine_face_index(&self.faces, m).expect("hulls are never empty (p(d) >= 1)");
+        &self.faces[i]
+    }
+
+    /// Whether `m` falls in the boundary band of any face edge —
+    /// within [`BOUNDARY_REL_EPS`] relative (absolute near zero) of a
+    /// breakpoint, where the engine must re-run the exact enumeration
+    /// fold rather than trust the face label. The first face's
+    /// `from = 0` counts too: lines excluded from the envelope can tie
+    /// the winner exactly at `m = 0`.
+    pub fn near_boundary(&self, m: f64) -> bool {
+        let tol = BOUNDARY_REL_EPS * m.abs().max(1.0);
+        self.faces
+            .iter()
+            .any(|f| (m - f.from).abs() <= tol || (f.to.is_finite() && (m - f.to).abs() <= tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_model::conditioned_best_partition;
+
+    #[test]
+    fn hull_faces_tile_and_name_exact_winners() {
+        let machine = MachineParams::ipsc860();
+        let d = 6u32;
+        let cond = ConditionSummary::noop(d);
+        let hull = PlanHull::build(&machine, SwitchingMode::Circuit, d, &cond);
+        assert_eq!(hull.faces[0].from, 0.0);
+        assert_eq!(hull.faces.last().unwrap().to, f64::INFINITY);
+        for m in [0.0, 5.0, 40.0, 140.0, 400.0, 5000.0] {
+            if hull.near_boundary(m) {
+                continue;
+            }
+            let face = hull.face(m);
+            let (best, t) = conditioned_best_partition(&machine, m, d, &cond);
+            assert_eq!(face.partition, best, "m={m}");
+            assert!((face.time_at(m) - t).abs() < 1e-9 * t.max(1.0), "m={m}");
+        }
+    }
+
+    #[test]
+    fn boundary_band_brackets_breakpoints_only() {
+        let machine = MachineParams::ipsc860();
+        let d = 6u32;
+        let hull = PlanHull::build(&machine, SwitchingMode::Circuit, d, &ConditionSummary::noop(d));
+        // Every interior breakpoint is in its own band; far-off points
+        // are not. m = 0 is always in band (exact-tie guard).
+        assert!(hull.near_boundary(0.0));
+        for f in &hull.faces {
+            if f.to.is_finite() {
+                assert!(hull.near_boundary(f.to));
+                assert!(!hull.near_boundary(f.to + 2.0 * (1.0 + f.to * BOUNDARY_REL_EPS)));
+            }
+        }
+    }
+
+    #[test]
+    fn saf_hulls_price_the_saf_model() {
+        let machine = MachineParams::ipsc860();
+        let d = 4u32;
+        let cond = ConditionSummary::noop(d);
+        let hull = PlanHull::build(&machine, SwitchingMode::StoreAndForward, d, &cond);
+        assert!(hull.saf);
+        let m = 64.0;
+        let face = hull.face(m);
+        let direct = price(&machine, SwitchingMode::StoreAndForward, d, &cond, m, &face.partition);
+        assert!((face.time_at(m) - direct).abs() < 1e-9 * direct);
+    }
+}

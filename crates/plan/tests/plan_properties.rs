@@ -1,0 +1,150 @@
+//! Property pins for the exactness contract: warm cached answers are
+//! indistinguishable from fresh model calls.
+//!
+//! Strategy note: the vendored proptest is integer-only, so floats are
+//! derived from integer draws (milli-factors, byte counts) — which also
+//! keeps the cases reproducible in failure messages.
+
+use mce_model::{
+    conditioned_best_partition, conditioned_multiphase_time, ConditionSummary, MachineParams,
+};
+use mce_plan::{FallbackPolicy, PlanEngine, PlanOptions, PlanQuery};
+use proptest::prelude::*;
+
+/// A random-but-valid condition summary built from integer draws:
+/// `kind` selects the family, `a`/`b` parameterize it.
+fn summary_from(d: u32, kind: u32, a: u64, b: u64) -> ConditionSummary {
+    let n = 1usize << d;
+    let dims = d as usize;
+    match kind % 4 {
+        // Pristine.
+        0 => ConditionSummary::noop(d),
+        // Uniform slowdown, factor in (1.0, 4.0].
+        1 => {
+            let f = 1.0 + (1 + a % 3000) as f64 / 1000.0;
+            ConditionSummary::from_link_factors(d, &vec![f; n * dims])
+        }
+        // Heterogeneous per-link factors in [1.0, 3.0), varied by a
+        // cheap integer hash so min/mean/max all differ.
+        2 => {
+            let factors: Vec<f64> = (0..n * dims)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(a);
+                    1.0 + (h % 2000) as f64 / 1000.0
+                })
+                .collect();
+            ConditionSummary::from_link_factors(d, &factors)
+        }
+        // A few dilute background streams.
+        _ => {
+            let mut cond = ConditionSummary::noop(d);
+            let streams = 1 + (a % 3);
+            for j in 0..streams {
+                let mask = 1 + ((a >> (8 + j)) as u32 % ((1u32 << d) - 1));
+                let busy = 50.0 + (b.rotate_left(j as u32) % 400) as f64;
+                cond.add_stream(mask, busy, 2000.0);
+            }
+            cond
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact mode: a warm cache answer is bit-equal — partition and
+    /// predicted time — to a direct `conditioned_best_partition` call.
+    #[test]
+    fn warm_exact_answers_are_bit_equal_to_the_model(
+        d in 2u32..=5,
+        m_int in 0u64..=400,
+        kind in 0u32..=3,
+        a in 0u64..=u64::MAX / 2,
+        b in 0u64..=u64::MAX / 2,
+    ) {
+        let machine = MachineParams::ipsc860();
+        let cond = summary_from(d, kind, a, b);
+        let m = m_int as f64;
+        let engine = PlanEngine::new(PlanOptions {
+            exact_predictions: true,
+            fallback: FallbackPolicy::Never,
+            ..PlanOptions::default()
+        });
+        let q = PlanQuery::clean(d, m, machine.clone()).with_summary(cond.clone());
+        let cold = engine.answer(&q);
+        let warm = engine.answer(&q);
+        prop_assert_eq!(&cold, &warm, "cold/warm must be identical");
+        let (part, t) = conditioned_best_partition(&machine, m, d, &cond);
+        prop_assert_eq!(&warm.best_partition, &part);
+        prop_assert_eq!(warm.predicted_us.to_bits(), t.to_bits(),
+            "exact-mode time must be bit-equal: {} vs {}", warm.predicted_us, t);
+        let stats = engine.stats();
+        prop_assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    /// Affine mode (the default warm path): the winner is still the
+    /// exact fold winner, and the recombined prediction stays within
+    /// 1e-9 relative of the model.
+    #[test]
+    fn warm_affine_answers_track_the_model(
+        d in 2u32..=5,
+        m_int in 0u64..=400,
+        kind in 0u32..=3,
+        a in 0u64..=u64::MAX / 2,
+        b in 0u64..=u64::MAX / 2,
+    ) {
+        let machine = MachineParams::ipsc860();
+        let cond = summary_from(d, kind, a, b);
+        let m = m_int as f64;
+        let engine = PlanEngine::new(PlanOptions {
+            fallback: FallbackPolicy::Never,
+            ..PlanOptions::default()
+        });
+        let q = PlanQuery::clean(d, m, machine.clone()).with_summary(cond.clone());
+        let _ = engine.answer(&q);
+        let warm = engine.answer(&q);
+        let (part, t) = conditioned_best_partition(&machine, m, d, &cond);
+        prop_assert_eq!(&warm.best_partition, &part);
+        let tol = 1e-9 * t.abs().max(1.0);
+        prop_assert!((warm.predicted_us - t).abs() <= tol,
+            "affine prediction {} drifted from model {}", warm.predicted_us, t);
+        // And the winner's direct price agrees with the model's time.
+        let direct = conditioned_multiphase_time(&machine, m, d, part.parts(), &cond);
+        prop_assert_eq!(direct.to_bits(), t.to_bits());
+    }
+}
+
+/// LRU churn cannot change answers: evict a hull by capacity pressure,
+/// re-query it, and the rebuilt answer is bit-equal to the first.
+#[test]
+fn evicted_then_requeried_answers_are_bit_equal() {
+    let machine = MachineParams::ipsc860();
+    let engine = PlanEngine::new(PlanOptions {
+        shards: 1,
+        per_shard_capacity: 2,
+        exact_predictions: true,
+        fallback: FallbackPolicy::Never,
+        ..PlanOptions::default()
+    });
+    let d = 5u32;
+    let queries: Vec<PlanQuery> = (0..3u32)
+        .map(|i| {
+            PlanQuery::clean(d, 64.0, machine.clone()).with_summary(summary_from(
+                d,
+                i.min(2),
+                7 + i as u64 * 1000,
+                13,
+            ))
+        })
+        .collect();
+    let first = engine.answer(&queries[0]);
+    let _ = engine.answer(&queries[1]);
+    let _ = engine.answer(&queries[2]); // capacity 2: evicts queries[0]'s hull
+    let stats = engine.stats();
+    assert_eq!(stats.evictions, 1, "third distinct hull must evict the first");
+    let again = engine.answer(&queries[0]);
+    assert_eq!(first, again, "rebuilt hull must answer bit-identically");
+    let stats = engine.stats();
+    assert_eq!(stats.misses, 4, "requery after eviction rebuilds");
+    assert_eq!(stats.hits, 0);
+}

@@ -20,9 +20,13 @@
 //! * [`predicted_us`] prices one `(partition, block size)` cell under
 //!   that summary, circuit-switched or store-and-forward to match the
 //!   config.
+//! * [`condition_fingerprint`] quantizes that summary into the stable
+//!   integer cache key (`mce_model::ConditionFingerprint`) the planner
+//!   (`mce_plan`) caches precomputed hulls under.
 //! * [`run_scenario`] sweeps a partition × block-size grid through a
 //!   [`SimBatch`], producing a [`ScenarioOutcome`] with per-cell
-//!   errors and the two winner ladders.
+//!   errors and the two winner ladders — or a typed [`ScenarioError`]
+//!   naming the first cell that failed to simulate.
 //!
 //! The harness proper lives in `crates/simnet/tests/model_conformance.rs`
 //! (quick grid in the normal suite, full grid behind `--ignored`) and
@@ -33,9 +37,13 @@ use crate::batch::SimBatch;
 use crate::config::{SimConfig, SwitchingMode};
 use crate::netcond::NetCondition;
 use crate::program::Program;
+use crate::SimError;
 use mce_hypercube::routing::DirectedLink;
 use mce_hypercube::NodeId;
-use mce_model::{conditioned_multiphase_saf_time, conditioned_multiphase_time, ConditionSummary};
+use mce_model::{
+    conditioned_multiphase_saf_time, conditioned_multiphase_time, ConditionFingerprint,
+    ConditionSummary,
+};
 use mce_partitions::Partition;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -82,6 +90,16 @@ pub fn condition_summary(cfg: &SimConfig) -> ConditionSummary {
         summary.add_stream(mask, busy_us, period_us);
     }
     summary
+}
+
+/// The quantized cache key of a configuration's condition:
+/// [`condition_summary`]`(cfg).fingerprint()`. This is the simulator
+/// side of the planner's cache key — two configs whose resolved
+/// conditions agree to within the fingerprint's quantization bound
+/// (≈ 0.2% per field, `mce_model::FINGERPRINT_MANTISSA_BITS`) share a
+/// key and therefore a cached optimality hull.
+pub fn condition_fingerprint(cfg: &SimConfig) -> ConditionFingerprint {
+    condition_summary(cfg).fingerprint()
 }
 
 /// `(max, sum)` slowdown factors along the e-cube route of
@@ -246,6 +264,58 @@ pub fn singleton_takeover<'a>(
     takeover
 }
 
+/// Map an analytic crossover block size onto a ladder, in
+/// [`singleton_takeover`]'s terms: the smallest ladder size at or
+/// beyond the crossover. The companion for comparing
+/// `mce_model::conditioned_crossover_block_size` (or the raw Eq. 1/2
+/// crossover) against measured takeovers, handling that function's
+/// documented ends the way a winner ladder would:
+///
+/// * `f64::INFINITY` (or any non-finite value) — the challenger never
+///   takes over: `None`, matching a ladder whose winner column never
+///   settles on the singleton.
+/// * `0.0` — takeover from the first byte: the ladder's smallest size.
+/// * anything between — the first ladder size at or past the
+///   crossover; `None` when the whole ladder sits below it.
+pub fn crossover_takeover(crossover_bytes: f64, sizes: &[usize]) -> Option<usize> {
+    if !crossover_bytes.is_finite() {
+        return None;
+    }
+    sizes.iter().copied().find(|&m| m as f64 >= crossover_bytes)
+}
+
+/// A conformance cell failed to simulate: the grid coordinates of the
+/// first failing cell plus the engine's typed [`SimError`].
+///
+/// Historically `run_scenario` panicked here. Conformance scenarios
+/// are routable by construction, so a failure *is* a harness bug in
+/// test context — but the planner (`mce_plan`) routes live
+/// out-of-envelope queries through the same entry point, and a service
+/// degrades to its analytic answer rather than aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// Scenario label the failing grid belonged to.
+    pub label: String,
+    /// Partition of the failing cell, paper notation.
+    pub partition: String,
+    /// Block size of the failing cell, bytes.
+    pub block_size: usize,
+    /// The engine's failure.
+    pub error: SimError,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conformance cell {} m={} of {} failed to simulate: {}",
+            self.partition, self.block_size, self.label, self.error
+        )
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// Run one scenario: simulate every `(partition, block size)` cell of
 /// the grid under `cfg` through a parallel [`SimBatch`] (jitter-free
 /// and single-replicate — both sides are deterministic) and price the
@@ -255,18 +325,20 @@ pub fn singleton_takeover<'a>(
 /// `mce_core::builder::build_multiphase_programs` plus stamped
 /// memories; the builder crate sits above this one).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any cell fails to simulate — conformance scenarios are
-/// routable by construction (no faults), so a typed failure here is a
-/// harness bug, not data.
+/// Returns a [`ScenarioError`] naming the first cell whose simulation
+/// failed (e.g. an unroutable pair under a faulted condition). Test
+/// harnesses unwrap it — their grids are routable by construction —
+/// while the planner's simulator fallback degrades to the analytic
+/// answer instead of aborting.
 pub fn run_scenario(
     label: &str,
     cfg: &SimConfig,
     partitions: &[Partition],
     sizes: &[usize],
     build: impl Fn(u32, &[u32], usize) -> (Vec<Program>, Vec<Vec<u8>>),
-) -> ScenarioOutcome {
+) -> Result<ScenarioOutcome, ScenarioError> {
     assert!(!partitions.is_empty() && !sizes.is_empty(), "empty conformance grid");
     let cond = condition_summary(cfg);
     let mut batch = SimBatch::new(cfg.clone());
@@ -282,10 +354,17 @@ pub fn run_scenario(
 
     let mut cells = Vec::with_capacity(predicted.len());
     let mut max_rel_err = 0.0f64;
-    for (i, (result, pred)) in results.iter().zip(&predicted).enumerate() {
+    for (i, (result, pred)) in results.into_iter().zip(&predicted).enumerate() {
         let sim = match result {
             Ok(r) => r.finish_time.as_us(),
-            Err(e) => panic!("conformance cell {i} of {label} failed to simulate: {e}"),
+            Err(error) => {
+                return Err(ScenarioError {
+                    label: label.to_string(),
+                    partition: partitions[i / sizes.len()].to_string(),
+                    block_size: sizes[i % sizes.len()],
+                    error,
+                })
+            }
         };
         let cell = ConformanceCell {
             partition: partitions[i / sizes.len()].to_string(),
@@ -309,7 +388,7 @@ pub fn run_scenario(
     let simulated_winner = winner(&|pi, mi| cells[pi * sizes.len() + mi].simulated_us);
     let predicted_winner = winner(&|pi, mi| cells[pi * sizes.len() + mi].predicted_us);
 
-    ScenarioOutcome {
+    Ok(ScenarioOutcome {
         label: label.to_string(),
         sizes: sizes.to_vec(),
         partitions: partitions.iter().map(|p| p.to_string()).collect(),
@@ -317,7 +396,7 @@ pub fn run_scenario(
         max_rel_err,
         simulated_winner,
         predicted_winner,
-    }
+    })
 }
 
 /// The candidate-partition set every conformance grid compares: the
@@ -450,5 +529,97 @@ mod tests {
         assert!(names.contains(&"{6}".to_string()));
         assert!(names.contains(&"{1,1,1,1,1,1}".to_string()));
         assert!(names.len() >= 3);
+    }
+
+    #[test]
+    fn fingerprint_extraction_matches_summary_and_buckets_configs() {
+        let d = 4u32;
+        let clean = SimConfig::ipsc860(d);
+        assert_eq!(condition_fingerprint(&clean), condition_summary(&clean).fingerprint());
+        // Two hotspot configs with the same condition share a key...
+        let hot_a = SimConfig::ipsc860(d).with_netcond(hotspot_condition(d, 4));
+        let hot_b = SimConfig::ipsc860(d).with_netcond(hotspot_condition(d, 4));
+        assert_eq!(condition_fingerprint(&hot_a), condition_fingerprint(&hot_b));
+        // ...and differ from the clean cube and from other levels.
+        assert_ne!(condition_fingerprint(&hot_a), condition_fingerprint(&clean));
+        let hot_c = SimConfig::ipsc860(d).with_netcond(hotspot_condition(d, 8));
+        assert_ne!(condition_fingerprint(&hot_a), condition_fingerprint(&hot_c));
+    }
+
+    #[test]
+    fn crossover_takeover_handles_both_documented_ends() {
+        let ladder = [20usize, 40, 80, 160, 320];
+        // INFINITY — Standard never strictly beaten (incl. exact
+        // ties) — maps to "no takeover", like a ladder whose winners
+        // never settle on the singleton.
+        assert_eq!(crossover_takeover(f64::INFINITY, &ladder), None);
+        assert_eq!(crossover_takeover(f64::NAN, &ladder), None);
+        // 0.0 — Optimal from the first byte — takes the whole ladder.
+        assert_eq!(crossover_takeover(0.0, &ladder), Some(20));
+        // Interior crossovers round up to the next ladder rung.
+        assert_eq!(crossover_takeover(100.0, &ladder), Some(160));
+        assert_eq!(crossover_takeover(160.0, &ladder), Some(160));
+        // Past the ladder: indistinguishable from "never" at this
+        // resolution.
+        assert_eq!(crossover_takeover(400.0, &ladder), None);
+        // Consistency with singleton_takeover on an idealized ladder:
+        // winners = singleton from the crossover on.
+        let cross = 100.0;
+        let winners: Vec<(usize, &str)> = ladder
+            .iter()
+            .map(|&m| (m, if (m as f64) >= cross { "{6}" } else { "{3,3}" }))
+            .collect();
+        assert_eq!(singleton_takeover("{6}", winners), crossover_takeover(cross, &ladder));
+    }
+
+    #[test]
+    fn faulted_scenario_returns_typed_error_not_panic() {
+        // A fault on every dimension-0 link out of node 0 makes pairs
+        // through it unroutable; run_scenario must surface the engine's
+        // typed error with the failing cell's coordinates.
+        let d = 3u32;
+        let nc = NetCondition::default().with_fault(NodeId(0), 0);
+        let cfg = SimConfig::ipsc860(d).with_netcond(nc);
+        let parts = [Partition::new(vec![d])];
+        let err = run_scenario("test/faulted", &cfg, &parts, &[32], build_cell).unwrap_err();
+        assert_eq!(err.label, "test/faulted");
+        assert_eq!(err.partition, "{3}");
+        assert_eq!(err.block_size, 32);
+        assert!(
+            matches!(err.error, SimError::Unroutable { .. }),
+            "expected Unroutable, got {:?}",
+            err.error
+        );
+        // And the Display chain names the cell.
+        let msg = err.to_string();
+        assert!(msg.contains("{3}") && msg.contains("m=32"), "{msg}");
+    }
+
+    /// Minimal cell builder for the typed-error test: a one-way
+    /// distance-1 send `0 -> 1` (killing that cable has no detour, so
+    /// the run is unroutable up front). The real builder crates sit
+    /// above this one; the error path only needs *a* cell that
+    /// exercises the faulted link.
+    fn build_cell(d: u32, _dims: &[u32], m: usize) -> (Vec<Program>, Vec<Vec<u8>>) {
+        use crate::message::{MsgKind, Tag};
+        use crate::program::Op;
+        let n = 1usize << d;
+        let mut programs = vec![Program::empty(); n];
+        programs[0] = Program {
+            ops: vec![Op::Send {
+                dst: NodeId(1),
+                from: 0..m,
+                tag: Tag::data(0, 1),
+                kind: MsgKind::Forced,
+            }],
+        };
+        programs[1] = Program {
+            ops: vec![
+                Op::post_recv(NodeId(0), Tag::data(0, 1), 0..m),
+                Op::wait_recv(NodeId(0), Tag::data(0, 1)),
+            ],
+        };
+        let memories = (0..n).map(|_| vec![0u8; m.max(1)]).collect();
+        (programs, memories)
     }
 }

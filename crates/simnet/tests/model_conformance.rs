@@ -181,7 +181,10 @@ fn run_grid(dimensions: &[u32], quick: bool) {
         let parts = candidate_partitions(&params, d, 512.0);
         let sizes = sizes(d, quick);
         for scenario in scenarios(d, quick) {
-            let outcome = run_scenario(&scenario.label, &scenario.cfg, &parts, &sizes, build);
+            // Conformance grids are routable by construction, so a
+            // typed ScenarioError here is a harness bug — unwrap it.
+            let outcome = run_scenario(&scenario.label, &scenario.cfg, &parts, &sizes, build)
+                .unwrap_or_else(|e| panic!("{e}"));
             println!(
                 "{:<24} max_rel_err {:6.3} (tolerance {:.2}) sim takeover {:?} model takeover {:?}",
                 outcome.label,

@@ -9,6 +9,7 @@
 //! * [`partitions`] — integer partitions of the cube dimension;
 //! * [`model`] — the paper's analytic cost model (Eqs. 1–3, hulls);
 //! * [`exchange`] — the multiphase algorithm, schedules, planner, fabrics;
+//! * [`plan`] — planner-as-a-service: cached-hull best-partition queries;
 //! * [`apps`] — transpose, 2-D FFT, ADI, distributed table lookup.
 //!
 //! See `examples/` for runnable entry points and `crates/bench` for
@@ -19,4 +20,5 @@ pub use mce_core as exchange;
 pub use mce_hypercube as hypercube;
 pub use mce_model as model;
 pub use mce_partitions as partitions;
+pub use mce_plan as plan;
 pub use mce_simnet as simnet;
