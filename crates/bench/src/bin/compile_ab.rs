@@ -1,0 +1,284 @@
+//! `compile_ab` — interleaved A/B comparison of the cold compile path:
+//! the retained sequential reference compiler against the parallel
+//! two-stage pipeline (`mce_simnet::compile`), over the real exchange
+//! builders.
+//!
+//! Cold compiles are a *startup* cost, so warm in-process loops would
+//! measure the wrong thing: after one iteration every allocation is
+//! warm, the kernel has faulted the pages in, and the branch
+//! predictors have seen the walk. Each sample therefore re-executes
+//! this binary as a **child process** (`--sample` mode) and the child
+//! does exactly one cold build + compile — the same first-touch cliff
+//! a `SimBatch` worker pays at process start. Rounds interleave the
+//! two sides in alternating order, and the scoreboard is the
+//! per-side median over all rounds (the house methodology; see
+//! `calendar_queue` in `BENCH_engine.json`).
+//!
+//! Sides:
+//! * **A (pre-change)** — programs built with per-node permutation
+//!   tables (`shared_perms: false`, the old builder behaviour) and
+//!   compiled by the sequential reference walk (the old `compile()`).
+//! * **B (pipeline)** — programs built with phase-shared permutation
+//!   `Arc`s and compiled by the parallel pipeline.
+//!
+//! The `fanout4` rows model a 4-worker `SimBatch` cold start on one
+//! shared program set: side A compiles it once per worker (the old
+//! per-arena caching), side B resolves all four through the
+//! process-wide shared cache (1 compile + 3 hits).
+//!
+//! Every sample also prints its compile digest, and the parent asserts
+//! A and B agree — a size-level cross-check on top of the differential
+//! proptest.
+//!
+//! ```text
+//! compile_ab [rounds]               # default 5 rounds
+//! MCE_BENCH_LARGE=1 compile_ab      # adds the d11/d12 acceptance rows
+//! ```
+
+use mce_core::builder::{build_with_options, BuildOptions};
+use mce_simnet::batch::SimBatch;
+use mce_simnet::compile::{cold_pipeline, cold_reference, shared_cache_fanout, CompileDigest};
+use mce_simnet::SimConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+struct Row {
+    d: u32,
+    dims: Vec<u32>,
+    m: usize,
+    /// 1 = one cold compile; 4 = the `fanout4` SimBatch-cold-start
+    /// model (see module docs).
+    arenas: usize,
+}
+
+impl Row {
+    fn label(&self) -> String {
+        let base = format!("d{}_{:?}", self.d, self.dims);
+        if self.arenas > 1 {
+            format!("{base}_fanout{}", self.arenas)
+        } else {
+            base
+        }
+    }
+}
+
+/// One child measurement: build + compile nanoseconds and the digest.
+struct Sample {
+    build_ns: u64,
+    compile_ns: u64,
+    digest: CompileDigest,
+}
+
+/// `--sample <a|b> <d> <dims-csv> <m> <arenas>`: do one cold build +
+/// compile and print the measurement. Runs in a fresh process per
+/// sample so every compile pays true process-cold costs.
+fn run_sample(args: &[String]) {
+    let side = args[0].as_str();
+    let d: u32 = args[1].parse().expect("d");
+    let dims: Vec<u32> = args[2].split(',').map(|s| s.parse().expect("dims")).collect();
+    let m: usize = args[3].parse().expect("m");
+    let arenas: usize = args[4].parse().expect("arenas");
+    let opts = BuildOptions { shared_perms: side == "b", ..BuildOptions::default() };
+
+    let t0 = Instant::now();
+    let programs = Arc::new(build_with_options(d, &dims, m, opts));
+    let build_ns = t0.elapsed().as_nanos() as u64;
+
+    // Compile only reads memory *lengths*; zeroed Vecs are lazily
+    // mapped, so even the d12 row's memories cost nothing here.
+    let memories: Vec<Vec<u8>> = vec![vec![0u8; (1usize << d) * m]; 1usize << d];
+    let t1 = Instant::now();
+    let digest = match (side, arenas) {
+        ("a", 1) => cold_reference(&programs, &memories).unwrap(),
+        ("b", 1) => cold_pipeline(&programs, &memories).unwrap(),
+        // Fanout: A compiles once per worker arena (old behaviour), B
+        // funnels every worker through the shared cache.
+        ("a", k) => {
+            let mut last = None;
+            for _ in 0..k {
+                last = Some(cold_reference(&programs, &memories).unwrap());
+            }
+            last.unwrap()
+        }
+        ("b", k) => shared_cache_fanout(&programs, &memories, k).unwrap(),
+        other => panic!("bad sample spec {other:?}"),
+    };
+    let compile_ns = t1.elapsed().as_nanos() as u64;
+    println!(
+        "{build_ns} {compile_ns} {} {} {} {} {}",
+        digest.ops, digest.total_sends, digest.slots, digest.segs, digest.perms
+    );
+}
+
+/// Spawn one `--sample` child and parse its measurement.
+fn sample(side: &str, row: &Row) -> Sample {
+    let exe = std::env::current_exe().expect("own path");
+    let dims = row.dims.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--sample",
+            side,
+            &row.d.to_string(),
+            &dims,
+            &row.m.to_string(),
+            &row.arenas.to_string(),
+        ])
+        .output()
+        .expect("spawn sample child");
+    assert!(out.status.success(), "sample child failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    let v: Vec<u64> = text.split_whitespace().map(|t| t.parse().expect("number")).collect();
+    let [build_ns, compile_ns, ops, total_sends, slots, segs, perms] = v[..] else {
+        panic!("bad sample output: {text:?}");
+    };
+    Sample {
+        build_ns,
+        compile_ns,
+        digest: CompileDigest {
+            ops: ops as usize,
+            total_sends: total_sends as usize,
+            slots,
+            segs: segs as usize,
+            perms: perms as usize,
+        },
+    }
+}
+
+/// The in-process acceptance pin: a `SimBatch` sweep over distinct
+/// shared d-cube program sets must compile each set exactly once,
+/// counted by the run telemetry (`SimStats::compile_misses`).
+fn pin_exactly_once(d: u32, partitions: &[Vec<u32>], m: usize) {
+    let sets: Vec<_> = partitions
+        .iter()
+        .map(|dims| Arc::new(build_with_options(d, dims, m, BuildOptions::default())))
+        .collect();
+    let memories =
+        Arc::new((0..1usize << d).map(|x| vec![x as u8; (1usize << d) * m]).collect::<Vec<_>>());
+    let mut batch = SimBatch::new(SimConfig::ipsc860(d));
+    let ranges: Vec<_> = sets.iter().map(|s| batch.seed_sweep(0.02, 1..=3, s, &memories)).collect();
+    let results = batch.run();
+    for (dims, range) in partitions.iter().zip(ranges) {
+        let misses: u64 =
+            results[range].iter().map(|r| r.as_ref().unwrap().stats.compile_misses).sum();
+        assert_eq!(misses, 1, "d{d} {dims:?}: expected exactly one compile for the shared set");
+        eprintln!("pin d{d} {dims:?}: 3 replicates, {misses} compile");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--sample") {
+        run_sample(&args[1..]);
+        return;
+    }
+    let rounds: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let large = std::env::var_os("MCE_BENCH_LARGE").is_some();
+
+    let mut rows = vec![
+        Row { d: 7, dims: vec![3, 4], m: 8, arenas: 1 },
+        Row { d: 9, dims: vec![4, 5], m: 8, arenas: 1 },
+        Row { d: 9, dims: vec![4, 5], m: 8, arenas: 4 },
+    ];
+    if large {
+        rows.push(Row { d: 11, dims: vec![5, 6], m: 8, arenas: 1 });
+        rows.push(Row { d: 11, dims: vec![5, 6], m: 8, arenas: 4 });
+        rows.push(Row { d: 12, dims: vec![6, 6], m: 8, arenas: 1 });
+        rows.push(Row { d: 12, dims: vec![6, 6], m: 8, arenas: 4 });
+    }
+
+    // The exactly-once telemetry pin runs before the timing so a
+    // regression fails loudly rather than skewing the table. The d11
+    // version is the acceptance row; d7 keeps the default run honest.
+    pin_exactly_once(7, &[vec![3, 4], vec![4, 3]], 4);
+    if large {
+        pin_exactly_once(11, &[vec![5, 6], vec![6, 5]], 4);
+    }
+
+    let mut a_build: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
+    let mut a_compile: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
+    let mut b_build: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
+    let mut b_compile: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
+    for round in 0..rounds {
+        for (i, row) in rows.iter().enumerate() {
+            // Alternate which side's child runs first each round so
+            // neither systematically inherits a warmer page cache.
+            let (sa, sb) = if round % 2 == 0 {
+                let sa = sample("a", row);
+                let sb = sample("b", row);
+                (sa, sb)
+            } else {
+                let sb = sample("b", row);
+                let sa = sample("a", row);
+                (sa, sb)
+            };
+            // Sides must agree on every output dimension except the
+            // distinct-permutation count, which differs *by design*:
+            // side A's builder hands each node its own table (2^d
+            // Arcs per shuffle), side B shares one per phase.
+            let strip_perms = |d: CompileDigest| CompileDigest { perms: 0, ..d };
+            assert_eq!(
+                strip_perms(sa.digest),
+                strip_perms(sb.digest),
+                "{}: sides compiled different outputs",
+                row.label()
+            );
+            a_build[i].push(sa.build_ns as f64 / 1e6);
+            a_compile[i].push(sa.compile_ns as f64 / 1e6);
+            b_build[i].push(sb.build_ns as f64 / 1e6);
+            b_compile[i].push(sb.compile_ns as f64 / 1e6);
+            eprintln!(
+                "round {round} {}: ref {:.1}+{:.1} ms, pipeline {:.1}+{:.1} ms (compile {:.2}x, total {:.2}x)",
+                row.label(),
+                sa.build_ns as f64 / 1e6,
+                sa.compile_ns as f64 / 1e6,
+                sb.build_ns as f64 / 1e6,
+                sb.compile_ns as f64 / 1e6,
+                sa.compile_ns as f64 / sb.compile_ns as f64,
+                (sa.build_ns + sa.compile_ns) as f64 / (sb.build_ns + sb.compile_ns) as f64,
+            );
+        }
+    }
+
+    println!("{{");
+    for (section, build, compile) in
+        [("reference", &a_build, &a_compile), ("pipeline", &b_build, &b_compile)]
+    {
+        println!("  \"results_{section}\": {{");
+        for (i, row) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            println!(
+                "    \"{}\": {{ \"build_ms\": {:.3}, \"compile_ms\": {:.3} }}{comma}",
+                row.label(),
+                median(&mut build[i].clone()),
+                median(&mut compile[i].clone()),
+            );
+        }
+        println!("  }},");
+    }
+    println!("  \"speedup\": {{");
+    for (i, row) in rows.iter().enumerate() {
+        let ac = median(&mut a_compile[i].clone());
+        let bc = median(&mut b_compile[i].clone());
+        let at = median(&mut a_build[i].clone()) + ac;
+        let bt = median(&mut b_build[i].clone()) + bc;
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        println!(
+            "    \"{}\": {{ \"compile\": {:.2}, \"cold_total\": {:.2} }}{comma}",
+            row.label(),
+            ac / bc,
+            at / bt
+        );
+    }
+    println!("  }}");
+    println!("}}");
+}

@@ -28,11 +28,24 @@ pub struct BuildOptions {
     /// Insert `Mark` ops labelling phase boundaries for per-phase
     /// timing breakdowns.
     pub marks: bool,
+    /// Share one permutation `Arc` per phase across all nodes (the
+    /// inter-phase shuffle is node-independent). On by default: it cuts
+    /// program generation from O(4^d) to O(2^d) bytes at large `d` and
+    /// lets the compile pass validate each distinct permutation once.
+    /// `false` recomputes the table per node — the pre-sharing
+    /// behaviour, kept as the A-side of the `compile_ab` harness. The
+    /// generated programs are content-identical either way.
+    pub shared_perms: bool,
 }
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { pairwise_sync: true, barrier_per_phase: true, marks: true }
+        BuildOptions {
+            pairwise_sync: true,
+            barrier_per_phase: true,
+            marks: true,
+            shared_perms: true,
+        }
     }
 }
 
@@ -63,10 +76,19 @@ pub fn build_with_options(d: u32, dims: &[u32], m: usize, opts: BuildOptions) ->
     assert!(m >= 1, "block size must be positive");
     let n = 1usize << d;
     let schedule = multiphase_schedule(d, dims);
+    // One shuffle table per phase, shared by every node's Permute op
+    // (`None` = identity shuffle, no op emitted).
+    let phase_perms: Vec<Option<Arc<Vec<u32>>>> = schedule
+        .iter()
+        .map(|phase| {
+            let di = phase.field.width();
+            (!shuffle_is_identity(d, di)).then(|| Arc::new(shuffle_permutation(d, di)))
+        })
+        .collect();
     let mut programs = Vec::with_capacity(n);
     for x in 0..n as u32 {
         let mut ops = Vec::new();
-        for phase in &schedule {
+        for (phase, phase_perm) in schedule.iter().zip(&phase_perms) {
             let pi = phase.phase;
             if opts.marks {
                 ops.push(Op::Mark { label: pi });
@@ -98,12 +120,13 @@ pub fn build_with_options(d: u32, dims: &[u32], m: usize, opts: BuildOptions) ->
                 ops.push(Op::wait_recv(partner, Tag::data(pi, j as u32 + 1)));
             }
             // Inter-phase shuffle.
-            let di = phase.field.width();
-            if !shuffle_is_identity(d, di) {
-                ops.push(Op::Permute {
-                    perm: Arc::new(shuffle_permutation(d, di)),
-                    block_bytes: m,
-                });
+            if let Some(perm) = phase_perm {
+                let perm = if opts.shared_perms {
+                    Arc::clone(perm)
+                } else {
+                    Arc::new(shuffle_permutation(d, phase.field.width()))
+                };
+                ops.push(Op::Permute { perm, block_bytes: m });
             }
         }
         if opts.marks {

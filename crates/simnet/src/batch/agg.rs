@@ -145,6 +145,19 @@ pub struct RunAggregate {
     /// mean flags sweeps whose trace capacity is too small for the
     /// workload.
     pub trace_events_dropped: MetricSummary,
+    /// Host-side time each run spent obtaining its compiled program
+    /// set, µs (see [`crate::stats::SimStats::compile_ns`]): near-zero
+    /// means on cache hits, one cold spike per distinct set otherwise.
+    pub compile_us: MetricSummary,
+    /// Runs whose compilation came from their arena's own memo (the
+    /// mean is the local hit *rate* of the batch).
+    pub compile_local_hits: MetricSummary,
+    /// Runs served by the process-wide shared compile cache.
+    pub compile_shared_hits: MetricSummary,
+    /// Runs that actually compiled. `mean * n` = distinct compilations
+    /// of the batch; a sweep over one shared program set totals exactly
+    /// 1 regardless of worker count.
+    pub compile_misses: MetricSummary,
     /// Per-run worst job slowdown (`max_j makespan_j / min_k
     /// makespan_k`; see [`crate::stats::SimStats::job_slowdowns`]),
     /// folded over multi-tenant runs only — single-tenant runs carry no
@@ -201,6 +214,10 @@ pub fn aggregate(results: &[Result<SimResult, SimError>]) -> RunAggregate {
         retransmissions: col(&|r| r.stats.retransmissions as f64),
         flow_drops: col(&|r| r.stats.flow_drops as f64),
         trace_events_dropped: col(&|r| r.stats.trace_events_dropped as f64),
+        compile_us: col(&|r| r.stats.compile_ns as f64 / 1000.0),
+        compile_local_hits: col(&|r| r.stats.compile_local_hits as f64),
+        compile_shared_hits: col(&|r| r.stats.compile_shared_hits as f64),
+        compile_misses: col(&|r| r.stats.compile_misses as f64),
         job_slowdown_max: job_col(&|r| r.stats.job_slowdowns().into_iter().reduce(f64::max)),
         job_slowdown_min: job_col(&|r| r.stats.job_slowdowns().into_iter().reduce(f64::min)),
         jain_fairness: job_col(&|r| {
@@ -258,6 +275,37 @@ mod tests {
         );
         assert_eq!(agg.shard_barrier_stalls.mean, 2.0);
         assert_eq!((agg.shard_cross_events.min, agg.shard_cross_events.max), (64.0, 192.0));
+    }
+
+    /// Compile telemetry folds like any other column: a batch of one
+    /// miss + cached reruns shows exactly one compilation and the hit
+    /// rate of the rest.
+    #[test]
+    fn aggregate_summarizes_compile_telemetry() {
+        let mk = |ns: u64, local: u64, shared: u64, miss: u64| {
+            Ok(SimResult {
+                finish_time: SimTime::from_us(1_000.0),
+                node_finish: Vec::new(),
+                memories: Vec::new(),
+                trace: Vec::new(),
+                stats: SimStats {
+                    compile_ns: ns,
+                    compile_local_hits: local,
+                    compile_shared_hits: shared,
+                    compile_misses: miss,
+                    ..SimStats::default()
+                },
+            })
+        };
+        // One cold compile, one shared-cache hit, two local hits.
+        let results =
+            vec![mk(80_000, 0, 0, 1), mk(2_000, 0, 1, 0), mk(500, 1, 0, 0), mk(500, 1, 0, 0)];
+        let agg = aggregate(&results);
+        assert_eq!(agg.compile_us.n, 4);
+        assert_eq!((agg.compile_us.min, agg.compile_us.max), (0.5, 80.0));
+        assert_eq!(agg.compile_misses.mean * agg.compile_misses.n as f64, 1.0);
+        assert_eq!(agg.compile_local_hits.mean, 0.5);
+        assert_eq!(agg.compile_shared_hits.mean, 0.25);
     }
 
     /// Fairness summaries sample only the multi-tenant runs: the

@@ -46,6 +46,7 @@
 //!   sorted overflow tier for far-future events, preserving exact
 //!   `(time, seq)` pop order (see the [`crate::sched`] module docs).
 
+use crate::compile::{compile, shared_compiled_for, Compiled, CompiledOp, CompiledProgram};
 use crate::config::{SimConfig, SwitchingMode};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::link::{LinkTable, TransmissionId};
@@ -54,7 +55,7 @@ use crate::netcond::{
     background_tag, ecube_route_is_dead, lossy_coin, plan_route, BackgroundStream, FaultSet,
     LinkPolicy, NetCondition,
 };
-use crate::program::{Op, Program};
+use crate::program::Program;
 use crate::sched::CalendarQueue;
 use crate::shard::{PhaseMode, ShardPlan};
 use crate::stats::{JobStats, SimStats};
@@ -241,10 +242,10 @@ pub struct SimResult {
 
 /// Longest e-cube path the inline link array can hold: one hop per
 /// cube dimension, matching `mce_hypercube::MAX_DIMENSION`.
-const MAX_HOPS: usize = mce_hypercube::MAX_DIMENSION as usize;
+pub(crate) const MAX_HOPS: usize = mce_hypercube::MAX_DIMENSION as usize;
 
 /// Sentinel for "the receiver never posts this key".
-const NO_SLOT: u32 = u32::MAX;
+pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// Stack buffer an e-cube route expands into (no heap allocation).
 type RouteBuf = [DirectedLink; MAX_HOPS];
@@ -382,258 +383,6 @@ fn build_conditioned(
         .map(|s| if dead_pairs.contains(&(s.src.0, s.src.0 ^ s.dst.0)) { 0 } else { s.count })
         .collect();
     Ok(Conditioned { reroutes, dead_pairs, streams: nc.background.clone(), remaining })
-}
-
-/// A [`Program`] op with every per-event lookup resolved up front.
-/// Memory ranges are stored as `u32` bounds (node memories are far
-/// below 4 GiB) to keep the op at 32 bytes — the compile pass writes
-/// and the event loop reads hundreds of thousands of these per run at
-/// d9–d10, so op size is directly memory traffic.
-#[derive(Debug, Clone)]
-enum CompiledOp {
-    PostRecv { slot: u32, start: u32, end: u32, tag: Tag },
-    Send { dst: NodeId, start: u32, end: u32, dst_slot: u32, tag: Tag, kind: MsgKind },
-    WaitRecv { slot: u32, src: NodeId, tag: Tag },
-    Permute { perm: Arc<Vec<u32>>, block_bytes: usize },
-    Barrier,
-    Compute { ns: u64 },
-    Mark { label: u32 },
-}
-
-/// One node's compiled program: its op range in the flat shared op
-/// table ([`Compiled::ops`]), its message-slot count, and its segment
-/// range in the flat segment table ([`Compiled::segs`]).
-#[derive(Clone, Copy)]
-struct CompiledProgram {
-    ops_start: u32,
-    ops_end: u32,
-    num_slots: u32,
-    segs_start: u32,
-    segs_end: u32,
-}
-
-impl CompiledProgram {
-    #[inline]
-    fn ops<'a>(&self, flat: &'a [CompiledOp]) -> &'a [CompiledOp] {
-        &flat[self.ops_start as usize..self.ops_end as usize]
-    }
-}
-
-/// Pack a `(src, tag)` message key into one flat word for fast
-/// sorted-array searches.
-#[inline]
-fn pack_key(src: NodeId, tag: Tag) -> u128 {
-    ((src.0 as u128) << 64) | tag.0 as u128
-}
-
-/// Map each node's posted `(src, tag)` keys to dense slot ids, in
-/// first-post order. A hash lookup replaces the former sorted-array
-/// binary search: resolving a `Send`'s receiver slot probes *another*
-/// node's table, so each lookup is one likely-cold cache line instead
-/// of `log n` of them — at d9–d10 that is the bulk of the compile
-/// pass. Duplicate posts map to the same slot and are rejected by the
-/// compile walk's posted-bit check.
-fn slot_map(program: &Program) -> FxHashMap<u128, u32> {
-    let mut map: FxHashMap<u128, u32> = Default::default();
-    map.reserve(program.ops.len() / 2);
-    for op in &program.ops {
-        if let Op::PostRecv { src, tag, .. } = op {
-            let next = map.len() as u32;
-            map.entry(pack_key(*src, *tag)).or_insert(next);
-        }
-    }
-    map
-}
-
-/// Everything [`compile`] produces for one run.
-struct Compiled {
-    programs: Vec<CompiledProgram>,
-    /// All nodes' compiled ops in one flat allocation, indexed by the
-    /// per-program ranges (one allocation instead of one per node).
-    ops: Vec<CompiledOp>,
-    /// Total `Send` ops across all nodes (capacity hint).
-    total_sends: usize,
-    /// All nodes' barrier-delimited op segments in one flat
-    /// allocation, indexed by the per-program ranges: `(first_pc,
-    /// union of send masks src^dst in the segment)`. The sharded
-    /// driver folds these per phase to pick a shard axis that no send
-    /// crosses, instead of re-walking every op at every barrier.
-    segs: Vec<(u32, u32)>,
-}
-
-/// Compile and validate in one pass over the ops. The checks (and
-/// their error strings) mirror [`Program::validate`]; fusing them into
-/// the compile walk and caching shared permutation validations keeps
-/// run startup off the benchmark's critical path.
-fn compile(programs: &[Program], memories: &[Vec<u8>]) -> Result<Compiled, SimError> {
-    let keys: Vec<FxHashMap<u128, u32>> = programs.iter().map(slot_map).collect();
-    let slot_of =
-        |node: usize, key: u128| -> u32 { keys[node].get(&key).copied().unwrap_or(NO_SLOT) };
-    // A `Send`'s receiver slot lives in the *destination's* table, so
-    // resolving it inline jumps between the nodes' tables in program
-    // order — at d9–d10 that random walk over megabytes of tables is
-    // most of the compile pass. Defer them: record one fixup per send,
-    // counting-sort by destination, resolve with each table cache-hot.
-    // Entries are `(dst, src, op_idx, tag)`.
-    let mut send_fixes: Vec<(u32, u32, u32, Tag)> = Vec::new();
-    // Shuffle permutations are shared (`Arc`) across nodes: validate
-    // each distinct one once instead of once per node.
-    let mut checked_perms: crate::fxhash::FxHashSet<usize> = Default::default();
-    let mut total_sends = 0usize;
-    let mut compiled = Vec::with_capacity(programs.len());
-    let mut flat_ops: Vec<CompiledOp> =
-        Vec::with_capacity(programs.iter().map(|p| p.ops.len()).sum());
-    let mut flat_segs: Vec<(u32, u32)> = Vec::new();
-    let mut posted_bits: Vec<u64> = Vec::new();
-    for (x, program) in programs.iter().enumerate() {
-        let memory_len = memories[x].len();
-        let invalid = |i: usize, msg: String| SimError::InvalidProgram {
-            node: NodeId(x as u32),
-            reason: format!("op {i}: {msg}"),
-        };
-        // Compiled ops store memory ranges as u32 bounds.
-        if memory_len > u32::MAX as usize {
-            return Err(SimError::InvalidProgram {
-                node: NodeId(x as u32),
-                reason: format!("memory of {memory_len} bytes exceeds 4 GiB"),
-            });
-        }
-        posted_bits.clear();
-        posted_bits.resize(keys[x].len().div_ceil(64), 0);
-        let ops_start = flat_ops.len() as u32;
-        let segs_start = flat_segs.len() as u32;
-        let (mut seg_pc, mut seg_mask) = (0u32, 0u32);
-        for (i, op) in program.ops.iter().enumerate() {
-            match op {
-                Op::Send { dst, .. } => seg_mask |= x as u32 ^ dst.0,
-                Op::Barrier => {
-                    flat_segs.push((seg_pc, seg_mask));
-                    (seg_pc, seg_mask) = (i as u32 + 1, 0);
-                }
-                _ => {}
-            }
-            let cop = match op {
-                Op::PostRecv { src, tag, into } => {
-                    if into.end > memory_len {
-                        return Err(invalid(
-                            i,
-                            format!("recv range {into:?} exceeds memory {memory_len}"),
-                        ));
-                    }
-                    let slot = slot_of(x, pack_key(*src, *tag));
-                    let (word, bit) = (slot as usize / 64, 1u64 << (slot % 64));
-                    if posted_bits[word] & bit != 0 {
-                        return Err(invalid(i, format!("duplicate post for ({src}, {tag})")));
-                    }
-                    posted_bits[word] |= bit;
-                    CompiledOp::PostRecv {
-                        slot,
-                        start: into.start as u32,
-                        end: into.end as u32,
-                        tag: *tag,
-                    }
-                }
-                Op::Send { dst, from, tag, kind } => {
-                    if dst.index() == x {
-                        return Err(SimError::SelfSend { node: NodeId(x as u32), op: i });
-                    }
-                    if from.end > memory_len {
-                        return Err(invalid(
-                            i,
-                            format!("send range {from:?} exceeds memory {memory_len}"),
-                        ));
-                    }
-                    let mask = x as u32 ^ dst.0;
-                    if mask.count_ones() as usize > MAX_HOPS {
-                        return Err(invalid(
-                            i,
-                            format!("send to {dst}: path exceeds {MAX_HOPS} hops"),
-                        ));
-                    }
-                    total_sends += 1;
-                    send_fixes.push((dst.0, x as u32, i as u32, *tag));
-                    CompiledOp::Send {
-                        dst: *dst,
-                        start: from.start as u32,
-                        end: from.end as u32,
-                        dst_slot: NO_SLOT, // resolved by the fixup pass
-                        tag: *tag,
-                        kind: *kind,
-                    }
-                }
-                Op::WaitRecv { src, tag } => {
-                    let slot = slot_of(x, pack_key(*src, *tag));
-                    let posted = slot != NO_SLOT
-                        && posted_bits[slot as usize / 64] & (1u64 << (slot % 64)) != 0;
-                    if !posted {
-                        return Err(invalid(i, format!("WaitRecv ({src}, {tag}) never posted")));
-                    }
-                    CompiledOp::WaitRecv { slot, src: *src, tag: *tag }
-                }
-                Op::Permute { perm, block_bytes } => {
-                    let n = perm.len();
-                    if n * block_bytes > memory_len {
-                        return Err(invalid(
-                            i,
-                            format!(
-                                "permute covers {} bytes > memory {memory_len}",
-                                n * block_bytes
-                            ),
-                        ));
-                    }
-                    if checked_perms.insert(Arc::as_ptr(perm) as usize) {
-                        let mut seen = vec![false; n];
-                        for &p in perm.iter() {
-                            if p as usize >= n || seen[p as usize] {
-                                return Err(invalid(i, "perm is not a permutation".to_string()));
-                            }
-                            seen[p as usize] = true;
-                        }
-                    }
-                    CompiledOp::Permute { perm: Arc::clone(perm), block_bytes: *block_bytes }
-                }
-                Op::Barrier => CompiledOp::Barrier,
-                Op::Compute { ns } => CompiledOp::Compute { ns: *ns },
-                Op::Mark { label } => CompiledOp::Mark { label: *label },
-            };
-            flat_ops.push(cop);
-        }
-        flat_segs.push((seg_pc, seg_mask));
-        compiled.push(CompiledProgram {
-            ops_start,
-            ops_end: flat_ops.len() as u32,
-            num_slots: keys[x].len() as u32,
-            segs_start,
-            segs_end: flat_segs.len() as u32,
-        });
-    }
-    // Receiver-slot fixup pass: counting-sort the sends by destination
-    // (O(sends + nodes)), then resolve each group against one hot slot
-    // table.
-    let mut starts = vec![0u32; programs.len() + 1];
-    for &(dst, ..) in &send_fixes {
-        starts[dst as usize + 1] += 1;
-    }
-    for i in 1..starts.len() {
-        starts[i] += starts[i - 1];
-    }
-    let mut ordered = vec![(0u32, 0u32, 0u32, Tag(0)); send_fixes.len()];
-    let mut cursor = starts.clone();
-    for &fix in &send_fixes {
-        let c = &mut cursor[fix.0 as usize];
-        ordered[*c as usize] = fix;
-        *c += 1;
-    }
-    for (dst, src, op_idx, tag) in ordered {
-        let slot = slot_of(dst as usize, pack_key(NodeId(src), tag));
-        if slot != NO_SLOT {
-            let flat_idx = compiled[src as usize].ops_start + op_idx;
-            if let CompiledOp::Send { dst_slot, .. } = &mut flat_ops[flat_idx as usize] {
-                *dst_slot = slot;
-            }
-        }
-    }
-    Ok(Compiled { programs: compiled, ops: flat_ops, total_sends, segs: flat_segs })
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -849,6 +598,22 @@ struct CachedCompile {
     programs: Arc<Vec<Program>>,
     mem_lens: Vec<usize>,
     compiled: Arc<Compiled>,
+    /// Last-touch stamp from [`SimArena::compile_stamp`]; the entry
+    /// with the smallest stamp is evicted when the cache is full.
+    stamp: u64,
+}
+
+/// Where [`SimArena::compiled_for`] found a compilation — feeds the
+/// [`SimStats`] compile telemetry counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CompileSource {
+    /// Served by this arena's own lock-free memo.
+    LocalHit,
+    /// Served by the process-wide shared cache (another arena, or an
+    /// earlier epoch of this one, compiled it).
+    SharedHit,
+    /// Nobody had it: this call ran the compile pipeline.
+    Miss,
 }
 
 /// Reusable simulation state: drives any number of runs while
@@ -882,6 +647,9 @@ pub struct SimArena {
     scratch: Vec<u8>,
     sched: Scheduler,
     compiled: Vec<CachedCompile>,
+    /// Monotonic touch counter backing the compile memo's LRU
+    /// eviction.
+    compile_stamp: u64,
     /// Per-shard sub-arenas recycling the window runtimes of the
     /// sharded driver (see [`crate::shard`]); empty until a
     /// `shards > 1` run happens on this arena.
@@ -927,8 +695,13 @@ impl SimArena {
         trace: Option<&TraceConfig>,
     ) -> Result<SimResult, SimError> {
         check_shape(cfg, programs.len(), memories.len())?;
+        let t0 = std::time::Instant::now();
         let compiled = compile(programs, &memories)?;
-        self.run_compiled(cfg, &compiled, memories, trace)
+        let compile_ns = t0.elapsed().as_nanos() as u64;
+        let mut out = self.run_compiled(cfg, &compiled, memories, trace)?;
+        out.stats.compile_ns = compile_ns;
+        out.stats.compile_misses = 1;
+        Ok(out)
     }
 
     /// Run a *shared* program set (identified by its `Arc`): the
@@ -953,35 +726,60 @@ impl SimArena {
         trace: Option<&TraceConfig>,
     ) -> Result<SimResult, SimError> {
         check_shape(cfg, programs.len(), memories.len())?;
-        let compiled = self.compiled_for(programs, &memories)?;
-        self.run_compiled(cfg, &compiled, memories, trace)
+        let t0 = std::time::Instant::now();
+        let (compiled, source) = self.compiled_for(programs, &memories)?;
+        let compile_ns = t0.elapsed().as_nanos() as u64;
+        let mut out = self.run_compiled(cfg, &compiled, memories, trace)?;
+        out.stats.compile_ns = compile_ns;
+        match source {
+            CompileSource::LocalHit => out.stats.compile_local_hits = 1,
+            CompileSource::SharedHit => out.stats.compile_shared_hits = 1,
+            CompileSource::Miss => out.stats.compile_misses = 1,
+        }
+        Ok(out)
     }
 
     /// Cached compile keyed on program-set identity + memory lengths
-    /// (compilation validates ranges against them).
+    /// (compilation validates ranges against them). Two tiers: this
+    /// arena's own lock-free LRU memo in front, the process-wide
+    /// shared cache ([`shared_compiled_for`]) behind it — so N worker
+    /// arenas sweeping one shared set compile it once per *process*
+    /// and then never touch the shared lock again.
     fn compiled_for(
         &mut self,
         programs: &Arc<Vec<Program>>,
         memories: &[Vec<u8>],
-    ) -> Result<Arc<Compiled>, SimError> {
-        let hit = self.compiled.iter().find(|c| {
+    ) -> Result<(Arc<Compiled>, CompileSource), SimError> {
+        self.compile_stamp += 1;
+        let stamp = self.compile_stamp;
+        let hit = self.compiled.iter_mut().find(|c| {
             Arc::ptr_eq(&c.programs, programs)
                 && c.mem_lens.len() == memories.len()
                 && c.mem_lens.iter().zip(memories).all(|(&l, m)| l == m.len())
         });
         if let Some(c) = hit {
-            return Ok(Arc::clone(&c.compiled));
+            c.stamp = stamp;
+            return Ok((Arc::clone(&c.compiled), CompileSource::LocalHit));
         }
-        let compiled = Arc::new(compile(programs, memories)?);
+        let (compiled, shared_hit) = shared_compiled_for(programs, memories)?;
         if self.compiled.len() >= COMPILED_CACHE_CAP {
-            self.compiled.remove(0);
+            let oldest = self
+                .compiled
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.stamp)
+                .map(|(i, _)| i)
+                .expect("cap > 0");
+            self.compiled.swap_remove(oldest);
         }
         self.compiled.push(CachedCompile {
             programs: Arc::clone(programs),
             mem_lens: memories.iter().map(Vec::len).collect(),
             compiled: Arc::clone(&compiled),
+            stamp,
         });
-        Ok(compiled)
+        let source = if shared_hit { CompileSource::SharedHit } else { CompileSource::Miss };
+        Ok((compiled, source))
     }
 
     fn run_compiled(
@@ -2121,13 +1919,15 @@ impl<'c> Runtime<'c> {
                         return Ok(());
                     }
                 }
-                CompiledOp::Permute { perm, block_bytes } => {
+                CompiledOp::Permute { perm_idx, block_bytes } => {
                     self.nodes[xi].pc += 1;
+                    let perm = &compiled.perms[*perm_idx as usize];
+                    let block_bytes = *block_bytes as usize;
                     let total = perm.len() * block_bytes;
                     apply_block_permutation(
                         &mut self.memories[xi],
                         perm,
-                        *block_bytes,
+                        block_bytes,
                         &mut self.scratch,
                     );
                     let dur = self.cfg.shuffle_ns(total);

@@ -99,6 +99,7 @@
 //! ```
 
 pub mod batch;
+pub mod compile;
 pub mod config;
 pub mod conformance;
 pub mod engine;

@@ -6,7 +6,14 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Aggregate statistics of one run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the *simulation outcome* only: the compile
+/// telemetry fields (`compile_ns` and the cache hit/miss counters)
+/// describe host-side work — wall-clock time and which cache served
+/// the compilation — so the manual [`PartialEq`] below excludes them.
+/// Two bit-identical runs stay `==` whether their compiles were cold,
+/// locally memoized, or served by the process-wide shared cache.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimStats {
     /// Total transmissions started.
     pub transmissions: u64,
@@ -71,6 +78,22 @@ pub struct SimStats {
     /// filled. Like the scheduler telemetry, this describes the
     /// capture, not the simulation, so it is not folded by `absorb`.
     pub trace_events_dropped: u64,
+    /// Compile telemetry: wall-clock nanoseconds this run spent
+    /// obtaining its compiled program set — a full compile on a miss,
+    /// a cache probe on a hit. Host-side measurement, excluded from
+    /// equality and not folded by `absorb`.
+    pub compile_ns: u64,
+    /// Compile telemetry: 1 if this run's compilation was served by
+    /// its arena's own memo ([`crate::SimArena::run_shared`] path).
+    pub compile_local_hits: u64,
+    /// Compile telemetry: 1 if it was served by the process-wide
+    /// shared cache (compiled earlier by another worker arena).
+    pub compile_shared_hits: u64,
+    /// Compile telemetry: 1 if this run actually ran the compile
+    /// pipeline. Summed over a sweep, this counts distinct
+    /// compilations: a `SimBatch` over one shared program set totals
+    /// exactly 1 regardless of worker count.
+    pub compile_misses: u64,
     /// Per-tenant-job statistics; empty on single-tenant runs (a
     /// config with [`crate::SimConfig::jobs`] empty), so legacy
     /// results are structurally unchanged.
@@ -113,6 +136,70 @@ impl JobStats {
     /// until the job finishes).
     pub fn makespan_ns(&self) -> u64 {
         self.finish_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Outcome equality (see the type docs): every simulation field
+/// compares, the host-side compile telemetry does not. Full
+/// destructuring keeps this impl honest — adding a `SimStats` field
+/// without deciding which side of the line it falls on is a compile
+/// error.
+impl PartialEq for SimStats {
+    fn eq(&self, other: &SimStats) -> bool {
+        let SimStats {
+            transmissions,
+            bytes_moved,
+            link_crossings,
+            edge_contention_events,
+            edge_contention_wait_ns,
+            nic_serialization_events,
+            nic_serialization_wait_ns,
+            forced_drops,
+            reserve_handshakes,
+            barriers,
+            background_transmissions,
+            background_bytes,
+            sched_peak_pending,
+            sched_bucket_resizes,
+            sched_overflow_spills,
+            shard_windows,
+            shard_barrier_stalls,
+            shard_cross_events,
+            shard_peak_pending,
+            retransmissions,
+            flow_drops,
+            trace_events_dropped,
+            compile_ns: _,
+            compile_local_hits: _,
+            compile_shared_hits: _,
+            compile_misses: _,
+            jobs,
+            marks,
+        } = self;
+        *transmissions == other.transmissions
+            && *bytes_moved == other.bytes_moved
+            && *link_crossings == other.link_crossings
+            && *edge_contention_events == other.edge_contention_events
+            && *edge_contention_wait_ns == other.edge_contention_wait_ns
+            && *nic_serialization_events == other.nic_serialization_events
+            && *nic_serialization_wait_ns == other.nic_serialization_wait_ns
+            && *forced_drops == other.forced_drops
+            && *reserve_handshakes == other.reserve_handshakes
+            && *barriers == other.barriers
+            && *background_transmissions == other.background_transmissions
+            && *background_bytes == other.background_bytes
+            && *sched_peak_pending == other.sched_peak_pending
+            && *sched_bucket_resizes == other.sched_bucket_resizes
+            && *sched_overflow_spills == other.sched_overflow_spills
+            && *shard_windows == other.shard_windows
+            && *shard_barrier_stalls == other.shard_barrier_stalls
+            && *shard_cross_events == other.shard_cross_events
+            && *shard_peak_pending == other.shard_peak_pending
+            && *retransmissions == other.retransmissions
+            && *flow_drops == other.flow_drops
+            && *trace_events_dropped == other.trace_events_dropped
+            && *jobs == other.jobs
+            && *marks == other.marks
     }
 }
 

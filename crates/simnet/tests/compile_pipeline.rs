@@ -1,0 +1,153 @@
+//! Black-box suite for the compile pipeline (see
+//! `mce_simnet::compile`): the parallel pipeline pinned bit-identical
+//! to the sequential reference over the *real* exchange builders, the
+//! arena memo's LRU behaviour, the process-wide shared cache, and the
+//! exactly-once compile guarantee under `SimBatch`.
+
+use mce_core::builder::{
+    build_multiphase_programs, build_naive_programs, build_with_options, BuildOptions,
+};
+use mce_simnet::batch::SimBatch;
+use mce_simnet::compile::reference_divergence;
+use mce_simnet::{Program, SimArena, SimConfig};
+use std::sync::Arc;
+
+fn exchange_memories(d: u32, m: usize) -> Vec<Vec<u8>> {
+    (0..1usize << d).map(|x| vec![x as u8; (1usize << d) * m]).collect()
+}
+
+/// The pipeline ↔ reference differential over real builder output:
+/// multiphase partitions (with their shared inter-phase shuffle
+/// permutations), the no-pairwise-sync ablation, the per-node-perm
+/// compatibility mode, and the naive all-to-all.
+#[test]
+fn builder_programs_compile_identically_to_reference() {
+    let cases: &[(u32, &[u32])] =
+        &[(3, &[1, 1, 1]), (4, &[2, 2]), (5, &[5]), (6, &[2, 3, 1]), (7, &[3, 4])];
+    for &(d, dims) in cases {
+        let programs = build_multiphase_programs(d, dims, 8);
+        let memories = exchange_memories(d, 8);
+        assert_eq!(reference_divergence(&programs, &memories), None, "multiphase d={d} {dims:?}");
+    }
+    let nosync = build_with_options(
+        6,
+        &[3, 3],
+        4,
+        BuildOptions { pairwise_sync: false, ..BuildOptions::default() },
+    );
+    assert_eq!(reference_divergence(&nosync, &exchange_memories(6, 4)), None, "nosync");
+    // Per-node permutation Arcs (the pre-sharing builder behaviour):
+    // every node carries its own table, so the dedup prescan sees 2^d
+    // distinct Arcs per phase instead of one — and must still match.
+    let per_node = build_with_options(
+        5,
+        &[2, 3],
+        4,
+        BuildOptions { shared_perms: false, ..BuildOptions::default() },
+    );
+    assert_eq!(reference_divergence(&per_node, &exchange_memories(5, 4)), None, "per-node perms");
+    let naive = build_naive_programs(4, 8);
+    let memories = (0..16).map(|x| vec![x as u8; 2 * 16 * 8]).collect::<Vec<_>>();
+    assert_eq!(reference_divergence(&naive, &memories), None, "naive all-to-all");
+}
+
+/// `shared_perms` changes allocation structure, not content: both
+/// builder modes must produce identical programs.
+#[test]
+fn builder_perm_sharing_is_content_invisible() {
+    let shared = build_multiphase_programs(5, &[2, 3], 8);
+    let per_node = build_with_options(
+        5,
+        &[2, 3],
+        8,
+        BuildOptions { shared_perms: false, ..BuildOptions::default() },
+    );
+    assert_eq!(shared, per_node);
+}
+
+fn tiny_set(stamp: u8) -> (Arc<Vec<Program>>, Vec<Vec<u8>>) {
+    // Distinct content per stamp so sets are genuinely different
+    // workloads, not just different Arcs.
+    let programs = Arc::new(build_multiphase_programs(2, &[1, 1], 1 + stamp as usize % 3));
+    let memories = exchange_memories(2, 1 + stamp as usize % 3);
+    (programs, memories)
+}
+
+/// Regression for the old FIFO eviction: a hot program set rerun
+/// between interlopers must stay in the arena memo however many
+/// distinct sets pass through (FIFO evicted it after 32, LRU never
+/// does because every rerun touches it).
+#[test]
+fn hot_compile_survives_interloper_eviction_pressure() {
+    let cfg = SimConfig::ipsc860(2);
+    let mut arena = SimArena::new();
+    let (hot, hot_mem) = tiny_set(0);
+    let first = arena.run_shared(&cfg, &hot, hot_mem.clone()).unwrap();
+    assert_eq!(first.stats.compile_local_hits, 0, "first sight cannot be a local hit");
+    // Keep the interloper Arcs alive so none of their cache entries
+    // dangle (entries pin their sets, but dropping the last external
+    // Arc would let a later allocation reuse the address).
+    let mut keep = Vec::new();
+    for i in 0..40u8 {
+        let (interloper, mem) = tiny_set(i + 1);
+        arena.run_shared(&cfg, &interloper, mem).unwrap();
+        keep.push(interloper);
+        let rerun = arena.run_shared(&cfg, &hot, hot_mem.clone()).unwrap();
+        assert_eq!(
+            rerun.stats.compile_local_hits,
+            1,
+            "hot set evicted after {} interlopers",
+            i + 1
+        );
+        assert_eq!(rerun.stats.compile_misses, 0);
+    }
+}
+
+/// The process-wide cache serves a set compiled by *another* arena:
+/// the second arena's first run is a shared hit, not a compile.
+#[test]
+fn shared_cache_serves_sets_across_arenas() {
+    let cfg = SimConfig::ipsc860(3);
+    let programs = Arc::new(build_multiphase_programs(3, &[2, 1], 4));
+    let memories = exchange_memories(3, 4);
+    let mut first_arena = SimArena::new();
+    let cold = first_arena.run_shared(&cfg, &programs, memories.clone()).unwrap();
+    assert_eq!(cold.stats.compile_local_hits, 0);
+    let mut second_arena = SimArena::new();
+    let warm = second_arena.run_shared(&cfg, &programs, memories.clone()).unwrap();
+    assert_eq!(
+        (warm.stats.compile_shared_hits, warm.stats.compile_misses),
+        (1, 0),
+        "second arena must reuse the first arena's compilation"
+    );
+    // And the results agree bit for bit.
+    assert_eq!(cold.stats, warm.stats);
+    assert_eq!(cold.memories, warm.memories);
+}
+
+/// The acceptance pin: a `SimBatch` sweep performs exactly one compile
+/// per distinct shared program set, no matter how many replicates or
+/// worker arenas are involved. (A d11 version of this pin runs in the
+/// `compile_ab` harness behind `MCE_BENCH_LARGE=1`.)
+#[test]
+fn batch_sweep_compiles_each_distinct_set_exactly_once() {
+    let d = 7u32;
+    let m = 4usize;
+    let sets = [
+        Arc::new(build_multiphase_programs(d, &[3, 4], m)),
+        Arc::new(build_multiphase_programs(d, &[4, 3], m)),
+    ];
+    let memories = Arc::new(exchange_memories(d, m));
+    let mut batch = SimBatch::new(SimConfig::ipsc860(d));
+    let ranges: Vec<_> = sets.iter().map(|s| batch.seed_sweep(0.02, 1..=3, s, &memories)).collect();
+    let results = batch.run();
+    for (set_idx, range) in ranges.into_iter().enumerate() {
+        let stats: Vec<_> =
+            results[range].iter().map(|r| r.as_ref().unwrap().stats.clone()).collect();
+        let misses: u64 = stats.iter().map(|s| s.compile_misses).sum();
+        let hits: u64 = stats.iter().map(|s| s.compile_local_hits + s.compile_shared_hits).sum();
+        assert_eq!(misses, 1, "set {set_idx}: exactly one compile per distinct set");
+        assert_eq!(hits, 2, "set {set_idx}: every other replicate hits a cache");
+        assert!(stats.iter().all(|s| s.compile_ns > 0), "set {set_idx}: timing recorded");
+    }
+}

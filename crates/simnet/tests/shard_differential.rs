@@ -144,7 +144,7 @@ mod properties {
                     d,
                     &dims,
                     m,
-                    BuildOptions { pairwise_sync: false, barrier_per_phase: true, marks: true },
+                    BuildOptions { pairwise_sync: false, ..BuildOptions::default() },
                 ),
                 _ => build_multiphase_programs(d, &dims, m),
             };
